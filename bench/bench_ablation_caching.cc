@@ -1,0 +1,131 @@
+// Ablation: client memory organization (DESIGN.md Sec. 4).
+//
+// Three ways for the client to remember what it already holds, run over
+// the same tours:
+//   - frame:    Algorithm 1 with one-frame memory (StreamingClient) plus
+//               the server-side session filter;
+//   - semantic: region × band algebra over the full history
+//               (SemanticClient, after Zheng & Lee — the paper's
+//               reference [8]);
+//   - blocks:   grid-block buffer with prefetching disabled
+//               (BufferedClient), the unit the paper's cost model uses.
+// Reported: bytes transferred, server exchanges, and index node accesses
+// per tour. Pedestrian tours revisit ground repeatedly, which is where
+// semantic memory shines (revisited frames cost nothing at all); the
+// trade-off it exposes is query *fragmentation* — trimming against a long
+// history shatters the window into many small remainder rectangles, each
+// paying a root-to-leaf index descent, so its I/O is the highest of the
+// three. Block granularity batches best (fewest exchanges) at the cost of
+// fetching whole blocks.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "client/buffered_client.h"
+#include "client/semantic_client.h"
+#include "client/streaming_client.h"
+#include "common/units.h"
+#include "core/experiment.h"
+#include "net/link.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+struct Totals {
+  int64_t bytes = 0;
+  int64_t exchanges = 0;
+  int64_t node_accesses = 0;
+};
+
+Totals RunStreaming(core::System& system,
+                    const std::vector<std::vector<workload::TourPoint>>& tours) {
+  Totals totals;
+  for (const auto& tour : tours) {
+    net::SimulatedLink link;
+    client::StreamingClient cl(client::StreamingClient::Options(),
+                               system.space(), &system.server(), &link);
+    for (const auto& p : tour) {
+      const auto r = cl.Step(p.position, p.speed);
+      totals.bytes += r.response_bytes;
+      totals.node_accesses += r.node_accesses;
+      if (r.sub_queries > 0) ++totals.exchanges;
+    }
+  }
+  return totals;
+}
+
+Totals RunSemantic(core::System& system,
+                   const std::vector<std::vector<workload::TourPoint>>& tours) {
+  Totals totals;
+  for (const auto& tour : tours) {
+    net::SimulatedLink link;
+    client::SemanticClient cl(client::SemanticClient::Options(),
+                              system.space(), &system.server(), &link);
+    for (const auto& p : tour) {
+      const auto r = cl.Step(p.position, p.speed);
+      totals.bytes += r.response_bytes;
+      totals.node_accesses += r.node_accesses;
+      if (r.sub_queries > 0) ++totals.exchanges;
+    }
+  }
+  return totals;
+}
+
+Totals RunBlocks(core::System& system,
+                 const std::vector<std::vector<workload::TourPoint>>& tours) {
+  Totals totals;
+  client::BufferedClient::Options options;
+  options.enable_prefetch = false;
+  options.buffer_bytes = 4 * 1024 * 1024;  // memory-rich: isolate the
+                                           // bookkeeping, not eviction
+  for (const auto& tour : tours) {
+    net::SimulatedLink link;
+    client::BufferedClient cl(options, system.space(), &system.server(),
+                              &link);
+    for (const auto& p : tour) {
+      const auto r = cl.Step(p.position, p.speed);
+      totals.bytes += r.demand_bytes;
+      totals.node_accesses += r.node_accesses;
+      if (r.demand_bytes > 0) ++totals.exchanges;
+    }
+  }
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  core::System::Config config = bench::DefaultConfig();
+  config.scene = workload::SceneForDatasetSize(20);
+  auto system_or = core::System::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+
+  core::PrintTableTitle(
+      "Ablation — client memory organization (bytes and exchanges per "
+      "tour, speed 0.5)");
+  core::PrintTableHeader({"kind", "scheme", "MB", "exchanges", "io/tour"});
+  for (auto kind :
+       {workload::TourKind::kTram, workload::TourKind::kPedestrian}) {
+    const auto tours = bench::MakeTours(kind, 0.5, bench::kDefaultTours,
+                                        400, -1.0, system.space());
+    const Totals frame = RunStreaming(system, tours);
+    const Totals semantic = RunSemantic(system, tours);
+    const Totals blocks = RunBlocks(system, tours);
+    const double n = static_cast<double>(tours.size());
+    auto row = [&](const char* name, const Totals& t) {
+      core::PrintTableRow({bench::TourKindName(kind), name,
+                           core::Fmt(t.bytes / n / (1024.0 * 1024.0), 3),
+                           core::Fmt(t.exchanges / n, 0),
+                           core::Fmt(t.node_accesses / n, 0)});
+    };
+    row("frame", frame);
+    row("semantic", semantic);
+    row("blocks", blocks);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: distance-aware resolution rings (DESIGN.md Sec. 4 /
+// paper Sec. III's remark that geometric influence also depends on screen
+// resolution — distant objects subtend few pixels).
+//
+// Splits the query window into concentric rings with resolution coarsening
+// away from the client, and measures the bytes per window query against
+// the flat single-band query, for several ring counts, at several speeds,
+// on the default 60 MB scene. Expected shape: large savings at low speeds
+// (where the flat query fetches full detail everywhere) shrinking to
+// nothing at speed 1.0 (where everything is coarse anyway).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "client/distance_rings.h"
+#include "client/viewport.h"
+#include "core/experiment.h"
+#include "server/server.h"
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  auto system_or = core::System::Create(bench::DefaultConfig());
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+  const client::Viewport viewport(system.space(), 0.1, 0.1);
+
+  core::PrintTableTitle(
+      "Ablation — KB per window query: flat band vs distance rings");
+  core::PrintTableHeader({"speed", "flat", "rings=2", "rings=3", "rings=5"});
+  for (double speed : core::StandardSpeeds()) {
+    const auto tours =
+        bench::MakeTours(workload::TourKind::kTram, speed, 3, 60, -1.0,
+                         system.space());
+    std::vector<std::string> row = {core::Fmt(speed, 3)};
+    for (int32_t rings : {1, 2, 3, 5}) {
+      client::DistanceRingOptions options;
+      options.rings = rings;
+      int64_t bytes = 0;
+      int64_t queries = 0;
+      for (const auto& tour : tours) {
+        for (const auto& point : tour) {
+          server::ClientSession session;  // standalone queries
+          const auto plan = client::PlanDistanceRings(
+              viewport.WindowAt(point.position), point.position,
+              point.speed, options);
+          const auto result = system.server().Execute(plan, &session);
+          bytes += result.response_bytes;
+          ++queries;
+        }
+      }
+      row.push_back(core::Fmt(
+          static_cast<double>(bytes) / queries / 1024.0, 1));
+    }
+    core::PrintTableRow(row);
+  }
+  return 0;
+}

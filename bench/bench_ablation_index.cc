@@ -1,0 +1,80 @@
+// Ablation: index construction choices (DESIGN.md Sec. 4).
+//
+// Measures window-query I/O (node accesses per query) over the default
+// scene's record table for:
+//   - R* split + forced reinsert (the paper's configuration)
+//   - R* split without forced reinsert
+//   - Guttman quadratic split (classic R-tree)
+// and for node capacities 10 / 20 / 40 around the paper's page-size-20
+// choice. Expected shapes: R* with reinsertion is the cheapest to query;
+// capacity changes trade tree height against per-node scan width.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "index/access.h"
+#include "workload/scene.h"
+
+namespace {
+
+double MeanQueryIo(mars::index::SupportRegionIndex& index,
+                   const mars::geometry::Box2& space, int queries) {
+  mars::common::Rng rng(7);
+  std::vector<mars::index::RecordId> out;
+  index.ResetStats();
+  for (int q = 0; q < queries; ++q) {
+    const double w = space.Extent(0) * 0.1;
+    const double x = rng.Uniform(space.lo(0), space.hi(0) - w);
+    const double y = rng.Uniform(space.lo(1), space.hi(1) - w);
+    out.clear();
+    index.Query(mars::geometry::MakeBox2(x, y, x + w, y + w), 0.5, 1.0,
+                &out);
+  }
+  return static_cast<double>(index.node_accesses()) / queries;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  workload::SceneOptions scene = workload::SceneForDatasetSize(20);
+  auto db = workload::GenerateScene(scene);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("records: %zu\n", db->records().size());
+
+  struct Variant {
+    const char* name;
+    index::SplitPolicy policy;
+    bool reinsert;
+  };
+  const std::vector<Variant> variants = {
+      {"rstar+reinsert", index::SplitPolicy::kRStar, true},
+      {"rstar", index::SplitPolicy::kRStar, false},
+      {"guttman", index::SplitPolicy::kGuttmanQuadratic, false},
+  };
+
+  core::PrintTableTitle(
+      "Ablation — node accesses per 10% window query (w in [0.5, 1])");
+  core::PrintTableHeader({"variant", "cap=10", "cap=20", "cap=40"});
+  for (const Variant& v : variants) {
+    std::vector<std::string> row = {v.name};
+    for (int32_t capacity : {10, 20, 40}) {
+      index::RTreeOptions options;
+      options.split_policy = v.policy;
+      options.forced_reinsert = v.reinsert;
+      options.node_capacity = capacity;
+      index::SupportRegionIndex idx(options);
+      idx.Build(db->records());
+      row.push_back(core::Fmt(MeanQueryIo(idx, scene.space, 300), 1));
+    }
+    core::PrintTableRow(row);
+  }
+  return 0;
+}

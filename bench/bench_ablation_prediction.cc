@@ -1,0 +1,102 @@
+// Ablation: motion model (DESIGN.md Sec. 4).
+//
+// Compares the paper's RLS-learned state-transition predictor against a
+// classic constant-velocity Kalman filter (the paper's reference [21]) on
+// the tour workloads:
+//   (a) mean k-step position prediction error (meters), k = 1/4/8;
+//   (b) end-to-end cache hit rate when each model drives the motion-aware
+//       prefetcher.
+// Expected: both track trams almost perfectly; the learned transition
+// copes slightly better with the pedestrian walk's heading drift, while
+// the KF's fixed dynamics make it cheaper and more stable.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "motion/kalman.h"
+#include "motion/predictor.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+// Mean k-step prediction error over a tour.
+double MeanError(motion::PositionPredictor& predictor,
+                 const std::vector<workload::TourPoint>& tour, int32_t k) {
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t t = 0; t + k < tour.size(); ++t) {
+    predictor.Observe(tour[t].position);
+    if (t < 10) continue;  // warm-up
+    const motion::Prediction p = predictor.Predict(k);
+    total += (p.mean - tour[t + k].position).Norm();
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / count;
+}
+
+}  // namespace
+
+int main() {
+  core::PrintTableTitle(
+      "Ablation — mean k-step prediction error (m), RLS vs Kalman");
+  core::PrintTableHeader({"kind", "k", "RLS", "Kalman"});
+  const geometry::Box2 space = geometry::MakeBox2(0, 0, 10000, 10000);
+  for (auto kind :
+       {workload::TourKind::kTram, workload::TourKind::kPedestrian}) {
+    for (int32_t k : {1, 4, 8}) {
+      double rls_total = 0, kf_total = 0;
+      const int tours = 5;
+      for (int i = 0; i < tours; ++i) {
+        workload::TourOptions options;
+        options.kind = kind;
+        options.space = space;
+        options.target_speed = 0.5;
+        options.frames = 400;
+        options.seed = 500 + 13 * static_cast<uint64_t>(i);
+        const auto tour = workload::GenerateTour(options);
+        motion::MotionPredictor rls;
+        motion::KalmanFilterPredictor kf;
+        rls_total += MeanError(rls, tour, k);
+        kf_total += MeanError(kf, tour, k);
+      }
+      core::PrintTableRow({bench::TourKindName(kind), std::to_string(k),
+                           core::Fmt(rls_total / tours, 2),
+                           core::Fmt(kf_total / tours, 2)});
+    }
+  }
+
+  // End-to-end: which model buys more cache hits?
+  core::System::Config config = bench::DefaultConfig();
+  config.scene = workload::SceneForDatasetSize(20);
+  auto system_or = core::System::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+
+  core::PrintTableTitle(
+      "Ablation — end-to-end hit rate (%) by motion model (64K buffer, "
+      "speed 0.5)");
+  core::PrintTableHeader({"kind", "RLS", "Kalman"});
+  for (auto kind :
+       {workload::TourKind::kTram, workload::TourKind::kPedestrian}) {
+    const auto tours = bench::MakeTours(kind, 0.5, bench::kDefaultTours,
+                                        300, -1.0, system.space());
+    client::BufferedClient::Options rls;
+    rls.buffer_bytes = 64 * 1024;
+    rls.predictor = client::BufferedClient::Options::Predictor::kRls;
+    client::BufferedClient::Options kf = rls;
+    kf.predictor = client::BufferedClient::Options::Predictor::kKalman;
+    const core::RunMetrics m_rls = bench::AverageBuffered(system, tours, rls);
+    const core::RunMetrics m_kf = bench::AverageBuffered(system, tours, kf);
+    core::PrintTableRow({bench::TourKindName(kind),
+                         core::Fmt(100 * m_rls.cache_hit_rate, 1),
+                         core::Fmt(100 * m_kf.cache_hit_rate, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Fig. 8 of the paper: "Effect of speed on data retrieval".
+//
+// Clients travel the same distance at different normalized speeds over the
+// default 60 MB scene (10% query frames), using the motion-aware
+// multiresolution streaming client (Sec. IV). The series reports the
+// average data volume retrieved per tour for tram and pedestrian tours.
+// Expected shape: retrieved data falls steeply (roughly an order of
+// magnitude or more) as speed rises from 0.001 to 1.0.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/units.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  auto system_or = core::System::Create(bench::DefaultConfig());
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+  std::printf("dataset: %s, %d objects\n",
+              common::FormatBytes(system.db().total_bytes()).c_str(),
+              system.db().object_count());
+
+  constexpr double kTourDistance = 3000.0;  // meters, equal for all speeds
+
+  core::PrintTableTitle(
+      "Fig. 8 — data retrieved (MB per tour) vs speed, equal distance");
+  core::PrintTableHeader({"speed", "tram (MB)", "walk (MB)"});
+  for (double speed : core::StandardSpeeds()) {
+    double mb[2];
+    int i = 0;
+    for (auto kind :
+         {workload::TourKind::kTram, workload::TourKind::kPedestrian}) {
+      const auto tours =
+          bench::MakeTours(kind, speed, bench::kDefaultTours, 0,
+                           kTourDistance, system.space());
+      const core::RunMetrics metrics = bench::AverageStreaming(
+          system, tours, client::StreamingClient::Options());
+      mb[i++] = static_cast<double>(metrics.demand_bytes) / (1024.0 * 1024.0);
+    }
+    core::PrintTableRow({core::Fmt(speed, 3), core::Fmt(mb[0], 3),
+                         core::Fmt(mb[1], 3)});
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Fig. 9 of the paper: "Effect of query size and data set size
+// on data retrieval".
+//
+// (a) Tram tours of equal distance at varying speeds with query frames of
+//     5/10/15/20% of the space extent (default 60 MB dataset).
+// (b) Tram tours with the default 10% frame over 20/40/60/80 MB datasets.
+// Expected shape: data volume falls with speed in every column; larger
+// query frames and larger datasets retrieve proportionally more, so the
+// absolute benefit of the multiresolution scheme grows with both.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/units.h"
+#include "core/experiment.h"
+#include "workload/scene.h"
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  constexpr double kTourDistance = 3000.0;
+
+  // --- (a) query-size sweep over the default dataset ----------------------
+  auto system_or = core::System::Create(bench::DefaultConfig());
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+
+  core::PrintTableTitle(
+      "Fig. 9(a) — data retrieved (MB per tram tour) vs speed, by query "
+      "size");
+  core::PrintTableHeader({"speed", "q=5%", "q=10%", "q=15%", "q=20%"});
+  for (double speed : core::StandardSpeeds()) {
+    const auto tours =
+        bench::MakeTours(workload::TourKind::kTram, speed,
+                         bench::kDefaultTours, 0, kTourDistance,
+                         system.space());
+    std::vector<std::string> row = {core::Fmt(speed, 3)};
+    for (double fraction : core::StandardQueryFractions()) {
+      client::StreamingClient::Options options;
+      options.query_fraction = fraction;
+      const core::RunMetrics metrics =
+          bench::AverageStreaming(system, tours, options);
+      row.push_back(core::Fmt(
+          static_cast<double>(metrics.demand_bytes) / (1024.0 * 1024.0), 3));
+    }
+    core::PrintTableRow(row);
+  }
+
+  // --- (b) dataset-size sweep at the default 10% frame --------------------
+  core::PrintTableTitle(
+      "Fig. 9(b) — data retrieved (MB per tram tour) vs speed, by dataset "
+      "size");
+  core::PrintTableHeader({"speed", "20MB", "40MB", "60MB", "80MB"});
+
+  std::vector<std::unique_ptr<core::System>> systems;
+  for (int32_t mb : core::StandardDatasetSizesMb()) {
+    core::System::Config config = bench::DefaultConfig();
+    config.scene = workload::SceneForDatasetSize(mb);
+    auto sys = core::System::Create(config);
+    if (!sys.ok()) {
+      std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+      return 1;
+    }
+    systems.push_back(std::move(sys).value());
+  }
+  for (double speed : core::StandardSpeeds()) {
+    std::vector<std::string> row = {core::Fmt(speed, 3)};
+    for (auto& sys : systems) {
+      const auto tours =
+          bench::MakeTours(workload::TourKind::kTram, speed,
+                           bench::kDefaultTours, 0, kTourDistance,
+                           sys->space());
+      const core::RunMetrics metrics = bench::AverageStreaming(
+          *sys, tours, client::StreamingClient::Options());
+      row.push_back(core::Fmt(
+          static_cast<double>(metrics.demand_bytes) / (1024.0 * 1024.0), 3));
+    }
+    core::PrintTableRow(row);
+  }
+  return 0;
+}

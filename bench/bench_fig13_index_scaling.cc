@@ -1,0 +1,107 @@
+// Reproduces Fig. 13 of the paper: "Effect of query and data set sizes" on
+// index I/O cost at fixed speed 0.5, with the indexing component evaluated
+// in isolation (standalone window queries, as in Fig. 12).
+//
+// (a) Node accesses per window query vs query size (5-20%), 60 MB dataset.
+// (b) Node accesses per window query vs dataset size (20-80 MB), 10% frame.
+// Expected shapes: costs grow with query and dataset size; the
+// motion-aware access method saves on the order of a third of the I/O on
+// average (paper: 36%), with the gap widening at the large end of both
+// sweeps (paper: up to 49% at 20% queries, 59% at 80 MB).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "client/viewport.h"
+#include "core/experiment.h"
+#include "index/access.h"
+#include "workload/scene.h"
+
+namespace {
+
+double MeanIoPerQuery(
+    mars::index::CoefficientIndex& index,
+    const std::vector<std::vector<mars::workload::TourPoint>>& tours,
+    const mars::geometry::Box2& space, double query_fraction) {
+  mars::client::Viewport viewport(space, query_fraction, query_fraction);
+  index.ResetStats();
+  int64_t queries = 0;
+  std::vector<mars::index::RecordId> out;
+  for (const auto& tour : tours) {
+    for (const auto& point : tour) {
+      out.clear();
+      index.Query(viewport.WindowAt(point.position), point.speed, 1.0,
+                  &out);
+      ++queries;
+    }
+  }
+  return queries == 0 ? 0.0
+                      : static_cast<double>(index.node_accesses()) / queries;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  constexpr double kSpeed = 0.5;
+  constexpr int32_t kFrames = 200;
+
+  // --- (a) query-size sweep over the default dataset ----------------------
+  {
+    const workload::SceneOptions scene = bench::DefaultConfig().scene;
+    auto db = workload::GenerateScene(scene);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    index::SupportRegionIndex support;
+    index::NaivePointIndex naive;
+    support.Build(db->records());
+    naive.Build(db->records());
+    const auto tours =
+        bench::MakeTours(workload::TourKind::kTram, kSpeed,
+                         bench::kDefaultTours, kFrames, -1.0, scene.space);
+
+    core::PrintTableTitle(
+        "Fig. 13(a) — index I/O per window query vs query size (speed 0.5, "
+        "60MB)");
+    core::PrintTableHeader({"query", "motion-aware", "naive", "saving"});
+    for (double fraction : core::StandardQueryFractions()) {
+      const double ma = MeanIoPerQuery(support, tours, scene.space, fraction);
+      const double nv = MeanIoPerQuery(naive, tours, scene.space, fraction);
+      const double saving = nv > 0 ? 100.0 * (1.0 - ma / nv) : 0.0;
+      core::PrintTableRow({core::Fmt(100 * fraction, 0) + "%",
+                           core::Fmt(ma, 1), core::Fmt(nv, 1),
+                           core::Fmt(saving, 1) + "%"});
+    }
+  }
+
+  // --- (b) dataset-size sweep at the default 10% frame --------------------
+  core::PrintTableTitle(
+      "Fig. 13(b) — index I/O per window query vs dataset size (speed 0.5, "
+      "10%)");
+  core::PrintTableHeader({"dataset", "motion-aware", "naive", "saving"});
+  for (int32_t mb : core::StandardDatasetSizesMb()) {
+    const workload::SceneOptions scene = workload::SceneForDatasetSize(mb);
+    auto db = workload::GenerateScene(scene);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    index::SupportRegionIndex support;
+    index::NaivePointIndex naive;
+    support.Build(db->records());
+    naive.Build(db->records());
+    const auto tours =
+        bench::MakeTours(workload::TourKind::kTram, kSpeed,
+                         bench::kDefaultTours, kFrames, -1.0, scene.space);
+    const double ma = MeanIoPerQuery(support, tours, scene.space, 0.1);
+    const double nv = MeanIoPerQuery(naive, tours, scene.space, 0.1);
+    const double saving = nv > 0 ? 100.0 * (1.0 - ma / nv) : 0.0;
+    core::PrintTableRow({std::to_string(mb) + "MB", core::Fmt(ma, 1),
+                         core::Fmt(nv, 1), core::Fmt(saving, 1) + "%"});
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Microbenchmarks (google-benchmark) for the hot building blocks: R*-tree
+// insert/query at the experimental node parameters, wavelet analysis and
+// synthesis, window-difference decomposition, Kalman/RLS prediction, and
+// the Eq.-2 buffer allocator. These are not paper figures; they document
+// the substrate costs behind the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include "buffer/sector_allocator.h"
+#include "client/continuous.h"
+#include "common/rng.h"
+#include "geometry/rect_diff.h"
+#include "index/rtree.h"
+#include "mesh/primitives.h"
+#include "mesh/subdivide.h"
+#include "motion/predictor.h"
+#include "wavelet/decompose.h"
+#include "wavelet/reconstruct.h"
+
+namespace mars {
+namespace {
+
+geometry::Box3 RandomBox3(common::Rng& rng) {
+  const double x = rng.Uniform(0, 10000), y = rng.Uniform(0, 10000);
+  const double w = rng.UniformDouble();
+  return geometry::Box3({x, y, w}, {x + rng.Uniform(1, 40),
+                                    y + rng.Uniform(1, 40), w});
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  common::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    index::RTree3 tree;
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(RandomBox3(rng), i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeWindowQuery(benchmark::State& state) {
+  common::Rng rng(2);
+  index::RTree3 tree;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    tree.Insert(RandomBox3(rng), i);
+  }
+  std::vector<int64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    const double x = rng.Uniform(0, 9000), y = rng.Uniform(0, 9000);
+    tree.Query(geometry::Box3({x, y, 0.5}, {x + 1000, y + 1000, 1.0}), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeWindowQuery)->Arg(10000)->Arg(100000);
+
+void BM_GuttmanInsert(benchmark::State& state) {
+  common::Rng rng(3);
+  index::RTreeOptions options;
+  options.split_policy = index::SplitPolicy::kGuttmanQuadratic;
+  options.forced_reinsert = false;
+  for (auto _ : state) {
+    state.PauseTiming();
+    index::RTree3 tree(options);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(RandomBox3(rng), i);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GuttmanInsert)->Arg(10000);
+
+void BM_WaveletDecompose(benchmark::State& state) {
+  const int levels = static_cast<int>(state.range(0));
+  const mesh::Mesh base = mesh::MakeBuilding(30, 40, 20, 6);
+  common::Rng rng(4);
+  mesh::Mesh fine = base;
+  for (int j = 0; j < levels; ++j) {
+    mesh::Subdivision sub = mesh::Subdivide(fine);
+    for (const mesh::OddVertex& odd : sub.odd_vertices) {
+      sub.mesh.mutable_vertex(odd.vertex) +=
+          geometry::Vec3{rng.Normal(), rng.Normal(), rng.Normal()} * 0.3;
+    }
+    fine = std::move(sub.mesh);
+  }
+  for (auto _ : state) {
+    auto mr = wavelet::Decompose(fine, base, levels);
+    benchmark::DoNotOptimize(mr);
+  }
+}
+BENCHMARK(BM_WaveletDecompose)->Arg(2)->Arg(4);
+
+void BM_WaveletReconstruct(benchmark::State& state) {
+  const int levels = 4;
+  const mesh::Mesh base = mesh::MakeBuilding(30, 40, 20, 6);
+  common::Rng rng(5);
+  mesh::Mesh fine = base;
+  for (int j = 0; j < levels; ++j) {
+    mesh::Subdivision sub = mesh::Subdivide(fine);
+    for (const mesh::OddVertex& odd : sub.odd_vertices) {
+      sub.mesh.mutable_vertex(odd.vertex) +=
+          geometry::Vec3{rng.Normal(), rng.Normal(), rng.Normal()} * 0.3;
+    }
+    fine = std::move(sub.mesh);
+  }
+  auto mr = wavelet::Decompose(fine, base, levels);
+  const double w_min = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto mesh = wavelet::Reconstruct(*mr, w_min);
+    benchmark::DoNotOptimize(mesh);
+  }
+}
+BENCHMARK(BM_WaveletReconstruct)->Arg(0)->Arg(50)->Arg(100);
+
+void BM_WindowDifference(benchmark::State& state) {
+  common::Rng rng(6);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 100), y = rng.Uniform(0, 100);
+    const auto a = geometry::MakeBox2(x, y, x + 50, y + 50);
+    const auto b = geometry::MakeBox2(x + 5, y + 7, x + 55, y + 57);
+    auto pieces = geometry::Difference(a, b);
+    benchmark::DoNotOptimize(pieces);
+  }
+}
+BENCHMARK(BM_WindowDifference);
+
+void BM_ContinuousPlan(benchmark::State& state) {
+  common::Rng rng(7);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 100), y = rng.Uniform(0, 100);
+    const auto prev = geometry::MakeBox2(x, y, x + 50, y + 50);
+    const auto cur = geometry::MakeBox2(x + 3, y + 2, x + 53, y + 52);
+    auto plan = client::PlanContinuousRetrieval(cur, 0.3, prev, 0.6);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ContinuousPlan);
+
+void BM_PredictorObserve(benchmark::State& state) {
+  motion::MotionPredictor predictor;
+  common::Rng rng(8);
+  double x = 0, y = 0;
+  for (auto _ : state) {
+    x += rng.Uniform(4, 6);
+    y += rng.Uniform(-1, 1);
+    predictor.Observe({x, y});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorObserve);
+
+void BM_PredictorPredict(benchmark::State& state) {
+  motion::MotionPredictor predictor;
+  for (int t = 0; t < 100; ++t) {
+    predictor.Observe({5.0 * t, 2.0 * t});
+  }
+  for (auto _ : state) {
+    auto p = predictor.Predict(static_cast<int32_t>(state.range(0)));
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PredictorPredict)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_BufferAllocation(benchmark::State& state) {
+  const std::vector<double> probs = {0.4, 0.25, 0.2, 0.15};
+  for (auto _ : state) {
+    auto alloc = buffer::AllocateBuffer(probs, 64);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_BufferAllocation);
+
+}  // namespace
+}  // namespace mars
+
+BENCHMARK_MAIN();

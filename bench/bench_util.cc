@@ -1,0 +1,71 @@
+#include "bench/bench_util.h"
+
+namespace mars::bench {
+
+std::vector<std::vector<workload::TourPoint>> MakeTours(
+    workload::TourKind kind, double speed, int count, int32_t frames,
+    double distance, const geometry::Box2& space, bool scheduled_stops) {
+  std::vector<std::vector<workload::TourPoint>> tours;
+  tours.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    workload::TourOptions options;
+    options.kind = kind;
+    options.space = space;
+    options.target_speed = speed;
+    options.frames = frames;
+    options.distance = distance;
+    // When speed is the controlled variable, scheduled tram stops would
+    // pin part of each tour to speed ~0 regardless of the setting.
+    if (!scheduled_stops) options.tram_stop_frames = 0;
+    options.seed = 1000 + 17 * static_cast<uint64_t>(i);
+    tours.push_back(workload::GenerateTour(options));
+  }
+  return tours;
+}
+
+core::RunMetrics AverageStreaming(
+    core::System& system,
+    const std::vector<std::vector<workload::TourPoint>>& tours,
+    const client::StreamingClient::Options& options) {
+  std::vector<core::RunMetrics> runs;
+  runs.reserve(tours.size());
+  for (const auto& tour : tours) {
+    runs.push_back(system.RunStreaming(tour, options));
+  }
+  return core::MeanOf(runs);
+}
+
+core::RunMetrics AverageBuffered(
+    core::System& system,
+    const std::vector<std::vector<workload::TourPoint>>& tours,
+    const client::BufferedClient::Options& options) {
+  std::vector<core::RunMetrics> runs;
+  runs.reserve(tours.size());
+  for (const auto& tour : tours) {
+    runs.push_back(system.RunBuffered(tour, options));
+  }
+  return core::MeanOf(runs);
+}
+
+core::RunMetrics AverageNaiveObject(
+    core::System& system,
+    const std::vector<std::vector<workload::TourPoint>>& tours,
+    const client::NaiveObjectClient::Options& options) {
+  std::vector<core::RunMetrics> runs;
+  runs.reserve(tours.size());
+  for (const auto& tour : tours) {
+    runs.push_back(system.RunNaiveObject(tour, options));
+  }
+  return core::MeanOf(runs);
+}
+
+core::System::Config DefaultConfig() {
+  core::System::Config config;  // scene defaults: 300 objects ≈ 60 MB
+  return config;
+}
+
+const char* TourKindName(workload::TourKind kind) {
+  return kind == workload::TourKind::kTram ? "tram" : "walk";
+}
+
+}  // namespace mars::bench

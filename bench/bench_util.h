@@ -1,0 +1,59 @@
+#ifndef MARS_BENCH_BENCH_UTIL_H_
+#define MARS_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the figure-reproduction benches. Each bench binary
+// regenerates one table/figure of the paper's evaluation (Sec. VII) and
+// prints the series as a fixed-width table; see EXPERIMENTS.md for the
+// mapping and the expected shapes.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/metrics.h"
+#include "core/system.h"
+#include "workload/tour.h"
+
+namespace mars::bench {
+
+// Number of seeded clients averaged per setting (the paper averages the
+// traces of 10 tourists; we default to a smaller count to keep bench
+// runtime reasonable — override with --tours=N if desired).
+inline constexpr int kDefaultTours = 5;
+
+// Generates `count` seeded tours of the given kind/speed. When
+// `distance` > 0 the tours cover that distance (Fig. 8's equal-distance
+// setup); otherwise they run for `frames` frames (equal-duration, the
+// Figs. 10-15 setup). Scheduled tram stops are disabled by default
+// because most benches sweep speed as the controlled variable; pass
+// `scheduled_stops = true` for experiments at a fixed cruise speed
+// (Fig. 10).
+std::vector<std::vector<workload::TourPoint>> MakeTours(
+    workload::TourKind kind, double speed, int count, int32_t frames,
+    double distance, const geometry::Box2& space,
+    bool scheduled_stops = false);
+
+// Runs one client kind over every tour and averages the metrics.
+core::RunMetrics AverageStreaming(
+    core::System& system,
+    const std::vector<std::vector<workload::TourPoint>>& tours,
+    const client::StreamingClient::Options& options);
+
+core::RunMetrics AverageBuffered(
+    core::System& system,
+    const std::vector<std::vector<workload::TourPoint>>& tours,
+    const client::BufferedClient::Options& options);
+
+core::RunMetrics AverageNaiveObject(
+    core::System& system,
+    const std::vector<std::vector<workload::TourPoint>>& tours,
+    const client::NaiveObjectClient::Options& options);
+
+// The paper's default testbed: 60 MB uniform scene, support-region index.
+core::System::Config DefaultConfig();
+
+const char* TourKindName(workload::TourKind kind);
+
+}  // namespace mars::bench
+
+#endif  // MARS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,109 @@
+// Motion prediction and buffer allocation, visualized (paper Sec. V).
+//
+// A client drives east and then turns north. At three moments we print an
+// ASCII heatmap of the predicted block-visit probabilities around the
+// client (Fig. 4(b) of the paper), the aggregated per-direction
+// probabilities, and the resulting Eq.-2 buffer allocation for a 24-block
+// budget.
+//
+//   ./build/examples/motion_prediction_demo
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "buffer/sector_allocator.h"
+#include "common/rng.h"
+#include "geometry/grid.h"
+#include "motion/grid_probability.h"
+#include "motion/predictor.h"
+#include "motion/sectors.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+void Snapshot(const motion::MotionPredictor& predictor,
+              const geometry::GridPartition& grid,
+              const geometry::Vec2& position, const char* label) {
+  common::Rng rng(13);
+  const motion::BlockProbabilities probs = motion::ComputeBlockProbabilities(
+      predictor, grid, motion::GridProbabilityOptions(), rng);
+
+  std::printf("\n--- %s (client at %.0f, %.0f) ---\n", label, position.x,
+              position.y);
+
+  // Heatmap of an 11x11 block neighbourhood centred on the client.
+  const geometry::BlockCoord center = grid.BlockOfPoint(position);
+  const char* shades = " .:-=+*#%@";
+  double max_p = 0.0;
+  for (const auto& [block, p] : probs) max_p = std::max(max_p, p);
+  for (int dj = 5; dj >= -5; --dj) {
+    std::printf("  ");
+    for (int di = -5; di <= 5; ++di) {
+      const geometry::BlockCoord c{center.i + di, center.j + dj};
+      if (!grid.IsValidCoord(c)) {
+        std::printf("?");
+        continue;
+      }
+      const auto it = probs.find(grid.BlockId(c));
+      double p = it == probs.end() ? 0.0 : it->second;
+      if (di == 0 && dj == 0) {
+        std::printf("O");  // the client
+        continue;
+      }
+      const int shade =
+          max_p > 0 ? static_cast<int>(9.0 * p / max_p + 0.5) : 0;
+      std::printf("%c", shades[shade]);
+    }
+    std::printf("\n");
+  }
+
+  motion::SectorPartition partition(position, 4);
+  const auto directions = partition.Aggregate(grid, probs);
+  const auto allocation = buffer::AllocateBuffer(directions.p, 24);
+  const char* names[4] = {"east", "north", "west", "south"};
+  std::printf("  direction probabilities / buffer allocation (24 blocks):\n");
+  for (int s = 0; s < 4; ++s) {
+    std::printf("    %-6s p=%.3f -> %2d blocks\n", names[s],
+                directions.p[s], allocation[s]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const geometry::Box2 space = geometry::MakeBox2(0, 0, 2000, 2000);
+  const geometry::GridPartition grid(space, 100, 100);  // 20 m blocks
+  motion::MotionPredictor predictor;
+
+  // Phase 1: eastbound cruise.
+  geometry::Vec2 pos{400, 1000};
+  for (int t = 0; t < 40; ++t) {
+    pos += {10, 0};
+    predictor.Observe(pos);
+  }
+  Snapshot(predictor, grid, pos, "cruising east");
+
+  // Phase 2: the turn — a few frames curving north.
+  for (int t = 0; t < 6; ++t) {
+    const double angle = (t + 1) * M_PI / 12.0;  // 15 degrees per frame
+    pos += {10 * std::cos(angle), 10 * std::sin(angle)};
+    predictor.Observe(pos);
+  }
+  Snapshot(predictor, grid, pos, "mid-turn");
+
+  // Phase 3: northbound cruise; the model relearns the heading.
+  for (int t = 0; t < 40; ++t) {
+    pos += {0, 10};
+    predictor.Observe(pos);
+  }
+  Snapshot(predictor, grid, pos, "cruising north");
+
+  std::printf(
+      "\nThe buffer budget follows the probability mass: ahead of the\n"
+      "client before the turn, spread while turning, and rotated 90\n"
+      "degrees after it — the behaviour the motion-aware prefetcher\n"
+      "exploits.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// "What's around me?" — an AR side panel: as the tourist moves, list the
+// k nearest buildings using the R-tree's best-first nearest-neighbour
+// search over the object index, and show how much of each is already
+// resident locally (base / partial / full detail).
+//
+//   ./build/examples/nearest_landmarks
+
+#include <cstdio>
+
+#include "client/object_store.h"
+#include "client/streaming_client.h"
+#include "common/units.h"
+#include "core/system.h"
+#include "index/rtree.h"
+#include "net/link.h"
+#include "workload/tour.h"
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  core::System::Config config;
+  config.scene.object_count = 60;
+  config.scene.space = geometry::MakeBox2(0, 0, 3000, 3000);
+  config.scene.seed = 8;
+  auto system_or = core::System::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+
+  // A dedicated 2D R-tree over the building footprints for the panel's
+  // kNN lookups.
+  index::RTree2 landmarks;
+  for (size_t i = 0; i < system.db().object_bounds().size(); ++i) {
+    const auto& b = system.db().object_bounds()[i];
+    landmarks.Insert(geometry::Box2({b.lo(0), b.lo(1)}, {b.hi(0), b.hi(1)}),
+                     static_cast<int64_t>(i));
+  }
+
+  workload::TourOptions tour_options;
+  tour_options.space = config.scene.space;
+  tour_options.kind = workload::TourKind::kPedestrian;
+  tour_options.target_speed = 0.3;
+  tour_options.frames = 60;
+  tour_options.seed = 14;
+  const auto tour = workload::GenerateTour(tour_options);
+
+  net::SimulatedLink link;
+  client::StreamingClient::Options options;
+  options.query_fraction = 0.15;
+  client::StreamingClient client(options, system.space(), &system.server(),
+                                 &link);
+  client::ClientObjectStore store(&system.db());
+
+  for (size_t t = 0; t < tour.size(); ++t) {
+    const auto report = client.Step(tour[t].position, tour[t].speed);
+    for (index::RecordId id : report.records) store.AddRecord(id);
+    if (t % 20 != 19) continue;
+
+    std::printf("\n@ (%.0f, %.0f), speed %.2f — nearest landmarks:\n",
+                tour[t].position.x, tour[t].position.y, tour[t].speed);
+    std::vector<index::RTree2::Entry> nearest;
+    landmarks.NearestNeighbors({tour[t].position.x, tour[t].position.y}, 5,
+                               &nearest);
+    for (const auto& hit : nearest) {
+      const int32_t obj = static_cast<int32_t>(hit.value);
+      const double distance = std::sqrt(index::RTree2::MinDistanceSquared(
+          hit.box, {tour[t].position.x, tour[t].position.y}));
+      const int64_t have = store.CoefficientCount(obj);
+      const int64_t total = system.db().object(obj).coefficient_count();
+      const char* status = !store.HasBase(obj)   ? "not loaded"
+                           : have == total       ? "full detail"
+                           : have > 0            ? "partial"
+                                                 : "base only";
+      std::printf("  building %-3d  %6.0f m away  %-11s (%lld/%lld coeffs)\n",
+                  obj, distance, status, static_cast<long long>(have),
+                  static_cast<long long>(total));
+    }
+  }
+  std::printf("\ntotal transferred: %s over %lld frames\n",
+              common::FormatBytes(client.total_bytes()).c_str(),
+              static_cast<long long>(client.frames()));
+  return 0;
+}

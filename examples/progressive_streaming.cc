@@ -1,0 +1,91 @@
+// Progressive refinement (paper Secs. III-IV): a client approaches a
+// building and slows to a stop in front of it. As its speed falls, the
+// speed-to-resolution map lowers w_min step by step and the client fetches
+// only the *incremental* band of wavelet coefficients — never re-fetching
+// what it already holds. The reconstruction error of the locally held mesh
+// shrinks with every step.
+//
+//   ./build/examples/progressive_streaming
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "geometry/vec.h"
+#include "index/record.h"
+#include "mesh/mesh.h"
+#include "mesh/primitives.h"
+#include "mesh/subdivide.h"
+#include "wavelet/decompose.h"
+#include "wavelet/reconstruct.h"
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  // One building with 4 levels of displaced detail.
+  const mesh::Mesh base = mesh::MakeBuilding(30, 40, 25, 8);
+  common::Rng rng(11);
+  mesh::Mesh fine = base;
+  double amplitude = 2.5;
+  for (int level = 0; level < 4; ++level) {
+    mesh::Subdivision sub = mesh::Subdivide(fine);
+    for (const mesh::OddVertex& odd : sub.odd_vertices) {
+      geometry::Vec3 dir{rng.Normal(), rng.Normal(), rng.Normal()};
+      const double norm = dir.Norm();
+      if (norm > 1e-12) dir = dir / norm;
+      sub.mesh.mutable_vertex(odd.vertex) +=
+          dir * (amplitude * rng.Uniform(0.1, 1.0));
+    }
+    fine = std::move(sub.mesh);
+    amplitude *= 0.45;
+  }
+
+  auto mr = wavelet::Decompose(fine, base, 4);
+  if (!mr.ok()) {
+    std::fprintf(stderr, "%s\n", mr.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Object: %d base vertices, %d wavelet coefficients, %d final "
+      "vertices\n\n",
+      mr->base().vertex_count(), mr->coefficient_count(),
+      fine.vertex_count());
+
+  // The client decelerates: each row is one query at a lower speed. Only
+  // the coefficients in the new band (w_prev > w >= w_now) travel.
+  const std::vector<double> speeds = {1.0, 0.75, 0.5, 0.25, 0.1, 0.001};
+  double w_prev = 1.0 + 1e-9;  // nothing held yet
+  int64_t held = 0;
+  int64_t total_bytes = 0;
+
+  std::printf("%-8s %-8s %12s %14s %14s %16s\n", "speed", "w_min",
+              "band coeffs", "band bytes", "total bytes", "mesh error (m)");
+  for (double speed : speeds) {
+    const double w_now = speed;  // the default speed->resolution map
+    int64_t band = 0;
+    for (const auto& c : mr->coefficients()) {
+      if (c.w >= w_now && c.w < w_prev) ++band;
+    }
+    held += band;
+    const int64_t band_bytes = band * index::kCoefficientWireBytes;
+    total_bytes += band_bytes;
+
+    // Reconstruct from everything held so far and measure fidelity.
+    const mesh::Mesh approx = wavelet::Reconstruct(*mr, w_now);
+    const double error = wavelet::MaxVertexDistance(approx, fine);
+
+    std::printf("%-8.3f %-8.3f %12lld %14s %14s %16.4f\n", speed, w_now,
+                static_cast<long long>(band),
+                common::FormatBytes(band_bytes).c_str(),
+                common::FormatBytes(total_bytes).c_str(), error);
+    w_prev = w_now;
+  }
+
+  std::printf(
+      "\nAt rest the client holds all %lld coefficients and the mesh is "
+      "exact;\nthe total transfer equals one full-resolution fetch — no "
+      "byte was sent twice.\n",
+      static_cast<long long>(held));
+  return 0;
+}

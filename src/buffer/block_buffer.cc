@@ -1,0 +1,145 @@
+#include "buffer/block_buffer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mars::buffer {
+
+BlockBuffer::BlockBuffer(int64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  MARS_CHECK_GT(capacity_bytes, 0);
+}
+
+bool BlockBuffer::Lookup(int64_t block, double needed_w_min) {
+  ++stats_.lookups;
+  auto it = entries_.find(block);
+  if (it == entries_.end() || it->second.w_min_held > needed_w_min) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  Entry& e = it->second;
+  if (e.pending_prefetch_bytes > 0) {
+    stats_.used_prefetched_bytes += e.pending_prefetch_bytes;
+    e.pending_prefetch_bytes = 0;
+  }
+  return true;
+}
+
+bool BlockBuffer::Peek(int64_t block, double needed_w_min) const {
+  const auto it = entries_.find(block);
+  return it != entries_.end() && it->second.w_min_held <= needed_w_min;
+}
+
+void BlockBuffer::Insert(int64_t block, double w_min, int64_t added_bytes,
+                         double priority, bool is_prefetch) {
+  MARS_CHECK_GE(added_bytes, 0);
+  const bool is_new = !entries_.contains(block);
+  Entry& e = entries_[block];
+  if (is_new) used_bytes_ += kEntryOverheadBytes;
+  e.w_min_held = std::min(e.w_min_held, w_min);
+  e.bytes += added_bytes;
+  e.priority = std::max(e.priority, priority);
+  used_bytes_ += added_bytes;
+  if (e.pinned) pinned_bytes_ += added_bytes;
+  if (is_prefetch) {
+    e.pending_prefetch_bytes += added_bytes;
+    stats_.prefetched_bytes += added_bytes;
+  } else {
+    stats_.demand_bytes += added_bytes;
+  }
+  while (ChargedBytes() > capacity_bytes_) {
+    if (!EvictWorst()) break;
+  }
+}
+
+void BlockBuffer::InsertDemand(int64_t block, double w_min,
+                               int64_t added_bytes, double priority) {
+  Insert(block, w_min, added_bytes, priority, /*is_prefetch=*/false);
+}
+
+void BlockBuffer::InsertPrefetch(int64_t block, double w_min,
+                                 int64_t added_bytes, double priority) {
+  Insert(block, w_min, added_bytes, priority, /*is_prefetch=*/true);
+}
+
+bool BlockBuffer::CanAdmit(int64_t added_bytes, double priority) const {
+  const int64_t needed = added_bytes + kEntryOverheadBytes;
+  int64_t reclaimable = capacity_bytes_ - ChargedBytes();
+  if (reclaimable >= needed) return true;
+  for (const auto& [block, e] : entries_) {
+    if (!e.pinned && e.priority < priority) {
+      reclaimable += EntryFootprint(e);
+      if (reclaimable >= needed) return true;
+    }
+  }
+  return false;
+}
+
+void BlockBuffer::Pin(int64_t block) {
+  auto it = entries_.find(block);
+  if (it == entries_.end()) {
+    // Placeholder so the view's data is protected as soon as it arrives.
+    it = entries_.emplace(block, Entry{}).first;
+    used_bytes_ += kEntryOverheadBytes;
+  }
+  if (it->second.pinned) return;
+  it->second.pinned = true;
+  pinned_bytes_ += EntryFootprint(it->second);
+}
+
+void BlockBuffer::Unpin(int64_t block) {
+  auto it = entries_.find(block);
+  if (it == entries_.end() || !it->second.pinned) return;
+  it->second.pinned = false;
+  pinned_bytes_ -= EntryFootprint(it->second);
+  // Leaving the view may overflow the (prefetch) capacity.
+  while (ChargedBytes() > capacity_bytes_) {
+    if (!EvictWorst()) break;
+  }
+}
+
+bool BlockBuffer::IsPinned(int64_t block) const {
+  const auto it = entries_.find(block);
+  return it != entries_.end() && it->second.pinned;
+}
+
+void BlockBuffer::UpdatePriority(int64_t block, double priority) {
+  auto it = entries_.find(block);
+  if (it != entries_.end()) {
+    it->second.priority = std::max(it->second.priority, priority);
+  }
+}
+
+void BlockBuffer::DecayPriorities(double factor) {
+  MARS_CHECK_GE(factor, 0.0);
+  MARS_CHECK_LE(factor, 1.0);
+  for (auto& [block, e] : entries_) {
+    e.priority *= factor;
+  }
+}
+
+double BlockBuffer::HeldWMin(int64_t block) const {
+  auto it = entries_.find(block);
+  return it == entries_.end() ? std::numeric_limits<double>::infinity()
+                              : it->second.w_min_held;
+}
+
+bool BlockBuffer::EvictWorst() {
+  auto worst = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.pinned) continue;
+    if (worst == entries_.end() ||
+        it->second.priority < worst->second.priority) {
+      worst = it;
+    }
+  }
+  if (worst == entries_.end()) return false;  // everything pinned
+  used_bytes_ -= EntryFootprint(worst->second);
+  entries_.erase(worst);
+  return true;
+}
+
+}  // namespace mars::buffer

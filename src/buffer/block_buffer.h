@@ -1,0 +1,134 @@
+#ifndef MARS_BUFFER_BLOCK_BUFFER_H_
+#define MARS_BUFFER_BLOCK_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace mars::buffer {
+
+// Counters for the paper's two buffer-management metrics: cache hit rate
+// (Sec. VII-C, "a measure of reduction in latency") and data utilization
+// ("the used portion of the total pre-fetched data").
+struct BlockBufferStats {
+  int64_t lookups = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t prefetched_bytes = 0;
+  int64_t used_prefetched_bytes = 0;
+  int64_t demand_bytes = 0;
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+  double Utilization() const {
+    return prefetched_bytes == 0
+               ? 0.0
+               : static_cast<double>(used_prefetched_bytes) /
+                     prefetched_bytes;
+  }
+};
+
+// The client's limited block buffer (paper Sec. V): holds grid blocks of
+// multiresolution data, filled on demand (cache misses) and ahead of time
+// by a prefetcher. Eviction removes the lowest-priority block; the
+// prefetcher refreshes priorities every frame (predicted visit
+// probability), and priorities of unrefreshed blocks decay, so stale data
+// ages out unless the motion model keeps predicting it.
+class BlockBuffer {
+ public:
+  // Fixed bookkeeping cost charged against capacity for every resident
+  // block (directory entry, ids, held-resolution metadata). Keeps even
+  // data-less blocks from being free, so small buffers behave like small
+  // buffers.
+  static constexpr int64_t kEntryOverheadBytes = 64;
+
+  explicit BlockBuffer(int64_t capacity_bytes);
+
+  // Query-path lookup: true when `block` is resident with detail at least
+  // as fine as `needed_w_min` (held w_min <= needed). Counts one hit or
+  // miss and, on a hit, credits the block's not-yet-used prefetched bytes
+  // to the utilization numerator.
+  bool Lookup(int64_t block, double needed_w_min);
+
+  // Same residency test without touching the statistics or the
+  // utilization credit. Used for blocks that stay inside the view from
+  // one frame to the next: the paper's hit/miss accounting is per *newly
+  // visited* region, so steady-state re-reads are not counted.
+  bool Peek(int64_t block, double needed_w_min) const;
+
+  // Installs demand-fetched data for `block`: `added_bytes` new bytes that
+  // refine the block's held resolution down to `w_min`.
+  void InsertDemand(int64_t block, double w_min, int64_t added_bytes,
+                    double priority);
+
+  // Installs prefetched data (counted against utilization).
+  void InsertPrefetch(int64_t block, double w_min, int64_t added_bytes,
+                      double priority);
+
+  // Raises/refreshes a resident block's eviction priority.
+  void UpdatePriority(int64_t block, double priority);
+
+  // True when inserting `added_bytes` at `priority` would survive: there is
+  // room after evicting only strictly lower-priority blocks. Prefetchers
+  // check this before spending link bandwidth on a block that would be
+  // evicted straight away (or would evict something more valuable).
+  bool CanAdmit(int64_t added_bytes, double priority) const;
+
+  // Pins/unpins a block. Pinned blocks model the data backing the client's
+  // *current view* (display memory): they are never evicted and their
+  // bytes do not count against the buffer capacity, which — as in the
+  // paper's cost model — bounds only the pre-fetched/cached surroundings.
+  // Pinning an absent block creates an empty (no data) entry so that data
+  // fetched for the current view is protected from the moment it arrives.
+  void Pin(int64_t block);
+  void Unpin(int64_t block);
+  bool IsPinned(int64_t block) const;
+
+  // Multiplies every resident priority by `factor` in [0, 1]; called once
+  // per frame so untouched blocks age out.
+  void DecayPriorities(double factor);
+
+  bool Contains(int64_t block) const { return entries_.contains(block); }
+
+  // Finest (smallest) w_min held for `block`; returns +inf when absent.
+  double HeldWMin(int64_t block) const;
+
+  int64_t used_bytes() const { return used_bytes_; }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t block_count() const { return entries_.size(); }
+
+  const BlockBufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BlockBufferStats(); }
+
+ private:
+  struct Entry {
+    double w_min_held = 2.0;  // > 1.0 means "no data yet"
+    int64_t bytes = 0;
+    double priority = 0.0;
+    // Prefetched bytes not yet credited as used.
+    int64_t pending_prefetch_bytes = 0;
+    bool pinned = false;
+  };
+
+  int64_t EntryFootprint(const Entry& e) const {
+    return e.bytes + kEntryOverheadBytes;
+  }
+  // Bytes charged against the capacity (pinned entries are exempt).
+  int64_t ChargedBytes() const { return used_bytes_ - pinned_bytes_; }
+
+  void Insert(int64_t block, double w_min, int64_t added_bytes,
+              double priority, bool is_prefetch);
+  // Evicts the lowest-priority unpinned block; false if none exists.
+  bool EvictWorst();
+
+  int64_t capacity_bytes_;
+  int64_t used_bytes_ = 0;
+  int64_t pinned_bytes_ = 0;
+  std::unordered_map<int64_t, Entry> entries_;
+  BlockBufferStats stats_;
+};
+
+}  // namespace mars::buffer
+
+#endif  // MARS_BUFFER_BLOCK_BUFFER_H_

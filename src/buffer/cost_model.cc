@@ -1,0 +1,16 @@
+#include "buffer/cost_model.h"
+
+namespace mars::buffer {
+
+double TotalTransferCost(const TransferCostParams& params,
+                         const std::vector<int32_t>& blocks_per_miss) {
+  double total = 0.0;
+  for (int32_t n : blocks_per_miss) {
+    total += params.connection_cost +
+             params.per_byte_cost * static_cast<double>(params.block_bytes) *
+                 static_cast<double>(n);
+  }
+  return total;
+}
+
+}  // namespace mars::buffer

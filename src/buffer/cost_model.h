@@ -1,0 +1,29 @@
+#ifndef MARS_BUFFER_COST_MODEL_H_
+#define MARS_BUFFER_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mars::buffer {
+
+// Parameters of the data-transfer cost model (paper Eq. 1):
+//   C = Σ_j (C_c + C_t · B · N(j))
+// summed over the local cache misses of a continuous query.
+struct TransferCostParams {
+  // C_c: connection-establishment cost per miss (e.g. seconds, or any cost
+  // unit).
+  double connection_cost = 0.2;
+  // C_t: transfer cost per byte.
+  double per_byte_cost = 1.0 / 32000.0;  // 256 Kbps in seconds/byte
+  // B: bytes per block.
+  int64_t block_bytes = 4096;
+};
+
+// Evaluates Eq. (1): `blocks_per_miss[j]` is N(j), the number of blocks
+// retrieved at the j-th local cache miss.
+double TotalTransferCost(const TransferCostParams& params,
+                         const std::vector<int32_t>& blocks_per_miss);
+
+}  // namespace mars::buffer
+
+#endif  // MARS_BUFFER_COST_MODEL_H_

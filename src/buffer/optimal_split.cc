@@ -1,0 +1,58 @@
+#include "buffer/optimal_split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mars::buffer {
+
+namespace {
+// Below this |ln(p_l/p_r)| the symmetric limit is numerically safer.
+constexpr double kSymmetricTolerance = 1e-9;
+}  // namespace
+
+double ExpectedResidenceTime(int32_t a, int32_t n, double p_l, double p_r) {
+  MARS_CHECK_GE(a, 2);
+  MARS_CHECK_GT(n, 0);
+  MARS_CHECK_LT(n, a);
+  MARS_CHECK_GT(p_l + p_r, 0.0);
+  const double q = p_l / (p_l + p_r);  // step towards 0
+  const double p = 1.0 - q;            // step towards a
+  if (std::abs(p - q) < 1e-12) {
+    return static_cast<double>(n) * (a - n);
+  }
+  // Gambler's-ruin expected duration, start n, absorbing at 0 and a.
+  const double r = q / p;
+  return n / (q - p) -
+         (static_cast<double>(a) / (q - p)) *
+             (1.0 - std::pow(r, n)) / (1.0 - std::pow(r, a));
+}
+
+double OptimalPosition(int32_t a, double p_l, double p_r) {
+  MARS_CHECK_GE(a, 2);
+  // Degenerate probabilities: all mass on one side.
+  if (p_l <= 0.0 && p_r <= 0.0) return a / 2.0;
+  if (p_l <= 0.0) return 1.0;       // never steps left; hug the left wall
+  if (p_r <= 0.0) return a - 1.0;   // never steps right
+  const double rho = p_l / p_r;
+  const double log_rho = std::log(rho);
+  if (std::abs(log_rho) < kSymmetricTolerance) {
+    return a / 2.0;
+  }
+  // Paper Eq. (2): n_opt = log((rho^a − 1) / (a·log rho)) / log rho.
+  const double n_opt =
+      std::log((std::pow(rho, a) - 1.0) / (a * log_rho)) / log_rho;
+  return std::clamp(n_opt, 1.0, static_cast<double>(a) - 1.0);
+}
+
+int32_t SplitBudget(int32_t budget, double p_l, double p_r) {
+  MARS_CHECK_GE(budget, 0);
+  if (budget == 0) return 0;
+  const int32_t a = budget + 2;
+  const double n_opt = OptimalPosition(a, p_l, p_r);
+  const int32_t left = static_cast<int32_t>(std::lround(n_opt)) - 1;
+  return std::clamp(left, 0, budget);
+}
+
+}  // namespace mars::buffer

@@ -1,0 +1,30 @@
+#ifndef MARS_BUFFER_OPTIMAL_SPLIT_H_
+#define MARS_BUFFER_OPTIMAL_SPLIT_H_
+
+#include <cstdint>
+
+namespace mars::buffer {
+
+// Expected residence time (in steps) of a biased 1D random walk inside a
+// corridor with absorbing barriers at 0 and `a`, starting at position `n`
+// (0 < n < a), stepping towards 0 with probability proportional to p_l and
+// towards `a` with probability proportional to p_r. This is the T_{a,n}
+// maximized by the pre-fetching model of paper Sec. V-A (after de Nitto
+// Personè et al.). p_l and p_r are normalized internally.
+double ExpectedResidenceTime(int32_t a, int32_t n, double p_l, double p_r);
+
+// Paper Eq. (2): the real-valued position n_opt in (0, a) that maximizes
+// ExpectedResidenceTime. Handles the removable singularity at p_l == p_r
+// (limit a/2) and degenerate probabilities by clamping into (0, a).
+double OptimalPosition(int32_t a, double p_l, double p_r);
+
+// Splits a budget of `budget` bufferable blocks between the "left" and
+// "right" direction groups: corridor width a = budget + 2 (the budget
+// blocks plus the two absorbing boundary cells), left share = n_opt − 1.
+// Returns the number of blocks for the left group, in [0, budget]; the
+// right group gets the rest.
+int32_t SplitBudget(int32_t budget, double p_l, double p_r);
+
+}  // namespace mars::buffer
+
+#endif  // MARS_BUFFER_OPTIMAL_SPLIT_H_

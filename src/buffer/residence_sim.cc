@@ -1,0 +1,115 @@
+#include "buffer/residence_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mars::buffer {
+
+namespace {
+
+// Sector of a lattice cell (by its center angle), with sector i spanning
+// [i·2π/k − π/k, i·2π/k + π/k) — the same convention as
+// motion::SectorPartition.
+int32_t SectorOfCell(int32_t x, int32_t y, size_t k) {
+  double angle = std::atan2(static_cast<double>(y), static_cast<double>(x));
+  angle += M_PI / static_cast<double>(k);
+  if (angle < 0) angle += 2.0 * M_PI;
+  const int32_t s =
+      static_cast<int32_t>(angle / (2.0 * M_PI / static_cast<double>(k)));
+  return s % static_cast<int32_t>(k);
+}
+
+}  // namespace
+
+double SimulateStarResidence(const std::vector<double>& probs,
+                             const std::vector<int32_t>& allocation,
+                             double return_probability, int32_t trials,
+                             common::Rng& rng) {
+  MARS_CHECK_EQ(probs.size(), allocation.size());
+  MARS_CHECK_GE(trials, 1);
+  MARS_CHECK_GE(return_probability, 0.0);
+  MARS_CHECK_LT(return_probability, 1.0);
+
+  const double total_p = std::accumulate(probs.begin(), probs.end(), 0.0);
+  MARS_CHECK_GT(total_p, 0.0);
+  const size_t k = probs.size();
+
+  // Buffered set: for each sector, the allocation[i] cells of that sector
+  // nearest the hub (the hub cell itself is always resident). Cells are
+  // enumerated ring by ring.
+  std::set<std::pair<int32_t, int32_t>> buffered;
+  buffered.insert({0, 0});
+  {
+    std::vector<int32_t> remaining = allocation;
+    int64_t left = 0;
+    for (int32_t n : remaining) left += n;
+    for (int32_t r = 1; left > 0 && r <= 1000; ++r) {
+      // Collect ring cells sorted by (distance, angle) for determinism.
+      std::vector<std::pair<double, std::pair<int32_t, int32_t>>> ring;
+      for (int32_t x = -r; x <= r; ++x) {
+        for (int32_t y = -r; y <= r; ++y) {
+          if (std::max(std::abs(x), std::abs(y)) != r) continue;
+          ring.push_back({std::hypot(x, y), {x, y}});
+        }
+      }
+      std::sort(ring.begin(), ring.end());
+      for (const auto& [dist, cell] : ring) {
+        const int32_t s = SectorOfCell(cell.first, cell.second, k);
+        if (remaining[s] > 0) {
+          buffered.insert(cell);
+          --remaining[s];
+          --left;
+        }
+      }
+    }
+  }
+
+  // Step directions: unit vectors at angles 2πi/k, accumulated on a
+  // continuous position and snapped to lattice cells.
+  std::vector<std::pair<double, double>> dir(k);
+  for (size_t i = 0; i < k; ++i) {
+    const double a = 2.0 * M_PI * static_cast<double>(i) / k;
+    dir[i] = {std::cos(a), std::sin(a)};
+  }
+
+  int64_t total_steps = 0;
+  const int64_t step_cap = 1'000'000;
+  for (int32_t t = 0; t < trials; ++t) {
+    double x = 0.0, y = 0.0;
+    int64_t steps = 0;
+    while (steps < step_cap) {
+      ++steps;
+      if (rng.Bernoulli(return_probability)) {
+        // Drift back towards the hub.
+        const double norm = std::hypot(x, y);
+        if (norm > 1e-9) {
+          x -= x / norm;
+          y -= y / norm;
+        }
+      } else {
+        double u = rng.UniformDouble() * total_p;
+        size_t pick = 0;
+        for (; pick + 1 < k; ++pick) {
+          if (u < probs[pick]) break;
+          u -= probs[pick];
+        }
+        x += dir[pick].first;
+        y += dir[pick].second;
+      }
+      const std::pair<int32_t, int32_t> cell{
+          static_cast<int32_t>(std::lround(x)),
+          static_cast<int32_t>(std::lround(y))};
+      if (!buffered.contains(cell)) break;
+    }
+    total_steps += steps;
+  }
+  return static_cast<double>(total_steps) / trials;
+}
+
+}  // namespace mars::buffer

@@ -1,0 +1,30 @@
+#ifndef MARS_BUFFER_RESIDENCE_SIM_H_
+#define MARS_BUFFER_RESIDENCE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mars::buffer {
+
+// Monte-Carlo evaluation of a buffer allocation: a walker starts on the
+// hub cell of a 2D lattice; each step it moves one unit in direction i
+// (angle 2πi/k) with probability proportional to p_i, or (with probability
+// `return_probability`) drifts one unit back towards the hub. The buffered
+// region holds, per direction sector, the allocation[i] cells nearest the
+// hub; the walk ends when the walker leaves the buffered region. Returns
+// the mean number of steps survived over `trials` runs.
+//
+// This is the k-direction generalization of the 1D residence time T_{a,n}
+// the paper maximizes (Sec. V-A); the allocation ablation bench uses it to
+// compare the recursive Eq.-2 allocator against uniform and exhaustive-
+// ordering alternatives.
+double SimulateStarResidence(const std::vector<double>& probs,
+                             const std::vector<int32_t>& allocation,
+                             double return_probability, int32_t trials,
+                             common::Rng& rng);
+
+}  // namespace mars::buffer
+
+#endif  // MARS_BUFFER_RESIDENCE_SIM_H_

@@ -1,0 +1,90 @@
+#include "buffer/sector_allocator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "buffer/optimal_split.h"
+#include "common/logging.h"
+
+namespace mars::buffer {
+
+namespace {
+
+// Recursive halving over probs[lo, hi) with `budget` blocks; writes counts
+// into out[lo, hi).
+void AllocateRange(const std::vector<double>& probs, int32_t lo, int32_t hi,
+                   int32_t budget, std::vector<int32_t>* out) {
+  const int32_t count = hi - lo;
+  if (count == 1) {
+    (*out)[lo] = budget;
+    return;
+  }
+  const int32_t mid = lo + count / 2;
+  double p_left = 0.0, p_right = 0.0;
+  for (int32_t i = lo; i < mid; ++i) p_left += probs[i];
+  for (int32_t i = mid; i < hi; ++i) p_right += probs[i];
+  const int32_t left_budget = SplitBudget(budget, p_left, p_right);
+  AllocateRange(probs, lo, mid, left_budget, out);
+  AllocateRange(probs, mid, hi, budget - left_budget, out);
+}
+
+}  // namespace
+
+std::vector<int32_t> AllocateBuffer(const std::vector<double>& probs,
+                                    int32_t budget) {
+  MARS_CHECK(!probs.empty());
+  MARS_CHECK_GE(budget, 0);
+  std::vector<int32_t> out(probs.size(), 0);
+  AllocateRange(probs, 0, static_cast<int32_t>(probs.size()), budget, &out);
+  return out;
+}
+
+double AllocationScore(const std::vector<double>& probs,
+                       const std::vector<int32_t>& allocation) {
+  MARS_CHECK_EQ(probs.size(), allocation.size());
+  // Fluid approximation of the star walk: direction i consumes its n_i
+  // blocks after roughly n_i / p_i steps; the client leaves the buffered
+  // region when the *first* direction runs out.
+  double total_p = std::accumulate(probs.begin(), probs.end(), 0.0);
+  if (total_p <= 0.0) total_p = 1.0;
+  double score = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p = probs[i] / total_p;
+    if (p <= 0.0) continue;  // never moves that way; cannot exit there
+    score = std::min(score, (allocation[i] + 0.5) / p);
+  }
+  return score == std::numeric_limits<double>::max() ? 0.0 : score;
+}
+
+std::vector<int32_t> AllocateBufferBestOrdering(
+    const std::vector<double>& probs, int32_t budget) {
+  MARS_CHECK(!probs.empty());
+  MARS_CHECK_LE(probs.size(), 8u) << "orderings grow factorially";
+
+  std::vector<int32_t> order(probs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<int32_t> best_alloc = AllocateBuffer(probs, budget);
+  double best_score = AllocationScore(probs, best_alloc);
+
+  std::vector<int32_t> perm = order;
+  std::sort(perm.begin(), perm.end());
+  do {
+    std::vector<double> permuted(probs.size());
+    for (size_t i = 0; i < perm.size(); ++i) permuted[i] = probs[perm[i]];
+    const std::vector<int32_t> alloc_permuted =
+        AllocateBuffer(permuted, budget);
+    // Undo the permutation so counts line up with the caller's directions.
+    std::vector<int32_t> alloc(probs.size());
+    for (size_t i = 0; i < perm.size(); ++i) alloc[perm[i]] = alloc_permuted[i];
+    const double score = AllocationScore(probs, alloc);
+    if (score > best_score) {
+      best_score = score;
+      best_alloc = alloc;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best_alloc;
+}
+
+}  // namespace mars::buffer

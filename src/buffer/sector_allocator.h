@@ -1,0 +1,35 @@
+#ifndef MARS_BUFFER_SECTOR_ALLOCATOR_H_
+#define MARS_BUFFER_SECTOR_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mars::buffer {
+
+// Distributes `budget` bufferable blocks across k directions with movement
+// probabilities `probs` (paper Sec. V-A): the probabilities are split into
+// two halves, Eq. (2) decides the two groups' shares, and the process
+// recurses until each partition holds a single direction. Returns one
+// block count per direction; counts sum to `budget`.
+std::vector<int32_t> AllocateBuffer(const std::vector<double>& probs,
+                                    int32_t budget);
+
+// Same, but tries every ordering of the directions and keeps the
+// allocation with the highest analytic residence-time score. The paper
+// notes "this step can be omitted as the ordering only slightly affects
+// the average residence time" — exposed so the claim can be measured
+// (see the allocation ablation bench). k is limited to 8 (8! orderings).
+std::vector<int32_t> AllocateBufferBestOrdering(
+    const std::vector<double>& probs, int32_t budget);
+
+// Analytic score used to compare allocations: the expected number of steps
+// a star-walker (direction i with probability p_i, one block per step)
+// survives before exhausting some direction's allocation, approximated by
+// min over directions of the 1D two-sided residence bound. Higher is
+// better.
+double AllocationScore(const std::vector<double>& probs,
+                       const std::vector<int32_t>& allocation);
+
+}  // namespace mars::buffer
+
+#endif  // MARS_BUFFER_SECTOR_ALLOCATOR_H_

@@ -1,0 +1,142 @@
+#ifndef MARS_CLIENT_BUFFERED_CLIENT_H_
+#define MARS_CLIENT_BUFFERED_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "buffer/block_buffer.h"
+#include "buffer/prefetcher.h"
+#include "client/speed_map.h"
+#include "client/viewport.h"
+#include "common/rng.h"
+#include "geometry/box.h"
+#include "geometry/grid.h"
+#include "geometry/vec.h"
+#include "motion/kalman.h"
+#include "motion/predictor.h"
+#include "net/link.h"
+#include "server/server.h"
+
+namespace mars::client {
+
+// Per-frame outcome of the buffered client.
+struct BufferedFrameReport {
+  int64_t blocks_needed = 0;
+  int64_t block_hits = 0;
+  int64_t demand_bytes = 0;
+  int64_t prefetch_bytes = 0;
+  double response_seconds = 0.0;
+  int64_t node_accesses = 0;
+};
+
+// The full motion-aware system client (paper Secs. IV + V): the data space
+// is divided into grid blocks; the view's blocks are served from a limited
+// local buffer when possible (a *cache hit*), fetched incrementally in
+// resolution bands otherwise (the block-granular generalization of
+// Algorithm 1 — a block held at a coarser resolution is upgraded by
+// fetching only the missing band), and a motion-aware prefetcher keeps the
+// most probable future blocks resident. Prefetch exchanges consume link
+// bandwidth but overlap idle time, so they do not add to the per-frame
+// response time.
+class BufferedClient {
+ public:
+  struct Options {
+    double query_fraction = 0.1;
+    SpeedResolutionMap speed_map;
+    int64_t buffer_bytes = 64 * 1024;
+    // Grid granularity: with the default 10 km space this gives 250 m
+    // blocks, so a 10% query frame covers a handful of blocks — the
+    // coarse-block regime of the paper's buffer cost model.
+    int32_t grid_nx = 40;
+    int32_t grid_ny = 40;
+    bool enable_prefetch = true;
+    // false → the naive uniform-ring prefetcher of the Sec. VII-C
+    // comparisons.
+    bool motion_aware = true;
+    // Prefetch resolution follows the current speed (the motion-aware
+    // multiresolution buffering strategy); false prefetches full detail.
+    bool multires_prefetch = true;
+    // Resolution headroom: blocks are fetched (demand and prefetch) at
+    // w_min = needed × this factor, so small speed fluctuations between
+    // fetch time and later lookups still hit the buffer.
+    double resolution_headroom = 0.75;
+    buffer::MotionAwarePrefetcher::Options prefetch;
+    // Cap on prefetch block fetches per frame (background bandwidth).
+    int32_t max_prefetch_fetches_per_frame = 16;
+    // Motion model driving the prefetcher: the paper's RLS-learned state
+    // transition, or a constant-velocity Kalman filter.
+    enum class Predictor { kRls, kKalman };
+    Predictor predictor = Predictor::kRls;
+    // Per-frame decay of resident block priorities.
+    double priority_decay = 0.85;
+    // Frames at the start of a run whose lookups are not counted in the
+    // hit/miss statistics (cold-start exclusion; the buffer is empty by
+    // definition on the first frame).
+    int32_t warmup_frames = 1;
+    // A resident block is considered fine enough for a prefetch request
+    // at w if held <= w * (1 + tolerance) + small slack; avoids endless
+    // micro-band refetches as the speed jitters.
+    double refetch_tolerance = 0.15;
+    uint64_t seed = 1;
+  };
+
+  BufferedClient(const Options& options, const geometry::Box2& space,
+                 const server::Server* server, net::SimulatedLink* link);
+
+  BufferedFrameReport Step(const geometry::Vec2& position, double speed);
+
+  const buffer::BlockBufferStats& buffer_stats() const {
+    return buffer_.stats();
+  }
+  int64_t total_demand_bytes() const { return total_demand_bytes_; }
+  int64_t total_prefetch_bytes() const { return total_prefetch_bytes_; }
+  double total_response_seconds() const { return total_response_seconds_; }
+  int64_t frames() const { return frames_; }
+  const geometry::GridPartition& grid() const { return grid_; }
+
+ private:
+  // Upper bound of the band still missing for a block currently held down
+  // to `held` (2.0 when the block holds nothing yet).
+  static double BandUpTo(double held);
+
+  // Executes block-granular sub-queries and installs results; returns
+  // {request_bytes, response_bytes, node_accesses}.
+  struct ExchangeTotals {
+    int64_t request_bytes = 0;
+    int64_t response_bytes = 0;
+    int64_t node_accesses = 0;
+  };
+  ExchangeTotals FetchBlocks(const std::vector<int64_t>& blocks,
+                             const std::vector<double>& w_mins,
+                             const std::vector<double>& priorities,
+                             bool is_prefetch);
+
+  Options options_;
+  Viewport viewport_;
+  geometry::GridPartition grid_;
+  const server::Server* server_;
+  net::SimulatedLink* link_;
+  buffer::BlockBuffer buffer_;
+  std::unique_ptr<motion::PositionPredictor> predictor_;
+  buffer::MotionAwarePrefetcher motion_prefetcher_;
+  buffer::NaivePrefetcher naive_prefetcher_;
+  common::Rng rng_;
+
+  // Blocks the previous frame's window covered (for the paper's
+  // new-region hit/miss accounting).
+  std::unordered_set<int64_t> prev_in_view_;
+
+  // Running average block payload, for sizing the prefetch block budget.
+  double avg_block_bytes_ = 2048.0;
+  int64_t fetched_blocks_ = 0;
+
+  int64_t total_demand_bytes_ = 0;
+  int64_t total_prefetch_bytes_ = 0;
+  double total_response_seconds_ = 0.0;
+  int64_t frames_ = 0;
+};
+
+}  // namespace mars::client
+
+#endif  // MARS_CLIENT_BUFFERED_CLIENT_H_

@@ -1,0 +1,34 @@
+#include "client/continuous.h"
+
+#include "geometry/rect_diff.h"
+
+namespace mars::client {
+
+std::vector<server::SubQuery> PlanContinuousRetrieval(
+    const geometry::Box2& q_t, double w_min_t,
+    const std::optional<geometry::Box2>& q_prev, double w_min_prev) {
+  std::vector<server::SubQuery> plan;
+
+  // First frame, or no overlap with the previous frame: fetch the whole
+  // window at the required resolution (Algorithm 1, line 1.10).
+  if (!q_prev.has_value() || !q_t.Intersects(*q_prev)) {
+    plan.push_back(server::SubQuery{q_t, w_min_t, 1.0});
+    return plan;
+  }
+
+  // Line 1.5: finer resolution than before? Then the overlap region needs
+  // the extra detail band (line 1.6).
+  if (w_min_t < w_min_prev) {
+    const geometry::Box2 overlap = q_t.Intersection(*q_prev);
+    plan.push_back(server::SubQuery{overlap, w_min_t, w_min_prev});
+  }
+
+  // The newly exposed region N_t = Q_t − Q_{t−1}, at full band (lines
+  // 1.6/1.8), split into disjoint rectangles executed separately.
+  for (const geometry::Box2& piece : geometry::Difference(q_t, *q_prev)) {
+    plan.push_back(server::SubQuery{piece, w_min_t, 1.0});
+  }
+  return plan;
+}
+
+}  // namespace mars::client

@@ -1,0 +1,36 @@
+#ifndef MARS_CLIENT_CONTINUOUS_H_
+#define MARS_CLIENT_CONTINUOUS_H_
+
+#include <optional>
+#include <vector>
+
+#include "geometry/box.h"
+#include "server/server.h"
+
+namespace mars::client {
+
+// Algorithm 1 of the paper (ContinuousDataRetrieval), translated to the
+// coefficient-value convention used throughout MARS: a *finer* resolution
+// is a *smaller* w_min, so "r_t > r_{t−1}" in the paper reads
+// "w_min_t < w_min_prev" here.
+//
+// Given the current query frame q_t (with required band lower bound
+// w_min_t) and the previous frame (absent on the first query), produces
+// the sub-queries to send:
+//  - no overlap:                      (Q_t,          w_min_t, 1.0)
+//  - overlap, finer than before:      (O_t,          w_min_t, w_prev) +
+//                                     (N_t pieces,   w_min_t, 1.0)
+//  - overlap, same or coarser:        (N_t pieces,   w_min_t, 1.0)
+// where O_t = Q_t ∩ Q_{t−1} and N_t = Q_t − Q_{t−1} decomposed into
+// disjoint rectangles (the paper's server-side split along the axes).
+//
+// The overlap band's upper bound is inclusive of w_prev; records exactly
+// at w_prev were already delivered and are dropped by the server's session
+// filter.
+std::vector<server::SubQuery> PlanContinuousRetrieval(
+    const geometry::Box2& q_t, double w_min_t,
+    const std::optional<geometry::Box2>& q_prev, double w_min_prev);
+
+}  // namespace mars::client
+
+#endif  // MARS_CLIENT_CONTINUOUS_H_

@@ -1,0 +1,67 @@
+#include "client/object_store.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "wavelet/reconstruct.h"
+
+namespace mars::client {
+
+ClientObjectStore::ClientObjectStore(const server::ObjectDatabase* db)
+    : db_(db) {
+  MARS_CHECK(db != nullptr);
+}
+
+void ClientObjectStore::AddRecord(index::RecordId id) {
+  const index::CoeffRecord& record = db_->record(id);
+  ObjectState& state = objects_[record.object_id];
+  if (record.is_base()) {
+    state.has_base = true;
+  } else {
+    state.coefficients.insert(record.coeff_id);
+  }
+}
+
+bool ClientObjectStore::HasBase(int32_t object_id) const {
+  const auto it = objects_.find(object_id);
+  return it != objects_.end() && it->second.has_base;
+}
+
+int64_t ClientObjectStore::CoefficientCount(int32_t object_id) const {
+  const auto it = objects_.find(object_id);
+  return it == objects_.end()
+             ? 0
+             : static_cast<int64_t>(it->second.coefficients.size());
+}
+
+std::vector<int32_t> ClientObjectStore::KnownObjects() const {
+  std::vector<int32_t> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, state] : objects_) out.push_back(id);
+  return out;
+}
+
+common::StatusOr<mesh::Mesh> ClientObjectStore::Reconstruct(
+    int32_t object_id) const {
+  const auto it = objects_.find(object_id);
+  if (it == objects_.end() || !it->second.has_base) {
+    return common::FailedPreconditionError(
+        "object " + std::to_string(object_id) + ": base mesh not received");
+  }
+  const wavelet::MultiResMesh& mr = db_->object(object_id);
+  std::vector<bool> include(mr.coefficient_count(), false);
+  for (int32_t coeff : it->second.coefficients) {
+    include[coeff] = true;
+  }
+  return wavelet::ReconstructSubset(mr, include);
+}
+
+common::StatusOr<double> ClientObjectStore::ApproximationError(
+    int32_t object_id) const {
+  MARS_ASSIGN_OR_RETURN(mesh::Mesh approx, Reconstruct(object_id));
+  const wavelet::MultiResMesh& mr = db_->object(object_id);
+  const mesh::Mesh full = wavelet::Reconstruct(mr, 0.0);
+  return wavelet::MaxVertexDistance(approx, full);
+}
+
+}  // namespace mars::client

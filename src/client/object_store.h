@@ -1,0 +1,64 @@
+#ifndef MARS_CLIENT_OBJECT_STORE_H_
+#define MARS_CLIENT_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/statusor.h"
+#include "index/record.h"
+#include "mesh/mesh.h"
+#include "server/object_db.h"
+
+namespace mars::client {
+
+// Client-side assembly of received multiresolution data back into
+// renderable meshes: the last mile of the pipeline. The store tracks which
+// records (base meshes and individual wavelet coefficients) have arrived
+// per object and reconstructs each object's best available approximation
+// on demand — omitted coefficients leave their vertices at the predicted
+// midpoints, exactly as in wavelet synthesis.
+//
+// Geometry for reconstruction is resolved through the shared object
+// database (the client knows object ids and coefficient ids from the
+// records it received; the geometry payload itself is what the records
+// carry on the wire).
+class ClientObjectStore {
+ public:
+  // `db` must outlive the store.
+  explicit ClientObjectStore(const server::ObjectDatabase* db);
+
+  // Registers a received record (base-mesh record or coefficient).
+  void AddRecord(index::RecordId id);
+
+  // True once the object's base mesh has arrived (nothing can be rendered
+  // before that).
+  bool HasBase(int32_t object_id) const;
+
+  // Number of coefficient records received for the object.
+  int64_t CoefficientCount(int32_t object_id) const;
+
+  // Objects with any data at all.
+  std::vector<int32_t> KnownObjects() const;
+
+  // Reconstructs the object's current approximation at final-mesh
+  // connectivity. Fails if the base mesh has not arrived.
+  common::StatusOr<mesh::Mesh> Reconstruct(int32_t object_id) const;
+
+  // Residual approximation error of the current holdings against the full
+  // resolution object (max vertex distance); 0 once everything arrived.
+  common::StatusOr<double> ApproximationError(int32_t object_id) const;
+
+ private:
+  struct ObjectState {
+    bool has_base = false;
+    std::unordered_set<int32_t> coefficients;
+  };
+
+  const server::ObjectDatabase* db_;
+  std::unordered_map<int32_t, ObjectState> objects_;
+};
+
+}  // namespace mars::client
+
+#endif  // MARS_CLIENT_OBJECT_STORE_H_

@@ -1,0 +1,49 @@
+#include "client/streaming_client.h"
+
+#include "client/continuous.h"
+#include "common/logging.h"
+
+namespace mars::client {
+
+StreamingClient::StreamingClient(const Options& options,
+                                 const geometry::Box2& space,
+                                 const server::Server* server,
+                                 net::SimulatedLink* link)
+    : options_(options),
+      viewport_(space, options.query_fraction, options.query_fraction),
+      server_(server),
+      link_(link) {
+  MARS_CHECK(server != nullptr);
+  MARS_CHECK(link != nullptr);
+}
+
+StreamingFrameReport StreamingClient::Step(const geometry::Vec2& position,
+                                           double speed) {
+  StreamingFrameReport report;
+  const geometry::Box2 window = viewport_.WindowAt(position);
+  const double w_min = options_.speed_map.MapSpeedToResolution(speed);
+
+  const std::vector<server::SubQuery> plan = PlanContinuousRetrieval(
+      window, w_min,
+      prev_window_.has_value() ? prev_window_ : std::nullopt, prev_w_min_);
+  report.sub_queries = static_cast<int64_t>(plan.size());
+
+  const server::QueryResult result = server_->Execute(plan, &session_);
+  report.new_records = static_cast<int64_t>(result.records.size());
+  report.records = result.records;
+  report.request_bytes = result.request_bytes;
+  report.response_bytes = result.response_bytes;
+  report.node_accesses = result.node_accesses;
+  report.response_seconds =
+      link_->Exchange(result.request_bytes, result.response_bytes, speed);
+
+  prev_window_ = window;
+  prev_w_min_ = w_min;
+  total_bytes_ += result.response_bytes;
+  total_records_ += report.new_records;
+  total_response_seconds_ += report.response_seconds;
+  ++frames_;
+  return report;
+}
+
+}  // namespace mars::client

@@ -1,0 +1,76 @@
+#ifndef MARS_CLIENT_STREAMING_CLIENT_H_
+#define MARS_CLIENT_STREAMING_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "client/speed_map.h"
+#include "index/record.h"
+#include "client/viewport.h"
+#include "geometry/box.h"
+#include "geometry/vec.h"
+#include "net/link.h"
+#include "server/server.h"
+
+namespace mars::client {
+
+// Per-frame outcome of a retrieval step.
+struct StreamingFrameReport {
+  int64_t sub_queries = 0;
+  int64_t new_records = 0;
+  int64_t request_bytes = 0;
+  int64_t response_bytes = 0;
+  int64_t node_accesses = 0;
+  double response_seconds = 0.0;
+  // Ids of the records delivered this frame (the client's store grows by
+  // exactly these).
+  std::vector<index::RecordId> records;
+};
+
+// The motion-aware *retrieval* client of paper Sec. IV in isolation: pure
+// incremental continuous retrieval via Algorithm 1, with an unbounded local
+// store (the server session filters anything already delivered). No
+// buffering or prefetching — this isolates the multiresolution retrieval
+// effect for the Fig. 8/9 experiments and the index I/O studies.
+class StreamingClient {
+ public:
+  struct Options {
+    double query_fraction = 0.1;  // window side as a fraction of the space
+    SpeedResolutionMap speed_map;
+  };
+
+  // `server` and `link` must outlive the client.
+  StreamingClient(const Options& options, const geometry::Box2& space,
+                  const server::Server* server, net::SimulatedLink* link);
+
+  // Advances one query frame: the client is at `position` moving at
+  // normalized `speed`; plans Algorithm-1 sub-queries against the previous
+  // frame and executes them as one exchange.
+  StreamingFrameReport Step(const geometry::Vec2& position, double speed);
+
+  // Cumulative totals.
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_records() const { return total_records_; }
+  double total_response_seconds() const { return total_response_seconds_; }
+  int64_t frames() const { return frames_; }
+
+ private:
+  Options options_;
+  Viewport viewport_;
+  const server::Server* server_;
+  net::SimulatedLink* link_;
+  server::ClientSession session_;
+
+  std::optional<geometry::Box2> prev_window_;
+  double prev_w_min_ = 2.0;  // "no previous resolution"
+
+  int64_t total_bytes_ = 0;
+  int64_t total_records_ = 0;
+  double total_response_seconds_ = 0.0;
+  int64_t frames_ = 0;
+};
+
+}  // namespace mars::client
+
+#endif  // MARS_CLIENT_STREAMING_CLIENT_H_

@@ -1,0 +1,40 @@
+#ifndef MARS_CLIENT_VIEWPORT_H_
+#define MARS_CLIENT_VIEWPORT_H_
+
+#include "geometry/box.h"
+#include "geometry/vec.h"
+
+namespace mars::client {
+
+// The client's view window over the data space: an axis-aligned rectangle
+// centered on the client, sized as a fraction of the space extent (the
+// paper's query frames are "5%, 10%, 15%, and 20% of the length and the
+// width of the total data space", Sec. VII-A).
+class Viewport {
+ public:
+  // `fraction_x/y` are the window's side lengths as fractions of the data
+  // space's extents.
+  Viewport(const geometry::Box2& space, double fraction_x, double fraction_y)
+      : space_(space),
+        width_(space.Extent(0) * fraction_x),
+        height_(space.Extent(1) * fraction_y) {}
+
+  // Query frame for a client at `position` (window may extend beyond the
+  // space; callers clip as needed).
+  geometry::Box2 WindowAt(const geometry::Vec2& position) const {
+    return geometry::Box2FromCenter(position, width_, height_);
+  }
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+  const geometry::Box2& space() const { return space_; }
+
+ private:
+  geometry::Box2 space_;
+  double width_;
+  double height_;
+};
+
+}  // namespace mars::client
+
+#endif  // MARS_CLIENT_VIEWPORT_H_

@@ -1,0 +1,71 @@
+#ifndef MARS_COMMON_LOGGING_H_
+#define MARS_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mars::common {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Minimum severity that is actually emitted; default kWarning so library
+// code stays quiet in tests and benches.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+// Accumulates a log line and emits it (to stderr) on destruction. A kFatal
+// message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed expression; used for disabled log levels.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace mars::common
+
+#define MARS_LOG_INTERNAL_(severity)                                     \
+  ::mars::common::internal::LogMessage(severity, __FILE__, __LINE__)
+
+#define MARS_LOG(severity)                                               \
+  MARS_LOG_INTERNAL_(::mars::common::LogSeverity::k##severity)
+
+// Aborts the program with a diagnostic when `condition` is false. Active in
+// all build modes: MARS uses it to guard internal invariants, mirroring
+// CHECK() in Google-style codebases.
+#define MARS_CHECK(condition)                                            \
+  (condition) ? (void)0                                                  \
+              : ::mars::common::internal::LogMessageVoidify() &          \
+                    MARS_LOG_INTERNAL_(                                  \
+                        ::mars::common::LogSeverity::kFatal)             \
+                        << "Check failed: " #condition " "
+
+#define MARS_CHECK_EQ(a, b) MARS_CHECK((a) == (b))
+#define MARS_CHECK_NE(a, b) MARS_CHECK((a) != (b))
+#define MARS_CHECK_LT(a, b) MARS_CHECK((a) < (b))
+#define MARS_CHECK_LE(a, b) MARS_CHECK((a) <= (b))
+#define MARS_CHECK_GT(a, b) MARS_CHECK((a) > (b))
+#define MARS_CHECK_GE(a, b) MARS_CHECK((a) >= (b))
+
+#endif  // MARS_COMMON_LOGGING_H_

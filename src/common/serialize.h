@@ -1,0 +1,116 @@
+#ifndef MARS_COMMON_SERIALIZE_H_
+#define MARS_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mars::common {
+
+// Minimal little-endian byte-buffer writer used by the persistence layer
+// and the wire-format codecs. Varints use LEB128.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteFloat(float v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buffer_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void WriteString(const std::string& s) {
+    WriteVarU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> buffer_;
+};
+
+// Bounds-checked reader over a byte span. Every accessor returns a Status
+// instead of reading past the end.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI32(int32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadFloat(float* out) { return ReadRaw(out, sizeof(*out)); }
+
+  Status ReadVarU64(uint64_t* out) {
+    uint64_t result = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte = 0;
+      MARS_RETURN_IF_ERROR(ReadU8(&byte));
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = result;
+        return OkStatus();
+      }
+    }
+    return InvalidArgumentError("varint too long");
+  }
+
+  Status ReadString(std::string* out) {
+    uint64_t n = 0;
+    MARS_RETURN_IF_ERROR(ReadVarU64(&n));
+    if (n > remaining()) {
+      return OutOfRangeError("string length exceeds buffer");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return OkStatus();
+  }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (n > remaining()) {
+      return OutOfRangeError("read past end of buffer");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return OkStatus();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mars::common
+
+#endif  // MARS_COMMON_SERIALIZE_H_

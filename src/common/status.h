@@ -1,0 +1,79 @@
+#ifndef MARS_COMMON_STATUS_H_
+#define MARS_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mars::common {
+
+// Canonical error codes, a minimal subset of the absl::Status vocabulary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kResourceExhausted = 7,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+// ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A lightweight success-or-error result, used instead of exceptions
+// throughout MARS. An OK status carries no message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders as "OK" or "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+}  // namespace mars::common
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define MARS_RETURN_IF_ERROR(expr)                          \
+  do {                                                      \
+    ::mars::common::Status mars_status_macro_tmp = (expr);  \
+    if (!mars_status_macro_tmp.ok()) {                      \
+      return mars_status_macro_tmp;                         \
+    }                                                       \
+  } while (false)
+
+#endif  // MARS_COMMON_STATUS_H_

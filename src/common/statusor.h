@@ -1,0 +1,77 @@
+#ifndef MARS_COMMON_STATUSOR_H_
+#define MARS_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace mars::common {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Mirrors the shape of absl::StatusOr without the dependency.
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error. Must not be OK: an OK StatusOr must carry a
+  // value.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    MARS_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Value accessors; the program aborts if no value is held.
+  const T& value() const& {
+    MARS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    MARS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    MARS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mars::common
+
+// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status
+// from the enclosing function, otherwise assigns the value to `lhs`.
+#define MARS_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  MARS_ASSIGN_OR_RETURN_IMPL_(                            \
+      MARS_STATUS_MACRO_CONCAT_(statusor_, __LINE__), lhs, rexpr)
+
+#define MARS_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) {                                   \
+    return statusor.status();                             \
+  }                                                       \
+  lhs = std::move(statusor).value()
+
+#define MARS_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define MARS_STATUS_MACRO_CONCAT_(x, y) MARS_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // MARS_COMMON_STATUSOR_H_

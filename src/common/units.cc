@@ -1,0 +1,20 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace mars::common {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return std::string(buf);
+}
+
+}  // namespace mars::common

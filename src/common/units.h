@@ -1,0 +1,24 @@
+#ifndef MARS_COMMON_UNITS_H_
+#define MARS_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mars::common {
+
+// Byte-size literals used across configuration code.
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+
+// Converts kilobits per second to bytes per second (network convention:
+// 1 kbit = 1000 bits).
+constexpr double KbpsToBytesPerSecond(double kbps) {
+  return kbps * 1000.0 / 8.0;
+}
+
+// Renders a byte count as a human-readable string, e.g. "1.50 MB".
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace mars::common
+
+#endif  // MARS_COMMON_UNITS_H_

@@ -1,0 +1,113 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mars::core {
+
+std::vector<double> StandardSpeeds() {
+  return {0.001, 0.1, 0.25, 0.5, 0.75, 1.0};
+}
+
+std::vector<double> StandardQueryFractions() {
+  return {0.05, 0.10, 0.15, 0.20};
+}
+
+std::vector<int32_t> StandardDatasetSizesMb() { return {20, 40, 60, 80}; }
+
+std::vector<int32_t> StandardBufferSizesKb() { return {16, 32, 64, 128}; }
+
+RunMetrics MeanOf(const std::vector<RunMetrics>& runs) {
+  RunMetrics mean;
+  if (runs.empty()) return mean;
+  const double n = static_cast<double>(runs.size());
+  for (const RunMetrics& r : runs) {
+    mean.frames += r.frames;
+    mean.demand_bytes += r.demand_bytes;
+    mean.prefetch_bytes += r.prefetch_bytes;
+    mean.total_response_seconds += r.total_response_seconds;
+    mean.demand_exchanges += r.demand_exchanges;
+    mean.node_accesses += r.node_accesses;
+    mean.cache_hit_rate += r.cache_hit_rate;
+    mean.data_utilization += r.data_utilization;
+    mean.records_delivered += r.records_delivered;
+    mean.tour_distance += r.tour_distance;
+  }
+  mean.frames = static_cast<int64_t>(mean.frames / n);
+  mean.demand_bytes = static_cast<int64_t>(mean.demand_bytes / n);
+  mean.prefetch_bytes = static_cast<int64_t>(mean.prefetch_bytes / n);
+  mean.total_response_seconds /= n;
+  mean.demand_exchanges = static_cast<int64_t>(mean.demand_exchanges / n);
+  mean.node_accesses = static_cast<int64_t>(mean.node_accesses / n);
+  mean.cache_hit_rate /= n;
+  mean.data_utilization /= n;
+  mean.records_delivered = static_cast<int64_t>(mean.records_delivered / n);
+  mean.tour_distance /= n;
+  return mean;
+}
+
+namespace {
+
+constexpr int kCellWidth = 14;
+
+// Appends one CSV line to $MARS_TABLE_CSV, if set. `cells` are joined
+// with commas; embedded commas are replaced to keep the format trivial.
+void AppendCsv(const std::string& prefix,
+               const std::vector<std::string>& cells) {
+  const char* path = std::getenv("MARS_TABLE_CSV");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::string line = prefix;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) line += ",";
+    std::string cell = cells[i];
+    for (char& c : cell) {
+      if (c == ',') c = ';';
+    }
+    line += cell;
+  }
+  std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+}
+
+}  // namespace
+
+void PrintTableTitle(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+  AppendCsv("# ", {title});
+}
+
+void PrintTableHeader(const std::vector<std::string>& columns) {
+  AppendCsv("", columns);
+  for (const std::string& c : columns) {
+    std::printf("%-*s", kCellWidth, c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size() * kCellWidth; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  AppendCsv("", cells);
+  for (const std::string& c : cells) {
+    std::printf("%-*s", kCellWidth, c.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return std::string(buf);
+}
+
+std::string FmtBytes(int64_t bytes) { return common::FormatBytes(bytes); }
+
+}  // namespace mars::core

@@ -1,0 +1,41 @@
+#ifndef MARS_CORE_EXPERIMENT_H_
+#define MARS_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace mars::core {
+
+// The normalized speed ladder the evaluation sweeps ("normalized to
+// 0.001-1.0", Sec. VII-A).
+std::vector<double> StandardSpeeds();
+
+// The query-frame sizes (fraction of the space per side, Sec. VII-A).
+std::vector<double> StandardQueryFractions();
+
+// The dataset sizes in MB (Sec. VII-A).
+std::vector<int32_t> StandardDatasetSizesMb();
+
+// The buffer sizes in KB (Sec. VII-C).
+std::vector<int32_t> StandardBufferSizesKb();
+
+// Element-wise mean of several runs (used to average the 10 seeded tours
+// per setting, as the paper averages its 10 collected tourist traces).
+RunMetrics MeanOf(const std::vector<RunMetrics>& runs);
+
+// Fixed-width table helpers shared by the bench binaries. When the
+// MARS_TABLE_CSV environment variable names a file, every table is also
+// appended there in CSV form (one "# title" line, then header and rows),
+// ready for plotting.
+void PrintTableTitle(const std::string& title);
+void PrintTableHeader(const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string Fmt(double value, int precision = 3);
+std::string FmtBytes(int64_t bytes);
+
+}  // namespace mars::core
+
+#endif  // MARS_CORE_EXPERIMENT_H_

@@ -1,0 +1,52 @@
+#ifndef MARS_CORE_METRICS_H_
+#define MARS_CORE_METRICS_H_
+
+#include <cstdint>
+
+namespace mars::core {
+
+// Aggregate outcome of running one client over one tour — the quantities
+// the paper's evaluation reports (Sec. VII).
+struct RunMetrics {
+  int64_t frames = 0;
+
+  // Data volume (Figs. 8, 9).
+  int64_t demand_bytes = 0;
+  int64_t prefetch_bytes = 0;
+  int64_t total_bytes() const { return demand_bytes + prefetch_bytes; }
+
+  // Latency (Figs. 14, 15). `demand_exchanges` counts the query frames
+  // that actually had to go to the server; frames served entirely from
+  // the local buffer cost nothing.
+  double total_response_seconds = 0.0;
+  int64_t demand_exchanges = 0;
+  // Average over all frames (buffered frames count as zero wait).
+  double MeanResponseSeconds() const {
+    return frames == 0 ? 0.0 : total_response_seconds / frames;
+  }
+  // Average over the queries that reached the server — the per-query
+  // response time the paper reports.
+  double MeanResponsePerExchange() const {
+    return demand_exchanges == 0 ? 0.0
+                                 : total_response_seconds / demand_exchanges;
+  }
+
+  // Index I/O (Figs. 12, 13): node accesses per query frame.
+  int64_t node_accesses = 0;
+  double MeanNodeAccesses() const {
+    return frames == 0 ? 0.0
+                       : static_cast<double>(node_accesses) / frames;
+  }
+
+  // Buffer management (Figs. 10, 11).
+  double cache_hit_rate = 0.0;
+  double data_utilization = 0.0;
+
+  // Misc.
+  int64_t records_delivered = 0;
+  double tour_distance = 0.0;
+};
+
+}  // namespace mars::core
+
+#endif  // MARS_CORE_METRICS_H_

@@ -1,0 +1,100 @@
+#include "core/system.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mars::core {
+
+common::StatusOr<std::unique_ptr<System>> System::Create(
+    const Config& config) {
+  auto scene = workload::GenerateScene(config.scene);
+  if (!scene.ok()) return scene.status();
+  auto db = std::make_unique<server::ObjectDatabase>(
+      std::move(scene).value());
+  return std::unique_ptr<System>(new System(config, std::move(db)));
+}
+
+std::unique_ptr<System> System::FromDatabase(const Config& config,
+                                             server::ObjectDatabase db) {
+  auto owned = std::make_unique<server::ObjectDatabase>(std::move(db));
+  Config adjusted = config;
+  // Make sure the configured space covers the data.
+  geometry::Box2 extent = adjusted.scene.space;
+  for (const geometry::Box3& b : owned->object_bounds()) {
+    extent.Extend(geometry::Box2({b.lo(0), b.lo(1)}, {b.hi(0), b.hi(1)}));
+  }
+  adjusted.scene.space = extent;
+  return std::unique_ptr<System>(new System(adjusted, std::move(owned)));
+}
+
+System::System(const Config& config,
+               std::unique_ptr<server::ObjectDatabase> db)
+    : config_(config), db_(std::move(db)) {
+  server_ = std::make_unique<server::Server>(db_.get(), config.index_kind,
+                                             config.rtree);
+}
+
+RunMetrics System::RunStreaming(
+    const std::vector<workload::TourPoint>& tour,
+    const client::StreamingClient::Options& options) {
+  net::SimulatedLink link(config_.link);
+  client::StreamingClient cl(options, space(), server_.get(), &link);
+  RunMetrics metrics;
+  for (const workload::TourPoint& point : tour) {
+    const client::StreamingFrameReport report =
+        cl.Step(point.position, point.speed);
+    metrics.demand_bytes += report.response_bytes;
+    metrics.node_accesses += report.node_accesses;
+    metrics.records_delivered += report.new_records;
+    metrics.total_response_seconds += report.response_seconds;
+    if (report.response_seconds > 0.0) ++metrics.demand_exchanges;
+    ++metrics.frames;
+  }
+  metrics.tour_distance = workload::TourDistance(tour);
+  return metrics;
+}
+
+RunMetrics System::RunBuffered(
+    const std::vector<workload::TourPoint>& tour,
+    const client::BufferedClient::Options& options) {
+  net::SimulatedLink link(config_.link);
+  client::BufferedClient cl(options, space(), server_.get(), &link);
+  RunMetrics metrics;
+  for (const workload::TourPoint& point : tour) {
+    const client::BufferedFrameReport report =
+        cl.Step(point.position, point.speed);
+    metrics.demand_bytes += report.demand_bytes;
+    metrics.prefetch_bytes += report.prefetch_bytes;
+    metrics.node_accesses += report.node_accesses;
+    metrics.total_response_seconds += report.response_seconds;
+    if (report.response_seconds > 0.0) ++metrics.demand_exchanges;
+    ++metrics.frames;
+  }
+  metrics.cache_hit_rate = cl.buffer_stats().HitRate();
+  metrics.data_utilization = cl.buffer_stats().Utilization();
+  metrics.tour_distance = workload::TourDistance(tour);
+  return metrics;
+}
+
+RunMetrics System::RunNaiveObject(
+    const std::vector<workload::TourPoint>& tour,
+    const client::NaiveObjectClient::Options& options) {
+  net::SimulatedLink link(config_.link);
+  client::NaiveObjectClient cl(options, space(), server_.get(), &link);
+  RunMetrics metrics;
+  for (const workload::TourPoint& point : tour) {
+    const client::NaiveFrameReport report =
+        cl.Step(point.position, point.speed);
+    metrics.demand_bytes += report.bytes;
+    metrics.node_accesses += report.node_accesses;
+    metrics.total_response_seconds += report.response_seconds;
+    if (report.response_seconds > 0.0) ++metrics.demand_exchanges;
+    ++metrics.frames;
+  }
+  metrics.cache_hit_rate = cl.CacheHitRate();
+  metrics.tour_distance = workload::TourDistance(tour);
+  return metrics;
+}
+
+}  // namespace mars::core

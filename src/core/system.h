@@ -1,0 +1,75 @@
+#ifndef MARS_CORE_SYSTEM_H_
+#define MARS_CORE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "client/buffered_client.h"
+#include "client/naive_client.h"
+#include "client/streaming_client.h"
+#include "common/statusor.h"
+#include "core/metrics.h"
+#include "index/rtree.h"
+#include "net/link.h"
+#include "server/server.h"
+#include "workload/scene.h"
+#include "workload/tour.h"
+
+namespace mars::core {
+
+// One instantiated testbed: a generated scene, its server (with a chosen
+// coefficient index), and a link model. Building the scene and the index
+// is the expensive part, so a System is created once and then reused to
+// run many tours with different client configurations — exactly how the
+// paper's parameter sweeps are structured.
+class System {
+ public:
+  struct Config {
+    workload::SceneOptions scene;
+    server::Server::IndexKind index_kind =
+        server::Server::IndexKind::kSupportRegion;
+    index::RTreeOptions rtree;
+    net::SimulatedLink::Options link;
+  };
+
+  // Generates the scene and builds the indexes.
+  static common::StatusOr<std::unique_ptr<System>> Create(
+      const Config& config);
+
+  // Builds a system around an existing (e.g. persisted and re-loaded)
+  // database; config.scene is only consulted for the space bounds, which
+  // are overridden by the database's actual extent when it is larger.
+  static std::unique_ptr<System> FromDatabase(const Config& config,
+                                              server::ObjectDatabase db);
+
+  // Pure motion-aware incremental retrieval (Sec. IV), no buffer: the
+  // Figs. 8/9 and 12/13 configuration.
+  RunMetrics RunStreaming(const std::vector<workload::TourPoint>& tour,
+                          const client::StreamingClient::Options& options);
+
+  // Full motion-aware system: multiresolution retrieval + motion-aware
+  // (or naive, per options) buffer management. Figs. 10/11/14/15.
+  RunMetrics RunBuffered(const std::vector<workload::TourPoint>& tour,
+                         const client::BufferedClient::Options& options);
+
+  // Fully naive baseline: full-resolution objects + LRU (Sec. VII-E).
+  RunMetrics RunNaiveObject(const std::vector<workload::TourPoint>& tour,
+                            const client::NaiveObjectClient::Options& options);
+
+  const server::Server& server() const { return *server_; }
+  const server::ObjectDatabase& db() const { return *db_; }
+  const geometry::Box2& space() const { return config_.scene.space; }
+  const Config& config() const { return config_; }
+
+ private:
+  System(const Config& config,
+         std::unique_ptr<server::ObjectDatabase> db);
+
+  Config config_;
+  std::unique_ptr<server::ObjectDatabase> db_;
+  std::unique_ptr<server::Server> server_;
+};
+
+}  // namespace mars::core
+
+#endif  // MARS_CORE_SYSTEM_H_

@@ -1,0 +1,186 @@
+#ifndef MARS_GEOMETRY_BOX_H_
+#define MARS_GEOMETRY_BOX_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <ostream>
+
+#include "geometry/vec.h"
+
+namespace mars::geometry {
+
+// Axis-aligned N-dimensional box [lo, hi], closed on both ends. Used as the
+// query window (N = 2), as the wavelet-coefficient key (N = 3: x, y, w — the
+// paper's experimental index; or N = 4: x, y, z, w as in Sec. VI-B), and as
+// the R-tree entry/node MBR for any N.
+template <size_t N>
+class Box {
+ public:
+  // An "empty" box: every dimension inverted so that any Extend() fixes it
+  // and Intersects()/Contains() are always false.
+  Box() {
+    lo_.fill(std::numeric_limits<double>::max());
+    hi_.fill(std::numeric_limits<double>::lowest());
+  }
+
+  Box(const std::array<double, N>& lo, const std::array<double, N>& hi)
+      : lo_(lo), hi_(hi) {}
+
+  // A degenerate box covering a single point.
+  static Box FromPoint(const std::array<double, N>& p) { return Box(p, p); }
+
+  static constexpr size_t dimensions() { return N; }
+
+  const std::array<double, N>& lo() const { return lo_; }
+  const std::array<double, N>& hi() const { return hi_; }
+  double lo(size_t d) const { return lo_[d]; }
+  double hi(size_t d) const { return hi_[d]; }
+  void set_lo(size_t d, double v) { lo_[d] = v; }
+  void set_hi(size_t d, double v) { hi_[d] = v; }
+
+  bool IsEmpty() const {
+    for (size_t d = 0; d < N; ++d) {
+      if (lo_[d] > hi_[d]) return true;
+    }
+    return false;
+  }
+
+  double Extent(size_t d) const { return hi_[d] - lo_[d]; }
+
+  // Hypervolume (area for N = 2). Zero for degenerate or empty boxes.
+  double Volume() const {
+    if (IsEmpty()) return 0.0;
+    double v = 1.0;
+    for (size_t d = 0; d < N; ++d) {
+      v *= Extent(d);
+    }
+    return v;
+  }
+
+  // Sum of edge lengths; the R*-tree "margin" criterion.
+  double Margin() const {
+    if (IsEmpty()) return 0.0;
+    double m = 0.0;
+    for (size_t d = 0; d < N; ++d) {
+      m += Extent(d);
+    }
+    return m;
+  }
+
+  std::array<double, N> Center() const {
+    std::array<double, N> c;
+    for (size_t d = 0; d < N; ++d) {
+      c[d] = 0.5 * (lo_[d] + hi_[d]);
+    }
+    return c;
+  }
+
+  bool ContainsPoint(const std::array<double, N>& p) const {
+    for (size_t d = 0; d < N; ++d) {
+      if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Box& other) const {
+    if (other.IsEmpty()) return true;
+    if (IsEmpty()) return false;
+    for (size_t d = 0; d < N; ++d) {
+      if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const Box& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    for (size_t d = 0; d < N; ++d) {
+      if (other.hi_[d] < lo_[d] || other.lo_[d] > hi_[d]) return false;
+    }
+    return true;
+  }
+
+  Box Intersection(const Box& other) const {
+    Box out;
+    if (IsEmpty() || other.IsEmpty()) return out;
+    for (size_t d = 0; d < N; ++d) {
+      out.lo_[d] = std::max(lo_[d], other.lo_[d]);
+      out.hi_[d] = std::min(hi_[d], other.hi_[d]);
+      if (out.lo_[d] > out.hi_[d]) return Box();
+    }
+    return out;
+  }
+
+  // Smallest box covering both this and `other`.
+  Box Union(const Box& other) const {
+    if (IsEmpty()) return other;
+    if (other.IsEmpty()) return *this;
+    Box out = *this;
+    for (size_t d = 0; d < N; ++d) {
+      out.lo_[d] = std::min(lo_[d], other.lo_[d]);
+      out.hi_[d] = std::max(hi_[d], other.hi_[d]);
+    }
+    return out;
+  }
+
+  // Grows in place to cover `other`.
+  void Extend(const Box& other) { *this = Union(other); }
+
+  void ExtendPoint(const std::array<double, N>& p) {
+    for (size_t d = 0; d < N; ++d) {
+      lo_[d] = std::min(lo_[d], p[d]);
+      hi_[d] = std::max(hi_[d], p[d]);
+    }
+  }
+
+  // Volume added by growing this box to cover `other`; the Guttman insert
+  // criterion.
+  double Enlargement(const Box& other) const {
+    return Union(other).Volume() - Volume();
+  }
+
+  // Volume shared with `other`; the R*-tree overlap criterion.
+  double OverlapVolume(const Box& other) const {
+    return Intersection(other).Volume();
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    os << "[";
+    for (size_t d = 0; d < N; ++d) {
+      if (d != 0) os << ", ";
+      os << b.lo_[d] << ".." << b.hi_[d];
+    }
+    return os << "]";
+  }
+
+ private:
+  std::array<double, N> lo_;
+  std::array<double, N> hi_;
+};
+
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+using Box4 = Box<4>;
+
+// Convenience constructors for the common low dimensions.
+inline Box2 MakeBox2(double x0, double y0, double x1, double y1) {
+  return Box2({x0, y0}, {x1, y1});
+}
+inline Box3 MakeBox3(double x0, double y0, double z0, double x1, double y1,
+                     double z1) {
+  return Box3({x0, y0, z0}, {x1, y1, z1});
+}
+
+inline Box2 Box2FromCenter(const Vec2& center, double width, double height) {
+  return MakeBox2(center.x - width / 2, center.y - height / 2,
+                  center.x + width / 2, center.y + height / 2);
+}
+
+}  // namespace mars::geometry
+
+#endif  // MARS_GEOMETRY_BOX_H_

@@ -1,0 +1,49 @@
+#ifndef MARS_GEOMETRY_RECT_DIFF_H_
+#define MARS_GEOMETRY_RECT_DIFF_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace mars::geometry {
+
+// Decomposes the set difference a − b into at most 2*N boxes with pairwise
+// disjoint interiors whose union covers {p in a : p not in b} (closed boxes
+// share only boundary faces, which have zero measure). Used by the
+// continuous-retrieval algorithm (paper Sec. IV) to split Q_t − Q_{t−1} into
+// sub-query rectangles the server executes separately.
+//
+// Guillotine construction: walk the dimensions; in each, slice off the parts
+// of `a` lying below b.lo and above b.hi, then continue with the clamped
+// middle slab. Returns {a} when the boxes do not intersect, and {} when b
+// covers a.
+template <size_t N>
+std::vector<Box<N>> Difference(const Box<N>& a, const Box<N>& b) {
+  std::vector<Box<N>> pieces;
+  if (a.IsEmpty()) return pieces;
+  if (!a.Intersects(b)) {
+    pieces.push_back(a);
+    return pieces;
+  }
+  Box<N> rest = a;
+  for (size_t d = 0; d < N; ++d) {
+    if (b.lo(d) > rest.lo(d)) {
+      Box<N> below = rest;
+      below.set_hi(d, b.lo(d));
+      pieces.push_back(below);
+      rest.set_lo(d, b.lo(d));
+    }
+    if (b.hi(d) < rest.hi(d)) {
+      Box<N> above = rest;
+      above.set_lo(d, b.hi(d));
+      pieces.push_back(above);
+      rest.set_hi(d, b.hi(d));
+    }
+  }
+  // `rest` is now a ∩ b and is dropped.
+  return pieces;
+}
+
+}  // namespace mars::geometry
+
+#endif  // MARS_GEOMETRY_RECT_DIFF_H_

@@ -1,0 +1,15 @@
+#include "geometry/vec.h"
+
+#include <ostream>
+
+namespace mars::geometry {
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace mars::geometry

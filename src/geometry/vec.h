@@ -1,0 +1,105 @@
+#ifndef MARS_GEOMETRY_VEC_H_
+#define MARS_GEOMETRY_VEC_H_
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace mars::geometry {
+
+// 2D vector/point over the ground plane of the data space.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+
+  friend constexpr bool operator==(const Vec2& a, const Vec2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+
+// 3D vector/point; mesh vertices and wavelet coefficient displacements.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in)
+      : x(x_in), y(y_in), z(z_in) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(x * x + y * y + z * z); }
+  constexpr double SquaredNorm() const { return x * x + y * y + z * z; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+// Midpoint helpers used by the subdivision / wavelet code.
+inline constexpr Vec3 Midpoint(const Vec3& a, const Vec3& b) {
+  return (a + b) * 0.5;
+}
+inline constexpr Vec2 Midpoint(const Vec2& a, const Vec2& b) {
+  return (a + b) * 0.5;
+}
+
+}  // namespace mars::geometry
+
+#endif  // MARS_GEOMETRY_VEC_H_

@@ -1,0 +1,156 @@
+#ifndef MARS_INDEX_ACCESS_H_
+#define MARS_INDEX_ACCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "index/record.h"
+#include "index/rtree.h"
+
+namespace mars::index {
+
+// Access method over the server's coefficient records for the window query
+// Q(R, w_max, w_min) of paper Sec. VI. The *required set* of a query is the
+// set of records whose support-region MBB intersects R (in the ground
+// plane) with w in [w_min, w_max]; both strategies return exactly that set,
+// at different I/O cost.
+class CoefficientIndex {
+ public:
+  virtual ~CoefficientIndex() = default;
+
+  // Builds the index over `records`; the table must outlive the index.
+  virtual void Build(const std::vector<CoeffRecord>& records) = 0;
+
+  // Appends the ids of the required set for Q(region, w_max, w_min).
+  virtual void Query(const geometry::Box2& region, double w_min,
+                     double w_max, std::vector<RecordId>* out) const = 0;
+
+  // Node accesses accumulated by queries since the last ResetStats() — the
+  // paper's I/O cost metric.
+  virtual int64_t node_accesses() const = 0;
+  virtual void ResetStats() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Affine per-axis normalization of the ground plane into [0, 1], so that
+// x, y (meters) and w (already unit-scaled) are commensurate inside the
+// R*-tree — its margin/overlap split criteria mix axis units and degrade
+// badly when one axis spans kilometers and another spans 1.0 (see the
+// index ablation bench).
+struct GroundScale {
+  double off_x = 0.0, off_y = 0.0;
+  double scale_x = 1.0, scale_y = 1.0;
+
+  static GroundScale FromRecords(const std::vector<CoeffRecord>& records);
+
+  double X(double x) const { return (x - off_x) * scale_x; }
+  double Y(double y) const { return (y - off_y) * scale_y; }
+};
+
+// The paper's proposed index (Sec. VI-B): a 3D (x, y, w) R*-tree over the
+// support-region MBBs of the coefficients, exactly as in the experimental
+// study (Sec. VII-D). One traversal returns the minimal required set.
+class SupportRegionIndex : public CoefficientIndex {
+ public:
+  explicit SupportRegionIndex(RTreeOptions options = RTreeOptions());
+
+  void Build(const std::vector<CoeffRecord>& records) override;
+  void Query(const geometry::Box2& region, double w_min, double w_max,
+             std::vector<RecordId>* out) const override;
+  int64_t node_accesses() const override;
+  void ResetStats() override;
+  std::string name() const override { return "support-region"; }
+
+  const RTree3& tree() const { return tree_; }
+
+ private:
+  RTreeOptions options_;
+  RTree3 tree_;
+  GroundScale scale_;
+};
+
+// The straightforward access method the paper argues against (Sec. VI): a
+// 3D (x, y, w) R*-tree over coefficient *positions*. Answering a query
+// takes two passes — the initial window query plus a re-execution over the
+// extended region covering the neighbouring vertices — and the second pass
+// re-fetches data the first already saw.
+//
+// For the extended region we use the correctness-preserving variant: the
+// window grown by the dataset's maximum support-region extent. It subsumes
+// the paper's per-result bounding region (any record whose support box
+// intersects R has its vertex within that distance of R), so both
+// strategies provably return the same required set.
+class NaivePointIndex : public CoefficientIndex {
+ public:
+  explicit NaivePointIndex(RTreeOptions options = RTreeOptions());
+
+  void Build(const std::vector<CoeffRecord>& records) override;
+  void Query(const geometry::Box2& region, double w_min, double w_max,
+             std::vector<RecordId>* out) const override;
+  int64_t node_accesses() const override;
+  void ResetStats() override;
+  std::string name() const override { return "naive-point"; }
+
+ private:
+  RTreeOptions options_;
+  RTree3 tree_;
+  GroundScale scale_;
+  const std::vector<CoeffRecord>* records_ = nullptr;
+  // Maximum support extents in normalized coordinates.
+  double max_extent_x_ = 0.0;
+  double max_extent_y_ = 0.0;
+};
+
+// The full four-dimensional variant of the paper's index (Sec. VI-B): a
+// 4D (x, y, z, w) R*-tree over the support-region MBBs, for clients whose
+// region of interest is a 3D box (e.g. a view frustum bound) rather than
+// a ground-plane window. The experimental study of Sec. VII-D uses the 3D
+// x-y-w projection (SupportRegionIndex); this variant covers the general
+// formulation. Spatial axes are normalized like the 3D index.
+class SupportRegionIndex4D {
+ public:
+  explicit SupportRegionIndex4D(RTreeOptions options = RTreeOptions());
+
+  void Build(const std::vector<CoeffRecord>& records);
+
+  // Q(R, w_max, w_min) with a 3D region of interest.
+  void Query(const geometry::Box3& region, double w_min, double w_max,
+             std::vector<RecordId>* out) const;
+
+  int64_t node_accesses() const { return tree_.stats().query_node_accesses; }
+  void ResetStats() { tree_.ResetStats(); }
+
+ private:
+  RTreeOptions options_;
+  RTree4 tree_;
+  GroundScale scale_;
+  double off_z_ = 0.0;
+  double scale_z_ = 1.0;
+};
+
+// Object-granularity R*-tree used by the fully naive end-to-end system
+// (Sec. VII-E): ground-plane MBRs of whole objects, no resolutions.
+class ObjectIndex {
+ public:
+  explicit ObjectIndex(RTreeOptions options = RTreeOptions());
+
+  // object_bounds[i] = world bounds of object i.
+  void Build(const std::vector<geometry::Box3>& object_bounds);
+
+  // Appends the ids of objects whose ground-plane MBR intersects `region`.
+  void Query(const geometry::Box2& region, std::vector<int32_t>* out) const;
+
+  int64_t node_accesses() const { return tree_.stats().query_node_accesses; }
+  void ResetStats() { tree_.ResetStats(); }
+
+ private:
+  RTree2 tree_;
+};
+
+}  // namespace mars::index
+
+#endif  // MARS_INDEX_ACCESS_H_

@@ -1,0 +1,55 @@
+#ifndef MARS_INDEX_RECORD_H_
+#define MARS_INDEX_RECORD_H_
+
+#include <cstdint>
+
+#include "geometry/box.h"
+#include "geometry/vec.h"
+
+namespace mars::index {
+
+// Index into the server's flat record table.
+using RecordId = int64_t;
+
+// Wire-size model (uncompressed record format):
+//  - a wavelet coefficient ships its object/vertex ids, level, the detail
+//    vector, its normalized value, and the neighbour (support) information
+//    the naive access method needs (paper Sec. VI: "additional information,
+//    neighboring vertices, are also needed to be stored").
+//  - a base-mesh record ships the whole coarse mesh of one object.
+// Absolute values only scale the axes of the experiments; the defaults are
+// sized so that an object with 4 decomposition levels weighs ~200 KB,
+// matching the paper's 100 objects ≈ 20 MB datasets.
+inline constexpr int64_t kCoefficientWireBytes = 112;
+inline constexpr int64_t kBaseVertexWireBytes = 48;
+
+// One retrievable unit stored on the server: either a wavelet coefficient
+// or the base mesh of an object (whose vertices all carry w = 1.0, paper
+// Sec. VII-A, so the coarsest shape is retrieved at any speed).
+struct CoeffRecord {
+  int32_t object_id = 0;
+  // Coefficient id within the object; kBaseMeshRecord for the base-mesh
+  // record.
+  int32_t coeff_id = 0;
+  static constexpr int32_t kBaseMeshRecord = -1;
+
+  // Normalized geometric influence in [0, 1]; 1.0 for base records.
+  double w = 1.0;
+
+  // Vertex position (world coordinates) — the key of the naive point
+  // index. For base records: the object's center.
+  geometry::Vec3 position;
+
+  // Support-region MBB (world coordinates) — the key of the motion-aware
+  // index. For base records: the whole object's bounds.
+  geometry::Box3 support_bounds;
+
+  // Bytes on the wire when this record is transmitted.
+  int64_t wire_bytes = kCoefficientWireBytes;
+
+  bool is_base() const { return coeff_id == kBaseMeshRecord; }
+};
+
+}  // namespace mars::index
+
+#endif  // MARS_INDEX_RECORD_H_

@@ -1,0 +1,44 @@
+#include "mesh/adjacency.h"
+
+#include <algorithm>
+
+namespace mars::mesh {
+
+VertexAdjacency::VertexAdjacency(const Mesh& mesh) {
+  neighbors_.resize(mesh.vertex_count());
+  for (const Face& f : mesh.faces()) {
+    for (int k = 0; k < 3; ++k) {
+      const int32_t a = f[k];
+      const int32_t b = f[(k + 1) % 3];
+      neighbors_[a].push_back(b);
+      neighbors_[b].push_back(a);
+    }
+  }
+  for (std::vector<int32_t>& list : neighbors_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+bool VertexAdjacency::AreAdjacent(int32_t a, int32_t b) const {
+  const std::vector<int32_t>& list = neighbors_[a];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+EdgeMap::EdgeMap(const Mesh& mesh) {
+  for (const Face& f : mesh.faces()) {
+    for (int k = 0; k < 3; ++k) {
+      const auto key = EdgeKey(f[k], f[(k + 1) % 3]);
+      if (index_.emplace(key, static_cast<int32_t>(edges_.size())).second) {
+        edges_.push_back(key);
+      }
+    }
+  }
+}
+
+int32_t EdgeMap::IndexOf(int32_t a, int32_t b) const {
+  const auto it = index_.find(EdgeKey(a, b));
+  return it == index_.end() ? -1 : it->second;
+}
+
+}  // namespace mars::mesh

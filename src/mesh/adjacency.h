@@ -1,0 +1,68 @@
+#ifndef MARS_MESH_ADJACENCY_H_
+#define MARS_MESH_ADJACENCY_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mesh/mesh.h"
+
+namespace mars::mesh {
+
+// Per-vertex one-ring neighbourhoods of a mesh. The one-ring of an odd
+// (edge-midpoint) vertex is exactly the wavelet support region of its
+// coefficient (paper Sec. VI-A), and neighbour sets drive the server-side
+// duplicate filtering of Sec. IV.
+class VertexAdjacency {
+ public:
+  explicit VertexAdjacency(const Mesh& mesh);
+
+  // Sorted, de-duplicated vertex indices sharing an edge with `v`.
+  const std::vector<int32_t>& Neighbors(int32_t v) const {
+    return neighbors_[v];
+  }
+
+  int32_t vertex_count() const {
+    return static_cast<int32_t>(neighbors_.size());
+  }
+
+  bool AreAdjacent(int32_t a, int32_t b) const;
+
+ private:
+  std::vector<std::vector<int32_t>> neighbors_;
+};
+
+// Canonical (min, max) key for an undirected edge.
+inline std::pair<int32_t, int32_t> EdgeKey(int32_t a, int32_t b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+// Maps each undirected edge to a dense index [0, edge_count). Iteration
+// order of `edges()` matches the index order, which makes subdivision
+// deterministic.
+class EdgeMap {
+ public:
+  explicit EdgeMap(const Mesh& mesh);
+
+  int32_t edge_count() const { return static_cast<int32_t>(edges_.size()); }
+
+  // Index of edge (a, b); -1 if the mesh has no such edge.
+  int32_t IndexOf(int32_t a, int32_t b) const;
+
+  // Edge endpoints by dense index.
+  const std::pair<int32_t, int32_t>& edge(int32_t index) const {
+    return edges_[index];
+  }
+  const std::vector<std::pair<int32_t, int32_t>>& edges() const {
+    return edges_;
+  }
+
+ private:
+  std::map<std::pair<int32_t, int32_t>, int32_t> index_;
+  std::vector<std::pair<int32_t, int32_t>> edges_;
+};
+
+}  // namespace mars::mesh
+
+#endif  // MARS_MESH_ADJACENCY_H_

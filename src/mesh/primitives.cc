@@ -1,0 +1,79 @@
+#include "mesh/primitives.h"
+
+#include <cmath>
+
+#include "geometry/vec.h"
+
+namespace mars::mesh {
+
+using geometry::Vec3;
+
+Mesh MakeTetrahedron() {
+  const double s = 1.0 / std::sqrt(3.0);
+  std::vector<Vec3> v = {
+      {s, s, s}, {s, -s, -s}, {-s, s, -s}, {-s, -s, s}};
+  std::vector<Face> f = {{0, 1, 2}, {0, 3, 1}, {0, 2, 3}, {1, 3, 2}};
+  return Mesh(std::move(v), std::move(f));
+}
+
+Mesh MakeOctahedron() {
+  std::vector<Vec3> v = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                         {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+  std::vector<Face> f = {{0, 2, 4}, {2, 1, 4}, {1, 3, 4}, {3, 0, 4},
+                         {2, 0, 5}, {1, 2, 5}, {3, 1, 5}, {0, 3, 5}};
+  return Mesh(std::move(v), std::move(f));
+}
+
+Mesh MakeBox(double w, double d, double h) {
+  std::vector<Vec3> v = {{0, 0, 0}, {w, 0, 0}, {w, d, 0}, {0, d, 0},
+                         {0, 0, h}, {w, 0, h}, {w, d, h}, {0, d, h}};
+  std::vector<Face> f = {
+      {0, 2, 1}, {0, 3, 2},  // bottom (z = 0), outward normal -z
+      {4, 5, 6}, {4, 6, 7},  // top (z = h)
+      {0, 1, 5}, {0, 5, 4},  // front (y = 0)
+      {1, 2, 6}, {1, 6, 5},  // right (x = w)
+      {2, 3, 7}, {2, 7, 6},  // back (y = d)
+      {3, 0, 4}, {3, 4, 7},  // left (x = 0)
+  };
+  return Mesh(std::move(v), std::move(f));
+}
+
+Mesh MakeBuilding(double w, double d, double h, double roof_h) {
+  Mesh m = MakeBox(w, d, h);
+  // Replace the flat top (faces 2 and 3 in MakeBox) by a pyramid to the
+  // apex. Rebuild the face list without the two top faces.
+  std::vector<Face> faces;
+  for (int32_t i = 0; i < m.face_count(); ++i) {
+    if (i == 2 || i == 3) continue;
+    faces.push_back(m.face(i));
+  }
+  Mesh out(m.vertices(), std::move(faces));
+  const int32_t apex =
+      out.AddVertex(Vec3{w / 2, d / 2, h + roof_h});
+  // Top ring of the box is vertices 4..7, counter-clockwise from above.
+  out.AddFace(4, 5, apex);
+  out.AddFace(5, 6, apex);
+  out.AddFace(6, 7, apex);
+  out.AddFace(7, 4, apex);
+  return out;
+}
+
+Mesh MakeTerrainPatch(int32_t nx, int32_t ny, double w, double d) {
+  Mesh m;
+  for (int32_t j = 0; j <= ny; ++j) {
+    for (int32_t i = 0; i <= nx; ++i) {
+      m.AddVertex(Vec3{w * i / nx, d * j / ny, 0.0});
+    }
+  }
+  const auto vid = [nx](int32_t i, int32_t j) { return j * (nx + 1) + i; };
+  for (int32_t j = 0; j < ny; ++j) {
+    for (int32_t i = 0; i < nx; ++i) {
+      // Two counter-clockwise triangles per cell (normal +z).
+      m.AddFace(vid(i, j), vid(i + 1, j), vid(i + 1, j + 1));
+      m.AddFace(vid(i, j), vid(i + 1, j + 1), vid(i, j + 1));
+    }
+  }
+  return m;
+}
+
+}  // namespace mars::mesh

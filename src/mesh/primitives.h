@@ -1,0 +1,32 @@
+#ifndef MARS_MESH_PRIMITIVES_H_
+#define MARS_MESH_PRIMITIVES_H_
+
+#include "mesh/mesh.h"
+
+namespace mars::mesh {
+
+// Regular tetrahedron with unit circumradius, centered at the origin.
+// The smallest closed 2-manifold; handy in tests.
+Mesh MakeTetrahedron();
+
+// Regular octahedron with unit circumradius, centered at the origin.
+Mesh MakeOctahedron();
+
+// Axis-aligned box [0,w] x [0,d] x [0,h] triangulated into 12 faces.
+Mesh MakeBox(double w, double d, double h);
+
+// A simple building: box footprint [0,w] x [0,d] walls of height `h`, topped
+// by a pyramidal roof rising `roof_h` above the walls. These are the "old
+// buildings in cities" base meshes of the paper's augmented-reality tour.
+Mesh MakeBuilding(double w, double d, double h, double roof_h);
+
+// An open terrain patch: an nx × ny grid of quads over [0, w] × [0, d]
+// (each split into two triangles), all at z = 0. Open meshes (boundary
+// edges) exercise the subdivision/wavelet pipeline beyond the closed
+// building shells — the multiresolution terrain case the paper's related
+// work targets. Requires nx, ny >= 1.
+Mesh MakeTerrainPatch(int32_t nx, int32_t ny, double w, double d);
+
+}  // namespace mars::mesh
+
+#endif  // MARS_MESH_PRIMITIVES_H_

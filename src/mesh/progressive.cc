@@ -1,0 +1,204 @@
+#include "mesh/progressive.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "mesh/adjacency.h"
+
+namespace mars::mesh {
+
+namespace {
+
+// Canonical sorted key of a face's vertex set, for duplicate detection.
+std::tuple<int32_t, int32_t, int32_t> FaceKey(const Face& f) {
+  std::array<int32_t, 3> v = {f[0], f[1], f[2]};
+  std::sort(v.begin(), v.end());
+  return {v[0], v[1], v[2]};
+}
+
+}  // namespace
+
+int64_t ProgressiveMesh::VertexSplit::WireBytes() const {
+  // kept id + removed id + position + per-face connectivity entries.
+  return 4 + 4 + 12 +
+         4 * static_cast<int64_t>(repointed_faces.size()) +
+         4 * static_cast<int64_t>(revived_faces.size());
+}
+
+common::StatusOr<ProgressiveMesh> ProgressiveMesh::Build(
+    const Mesh& fine, int32_t target_vertices) {
+  MARS_RETURN_IF_ERROR(fine.Validate());
+  target_vertices = std::max(target_vertices, 4);
+
+  ProgressiveMesh pm;
+  pm.vertices_ = fine.vertices();
+  std::vector<Face> faces = fine.faces();
+  std::vector<bool> alive(faces.size(), true);
+
+  // Live face key set for duplicate detection, and per-vertex incident
+  // face lists (indices into `faces`).
+  std::set<std::tuple<int32_t, int32_t, int32_t>> live_keys;
+  std::vector<std::vector<int32_t>> incident(fine.vertex_count());
+  for (size_t i = 0; i < faces.size(); ++i) {
+    live_keys.insert(FaceKey(faces[i]));
+    for (int32_t v : faces[i]) {
+      incident[v].push_back(static_cast<int32_t>(i));
+    }
+  }
+
+  int32_t referenced = fine.vertex_count();
+  std::vector<bool> removed(fine.vertex_count(), false);
+
+  // Shortest-edge priority queue (lazily invalidated).
+  using QueueEntry = std::pair<double, std::pair<int32_t, int32_t>>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>> queue;
+  auto push_edges_of = [&](int32_t v) {
+    for (int32_t fi : incident[v]) {
+      if (!alive[fi]) continue;
+      const Face& f = faces[fi];
+      for (int k = 0; k < 3; ++k) {
+        const int32_t a = f[k], b = f[(k + 1) % 3];
+        const double len = (pm.vertices_[a] - pm.vertices_[b]).Norm();
+        queue.push({len, EdgeKey(a, b)});
+      }
+    }
+  };
+  for (int32_t v = 0; v < fine.vertex_count(); ++v) push_edges_of(v);
+
+  // Collapses recorded fine-to-coarse; reversed into splits at the end.
+  std::vector<VertexSplit> collapses;
+
+  while (referenced > target_vertices && !queue.empty()) {
+    const auto edge = queue.top().second;
+    queue.pop();
+    const auto [u, v] = edge;  // collapse v onto u (half-edge collapse)
+    if (removed[u] || removed[v]) continue;
+    // Lazy invalidation: the edge may have died since it was queued.
+    bool edge_alive = false;
+    for (int32_t fi : incident[v]) {
+      if (!alive[fi]) continue;
+      const Face& f = faces[fi];
+      if ((f[0] == u || f[1] == u || f[2] == u)) {
+        edge_alive = true;
+        break;
+      }
+    }
+    if (!edge_alive) continue;
+
+    // Validity: re-pointing v->u must not create a duplicate face.
+    bool valid = true;
+    for (int32_t fi : incident[v]) {
+      if (!alive[fi]) continue;
+      Face f = faces[fi];
+      const bool has_u = f[0] == u || f[1] == u || f[2] == u;
+      if (has_u) continue;  // this face dies, no duplication issue
+      for (int32_t& c : f) {
+        if (c == v) c = u;
+      }
+      if (live_keys.contains(FaceKey(f))) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+
+    // Perform the collapse.
+    VertexSplit record;
+    record.kept = u;
+    record.removed = v;
+    record.removed_position = pm.vertices_[v];
+    for (int32_t fi : incident[v]) {
+      if (!alive[fi]) continue;
+      Face& f = faces[fi];
+      const bool has_u = f[0] == u || f[1] == u || f[2] == u;
+      live_keys.erase(FaceKey(f));
+      if (has_u) {
+        alive[fi] = false;
+        record.revived_faces.push_back(fi);
+      } else {
+        for (int32_t& c : f) {
+          if (c == v) c = u;
+        }
+        live_keys.insert(FaceKey(f));
+        record.repointed_faces.push_back(fi);
+        incident[u].push_back(fi);
+      }
+    }
+    removed[v] = true;
+    --referenced;
+    collapses.push_back(std::move(record));
+    push_edges_of(u);  // refresh edges around the survivor
+  }
+
+  pm.base_faces_ = std::move(faces);
+  pm.base_alive_ = std::move(alive);
+  pm.base_vertex_count_ = referenced;
+  pm.splits_.assign(collapses.rbegin(), collapses.rend());
+  return pm;
+}
+
+Mesh ProgressiveMesh::MeshAtDetail(int32_t split_budget) const {
+  MARS_CHECK_GE(split_budget, 0);
+  MARS_CHECK_LE(split_budget, split_count());
+
+  std::vector<Face> faces = base_faces_;
+  std::vector<bool> alive = base_alive_;
+  for (int32_t s = 0; s < split_budget; ++s) {
+    const VertexSplit& split = splits_[s];
+    for (int32_t fi : split.repointed_faces) {
+      for (int32_t& c : faces[fi]) {
+        if (c == split.kept) c = split.removed;
+      }
+    }
+    // Re-pointing rewrites *every* kept-corner of the face, which is only
+    // correct because the collapse produced exactly one such corner per
+    // repointed face (duplicate faces are rejected at build time)...
+    for (int32_t fi : split.revived_faces) {
+      alive[fi] = true;
+    }
+  }
+
+  // Compact: drop tombstoned faces and unreferenced vertices.
+  std::vector<int32_t> remap(vertices_.size(), -1);
+  Mesh out;
+  for (size_t fi = 0; fi < faces.size(); ++fi) {
+    if (!alive[fi]) continue;
+    Face f = faces[fi];
+    for (int32_t& c : f) {
+      if (remap[c] < 0) {
+        remap[c] = out.AddVertex(vertices_[c]);
+      }
+      c = remap[c];
+    }
+    out.AddFace(f[0], f[1], f[2]);
+  }
+  return out;
+}
+
+int64_t ProgressiveMesh::BaseWireBytes() const {
+  int64_t live_faces = 0;
+  for (bool a : base_alive_) {
+    if (a) ++live_faces;
+  }
+  // Vertices (12 B) + face index triples (12 B).
+  return 12 * static_cast<int64_t>(base_vertex_count_) + 12 * live_faces;
+}
+
+int64_t ProgressiveMesh::SplitsWireBytes(int32_t splits) const {
+  MARS_CHECK_GE(splits, 0);
+  MARS_CHECK_LE(splits, split_count());
+  int64_t total = 0;
+  for (int32_t i = 0; i < splits; ++i) {
+    total += splits_[i].WireBytes();
+  }
+  return total;
+}
+
+}  // namespace mars::mesh

@@ -1,0 +1,88 @@
+#ifndef MARS_MESH_PROGRESSIVE_H_
+#define MARS_MESH_PROGRESSIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "geometry/vec.h"
+#include "mesh/mesh.h"
+
+namespace mars::mesh {
+
+// Progressive-mesh multiresolution representation (Hoppe, SIGGRAPH 1996) —
+// the alternative the paper's Related Work contrasts with wavelets:
+// "wavelet-based approaches offer a more compact coding for progressive
+// transmission of data". MARS implements it as a comparison baseline (see
+// bench_ablation_encoding); the production path uses wavelets.
+//
+// The fine mesh is simplified by a sequence of half-edge collapses
+// (shortest edge first); the inverse records — vertex splits — rebuild the
+// mesh progressively from the base. Unlike subdivision wavelets, a vertex
+// split must carry explicit connectivity (which faces to re-point and
+// re-add), which is exactly why its wire format is bigger per unit of
+// detail.
+class ProgressiveMesh {
+ public:
+  // One vertex split (the inverse of a half-edge collapse of `removed`
+  // onto `kept`). Applied coarse-to-fine.
+  struct VertexSplit {
+    int32_t kept = 0;
+    int32_t removed = 0;
+    geometry::Vec3 removed_position;
+    // Stable ids of faces whose `removed` corner was re-pointed to `kept`
+    // by the collapse; the split points them back.
+    std::vector<int32_t> repointed_faces;
+    // Stable ids of faces deleted by the collapse (they contained both
+    // endpoints); the split revives them.
+    std::vector<int32_t> revived_faces;
+
+    // Wire size of this record: vertex ids, position, and the explicit
+    // connectivity payload.
+    int64_t WireBytes() const;
+  };
+
+  // Simplifies `fine` down to at most `target_vertices` referenced
+  // vertices (never below 4). Fails if the mesh is invalid. Collapses that
+  // would create duplicate faces are skipped, so the achieved base size
+  // can be above the target on pathological inputs.
+  static common::StatusOr<ProgressiveMesh> Build(const Mesh& fine,
+                                                 int32_t target_vertices);
+
+  // Number of vertex splits (0 splits = base mesh, all = original).
+  int32_t split_count() const {
+    return static_cast<int32_t>(splits_.size());
+  }
+  const std::vector<VertexSplit>& splits() const { return splits_; }
+
+  // The mesh after applying the first `splits` vertex splits, compacted
+  // (unreferenced vertices dropped). splits = split_count() reproduces the
+  // original mesh geometry exactly.
+  Mesh MeshAtDetail(int32_t splits) const;
+
+  // Referenced-vertex count of the base mesh.
+  int32_t base_vertex_count() const { return base_vertex_count_; }
+
+  // Wire size of the base mesh (vertices + faces).
+  int64_t BaseWireBytes() const;
+
+  // Total wire size of the first `splits` split records.
+  int64_t SplitsWireBytes(int32_t splits) const;
+
+ private:
+  ProgressiveMesh() = default;
+
+  // All vertices ever used (positions of removed vertices retained).
+  std::vector<geometry::Vec3> vertices_;
+  // Face table in the *base* state, with tombstones (`alive_[i]`) for
+  // faces deleted during simplification.
+  std::vector<Face> base_faces_;
+  std::vector<bool> base_alive_;
+  // Splits in coarse-to-fine application order.
+  std::vector<VertexSplit> splits_;
+  int32_t base_vertex_count_ = 0;
+};
+
+}  // namespace mars::mesh
+
+#endif  // MARS_MESH_PROGRESSIVE_H_

@@ -1,0 +1,42 @@
+#include "mesh/subdivide.h"
+
+#include "geometry/vec.h"
+#include "mesh/adjacency.h"
+
+namespace mars::mesh {
+
+Subdivision Subdivide(const Mesh& coarse) {
+  Subdivision out;
+  out.mesh = Mesh(coarse.vertices(), {});
+
+  const EdgeMap edge_map(coarse);
+  const int32_t even_count = coarse.vertex_count();
+
+  // One odd vertex per coarse edge, appended in edge-index order.
+  out.odd_vertices.reserve(edge_map.edge_count());
+  for (int32_t e = 0; e < edge_map.edge_count(); ++e) {
+    const auto [a, b] = edge_map.edge(e);
+    const int32_t v =
+        out.mesh.AddVertex(geometry::Midpoint(coarse.vertex(a),
+                                              coarse.vertex(b)));
+    out.odd_vertices.push_back(OddVertex{v, a, b});
+  }
+
+  const auto midpoint_of = [&](int32_t a, int32_t b) {
+    return even_count + edge_map.IndexOf(a, b);
+  };
+
+  for (const Face& f : coarse.faces()) {
+    const int32_t a = f[0], b = f[1], c = f[2];
+    const int32_t mab = midpoint_of(a, b);
+    const int32_t mbc = midpoint_of(b, c);
+    const int32_t mca = midpoint_of(c, a);
+    out.mesh.AddFace(a, mab, mca);
+    out.mesh.AddFace(b, mbc, mab);
+    out.mesh.AddFace(c, mca, mbc);
+    out.mesh.AddFace(mab, mbc, mca);
+  }
+  return out;
+}
+
+}  // namespace mars::mesh

@@ -1,0 +1,83 @@
+#include "motion/grid_probability.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mars::motion {
+
+namespace {
+
+// 2 × 2 Cholesky factor L (lower triangular) of the covariance, with a
+// defensive floor for non-positive-definite numerical corner cases.
+struct Chol2 {
+  double l11, l21, l22;
+};
+
+Chol2 Cholesky2(double xx, double xy, double yy) {
+  const double floor = 1e-12;
+  xx = std::max(xx, floor);
+  Chol2 c;
+  c.l11 = std::sqrt(xx);
+  c.l21 = xy / c.l11;
+  const double rest = yy - c.l21 * c.l21;
+  c.l22 = std::sqrt(std::max(rest, floor));
+  return c;
+}
+
+}  // namespace
+
+BlockProbabilities ComputeBlockProbabilities(
+    const PositionPredictor& predictor, const geometry::GridPartition& grid,
+    const GridProbabilityOptions& options, common::Rng& rng) {
+  MARS_CHECK_GE(options.horizon, 1);
+  MARS_CHECK_GE(options.samples_per_step, 1);
+
+  BlockProbabilities probs;
+  double weight = 1.0;
+  double total = 0.0;
+  for (int32_t step = 1; step <= options.horizon; ++step) {
+    const Prediction pred = predictor.Predict(step);
+    const Chol2 chol = Cholesky2(pred.cov_xx, pred.cov_xy, pred.cov_yy);
+    const double sample_weight =
+        weight / static_cast<double>(options.samples_per_step);
+    for (int32_t s = 0; s < options.samples_per_step; ++s) {
+      const double z1 = rng.Normal();
+      const double z2 = rng.Normal();
+      const geometry::Vec2 p{pred.mean.x + chol.l11 * z1,
+                             pred.mean.y + chol.l21 * z1 + chol.l22 * z2};
+      if (options.frame_half_width > 0.0 ||
+          options.frame_half_height > 0.0) {
+        // Spread the sample over the predicted query frame's blocks
+        // (clipped to the space by BlocksIntersecting).
+        const geometry::Box2 frame = geometry::MakeBox2(
+            p.x - options.frame_half_width, p.y - options.frame_half_height,
+            p.x + options.frame_half_width,
+            p.y + options.frame_half_height);
+        for (int64_t block : grid.BlocksIntersecting(frame)) {
+          probs[block] += sample_weight;
+          total += sample_weight;
+        }
+      } else {
+        // Point sampling; mass predicted outside the data space is
+        // dropped (not clamped to the boundary blocks, which would
+        // concentrate phantom probability at the edges for long
+        // horizons).
+        if (!grid.space().ContainsPoint({p.x, p.y})) continue;
+        const int64_t block = grid.BlockId(grid.BlockOfPoint(p));
+        probs[block] += sample_weight;
+        total += sample_weight;
+      }
+    }
+    weight *= options.step_discount;
+  }
+
+  if (total > 0.0) {
+    for (auto& [block, p] : probs) {
+      p /= total;
+    }
+  }
+  return probs;
+}
+
+}  // namespace mars::motion

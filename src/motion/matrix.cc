@@ -1,0 +1,134 @@
+#include "motion/matrix.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mars::motion {
+
+Matrix::Matrix(int32_t rows, int32_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, 0.0) {
+  MARS_CHECK_GE(rows, 0);
+  MARS_CHECK_GE(cols, 0);
+}
+
+Matrix Matrix::Identity(int32_t n) {
+  Matrix m(n, n);
+  for (int32_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix m(static_cast<int32_t>(values.size()), 1);
+  for (size_t i = 0; i < values.size(); ++i) {
+    m(static_cast<int32_t>(i), 0) = values[i];
+  }
+  return m;
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  MARS_CHECK_EQ(rows_, o.rows_);
+  MARS_CHECK_EQ(cols_, o.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + o.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  MARS_CHECK_EQ(rows_, o.rows_);
+  MARS_CHECK_EQ(cols_, o.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - o.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  MARS_CHECK_EQ(cols_, o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (int32_t r = 0; r < rows_; ++r) {
+    for (int32_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (int32_t c = 0; c < o.cols_; ++c) {
+        out(r, c) += v * o(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int32_t r = 0; r < rows_; ++r) {
+    for (int32_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Pow(int32_t k) const {
+  MARS_CHECK(IsSquare());
+  MARS_CHECK_GE(k, 0);
+  Matrix result = Identity(rows_);
+  for (int32_t i = 0; i < k; ++i) {
+    result = result * (*this);
+  }
+  return result;
+}
+
+common::StatusOr<Matrix> Matrix::Inverse() const {
+  if (!IsSquare()) {
+    return common::InvalidArgumentError("Inverse of non-square matrix");
+  }
+  const int32_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = Identity(n);
+  for (int32_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    int32_t pivot = col;
+    for (int32_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      return common::FailedPreconditionError("matrix is singular");
+    }
+    if (pivot != col) {
+      for (int32_t c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double scale = 1.0 / a(col, col);
+    for (int32_t c = 0; c < n; ++c) {
+      a(col, c) *= scale;
+      inv(col, c) *= scale;
+    }
+    for (int32_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = a(r, col);
+      if (factor == 0.0) continue;
+      for (int32_t c = 0; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+        inv(r, c) -= factor * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double Matrix::Norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace mars::motion

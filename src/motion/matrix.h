@@ -1,0 +1,62 @@
+#ifndef MARS_MOTION_MATRIX_H_
+#define MARS_MOTION_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mars::motion {
+
+// Small dense row-major matrix of doubles. Sized for the motion-prediction
+// state spaces (tens of rows at most); no attempt at BLAS-grade
+// performance.
+class Matrix {
+ public:
+  Matrix() = default;
+  // Zero-initialized rows × cols matrix.
+  Matrix(int32_t rows, int32_t cols);
+
+  static Matrix Identity(int32_t n);
+  // Column vector from values.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+
+  double operator()(int32_t r, int32_t c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double& operator()(int32_t r, int32_t c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  Matrix Transpose() const;
+
+  // Matrix power by repeated multiplication; requires a square matrix and
+  // k >= 0 (k = 0 yields the identity).
+  Matrix Pow(int32_t k) const;
+
+  // Gauss-Jordan inverse with partial pivoting; fails on (near-)singular
+  // input.
+  common::StatusOr<Matrix> Inverse() const;
+
+  // Frobenius norm.
+  double Norm() const;
+
+  bool IsSquare() const { return rows_ == cols_; }
+
+ private:
+  int32_t rows_ = 0;
+  int32_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mars::motion
+
+#endif  // MARS_MOTION_MATRIX_H_

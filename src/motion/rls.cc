@@ -1,0 +1,52 @@
+#include "motion/rls.h"
+
+#include "common/logging.h"
+
+namespace mars::motion {
+
+RlsEstimator::RlsEstimator(int32_t dim, double forgetting,
+                           double initial_gain)
+    : dim_(dim),
+      forgetting_(forgetting),
+      a_(Matrix::Identity(dim)),
+      p_(Matrix::Identity(dim) * initial_gain) {
+  MARS_CHECK_GT(forgetting, 0.0);
+  MARS_CHECK_LE(forgetting, 1.0);
+  MARS_CHECK_GT(initial_gain, 0.0);
+}
+
+void RlsEstimator::Update(const Matrix& x, const Matrix& y) {
+  MARS_CHECK_EQ(x.rows(), dim_);
+  MARS_CHECK_EQ(x.cols(), 1);
+  MARS_CHECK_EQ(y.rows(), dim_);
+  MARS_CHECK_EQ(y.cols(), 1);
+
+  // Gain k = P x / (λ + xᵀ P x).
+  const Matrix px = p_ * x;
+  double denom = forgetting_;
+  for (int32_t i = 0; i < dim_; ++i) {
+    denom += x(i, 0) * px(i, 0);
+  }
+  const Matrix k = px * (1.0 / denom);
+
+  // A += (y − A x) kᵀ  — one rank-1 correction shared by all rows.
+  const Matrix error = y - a_ * x;
+  for (int32_t r = 0; r < dim_; ++r) {
+    for (int32_t c = 0; c < dim_; ++c) {
+      a_(r, c) += error(r, 0) * k(c, 0);
+    }
+  }
+
+  // P = (P − k xᵀ P) / λ.
+  const Matrix xtp = x.Transpose() * p_;  // 1 × dim
+  Matrix kxp(dim_, dim_);
+  for (int32_t r = 0; r < dim_; ++r) {
+    for (int32_t c = 0; c < dim_; ++c) {
+      kxp(r, c) = k(r, 0) * xtp(0, c);
+    }
+  }
+  p_ = (p_ - kxp) * (1.0 / forgetting_);
+  ++updates_;
+}
+
+}  // namespace mars::motion

@@ -1,0 +1,44 @@
+#ifndef MARS_MOTION_RLS_H_
+#define MARS_MOTION_RLS_H_
+
+#include <cstdint>
+
+#include "motion/matrix.h"
+
+namespace mars::motion {
+
+// Recursive least-squares estimator of the state-transition matrix A such
+// that y ≈ A x (paper Sec. V-B, following Yi et al.: "the transition matrix
+// A can be calculated by using the recursive least-squares estimation
+// method"). All outputs share the same regressor x, so one inverse
+// correlation matrix P serves every row of A.
+class RlsEstimator {
+ public:
+  // `dim` is the state dimension; `forgetting` in (0, 1] discounts old
+  // observations (1.0 = ordinary least squares); `initial_gain` scales the
+  // initial P = initial_gain * I (large values mean "no prior").
+  RlsEstimator(int32_t dim, double forgetting = 0.98,
+               double initial_gain = 1e4);
+
+  // Incorporates one observed transition x -> y (both dim × 1 column
+  // vectors).
+  void Update(const Matrix& x, const Matrix& y);
+
+  // Current estimate of A (dim × dim). Before any update this is the
+  // identity (a standstill model).
+  const Matrix& transition() const { return a_; }
+
+  int64_t update_count() const { return updates_; }
+  int32_t dim() const { return dim_; }
+
+ private:
+  int32_t dim_;
+  double forgetting_;
+  Matrix a_;  // current transition estimate
+  Matrix p_;  // inverse correlation matrix
+  int64_t updates_ = 0;
+};
+
+}  // namespace mars::motion
+
+#endif  // MARS_MOTION_RLS_H_

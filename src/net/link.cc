@@ -1,0 +1,69 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mars::net {
+
+SimulatedLink::SimulatedLink() : SimulatedLink(Options()) {}
+
+SimulatedLink::SimulatedLink(Options options)
+    : options_(options), rng_(options.loss_seed) {
+  MARS_CHECK_GT(options.bandwidth_kbps, 0.0);
+  MARS_CHECK_GE(options.latency_seconds, 0.0);
+  MARS_CHECK_GE(options.motion_degradation, 0.0);
+  MARS_CHECK_LT(options.motion_degradation, 1.0);
+  MARS_CHECK_GE(options.loss_probability, 0.0);
+  MARS_CHECK_LT(options.loss_probability, 0.5);
+}
+
+double SimulatedLink::UsableBandwidth(double speed) const {
+  const double s = std::clamp(speed, 0.0, 1.0);
+  return common::KbpsToBytesPerSecond(options_.bandwidth_kbps) *
+         (1.0 - options_.motion_degradation * s);
+}
+
+double SimulatedLink::ExchangeSeconds(int64_t request_bytes,
+                                      int64_t response_bytes,
+                                      double speed) const {
+  MARS_CHECK_GE(request_bytes, 0);
+  MARS_CHECK_GE(response_bytes, 0);
+  const double bw = UsableBandwidth(speed);
+  return options_.latency_seconds +
+         static_cast<double>(request_bytes + response_bytes) / bw;
+}
+
+double SimulatedLink::Exchange(int64_t request_bytes, int64_t response_bytes,
+                               double speed) {
+  double seconds = ExchangeSeconds(request_bytes, response_bytes, speed);
+  if (options_.loss_probability > 0.0) {
+    // Each attempt may be lost: pay its latency plus a random fraction of
+    // the transfer before noticing, then retry. Loss worsens with speed.
+    const double p = std::min(
+        0.95, options_.loss_probability * (1.0 + std::clamp(speed, 0.0, 1.0)));
+    const double transfer = seconds - options_.latency_seconds;
+    double wasted = 0.0;
+    while (rng_.Bernoulli(p)) {
+      wasted += options_.latency_seconds + rng_.UniformDouble() * transfer;
+      ++total_retries_;
+    }
+    seconds += wasted;
+  }
+  ++total_requests_;
+  total_bytes_up_ += request_bytes;
+  total_bytes_down_ += response_bytes;
+  total_seconds_ += seconds;
+  return seconds;
+}
+
+void SimulatedLink::ResetStats() {
+  total_requests_ = 0;
+  total_bytes_down_ = 0;
+  total_bytes_up_ = 0;
+  total_retries_ = 0;
+  total_seconds_ = 0.0;
+}
+
+}  // namespace mars::net

@@ -1,0 +1,75 @@
+#ifndef MARS_NET_LINK_H_
+#define MARS_NET_LINK_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace mars::net {
+
+// Deterministic model of the client-server wireless link. Default
+// parameters match the paper's experimental setup (Sec. VII-A): 256 Kbps
+// bandwidth, 200 ms latency. The usable bandwidth of a *moving* client
+// degrades with speed ("the usable bandwidth of a connection ... drops to
+// a fraction of the bandwidth that is available for clients at rest",
+// Sec. I, after the Ofcom measurements).
+class SimulatedLink {
+ public:
+  struct Options {
+    double bandwidth_kbps = 256.0;
+    double latency_seconds = 0.2;
+    // Usable bandwidth at normalized speed s is
+    //   bandwidth * (1 − motion_degradation * s),
+    // so a client at full speed keeps (1 − motion_degradation) of the
+    // stationary bandwidth.
+    double motion_degradation = 0.5;
+    // Probability that an exchange attempt is lost mid-flight (mobile
+    // links drop in tunnels, at cell handovers, ...). A lost attempt
+    // costs its connection latency plus a uniformly random fraction of
+    // the transfer time, then the client retries; retries repeat until
+    // one attempt succeeds. 0 disables loss. Additionally, loss at speed
+    // s is scaled by (1 + s): fast clients drop more.
+    double loss_probability = 0.0;
+    // Seed for the loss process (deterministic runs).
+    uint64_t loss_seed = 1;
+  };
+
+  SimulatedLink();  // default options
+  explicit SimulatedLink(Options options);
+
+  // Usable bandwidth in bytes/second at normalized speed `speed` ∈ [0, 1].
+  double UsableBandwidth(double speed) const;
+
+  // Time to complete one request/response exchange carrying
+  // `request_bytes` up and `response_bytes` down at normalized speed
+  // `speed`: one connection latency plus the transfer time of both
+  // payloads. Updates the cumulative counters.
+  double Exchange(int64_t request_bytes, int64_t response_bytes,
+                  double speed);
+
+  // Pure cost query; does not touch the counters.
+  double ExchangeSeconds(int64_t request_bytes, int64_t response_bytes,
+                         double speed) const;
+
+  const Options& options() const { return options_; }
+  int64_t total_requests() const { return total_requests_; }
+  int64_t total_bytes_down() const { return total_bytes_down_; }
+  int64_t total_bytes_up() const { return total_bytes_up_; }
+  double total_seconds() const { return total_seconds_; }
+  // Attempts lost and retried across all exchanges.
+  int64_t total_retries() const { return total_retries_; }
+  void ResetStats();
+
+ private:
+  Options options_;
+  common::Rng rng_;
+  int64_t total_requests_ = 0;
+  int64_t total_bytes_down_ = 0;
+  int64_t total_bytes_up_ = 0;
+  int64_t total_retries_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace mars::net
+
+#endif  // MARS_NET_LINK_H_

@@ -1,0 +1,81 @@
+#include "net/shared_link.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace mars::net {
+
+SharedMediumLink::SharedMediumLink() : SharedMediumLink(Options()) {}
+
+SharedMediumLink::SharedMediumLink(Options options) : options_(options) {
+  MARS_CHECK_GT(options.cell_bandwidth_kbps, 0.0);
+  MARS_CHECK_GT(options.client_bandwidth_kbps, 0.0);
+  MARS_CHECK_GE(options.latency_seconds, 0.0);
+  MARS_CHECK_GE(options.motion_degradation, 0.0);
+  MARS_CHECK_LT(options.motion_degradation, 1.0);
+}
+
+void SharedMediumLink::Submit(int32_t client, int64_t bytes, double speed) {
+  MARS_CHECK_GT(bytes, 0);
+  transfers_.push_back(Transfer{client, static_cast<double>(bytes), now_,
+                                std::clamp(speed, 0.0, 1.0)});
+  total_bytes_ += bytes;
+}
+
+std::vector<SharedMediumLink::Completion> SharedMediumLink::Advance(
+    double dt) {
+  MARS_CHECK_GE(dt, 0.0);
+  std::vector<Completion> completions;
+  const double target = now_ + dt;
+  const double cell =
+      common::KbpsToBytesPerSecond(options_.cell_bandwidth_kbps);
+  const double bearer =
+      common::KbpsToBytesPerSecond(options_.client_bandwidth_kbps);
+
+  while (now_ < target) {
+    if (transfers_.empty()) {
+      now_ = target;
+      break;
+    }
+    // Piecewise-constant rates until the next completion or the target.
+    const double share = cell / static_cast<double>(transfers_.size());
+    double step = target - now_;
+    for (const Transfer& t : transfers_) {
+      const double rate =
+          std::min(share, bearer) *
+          (1.0 - options_.motion_degradation * t.speed);
+      step = std::min(step, t.remaining_bytes / rate);
+    }
+    // Drain for `step` seconds.
+    now_ += step;
+    for (auto it = transfers_.begin(); it != transfers_.end();) {
+      const double rate =
+          std::min(share, bearer) *
+          (1.0 - options_.motion_degradation * it->speed);
+      it->remaining_bytes -= rate * step;
+      if (it->remaining_bytes <= 1e-6) {
+        completions.push_back(Completion{
+            it->client,
+            now_ - it->submitted_at + options_.latency_seconds});
+        it = transfers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return completions;
+}
+
+std::vector<SharedMediumLink::Completion> SharedMediumLink::DrainAll() {
+  std::vector<Completion> completions;
+  while (!transfers_.empty()) {
+    const auto batch = Advance(3600.0);
+    completions.insert(completions.end(), batch.begin(), batch.end());
+  }
+  return completions;
+}
+
+}  // namespace mars::net

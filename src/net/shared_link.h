@@ -1,0 +1,76 @@
+#ifndef MARS_NET_SHARED_LINK_H_
+#define MARS_NET_SHARED_LINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "net/link.h"
+
+namespace mars::net {
+
+// A shared wireless medium serving several clients at once, modelled as a
+// fluid processor-sharing queue: the cell's downlink capacity is divided
+// equally among the transfers in flight (each additionally capped by its
+// client's bearer rate and degraded by that client's motion), and
+// transfers persist across frames until drained. Clients do not block on
+// their transfers — an AR client keeps moving and renders coarse data
+// until the bytes arrive — so the reported quantity is the *delivery
+// delay* of each exchange.
+//
+// Used by the multi-client scalability bench; the paper's single-client
+// evaluation corresponds to one client on a dedicated bearer.
+class SharedMediumLink {
+ public:
+  struct Options {
+    // Total cell capacity.
+    double cell_bandwidth_kbps = 2048.0;
+    // Per-client bearer cap (the paper's 256 Kbps).
+    double client_bandwidth_kbps = 256.0;
+    double latency_seconds = 0.2;
+    double motion_degradation = 0.5;
+  };
+
+  // A finished exchange: which client, and how long from submission to
+  // last byte (including the connection latency).
+  struct Completion {
+    int32_t client = 0;
+    double response_seconds = 0.0;
+  };
+
+  SharedMediumLink();  // default options
+  explicit SharedMediumLink(Options options);
+
+  // Enqueues an exchange of `bytes` for `client` moving at normalized
+  // `speed`, submitted at the current simulated time.
+  void Submit(int32_t client, int64_t bytes, double speed);
+
+  // Advances simulated time by `dt` seconds, draining transfers under
+  // processor sharing; returns the exchanges that completed.
+  std::vector<Completion> Advance(double dt);
+
+  // Drains everything left; returns the remaining completions.
+  std::vector<Completion> DrainAll();
+
+  double now() const { return now_; }
+  size_t in_flight() const { return transfers_.size(); }
+  int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Transfer {
+    int32_t client;
+    double remaining_bytes;
+    double submitted_at;
+    double speed;
+  };
+
+  Options options_;
+  double now_ = 0.0;
+  std::list<Transfer> transfers_;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace mars::net
+
+#endif  // MARS_NET_SHARED_LINK_H_

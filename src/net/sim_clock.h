@@ -1,0 +1,26 @@
+#ifndef MARS_NET_SIM_CLOCK_H_
+#define MARS_NET_SIM_CLOCK_H_
+
+#include "common/logging.h"
+
+namespace mars::net {
+
+// Simulated wall clock, in seconds. All timing in MARS is simulated — the
+// evaluation measures modelled link time, never host time — so experiments
+// are deterministic and machine-independent.
+class SimClock {
+ public:
+  double now() const { return now_seconds_; }
+
+  void Advance(double seconds) {
+    MARS_CHECK_GE(seconds, 0.0);
+    now_seconds_ += seconds;
+  }
+
+ private:
+  double now_seconds_ = 0.0;
+};
+
+}  // namespace mars::net
+
+#endif  // MARS_NET_SIM_CLOCK_H_

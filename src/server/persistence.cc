@@ -1,0 +1,199 @@
+#include "server/persistence.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/serialize.h"
+#include "geometry/vec.h"
+#include "mesh/mesh.h"
+#include "wavelet/coefficient.h"
+#include "wavelet/multires_mesh.h"
+
+namespace mars::server {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4D415253;  // "MARS"
+constexpr uint32_t kVersion = 1;
+
+void WriteVec3(common::ByteWriter& w, const geometry::Vec3& v) {
+  w.WriteDouble(v.x);
+  w.WriteDouble(v.y);
+  w.WriteDouble(v.z);
+}
+
+common::Status ReadVec3(common::ByteReader& r, geometry::Vec3* v) {
+  MARS_RETURN_IF_ERROR(r.ReadDouble(&v->x));
+  MARS_RETURN_IF_ERROR(r.ReadDouble(&v->y));
+  return r.ReadDouble(&v->z);
+}
+
+void WriteBox3(common::ByteWriter& w, const geometry::Box3& b) {
+  for (size_t d = 0; d < 3; ++d) w.WriteDouble(b.lo(d));
+  for (size_t d = 0; d < 3; ++d) w.WriteDouble(b.hi(d));
+}
+
+common::Status ReadBox3(common::ByteReader& r, geometry::Box3* b) {
+  std::array<double, 3> lo, hi;
+  for (double& v : lo) MARS_RETURN_IF_ERROR(r.ReadDouble(&v));
+  for (double& v : hi) MARS_RETURN_IF_ERROR(r.ReadDouble(&v));
+  *b = geometry::Box3(lo, hi);
+  return common::OkStatus();
+}
+
+void WriteObject(common::ByteWriter& w, const wavelet::MultiResMesh& obj) {
+  w.WriteI32(obj.levels());
+  const mesh::Mesh& base = obj.base();
+  w.WriteVarU64(static_cast<uint64_t>(base.vertex_count()));
+  for (const geometry::Vec3& v : base.vertices()) WriteVec3(w, v);
+  w.WriteVarU64(static_cast<uint64_t>(base.face_count()));
+  for (const mesh::Face& f : base.faces()) {
+    w.WriteI32(f[0]);
+    w.WriteI32(f[1]);
+    w.WriteI32(f[2]);
+  }
+  w.WriteVarU64(static_cast<uint64_t>(obj.coefficient_count()));
+  for (const wavelet::WaveletCoefficient& c : obj.coefficients()) {
+    w.WriteI32(c.id);
+    w.WriteI32(c.level);
+    w.WriteI32(c.vertex);
+    w.WriteI32(c.parent_a);
+    w.WriteI32(c.parent_b);
+    WriteVec3(w, c.detail);
+    WriteVec3(w, c.vertex_position);
+    w.WriteDouble(c.magnitude);
+    w.WriteDouble(c.w);
+    WriteBox3(w, c.support_bounds);
+  }
+}
+
+common::StatusOr<wavelet::MultiResMesh> ReadObject(common::ByteReader& r) {
+  int32_t levels = 0;
+  MARS_RETURN_IF_ERROR(r.ReadI32(&levels));
+  if (levels < 0 || levels > 16) {
+    return common::InvalidArgumentError("corrupt object: bad level count");
+  }
+
+  uint64_t vertex_count = 0;
+  MARS_RETURN_IF_ERROR(r.ReadVarU64(&vertex_count));
+  if (vertex_count > r.remaining()) {
+    return common::InvalidArgumentError("corrupt object: vertex count");
+  }
+  std::vector<geometry::Vec3> vertices(vertex_count);
+  for (geometry::Vec3& v : vertices) {
+    MARS_RETURN_IF_ERROR(ReadVec3(r, &v));
+  }
+
+  uint64_t face_count = 0;
+  MARS_RETURN_IF_ERROR(r.ReadVarU64(&face_count));
+  if (face_count > r.remaining()) {
+    return common::InvalidArgumentError("corrupt object: face count");
+  }
+  std::vector<mesh::Face> faces(face_count);
+  for (mesh::Face& f : faces) {
+    MARS_RETURN_IF_ERROR(r.ReadI32(&f[0]));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&f[1]));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&f[2]));
+  }
+  mesh::Mesh base(std::move(vertices), std::move(faces));
+  MARS_RETURN_IF_ERROR(base.Validate());
+
+  uint64_t coeff_count = 0;
+  MARS_RETURN_IF_ERROR(r.ReadVarU64(&coeff_count));
+  if (coeff_count > r.remaining()) {
+    return common::InvalidArgumentError("corrupt object: coeff count");
+  }
+  std::vector<wavelet::WaveletCoefficient> coefficients(coeff_count);
+  for (wavelet::WaveletCoefficient& c : coefficients) {
+    MARS_RETURN_IF_ERROR(r.ReadI32(&c.id));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&c.level));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&c.vertex));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&c.parent_a));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&c.parent_b));
+    MARS_RETURN_IF_ERROR(ReadVec3(r, &c.detail));
+    MARS_RETURN_IF_ERROR(ReadVec3(r, &c.vertex_position));
+    MARS_RETURN_IF_ERROR(r.ReadDouble(&c.magnitude));
+    MARS_RETURN_IF_ERROR(r.ReadDouble(&c.w));
+    MARS_RETURN_IF_ERROR(ReadBox3(r, &c.support_bounds));
+  }
+  return wavelet::MultiResMesh(std::move(base), levels,
+                               std::move(coefficients));
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeDatabase(const ObjectDatabase& db) {
+  common::ByteWriter w;
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteVarU64(static_cast<uint64_t>(db.object_count()));
+  for (int32_t i = 0; i < db.object_count(); ++i) {
+    WriteObject(w, db.object(i));
+  }
+  return w.Take();
+}
+
+common::StatusOr<ObjectDatabase> DeserializeDatabase(
+    const std::vector<uint8_t>& bytes) {
+  common::ByteReader r(bytes);
+  uint32_t magic = 0, version = 0;
+  MARS_RETURN_IF_ERROR(r.ReadU32(&magic));
+  if (magic != kMagic) {
+    return common::InvalidArgumentError("not a MARS database file");
+  }
+  MARS_RETURN_IF_ERROR(r.ReadU32(&version));
+  if (version != kVersion) {
+    return common::InvalidArgumentError("unsupported database version " +
+                                        std::to_string(version));
+  }
+  uint64_t object_count = 0;
+  MARS_RETURN_IF_ERROR(r.ReadVarU64(&object_count));
+  ObjectDatabase db;
+  for (uint64_t i = 0; i < object_count; ++i) {
+    MARS_ASSIGN_OR_RETURN(wavelet::MultiResMesh obj, ReadObject(r));
+    db.AddObject(std::move(obj));
+  }
+  if (!r.AtEnd()) {
+    return common::InvalidArgumentError("trailing bytes after database");
+  }
+  db.FinalizeRecords();
+  return db;
+}
+
+common::Status SaveDatabase(const ObjectDatabase& db,
+                            const std::string& path) {
+  const std::vector<uint8_t> bytes = SerializeDatabase(db);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return common::InternalError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_result = std::fclose(f);
+  if (written != bytes.size() || close_result != 0) {
+    return common::InternalError("short write to " + path);
+  }
+  return common::OkStatus();
+}
+
+common::StatusOr<ObjectDatabase> LoadDatabase(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return common::NotFoundError("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return common::InternalError("cannot stat " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return common::InternalError("short read from " + path);
+  }
+  return DeserializeDatabase(bytes);
+}
+
+}  // namespace mars::server

@@ -1,0 +1,34 @@
+#ifndef MARS_SERVER_PERSISTENCE_H_
+#define MARS_SERVER_PERSISTENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "server/object_db.h"
+
+namespace mars::server {
+
+// Binary persistence for object databases: generating and decomposing a
+// paper-scale scene takes seconds, so tools can generate once and reload.
+// The format stores the multiresolution objects (base meshes plus all
+// coefficient fields); the record table is re-derived on load.
+
+// Serializes a finalized database into bytes.
+std::vector<uint8_t> SerializeDatabase(const ObjectDatabase& db);
+
+// Parses bytes produced by SerializeDatabase; returns a finalized
+// database. Fails with a descriptive status on truncation, bad magic, or
+// version mismatch.
+common::StatusOr<ObjectDatabase> DeserializeDatabase(
+    const std::vector<uint8_t>& bytes);
+
+// File convenience wrappers.
+common::Status SaveDatabase(const ObjectDatabase& db,
+                            const std::string& path);
+common::StatusOr<ObjectDatabase> LoadDatabase(const std::string& path);
+
+}  // namespace mars::server
+
+#endif  // MARS_SERVER_PERSISTENCE_H_

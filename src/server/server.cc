@@ -1,0 +1,95 @@
+#include "server/server.h"
+
+#include "common/logging.h"
+
+namespace mars::server {
+
+Server::Server(const ObjectDatabase* db, IndexKind kind,
+               index::RTreeOptions options)
+    : db_(db), object_index_(options) {
+  MARS_CHECK(db != nullptr);
+  MARS_CHECK(db->finalized()) << "ObjectDatabase must be finalized";
+  switch (kind) {
+    case IndexKind::kSupportRegion:
+      coeff_index_ = std::make_unique<index::SupportRegionIndex>(options);
+      break;
+    case IndexKind::kNaivePoint:
+      coeff_index_ = std::make_unique<index::NaivePointIndex>(options);
+      break;
+  }
+  coeff_index_->Build(db->records());
+  object_index_.Build(db->object_bounds());
+}
+
+QueryResult Server::Execute(const std::vector<SubQuery>& queries,
+                            ClientSession* session) const {
+  MARS_CHECK(session != nullptr);
+  QueryResult result;
+  result.request_bytes =
+      kRequestHeaderBytes +
+      kSubQueryBytes * static_cast<int64_t>(queries.size());
+  result.response_bytes = kResponseHeaderBytes;
+
+  const int64_t before = coeff_index_->node_accesses();
+  result.per_query.resize(queries.size());
+  result.per_query_bytes.assign(queries.size(), 0);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const SubQuery& q = queries[qi];
+    std::vector<index::RecordId> hits;
+    coeff_index_->Query(q.region, q.w_min, q.w_max, &hits);
+    for (index::RecordId id : hits) {
+      if (!session->delivered.insert(id).second) {
+        ++result.filtered_duplicates;
+        continue;
+      }
+      result.records.push_back(id);
+      result.per_query[qi].push_back(id);
+      const int64_t bytes = db_->record(id).wire_bytes;
+      result.per_query_bytes[qi] += bytes;
+      result.response_bytes += bytes;
+    }
+  }
+  result.node_accesses = coeff_index_->node_accesses() - before;
+  return result;
+}
+
+Server::ObjectQueryResult Server::ExecuteObjectQuery(
+    const geometry::Box2& region,
+    std::unordered_set<int32_t>* delivered_objects) const {
+  MARS_CHECK(delivered_objects != nullptr);
+  ObjectQueryResult result;
+  result.request_bytes = kRequestHeaderBytes + kSubQueryBytes;
+  result.response_bytes = kResponseHeaderBytes;
+
+  const int64_t before = object_index_.node_accesses();
+  std::vector<int32_t> hits;
+  object_index_.Query(region, &hits);
+  result.node_accesses = object_index_.node_accesses() - before;
+  result.all_objects = hits;
+  for (int32_t obj : hits) {
+    if (!delivered_objects->insert(obj).second) continue;
+    result.objects.push_back(obj);
+    result.response_bytes += db_->ObjectFullBytes(obj);
+  }
+  return result;
+}
+
+Server::ObjectListing Server::ListObjects(
+    const geometry::Box2& region) const {
+  ObjectListing listing;
+  const int64_t before = object_index_.node_accesses();
+  object_index_.Query(region, &listing.objects);
+  listing.node_accesses = object_index_.node_accesses() - before;
+  return listing;
+}
+
+int64_t Server::node_accesses() const {
+  return coeff_index_->node_accesses() + object_index_.node_accesses();
+}
+
+void Server::ResetStats() {
+  coeff_index_->ResetStats();
+  object_index_.ResetStats();
+}
+
+}  // namespace mars::server

@@ -1,0 +1,115 @@
+#ifndef MARS_SERVER_SERVER_H_
+#define MARS_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "geometry/box.h"
+#include "index/access.h"
+#include "index/record.h"
+#include "index/rtree.h"
+#include "server/object_db.h"
+
+namespace mars::server {
+
+// One sub-query of a retrieval batch: a region of interest plus the band of
+// coefficient values needed, Q(R, w_max, w_min) in the paper's notation.
+struct SubQuery {
+  geometry::Box2 region;
+  double w_min = 0.0;
+  double w_max = 1.0;
+};
+
+// Per-client server-side session: the set of records already delivered, so
+// the server can filter out data the client holds (paper Sec. IV: "the
+// server filters the results to avoid transmitting the data that is
+// already available at the client").
+struct ClientSession {
+  std::unordered_set<index::RecordId> delivered;
+};
+
+// Result of executing one batch of sub-queries.
+struct QueryResult {
+  // Newly delivered records (duplicates within the batch and against the
+  // session are filtered out).
+  std::vector<index::RecordId> records;
+  // The same records grouped by the sub-query that produced them (a record
+  // matching several sub-queries is delivered with the first), so the
+  // client can attribute bytes to buffer blocks.
+  std::vector<std::vector<index::RecordId>> per_query;
+  // Wire bytes of each per_query group.
+  std::vector<int64_t> per_query_bytes;
+  // Wire size of the response (records + per-sub-query headers).
+  int64_t response_bytes = 0;
+  // Wire size of the request (per-sub-query headers).
+  int64_t request_bytes = 0;
+  // Index node accesses spent on this batch.
+  int64_t node_accesses = 0;
+  // Records the index returned but the session filter dropped.
+  int64_t filtered_duplicates = 0;
+};
+
+// The data server: object database + one coefficient access method, plus an
+// object-granularity index for the naive full-resolution path.
+class Server {
+ public:
+  enum class IndexKind {
+    kSupportRegion,  // the paper's motion-aware index (Sec. VI-B)
+    kNaivePoint,     // the straightforward point index (Sec. VI)
+  };
+
+  // `db` must be finalized and must outlive the server.
+  Server(const ObjectDatabase* db, IndexKind kind,
+         index::RTreeOptions options = index::RTreeOptions());
+
+  // Executes a batch of sub-queries as one exchange, filtering against
+  // `session` (updated with the newly delivered records).
+  QueryResult Execute(const std::vector<SubQuery>& queries,
+                      ClientSession* session) const;
+
+  // Naive path: full-resolution object retrieval for every object whose
+  // MBR intersects `region`. `delivered_objects` is the session state.
+  struct ObjectQueryResult {
+    std::vector<int32_t> objects;      // newly delivered object ids
+    std::vector<int32_t> all_objects;  // every object the window intersects
+    int64_t response_bytes = 0;
+    int64_t request_bytes = 0;
+    int64_t node_accesses = 0;
+  };
+  ObjectQueryResult ExecuteObjectQuery(
+      const geometry::Box2& region,
+      std::unordered_set<int32_t>* delivered_objects) const;
+
+  // Lists the objects whose ground-plane MBR intersects `region` plus the
+  // index node accesses spent, without any delivery bookkeeping.
+  struct ObjectListing {
+    std::vector<int32_t> objects;
+    int64_t node_accesses = 0;
+  };
+  ObjectListing ListObjects(const geometry::Box2& region) const;
+
+  const ObjectDatabase& db() const { return *db_; }
+  const index::CoefficientIndex& coefficient_index() const {
+    return *coeff_index_;
+  }
+
+  // Cumulative I/O counters across both indexes.
+  int64_t node_accesses() const;
+  void ResetStats();
+
+  // Wire-format constants for request/response framing.
+  static constexpr int64_t kRequestHeaderBytes = 32;
+  static constexpr int64_t kSubQueryBytes = 48;
+  static constexpr int64_t kResponseHeaderBytes = 32;
+
+ private:
+  const ObjectDatabase* db_;
+  std::unique_ptr<index::CoefficientIndex> coeff_index_;
+  index::ObjectIndex object_index_;
+};
+
+}  // namespace mars::server
+
+#endif  // MARS_SERVER_SERVER_H_

@@ -1,0 +1,52 @@
+#ifndef MARS_SERVER_WIRE_CODEC_H_
+#define MARS_SERVER_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "index/record.h"
+#include "server/object_db.h"
+
+namespace mars::server {
+
+// Compact wire encoding for query responses. The experiment harness uses
+// the flat byte *model* of src/index/record.h (sized to the paper's
+// datasets); this codec is the real thing — what a production deployment
+// would put on the 256 Kbps link — and the compression ablation measures
+// how far it undercuts the model.
+//
+// Per coefficient the codec sends: object id and coefficient id as
+// varints (delta-coded within a response), and the detail vector
+// quantized to 16 bits per component inside the object's bounding box.
+// Positions and connectivity are *not* sent — they are implied by the
+// subdivision structure, which is the core transmission advantage of the
+// wavelet representation. Base-mesh records send their full vertex and
+// face lists (quantized likewise).
+
+// The decoded form of one transmitted record.
+struct DecodedRecord {
+  int32_t object_id = 0;
+  int32_t coeff_id = 0;  // kBaseMeshRecord for base meshes
+  // For coefficients: the (de-quantized) detail vector.
+  geometry::Vec3 detail;
+  // For base records: vertices and faces.
+  std::vector<geometry::Vec3> base_vertices;
+  std::vector<mesh::Face> base_faces;
+};
+
+// Encodes the records identified by `ids` (into db.records()) against the
+// database. Records are grouped by object; ids within a group are
+// delta-coded.
+std::vector<uint8_t> EncodeRecords(const ObjectDatabase& db,
+                                   const std::vector<index::RecordId>& ids);
+
+// Decodes a response produced by EncodeRecords. Quantization error per
+// component is at most (detail scale) / 32767 for coefficient details and
+// (object extent) / 65535 for base-mesh vertex positions.
+common::StatusOr<std::vector<DecodedRecord>> DecodeRecords(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace mars::server
+
+#endif  // MARS_SERVER_WIRE_CODEC_H_

@@ -1,0 +1,57 @@
+#ifndef MARS_WAVELET_COEFFICIENT_H_
+#define MARS_WAVELET_COEFFICIENT_H_
+
+#include <cstdint>
+
+#include "geometry/box.h"
+#include "geometry/vec.h"
+
+namespace mars::wavelet {
+
+// One wavelet coefficient of a decomposed 3D object (paper Sec. III): the
+// missing detail of odd vertex `vertex` between mesh M^level and M^{level+1}.
+// The coefficient's spatial footprint is its *support region* — the one-ring
+// polygon of the vertex in M^{level+1} — stored here as its minimum bounding
+// box (paper Sec. VI).
+struct WaveletCoefficient {
+  // Dense per-object id, stable across the object's lifetime. Ids are
+  // assigned level-by-level, so they are ordered coarse-to-fine.
+  int32_t id = 0;
+
+  // 0-based decomposition level: this coefficient is a member of W_level and
+  // refines M^level into M^{level+1}.
+  int32_t level = 0;
+
+  // Vertex index in M^{level+1}. Because even vertices keep their indices
+  // through subdivision, this index is also valid in every finer mesh up to
+  // the final mesh M^J.
+  int32_t vertex = 0;
+
+  // Endpoints of the parent edge in M^level whose midpoint predicts
+  // `vertex`.
+  int32_t parent_a = 0;
+  int32_t parent_b = 0;
+
+  // Detail vector: actual position minus predicted midpoint.
+  geometry::Vec3 detail;
+
+  // World position of the vertex this coefficient displaces (used by the
+  // naive point index, which keys on vertex positions).
+  geometry::Vec3 vertex_position;
+
+  // Euclidean magnitude of `detail` (geometric influence before
+  // normalization).
+  double magnitude = 0.0;
+
+  // Normalized coefficient value in [0, 1]; larger values have greater
+  // geometric influence. Base-mesh vertices are modeled with w = 1.0 (paper
+  // Sec. VII-A), so w here is normalized into (0, 1].
+  double w = 0.0;
+
+  // MBB of the support region in world coordinates.
+  geometry::Box3 support_bounds;
+};
+
+}  // namespace mars::wavelet
+
+#endif  // MARS_WAVELET_COEFFICIENT_H_

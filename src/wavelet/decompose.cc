@@ -1,0 +1,98 @@
+#include "wavelet/decompose.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geometry/vec.h"
+#include "mesh/adjacency.h"
+#include "mesh/subdivide.h"
+
+namespace mars::wavelet {
+
+using geometry::Vec3;
+using mesh::Mesh;
+using mesh::OddVertex;
+using mesh::Subdivision;
+
+common::StatusOr<MultiResMesh> Decompose(const Mesh& fine,
+                                         const Mesh& base_connectivity,
+                                         int32_t levels) {
+  if (levels < 0) {
+    return common::InvalidArgumentError("levels must be >= 0");
+  }
+
+  // Re-derive the subdivision hierarchy from the base connectivity. Only
+  // the topology matters here; positions are placeholders.
+  std::vector<Subdivision> chain;  // chain[j]: M^j -> M^{j+1}
+  chain.reserve(levels);
+  Mesh current = base_connectivity;
+  for (int32_t j = 0; j < levels; ++j) {
+    chain.push_back(mesh::Subdivide(current));
+    current = chain.back().mesh;
+  }
+
+  if (current.vertex_count() != fine.vertex_count() ||
+      current.face_count() != fine.face_count()) {
+    return common::InvalidArgumentError(
+        "fine mesh does not have subdivision connectivity of the base: "
+        "expected " +
+        std::to_string(current.vertex_count()) + " vertices / " +
+        std::to_string(current.face_count()) + " faces, got " +
+        std::to_string(fine.vertex_count()) + " / " +
+        std::to_string(fine.face_count()));
+  }
+
+  // Base mesh M^0: base connectivity with positions restricted from the
+  // fine mesh (even vertices never move in the lazy-wavelet analysis).
+  std::vector<Vec3> base_positions(
+      fine.vertices().begin(),
+      fine.vertices().begin() + base_connectivity.vertex_count());
+  Mesh base(std::move(base_positions), base_connectivity.faces());
+
+  std::vector<WaveletCoefficient> coefficients;
+  double max_magnitude = 0.0;
+  for (int32_t j = 0; j < levels; ++j) {
+    // One-rings in M^{j+1} define the support regions of level-j
+    // coefficients.
+    const mesh::VertexAdjacency adjacency(chain[j].mesh);
+    for (const OddVertex& odd : chain[j].odd_vertices) {
+      WaveletCoefficient c;
+      c.id = static_cast<int32_t>(coefficients.size());
+      c.level = j;
+      c.vertex = odd.vertex;
+      c.parent_a = odd.parent_a;
+      c.parent_b = odd.parent_b;
+      const Vec3 predicted = geometry::Midpoint(fine.vertex(odd.parent_a),
+                                                fine.vertex(odd.parent_b));
+      c.detail = fine.vertex(odd.vertex) - predicted;
+      c.vertex_position = fine.vertex(odd.vertex);
+      c.magnitude = c.detail.Norm();
+      max_magnitude = std::max(max_magnitude, c.magnitude);
+
+      geometry::Box3 support;
+      const Vec3& v = fine.vertex(odd.vertex);
+      support.ExtendPoint({v.x, v.y, v.z});
+      for (int32_t n : adjacency.Neighbors(odd.vertex)) {
+        const Vec3& p = fine.vertex(n);
+        support.ExtendPoint({p.x, p.y, p.z});
+      }
+      c.support_bounds = support;
+      coefficients.push_back(c);
+    }
+  }
+
+  // Normalize geometric influence to [0, 1]. A perfectly smooth object
+  // (all-zero details) keeps w = 0 everywhere: its refinement carries no
+  // information, so nothing beyond the base mesh is ever worth fetching.
+  if (max_magnitude > 0.0) {
+    for (WaveletCoefficient& c : coefficients) {
+      c.w = c.magnitude / max_magnitude;
+    }
+  }
+
+  return MultiResMesh(std::move(base), levels, std::move(coefficients));
+}
+
+}  // namespace mars::wavelet

@@ -1,0 +1,29 @@
+#include "wavelet/multires_mesh.h"
+
+namespace mars::wavelet {
+
+std::vector<int32_t> MultiResMesh::CoefficientsAtLevel(int32_t level) const {
+  std::vector<int32_t> out;
+  for (const WaveletCoefficient& c : coefficients_) {
+    if (c.level == level) out.push_back(c.id);
+  }
+  return out;
+}
+
+geometry::Box3 MultiResMesh::Bounds() const {
+  geometry::Box3 box = base_.Bounds();
+  for (const WaveletCoefficient& c : coefficients_) {
+    box.Extend(c.support_bounds);
+  }
+  return box;
+}
+
+int64_t MultiResMesh::CountAtLeast(double w_min) const {
+  int64_t n = 0;
+  for (const WaveletCoefficient& c : coefficients_) {
+    if (c.w >= w_min) ++n;
+  }
+  return n;
+}
+
+}  // namespace mars::wavelet

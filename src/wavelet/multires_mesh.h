@@ -1,0 +1,59 @@
+#ifndef MARS_WAVELET_MULTIRES_MESH_H_
+#define MARS_WAVELET_MULTIRES_MESH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "mesh/mesh.h"
+#include "wavelet/coefficient.h"
+
+namespace mars::wavelet {
+
+// A 3D object in wavelet multiresolution form: base mesh M^0 plus the
+// coefficient sets {W_0, ..., W_{J-1}} (paper Sec. III). This is the
+// server-side storage format; clients receive the base mesh (its vertices
+// carry w = 1.0) and any subset of coefficients.
+class MultiResMesh {
+ public:
+  MultiResMesh() = default;
+  MultiResMesh(mesh::Mesh base, int32_t levels,
+               std::vector<WaveletCoefficient> coefficients)
+      : base_(std::move(base)),
+        levels_(levels),
+        coefficients_(std::move(coefficients)) {}
+
+  const mesh::Mesh& base() const { return base_; }
+  // Number of decomposition levels J; the final mesh is M^J.
+  int32_t levels() const { return levels_; }
+
+  // All coefficients, ordered by id (== coarse-to-fine level order).
+  const std::vector<WaveletCoefficient>& coefficients() const {
+    return coefficients_;
+  }
+  const WaveletCoefficient& coefficient(int32_t id) const {
+    return coefficients_[id];
+  }
+  int32_t coefficient_count() const {
+    return static_cast<int32_t>(coefficients_.size());
+  }
+
+  // Coefficient ids belonging to level j, in id order.
+  std::vector<int32_t> CoefficientsAtLevel(int32_t level) const;
+
+  // World bounds of the object (base mesh extended by all support regions).
+  geometry::Box3 Bounds() const;
+
+  // Number of coefficients with w >= w_min: the retrieval volume for a
+  // client moving at normalized speed w_min.
+  int64_t CountAtLeast(double w_min) const;
+
+ private:
+  mesh::Mesh base_;
+  int32_t levels_ = 0;
+  std::vector<WaveletCoefficient> coefficients_;
+};
+
+}  // namespace mars::wavelet
+
+#endif  // MARS_WAVELET_MULTIRES_MESH_H_

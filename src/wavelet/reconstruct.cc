@@ -1,0 +1,61 @@
+#include "wavelet/reconstruct.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mesh/subdivide.h"
+
+namespace mars::wavelet {
+
+mesh::Mesh ReconstructSubset(const MultiResMesh& mr,
+                             const std::vector<bool>& include) {
+  MARS_CHECK_EQ(static_cast<int32_t>(include.size()), mr.coefficient_count());
+  mesh::Mesh current = mr.base();
+  int32_t next_id = 0;
+  for (int32_t j = 0; j < mr.levels(); ++j) {
+    mesh::Subdivision sub = mesh::Subdivide(current);
+    // Decompose() emitted level-j coefficients in exactly this odd-vertex
+    // order, so ids line up one-to-one.
+    for (const mesh::OddVertex& odd : sub.odd_vertices) {
+      const WaveletCoefficient& c = mr.coefficient(next_id);
+      MARS_CHECK_EQ(c.level, j);
+      MARS_CHECK_EQ(c.vertex, odd.vertex);
+      if (include[c.id]) {
+        sub.mesh.mutable_vertex(odd.vertex) += c.detail;
+      }
+      ++next_id;
+    }
+    current = std::move(sub.mesh);
+  }
+  MARS_CHECK_EQ(next_id, mr.coefficient_count());
+  return current;
+}
+
+mesh::Mesh Reconstruct(const MultiResMesh& mr, double w_min) {
+  std::vector<bool> include(mr.coefficient_count());
+  for (const WaveletCoefficient& c : mr.coefficients()) {
+    include[c.id] = c.w >= w_min;
+  }
+  return ReconstructSubset(mr, include);
+}
+
+double MaxVertexDistance(const mesh::Mesh& a, const mesh::Mesh& b) {
+  MARS_CHECK_EQ(a.vertex_count(), b.vertex_count());
+  double max_d = 0.0;
+  for (int32_t i = 0; i < a.vertex_count(); ++i) {
+    max_d = std::max(max_d, (a.vertex(i) - b.vertex(i)).Norm());
+  }
+  return max_d;
+}
+
+double MeanVertexDistance(const mesh::Mesh& a, const mesh::Mesh& b) {
+  MARS_CHECK_EQ(a.vertex_count(), b.vertex_count());
+  if (a.vertex_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (int32_t i = 0; i < a.vertex_count(); ++i) {
+    sum += (a.vertex(i) - b.vertex(i)).Norm();
+  }
+  return sum / a.vertex_count();
+}
+
+}  // namespace mars::wavelet

@@ -1,0 +1,35 @@
+#ifndef MARS_WAVELET_RECONSTRUCT_H_
+#define MARS_WAVELET_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "mesh/mesh.h"
+#include "wavelet/multires_mesh.h"
+
+namespace mars::wavelet {
+
+// Wavelet synthesis: rebuilds the final-connectivity mesh M^J from the base
+// mesh, applying only the coefficients selected by `include` (indexed by
+// coefficient id). Omitted coefficients leave their vertices at the
+// predicted edge midpoint, yielding the lower-resolution approximation the
+// client renders while detail is still in flight.
+mesh::Mesh ReconstructSubset(const MultiResMesh& mr,
+                             const std::vector<bool>& include);
+
+// Convenience: applies every coefficient with w >= w_min. w_min = 0
+// reproduces the original mesh exactly; w_min > 1 yields the base shape at
+// final connectivity.
+mesh::Mesh Reconstruct(const MultiResMesh& mr, double w_min);
+
+// Largest vertex-position distance between two meshes with identical
+// connectivity; the approximation-quality metric used in tests and the
+// progressive-streaming example.
+double MaxVertexDistance(const mesh::Mesh& a, const mesh::Mesh& b);
+
+// Mean vertex-position distance between two meshes with identical
+// connectivity.
+double MeanVertexDistance(const mesh::Mesh& a, const mesh::Mesh& b);
+
+}  // namespace mars::wavelet
+
+#endif  // MARS_WAVELET_RECONSTRUCT_H_

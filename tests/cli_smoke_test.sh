@@ -1,0 +1,20 @@
+#!/bin/sh
+# End-to-end smoke test of the mars_sim CLI: generate -> info -> run,
+# both from a persisted database and from a fresh scene.
+set -e
+BIN_DIR="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BIN_DIR/tools/mars_sim" generate --objects 10 --seed 5 --out "$TMP/city.mars"
+"$BIN_DIR/tools/mars_sim" info --db "$TMP/city.mars" | grep -q "objects : 10"
+"$BIN_DIR/tools/mars_sim" run --db "$TMP/city.mars" --tour tram --speed 0.5 \
+    --frames 40 --client buffered | grep -q "cache hit rate"
+"$BIN_DIR/tools/mars_sim" run --objects 10 --seed 5 --tour walk --speed 0.8 \
+    --frames 30 --client naive | grep -q "mean response / query"
+"$BIN_DIR/tools/mars_sim" run --objects 10 --seed 5 --frames 30 \
+    --client streaming --kalman --index naive-point | grep -q "index I/O"
+# Unknown flags and missing files fail loudly.
+if "$BIN_DIR/tools/mars_sim" run --bogus 2>/dev/null; then exit 1; fi
+if "$BIN_DIR/tools/mars_sim" info --db /nonexistent 2>/dev/null; then exit 1; fi
+echo "cli smoke ok"

@@ -1,0 +1,250 @@
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/units.h"
+
+namespace mars::common {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, FactoryFunctionsSetExpectedCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return InternalError("inner"); };
+  auto outer = [&]() -> Status {
+    MARS_RETURN_IF_ERROR(fails());
+    return OkStatus();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOk) {
+  auto succeeds = []() -> Status { return OkStatus(); };
+  auto outer = [&]() -> Status {
+    MARS_RETURN_IF_ERROR(succeeds());
+    return InvalidArgumentError("reached end");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInvalidArgument);
+}
+
+// --- StatusOr ---------------------------------------------------------------
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  std::vector<int> taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> StatusOr<int> {
+    if (fail) return InternalError("nope");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Status {
+    MARS_ASSIGN_OR_RETURN(int x, inner(fail));
+    EXPECT_EQ(x, 7);
+    return OkStatus();
+  };
+  EXPECT_TRUE(outer(false).ok());
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.5, 8.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 8.25);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(4, 4), 4);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(10);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(12);
+  Rng child = a.Fork();
+  // The child should not replay the parent's stream.
+  Rng b(12);
+  b.NextUint64();  // parent consumed one value for the fork
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// --- ZipfSampler -------------------------------------------------------------
+
+TEST(ZipfSamplerTest, UniformWhenSkewZero) {
+  Rng rng(13);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks) {
+  Rng rng(14);
+  ZipfSampler zipf(10, 1.2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(ZipfSamplerTest, SamplesInRange) {
+  Rng rng(15);
+  ZipfSampler zipf(3, 0.9);
+  for (int i = 0; i < 1000; ++i) {
+    const int s = zipf.Sample(rng);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 3);
+  }
+}
+
+// --- Units -------------------------------------------------------------------
+
+TEST(UnitsTest, KbpsConversion) {
+  EXPECT_DOUBLE_EQ(KbpsToBytesPerSecond(256.0), 32000.0);
+  EXPECT_DOUBLE_EQ(KbpsToBytesPerSecond(8.0), 1000.0);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.00 MB");
+}
+
+}  // namespace
+}  // namespace mars::common

@@ -1,0 +1,244 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "mesh/adjacency.h"
+#include "mesh/mesh.h"
+#include "mesh/primitives.h"
+#include "mesh/subdivide.h"
+
+namespace mars::mesh {
+namespace {
+
+// --- Primitives -----------------------------------------------------------
+
+TEST(PrimitivesTest, TetrahedronIsValidClosedManifold) {
+  const Mesh m = MakeTetrahedron();
+  EXPECT_EQ(m.vertex_count(), 4);
+  EXPECT_EQ(m.face_count(), 4);
+  EXPECT_TRUE(m.Validate().ok());
+  // Euler characteristic of a sphere-like surface: V - E + F = 2.
+  EXPECT_EQ(m.vertex_count() - CountEdges(m) + m.face_count(), 2);
+}
+
+TEST(PrimitivesTest, OctahedronEuler) {
+  const Mesh m = MakeOctahedron();
+  EXPECT_EQ(m.vertex_count(), 6);
+  EXPECT_EQ(m.face_count(), 8);
+  EXPECT_EQ(CountEdges(m), 12);
+  EXPECT_EQ(m.vertex_count() - CountEdges(m) + m.face_count(), 2);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(PrimitivesTest, BoxGeometry) {
+  const Mesh m = MakeBox(2, 3, 4);
+  EXPECT_EQ(m.vertex_count(), 8);
+  EXPECT_EQ(m.face_count(), 12);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.vertex_count() - CountEdges(m) + m.face_count(), 2);
+  const geometry::Box3 bounds = m.Bounds();
+  EXPECT_EQ(bounds, geometry::MakeBox3(0, 0, 0, 2, 3, 4));
+  // Surface area of a 2x3x4 box: 2(2·3 + 3·4 + 2·4) = 52.
+  EXPECT_NEAR(m.SurfaceArea(), 52.0, 1e-9);
+}
+
+TEST(PrimitivesTest, BuildingIsValidClosedManifold) {
+  const Mesh m = MakeBuilding(20, 30, 15, 5);
+  EXPECT_EQ(m.vertex_count(), 9);   // 8 box corners + apex
+  EXPECT_EQ(m.face_count(), 14);    // 12 - 2 top + 4 roof
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.vertex_count() - CountEdges(m) + m.face_count(), 2);
+  const geometry::Box3 bounds = m.Bounds();
+  EXPECT_DOUBLE_EQ(bounds.hi(2), 20.0);  // walls 15 + roof 5
+}
+
+TEST(PrimitivesTest, TerrainPatchIsOpenAndValid) {
+  const Mesh m = MakeTerrainPatch(4, 3, 100, 60);
+  EXPECT_EQ(m.vertex_count(), 5 * 4);
+  EXPECT_EQ(m.face_count(), 4 * 3 * 2);
+  EXPECT_TRUE(m.Validate().ok());
+  // Open surface with boundary: V - E + F = 1 for a disk.
+  EXPECT_EQ(m.vertex_count() - CountEdges(m) + m.face_count(), 1);
+  EXPECT_NEAR(m.SurfaceArea(), 100.0 * 60.0, 1e-9);
+}
+
+TEST(PrimitivesTest, TerrainPatchMinimumSize) {
+  const Mesh m = MakeTerrainPatch(1, 1, 10, 10);
+  EXPECT_EQ(m.vertex_count(), 4);
+  EXPECT_EQ(m.face_count(), 2);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(SubdivideTest, OpenMeshesSubdivide) {
+  // Boundary edges split like interior ones; Euler characteristic of the
+  // disk is preserved.
+  const Mesh base = MakeTerrainPatch(2, 2, 10, 10);
+  const Subdivision sub = Subdivide(base);
+  EXPECT_EQ(sub.mesh.vertex_count(),
+            base.vertex_count() + CountEdges(base));
+  EXPECT_EQ(sub.mesh.face_count(), 4 * base.face_count());
+  EXPECT_TRUE(sub.mesh.Validate().ok());
+  EXPECT_EQ(sub.mesh.vertex_count() - CountEdges(sub.mesh) +
+                sub.mesh.face_count(),
+            1);
+}
+
+TEST(MeshTest, ValidateCatchesOutOfRangeIndex) {
+  Mesh m({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {{0, 1, 5}});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(MeshTest, ValidateCatchesDegenerateFace) {
+  Mesh m({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {{0, 1, 1}});
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(MeshTest, TranslateAndScale) {
+  Mesh m = MakeBox(1, 1, 1);
+  m.Translate({10, 20, 30});
+  EXPECT_EQ(m.Bounds(), geometry::MakeBox3(10, 20, 30, 11, 21, 31));
+  Mesh s = MakeBox(1, 1, 1);
+  s.Scale(3.0);
+  EXPECT_EQ(s.Bounds(), geometry::MakeBox3(0, 0, 0, 3, 3, 3));
+}
+
+// --- Adjacency --------------------------------------------------------------
+
+TEST(AdjacencyTest, TetrahedronIsCompleteGraph) {
+  const Mesh m = MakeTetrahedron();
+  const VertexAdjacency adj(m);
+  for (int32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(adj.Neighbors(v).size(), 3u);
+    for (int32_t u = 0; u < 4; ++u) {
+      EXPECT_EQ(adj.AreAdjacent(v, u), v != u);
+    }
+  }
+}
+
+TEST(AdjacencyTest, OctahedronDegreeFour) {
+  const VertexAdjacency adj(MakeOctahedron());
+  for (int32_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(adj.Neighbors(v).size(), 4u);
+  }
+  // Antipodal vertices are not adjacent.
+  EXPECT_FALSE(adj.AreAdjacent(0, 1));
+  EXPECT_FALSE(adj.AreAdjacent(2, 3));
+  EXPECT_FALSE(adj.AreAdjacent(4, 5));
+}
+
+TEST(AdjacencyTest, NeighborsSortedUnique) {
+  const VertexAdjacency adj(MakeBuilding(10, 10, 10, 3));
+  for (int32_t v = 0; v < adj.vertex_count(); ++v) {
+    const auto& n = adj.Neighbors(v);
+    for (size_t i = 1; i < n.size(); ++i) {
+      EXPECT_LT(n[i - 1], n[i]);
+    }
+  }
+}
+
+TEST(EdgeMapTest, IndicesDenseAndSymmetric) {
+  const Mesh m = MakeOctahedron();
+  const EdgeMap edges(m);
+  EXPECT_EQ(edges.edge_count(), 12);
+  std::set<int32_t> seen;
+  for (int32_t e = 0; e < edges.edge_count(); ++e) {
+    const auto [a, b] = edges.edge(e);
+    EXPECT_EQ(edges.IndexOf(a, b), e);
+    EXPECT_EQ(edges.IndexOf(b, a), e);
+    seen.insert(e);
+  }
+  EXPECT_EQ(seen.size(), 12u);
+  EXPECT_EQ(edges.IndexOf(0, 1), -1);  // antipodal: no edge
+}
+
+// --- Subdivision ---------------------------------------------------------------
+
+// For a closed triangle mesh, one 1:4 subdivision gives V' = V + E,
+// E' = 2E + 3F, F' = 4F.
+class SubdivideCountsTest : public ::testing::TestWithParam<int> {
+ protected:
+  Mesh BaseFor(int which) const {
+    switch (which) {
+      case 0:
+        return MakeTetrahedron();
+      case 1:
+        return MakeOctahedron();
+      case 2:
+        return MakeBox(1, 2, 3);
+      default:
+        return MakeBuilding(10, 12, 8, 3);
+    }
+  }
+};
+
+TEST_P(SubdivideCountsTest, CountsFollowRegularSubdivision) {
+  const Mesh base = BaseFor(GetParam());
+  const int64_t v = base.vertex_count();
+  const int64_t e = CountEdges(base);
+  const int64_t f = base.face_count();
+  const Subdivision sub = Subdivide(base);
+  EXPECT_EQ(sub.mesh.vertex_count(), v + e);
+  EXPECT_EQ(sub.mesh.face_count(), 4 * f);
+  EXPECT_EQ(CountEdges(sub.mesh), 2 * e + 3 * f);
+  EXPECT_EQ(static_cast<int64_t>(sub.odd_vertices.size()), e);
+  EXPECT_TRUE(sub.mesh.Validate().ok());
+  // Euler characteristic is preserved.
+  EXPECT_EQ(sub.mesh.vertex_count() - CountEdges(sub.mesh) +
+                sub.mesh.face_count(),
+            v - e + f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SubdivideCountsTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(SubdivideTest, EvenVerticesKeepIndicesAndPositions) {
+  const Mesh base = MakeOctahedron();
+  const Subdivision sub = Subdivide(base);
+  for (int32_t i = 0; i < base.vertex_count(); ++i) {
+    EXPECT_EQ(sub.mesh.vertex(i), base.vertex(i));
+  }
+}
+
+TEST(SubdivideTest, OddVerticesAtParentMidpoints) {
+  const Mesh base = MakeTetrahedron();
+  const Subdivision sub = Subdivide(base);
+  for (const OddVertex& odd : sub.odd_vertices) {
+    const geometry::Vec3 expected = geometry::Midpoint(
+        base.vertex(odd.parent_a), base.vertex(odd.parent_b));
+    EXPECT_EQ(sub.mesh.vertex(odd.vertex), expected);
+    EXPECT_GE(odd.vertex, base.vertex_count());
+  }
+}
+
+TEST(SubdivideTest, SurfaceAreaPreservedByMidpointSplit) {
+  // Pure midpoint subdivision does not change the surface.
+  const Mesh base = MakeBuilding(10, 10, 10, 4);
+  const Subdivision sub = Subdivide(base);
+  EXPECT_NEAR(sub.mesh.SurfaceArea(), base.SurfaceArea(), 1e-9);
+}
+
+TEST(SubdivideTest, DeterministicOddOrder) {
+  const Mesh base = MakeOctahedron();
+  const Subdivision a = Subdivide(base);
+  const Subdivision b = Subdivide(base);
+  ASSERT_EQ(a.odd_vertices.size(), b.odd_vertices.size());
+  for (size_t i = 0; i < a.odd_vertices.size(); ++i) {
+    EXPECT_EQ(a.odd_vertices[i].vertex, b.odd_vertices[i].vertex);
+    EXPECT_EQ(a.odd_vertices[i].parent_a, b.odd_vertices[i].parent_a);
+    EXPECT_EQ(a.odd_vertices[i].parent_b, b.odd_vertices[i].parent_b);
+  }
+}
+
+TEST(SubdivideTest, RepeatedSubdivisionGrowsGeometrically) {
+  Mesh m = MakeBuilding(10, 10, 10, 3);
+  const int64_t f0 = m.face_count();
+  for (int level = 1; level <= 3; ++level) {
+    m = Subdivide(m).mesh;
+    EXPECT_EQ(m.face_count(), f0 * (1LL << (2 * level)));
+    ASSERT_TRUE(m.Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace mars::mesh

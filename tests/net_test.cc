@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/shared_link.h"
+#include "net/sim_clock.h"
+
+namespace mars::net {
+namespace {
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.Advance(1.5);
+  clock.Advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.75);
+}
+
+TEST(LinkTest, DefaultsMatchPaperSetup) {
+  SimulatedLink link;
+  EXPECT_DOUBLE_EQ(link.options().bandwidth_kbps, 256.0);
+  EXPECT_DOUBLE_EQ(link.options().latency_seconds, 0.2);
+}
+
+TEST(LinkTest, StationaryBandwidth) {
+  SimulatedLink link;
+  // 256 Kbps = 32000 bytes/s.
+  EXPECT_DOUBLE_EQ(link.UsableBandwidth(0.0), 32000.0);
+}
+
+TEST(LinkTest, MovingClientLosesBandwidth) {
+  SimulatedLink link;  // degradation 0.5
+  EXPECT_DOUBLE_EQ(link.UsableBandwidth(1.0), 16000.0);
+  EXPECT_DOUBLE_EQ(link.UsableBandwidth(0.5), 24000.0);
+  // Monotone in speed.
+  double prev = link.UsableBandwidth(0.0);
+  for (double s : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double bw = link.UsableBandwidth(s);
+    EXPECT_LT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(LinkTest, SpeedClampedToUnitRange) {
+  SimulatedLink link;
+  EXPECT_DOUBLE_EQ(link.UsableBandwidth(-3.0), link.UsableBandwidth(0.0));
+  EXPECT_DOUBLE_EQ(link.UsableBandwidth(9.0), link.UsableBandwidth(1.0));
+}
+
+TEST(LinkTest, ExchangeArithmetic) {
+  SimulatedLink link;
+  // 32000 bytes at rest: 0.2 s latency + 1 s transfer.
+  EXPECT_NEAR(link.ExchangeSeconds(0, 32000, 0.0), 1.2, 1e-12);
+  // Request bytes count too.
+  EXPECT_NEAR(link.ExchangeSeconds(16000, 16000, 0.0), 1.2, 1e-12);
+  // Zero payload still pays latency.
+  EXPECT_NEAR(link.ExchangeSeconds(0, 0, 0.0), 0.2, 1e-12);
+}
+
+TEST(LinkTest, MotionMakesTransfersSlower) {
+  SimulatedLink link;
+  EXPECT_GT(link.ExchangeSeconds(0, 64000, 1.0),
+            link.ExchangeSeconds(0, 64000, 0.0));
+}
+
+TEST(LinkTest, CountersAccumulate) {
+  SimulatedLink link;
+  link.Exchange(100, 1000, 0.2);
+  link.Exchange(50, 2000, 0.8);
+  EXPECT_EQ(link.total_requests(), 2);
+  EXPECT_EQ(link.total_bytes_up(), 150);
+  EXPECT_EQ(link.total_bytes_down(), 3000);
+  EXPECT_GT(link.total_seconds(), 0.4);  // at least 2 latencies
+  link.ResetStats();
+  EXPECT_EQ(link.total_requests(), 0);
+  EXPECT_EQ(link.total_bytes_down(), 0);
+  EXPECT_DOUBLE_EQ(link.total_seconds(), 0.0);
+}
+
+TEST(LinkTest, CustomOptions) {
+  SimulatedLink::Options options;
+  options.bandwidth_kbps = 1000.0;
+  options.latency_seconds = 0.05;
+  options.motion_degradation = 0.0;
+  SimulatedLink link(options);
+  EXPECT_DOUBLE_EQ(link.UsableBandwidth(1.0), 125000.0);
+  EXPECT_NEAR(link.ExchangeSeconds(0, 125000, 1.0), 1.05, 1e-12);
+}
+
+// --- Loss injection -------------------------------------------------------
+
+TEST(LinkLossTest, ZeroLossIsDeterministicBaseline) {
+  SimulatedLink link;
+  const double t = link.Exchange(0, 32000, 0.0);
+  EXPECT_NEAR(t, 1.2, 1e-12);
+  EXPECT_EQ(link.total_retries(), 0);
+}
+
+TEST(LinkLossTest, LossInflatesMeanTime) {
+  SimulatedLink::Options lossy;
+  lossy.loss_probability = 0.2;
+  lossy.loss_seed = 5;
+  SimulatedLink link(lossy);
+  double total = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    total += link.Exchange(0, 32000, 0.0);
+  }
+  const double mean = total / n;
+  EXPECT_GT(mean, 1.2);           // strictly worse than lossless
+  EXPECT_LT(mean, 1.2 * 2.0);     // but bounded (p = 0.2)
+  EXPECT_GT(link.total_retries(), 0);
+}
+
+TEST(LinkLossTest, FasterClientsLoseMore) {
+  SimulatedLink::Options lossy;
+  lossy.loss_probability = 0.2;
+  SimulatedLink slow(lossy), fast(lossy);
+  for (int i = 0; i < 3000; ++i) {
+    slow.Exchange(0, 1000, 0.0);
+    fast.Exchange(0, 1000, 1.0);
+  }
+  EXPECT_GT(fast.total_retries(), slow.total_retries());
+}
+
+TEST(LinkLossTest, DeterministicForSeed) {
+  SimulatedLink::Options lossy;
+  lossy.loss_probability = 0.3;
+  lossy.loss_seed = 9;
+  SimulatedLink a(lossy), b(lossy);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Exchange(10, 5000, 0.4), b.Exchange(10, 5000, 0.4));
+  }
+}
+
+// --- SharedMediumLink ---------------------------------------------------
+
+TEST(SharedLinkTest, SingleTransferMatchesDedicatedLink) {
+  SharedMediumLink cell;  // bearer 256 Kbps = 32 KB/s
+  cell.Submit(0, 32000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 1u);
+  // 1 s transfer + 0.2 s latency.
+  EXPECT_NEAR(done[0].response_seconds, 1.2, 1e-6);
+}
+
+TEST(SharedLinkTest, BearerCapsBelowCellShare) {
+  // Two clients on a 2 Mbps cell: each could get 1 Mbps, but the 256 Kbps
+  // bearer caps them; no mutual slowdown.
+  SharedMediumLink cell;
+  cell.Submit(0, 32000, 0.0);
+  cell.Submit(1, 32000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 2u);
+  for (const auto& c : done) {
+    EXPECT_NEAR(c.response_seconds, 1.2, 1e-6);
+  }
+}
+
+TEST(SharedLinkTest, ContentionSlowsEveryone) {
+  // 16 clients on a 2 Mbps cell: each gets 128 Kbps < bearer.
+  SharedMediumLink cell;
+  for (int c = 0; c < 16; ++c) cell.Submit(c, 16000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 16u);
+  // 16000 bytes at 16 KB/s = 1 s + latency.
+  for (const auto& c : done) {
+    EXPECT_NEAR(c.response_seconds, 1.2, 1e-6);
+  }
+}
+
+TEST(SharedLinkTest, EarlyFinisherFreesCapacity) {
+  SharedMediumLink::Options options;
+  options.cell_bandwidth_kbps = 512.0;  // 64 KB/s cell
+  options.client_bandwidth_kbps = 512.0;
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  cell.Submit(0, 32000, 0.0);  // short
+  cell.Submit(1, 64000, 0.0);  // long
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 2u);
+  // Shared at 32 KB/s each: client 0 done at t=1. Client 1 then has
+  // 32000 left at full 64 KB/s: done at t=1.5.
+  EXPECT_NEAR(done[0].response_seconds, 1.0, 1e-6);
+  EXPECT_NEAR(done[1].response_seconds, 1.5, 1e-6);
+}
+
+TEST(SharedLinkTest, AdvanceIsIncremental) {
+  SharedMediumLink cell;
+  cell.Submit(0, 64000, 0.0);  // 2 s at bearer rate
+  EXPECT_TRUE(cell.Advance(1.0).empty());
+  EXPECT_EQ(cell.in_flight(), 1u);
+  const auto done = cell.Advance(2.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(cell.in_flight(), 0u);
+  EXPECT_NEAR(cell.now(), 3.0, 1e-9);
+}
+
+TEST(SharedLinkTest, QueueingDelaysLateComers) {
+  // A saturated cell: submissions pile up and later ones wait longer.
+  SharedMediumLink::Options options;
+  options.cell_bandwidth_kbps = 256.0;
+  options.client_bandwidth_kbps = 256.0;
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  cell.Submit(0, 32000, 0.0);
+  cell.Submit(1, 32000, 0.0);
+  cell.Submit(2, 32000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 3u);
+  // Processor sharing: all three finish together at 3 s.
+  for (const auto& c : done) {
+    EXPECT_NEAR(c.response_seconds, 3.0, 1e-6);
+  }
+}
+
+TEST(SharedLinkTest, MotionDegradesIndividually) {
+  SharedMediumLink cell;  // degradation 0.5
+  cell.Submit(0, 16000, 0.0);
+  cell.Submit(1, 16000, 1.0);  // moving at full speed: half the rate
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_LT(done[0].response_seconds, done[1].response_seconds);
+}
+
+}  // namespace
+}  // namespace mars::net

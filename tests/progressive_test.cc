@@ -1,0 +1,172 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/vec.h"
+#include "mesh/mesh.h"
+#include "mesh/primitives.h"
+#include "mesh/progressive.h"
+#include "mesh/subdivide.h"
+#include "wavelet/reconstruct.h"
+
+namespace mars::mesh {
+namespace {
+
+// A detailed test mesh: subdivided, displaced building.
+Mesh DetailedMesh(int levels, uint64_t seed) {
+  common::Rng rng(seed);
+  Mesh m = MakeBuilding(20, 30, 15, 5);
+  for (int j = 0; j < levels; ++j) {
+    Subdivision sub = Subdivide(m);
+    for (const OddVertex& odd : sub.odd_vertices) {
+      sub.mesh.mutable_vertex(odd.vertex) +=
+          geometry::Vec3{rng.Normal(), rng.Normal(), rng.Normal()} * 0.4;
+    }
+    m = std::move(sub.mesh);
+  }
+  return m;
+}
+
+// Canonical multiset of faces (sorted vertex triples of positions).
+std::multiset<std::array<double, 9>> FaceSet(const Mesh& m) {
+  std::multiset<std::array<double, 9>> out;
+  for (const Face& f : m.faces()) {
+    std::array<std::array<double, 3>, 3> corners;
+    for (int k = 0; k < 3; ++k) {
+      const geometry::Vec3& v = m.vertex(f[k]);
+      corners[k] = {v.x, v.y, v.z};
+    }
+    std::sort(corners.begin(), corners.end());
+    std::array<double, 9> key;
+    for (int k = 0; k < 3; ++k) {
+      for (int d = 0; d < 3; ++d) key[3 * k + d] = corners[k][d];
+    }
+    out.insert(key);
+  }
+  return out;
+}
+
+TEST(ProgressiveMeshTest, FullDetailReproducesOriginal) {
+  const Mesh fine = DetailedMesh(2, 3);
+  auto pm = ProgressiveMesh::Build(fine, 10);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_GT(pm->split_count(), 0);
+  const Mesh rebuilt = pm->MeshAtDetail(pm->split_count());
+  // Same geometry as a face multiset (vertex order may differ after
+  // compaction).
+  EXPECT_EQ(rebuilt.face_count(), fine.face_count());
+  EXPECT_EQ(FaceSet(rebuilt), FaceSet(fine));
+}
+
+TEST(ProgressiveMeshTest, BaseRespectsTarget) {
+  const Mesh fine = DetailedMesh(2, 5);
+  for (int target : {10, 30, 80}) {
+    auto pm = ProgressiveMesh::Build(fine, target);
+    ASSERT_TRUE(pm.ok());
+    const Mesh base = pm->MeshAtDetail(0);
+    // The greedy simplifier can stop slightly above the target when
+    // remaining collapses are invalid, but should land close.
+    EXPECT_LE(base.vertex_count(), target + 8);
+    EXPECT_GE(base.vertex_count(), 4);
+    EXPECT_TRUE(base.Validate().ok());
+  }
+}
+
+TEST(ProgressiveMeshTest, EveryPrefixIsValid) {
+  const Mesh fine = DetailedMesh(2, 7);
+  auto pm = ProgressiveMesh::Build(fine, 12);
+  ASSERT_TRUE(pm.ok());
+  int32_t prev_vertices = 0;
+  for (int32_t s = 0; s <= pm->split_count();
+       s += std::max(1, pm->split_count() / 13)) {
+    const Mesh m = pm->MeshAtDetail(s);
+    ASSERT_TRUE(m.Validate().ok()) << "at detail " << s;
+    // No duplicate faces at any stage.
+    const auto faces = FaceSet(m);
+    std::set<std::array<double, 9>> unique(faces.begin(), faces.end());
+    EXPECT_EQ(unique.size(), faces.size()) << "at detail " << s;
+    // Vertices grow monotonically (one per split).
+    EXPECT_GE(m.vertex_count(), prev_vertices);
+    prev_vertices = m.vertex_count();
+  }
+}
+
+TEST(ProgressiveMeshTest, SplitAddsExactlyOneVertex) {
+  const Mesh fine = DetailedMesh(1, 9);
+  auto pm = ProgressiveMesh::Build(fine, 6);
+  ASSERT_TRUE(pm.ok());
+  for (int32_t s = 1; s <= pm->split_count(); ++s) {
+    EXPECT_EQ(pm->MeshAtDetail(s).vertex_count(),
+              pm->MeshAtDetail(s - 1).vertex_count() + 1);
+  }
+}
+
+TEST(ProgressiveMeshTest, WireBytesAccounting) {
+  const Mesh fine = DetailedMesh(2, 11);
+  auto pm = ProgressiveMesh::Build(fine, 10);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_GT(pm->BaseWireBytes(), 0);
+  EXPECT_EQ(pm->SplitsWireBytes(0), 0);
+  int64_t prev = 0;
+  for (int32_t s = 1; s <= pm->split_count(); ++s) {
+    const int64_t total = pm->SplitsWireBytes(s);
+    EXPECT_GT(total, prev);  // each split costs something
+    prev = total;
+  }
+  // Each split carries at least ids + position.
+  EXPECT_GE(pm->SplitsWireBytes(pm->split_count()),
+            20LL * pm->split_count());
+}
+
+TEST(ProgressiveMeshTest, InvalidMeshRejected) {
+  Mesh bad({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}, {{0, 1, 7}});
+  EXPECT_FALSE(ProgressiveMesh::Build(bad, 3).ok());
+}
+
+TEST(ProgressiveMeshTest, OpenTerrainMeshSimplifies) {
+  // Boundary (open) meshes: half-edge collapses must stay valid on a
+  // terrain patch with displaced interior vertices.
+  common::Rng rng(19);
+  Mesh terrain = MakeTerrainPatch(6, 6, 60, 60);
+  for (int32_t v = 0; v < terrain.vertex_count(); ++v) {
+    terrain.mutable_vertex(v).z = rng.Uniform(0, 5);
+  }
+  auto pm = ProgressiveMesh::Build(terrain, 8);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_GT(pm->split_count(), 0);
+  for (int32_t s = 0; s <= pm->split_count(); s += 7) {
+    EXPECT_TRUE(pm->MeshAtDetail(s).Validate().ok()) << "detail " << s;
+  }
+  const Mesh rebuilt = pm->MeshAtDetail(pm->split_count());
+  EXPECT_EQ(FaceSet(rebuilt), FaceSet(terrain));
+}
+
+TEST(ProgressiveMeshTest, SimplificationReducesError) {
+  // More splits => geometrically closer to the original (coarse proxy:
+  // mean distance from original vertices to the nearest detail vertex).
+  const Mesh fine = DetailedMesh(2, 13);
+  auto pm = ProgressiveMesh::Build(fine, 10);
+  ASSERT_TRUE(pm.ok());
+  auto proxy_error = [&fine](const Mesh& approx) {
+    double total = 0;
+    for (const geometry::Vec3& v : fine.vertices()) {
+      double best = 1e18;
+      for (const geometry::Vec3& a : approx.vertices()) {
+        best = std::min(best, (v - a).SquaredNorm());
+      }
+      total += std::sqrt(best);
+    }
+    return total / fine.vertex_count();
+  };
+  const double coarse = proxy_error(pm->MeshAtDetail(0));
+  const double mid = proxy_error(pm->MeshAtDetail(pm->split_count() / 2));
+  const double full = proxy_error(pm->MeshAtDetail(pm->split_count()));
+  EXPECT_LT(full, coarse);
+  EXPECT_LE(full, 1e-9);
+  EXPECT_LE(mid, coarse + 1e-9);
+}
+
+}  // namespace
+}  // namespace mars::mesh

@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "index/record.h"
+#include "server/object_db.h"
+#include "server/server.h"
+#include "workload/scene.h"
+
+namespace mars::server {
+namespace {
+
+workload::SceneOptions SmallScene(uint64_t seed = 5) {
+  workload::SceneOptions options;
+  options.space = geometry::MakeBox2(0, 0, 1000, 1000);
+  options.object_count = 8;
+  options.levels = 2;
+  options.seed = seed;
+  return options;
+}
+
+TEST(ObjectDatabaseTest, RecordTableShape) {
+  auto db = workload::GenerateScene(SmallScene());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->object_count(), 8);
+  ASSERT_TRUE(db->finalized());
+
+  // One base record per object plus one per coefficient.
+  int64_t expected = 0;
+  for (int32_t i = 0; i < db->object_count(); ++i) {
+    expected += 1 + db->object(i).coefficient_count();
+  }
+  EXPECT_EQ(static_cast<int64_t>(db->records().size()), expected);
+
+  int base_records = 0;
+  for (const index::CoeffRecord& r : db->records()) {
+    if (r.is_base()) {
+      ++base_records;
+      EXPECT_DOUBLE_EQ(r.w, 1.0);
+    } else {
+      EXPECT_GE(r.w, 0.0);
+      EXPECT_LE(r.w, 1.0);
+      EXPECT_EQ(r.wire_bytes, index::kCoefficientWireBytes);
+    }
+    EXPECT_GE(r.object_id, 0);
+    EXPECT_LT(r.object_id, 8);
+  }
+  EXPECT_EQ(base_records, 8);
+}
+
+TEST(ObjectDatabaseTest, TotalBytesConsistent) {
+  auto db = workload::GenerateScene(SmallScene());
+  ASSERT_TRUE(db.ok());
+  int64_t sum_records = 0;
+  for (const auto& r : db->records()) sum_records += r.wire_bytes;
+  EXPECT_EQ(db->total_bytes(), sum_records);
+  int64_t sum_objects = 0;
+  for (int32_t i = 0; i < db->object_count(); ++i) {
+    sum_objects += db->ObjectFullBytes(i);
+  }
+  EXPECT_EQ(db->total_bytes(), sum_objects);
+}
+
+TEST(ObjectDatabaseTest, BoundsContainRecords) {
+  auto db = workload::GenerateScene(SmallScene());
+  ASSERT_TRUE(db.ok());
+  for (const auto& r : db->records()) {
+    EXPECT_TRUE(db->object_bounds()[r.object_id].Contains(r.support_bounds));
+  }
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = workload::GenerateScene(SmallScene());
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<ObjectDatabase>(std::move(*db));
+    server_ = std::make_unique<Server>(db_.get(),
+                                       Server::IndexKind::kSupportRegion);
+  }
+
+  geometry::Box2 WindowAroundObject(int32_t obj) const {
+    const auto& b = db_->object_bounds()[obj];
+    return geometry::MakeBox2(b.lo(0) - 10, b.lo(1) - 10, b.hi(0) + 10,
+                              b.hi(1) + 10);
+  }
+
+  std::unique_ptr<ObjectDatabase> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, FullBandReturnsEverythingForObject) {
+  ClientSession session;
+  const auto result =
+      server_->Execute({SubQuery{WindowAroundObject(0), 0.0, 1.0}},
+                       &session);
+  // At least the object's base record plus its coefficients.
+  EXPECT_GE(static_cast<int64_t>(result.records.size()),
+            1 + db_->object(0).coefficient_count());
+  EXPECT_GT(result.response_bytes, Server::kResponseHeaderBytes);
+  EXPECT_GT(result.request_bytes, 0);
+}
+
+TEST_F(ServerTest, SessionFiltersRepeatedDelivery) {
+  ClientSession session;
+  const SubQuery q{WindowAroundObject(0), 0.0, 1.0};
+  const auto first = server_->Execute({q}, &session);
+  EXPECT_FALSE(first.records.empty());
+  const auto second = server_->Execute({q}, &session);
+  EXPECT_TRUE(second.records.empty());
+  EXPECT_EQ(second.filtered_duplicates,
+            static_cast<int64_t>(first.records.size()));
+  EXPECT_EQ(second.response_bytes, Server::kResponseHeaderBytes);
+}
+
+TEST_F(ServerTest, BandQueriesArePartition) {
+  // [w1, 1] then [0, w1) must together equal [0, 1] with no overlap.
+  ClientSession session_full;
+  const auto full = server_->Execute(
+      {SubQuery{WindowAroundObject(1), 0.0, 1.0}}, &session_full);
+
+  ClientSession session_split;
+  const auto coarse = server_->Execute(
+      {SubQuery{WindowAroundObject(1), 0.5, 1.0}}, &session_split);
+  const auto fine = server_->Execute(
+      {SubQuery{WindowAroundObject(1), 0.0, 0.5}}, &session_split);
+  // The session filter removes the w == 0.5 boundary duplicates, if any.
+  EXPECT_EQ(coarse.records.size() + fine.records.size(),
+            full.records.size());
+}
+
+TEST_F(ServerTest, PerQueryAttribution) {
+  ClientSession session;
+  const std::vector<SubQuery> queries = {
+      SubQuery{WindowAroundObject(0), 0.0, 1.0},
+      SubQuery{WindowAroundObject(1), 0.0, 1.0},
+  };
+  const auto result = server_->Execute(queries, &session);
+  ASSERT_EQ(result.per_query.size(), 2u);
+  ASSERT_EQ(result.per_query_bytes.size(), 2u);
+  size_t total = 0;
+  int64_t bytes = Server::kResponseHeaderBytes;
+  for (size_t i = 0; i < 2; ++i) {
+    total += result.per_query[i].size();
+    bytes += result.per_query_bytes[i];
+  }
+  EXPECT_EQ(total, result.records.size());
+  EXPECT_EQ(bytes, result.response_bytes);
+}
+
+TEST_F(ServerTest, DuplicateAcrossSubQueriesDeliveredOnce) {
+  ClientSession session;
+  const SubQuery q{WindowAroundObject(2), 0.0, 1.0};
+  const auto result = server_->Execute({q, q}, &session);
+  EXPECT_TRUE(result.per_query[1].empty());
+  EXPECT_GT(result.filtered_duplicates, 0);
+  std::unordered_set<index::RecordId> unique(result.records.begin(),
+                                             result.records.end());
+  EXPECT_EQ(unique.size(), result.records.size());
+}
+
+TEST_F(ServerTest, NodeAccessesPositiveAndResettable) {
+  ClientSession session;
+  server_->ResetStats();
+  const auto result = server_->Execute(
+      {SubQuery{WindowAroundObject(0), 0.0, 1.0}}, &session);
+  EXPECT_GT(result.node_accesses, 0);
+  EXPECT_EQ(server_->node_accesses(), result.node_accesses);
+  server_->ResetStats();
+  EXPECT_EQ(server_->node_accesses(), 0);
+}
+
+TEST_F(ServerTest, ObjectQueryDeliversOnceAndCountsBytes) {
+  std::unordered_set<int32_t> delivered;
+  const auto first =
+      server_->ExecuteObjectQuery(WindowAroundObject(3), &delivered);
+  ASSERT_FALSE(first.objects.empty());
+  int64_t expected = Server::kResponseHeaderBytes;
+  for (int32_t obj : first.objects) {
+    expected += db_->ObjectFullBytes(obj);
+  }
+  EXPECT_EQ(first.response_bytes, expected);
+  const auto second =
+      server_->ExecuteObjectQuery(WindowAroundObject(3), &delivered);
+  EXPECT_TRUE(second.objects.empty());
+  EXPECT_EQ(second.all_objects.size(), first.all_objects.size());
+}
+
+TEST_F(ServerTest, ListObjectsMatchesBruteForce) {
+  const geometry::Box2 window = geometry::MakeBox2(0, 0, 600, 600);
+  auto listing = server_->ListObjects(window);
+  std::vector<int32_t> expected;
+  for (int32_t i = 0; i < db_->object_count(); ++i) {
+    const auto& b = db_->object_bounds()[i];
+    const geometry::Box2 footprint({b.lo(0), b.lo(1)}, {b.hi(0), b.hi(1)});
+    if (footprint.Intersects(window)) expected.push_back(i);
+  }
+  std::sort(listing.objects.begin(), listing.objects.end());
+  EXPECT_EQ(listing.objects, expected);
+}
+
+TEST(ServerIndexKindTest, BothIndexesServeIdenticalResults) {
+  auto db = workload::GenerateScene(SmallScene(11));
+  ASSERT_TRUE(db.ok());
+  ObjectDatabase database = std::move(*db);
+  Server support(&database, Server::IndexKind::kSupportRegion);
+  Server naive(&database, Server::IndexKind::kNaivePoint);
+
+  const geometry::Box2 window = geometry::MakeBox2(100, 100, 500, 500);
+  for (double w_min : {0.0, 0.3, 0.8}) {
+    ClientSession sa, sb;
+    auto ra = support.Execute({SubQuery{window, w_min, 1.0}}, &sa);
+    auto rb = naive.Execute({SubQuery{window, w_min, 1.0}}, &sb);
+    std::sort(ra.records.begin(), ra.records.end());
+    std::sort(rb.records.begin(), rb.records.end());
+    EXPECT_EQ(ra.records, rb.records) << "w_min " << w_min;
+    EXPECT_EQ(ra.response_bytes, rb.response_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace mars::server

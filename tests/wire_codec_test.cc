@@ -1,0 +1,162 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "server/object_db.h"
+#include "server/wire_codec.h"
+#include "workload/scene.h"
+
+namespace mars::server {
+namespace {
+
+class WireCodecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::SceneOptions scene;
+    scene.space = geometry::MakeBox2(0, 0, 1000, 1000);
+    scene.object_count = 5;
+    scene.levels = 2;
+    scene.seed = 61;
+    auto db = workload::GenerateScene(scene);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<ObjectDatabase>(std::move(*db));
+  }
+
+  // All record ids of one object.
+  std::vector<index::RecordId> AllOf(int32_t obj) const {
+    std::vector<index::RecordId> out;
+    for (size_t i = 0; i < db_->records().size(); ++i) {
+      if (db_->records()[i].object_id == obj) {
+        out.push_back(static_cast<int64_t>(i));
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<ObjectDatabase> db_;
+};
+
+TEST_F(WireCodecTest, EmptyResponse) {
+  const auto bytes = EncodeRecords(*db_, {});
+  auto decoded = DecodeRecords(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST_F(WireCodecTest, RoundTripPreservesIds) {
+  const auto ids = AllOf(0);
+  const auto bytes = EncodeRecords(*db_, ids);
+  auto decoded = DecodeRecords(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), ids.size());
+  // Same multiset of (object, coeff) pairs.
+  std::vector<std::pair<int32_t, int32_t>> want, got;
+  for (index::RecordId id : ids) {
+    const auto& r = db_->record(id);
+    want.push_back({r.object_id, r.coeff_id});
+  }
+  for (const DecodedRecord& r : *decoded) {
+    got.push_back({r.object_id, r.coeff_id});
+  }
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(want, got);
+}
+
+TEST_F(WireCodecTest, QuantizationErrorBounded) {
+  const auto ids = AllOf(1);
+  const auto bytes = EncodeRecords(*db_, ids);
+  auto decoded = DecodeRecords(bytes);
+  ASSERT_TRUE(decoded.ok());
+
+  const wavelet::MultiResMesh& object = db_->object(1);
+  double scale = 0.0;
+  for (const auto& c : object.coefficients()) {
+    scale = std::max(scale, c.magnitude);
+  }
+  const double detail_tolerance = scale / 32767.0 * 1.01 + 1e-9;
+
+  const geometry::Box3& bounds = db_->object_bounds()[1];
+  for (const DecodedRecord& r : *decoded) {
+    if (r.coeff_id == index::CoeffRecord::kBaseMeshRecord) {
+      const mesh::Mesh& base = object.base();
+      ASSERT_EQ(static_cast<int32_t>(r.base_vertices.size()),
+                base.vertex_count());
+      ASSERT_EQ(static_cast<int32_t>(r.base_faces.size()),
+                base.face_count());
+      for (int32_t v = 0; v < base.vertex_count(); ++v) {
+        const geometry::Vec3 d = r.base_vertices[v] - base.vertex(v);
+        // float32 bounds plus 16-bit quantization.
+        EXPECT_LE(std::abs(d.x), bounds.Extent(0) / 65535.0 + 1e-2);
+        EXPECT_LE(std::abs(d.y), bounds.Extent(1) / 65535.0 + 1e-2);
+        EXPECT_LE(std::abs(d.z), bounds.Extent(2) / 65535.0 + 1e-2);
+      }
+      EXPECT_EQ(r.base_faces, base.faces());  // connectivity is exact
+    } else {
+      const auto& c = object.coefficient(r.coeff_id);
+      const geometry::Vec3 d = r.detail - c.detail;
+      EXPECT_LE(std::abs(d.x), detail_tolerance);
+      EXPECT_LE(std::abs(d.y), detail_tolerance);
+      EXPECT_LE(std::abs(d.z), detail_tolerance);
+    }
+  }
+}
+
+TEST_F(WireCodecTest, MultiObjectResponse) {
+  std::vector<index::RecordId> ids = AllOf(0);
+  const auto ids2 = AllOf(2);
+  ids.insert(ids.end(), ids2.begin(), ids2.end());
+  const auto bytes = EncodeRecords(*db_, ids);
+  auto decoded = DecodeRecords(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), ids.size());
+  int objects_seen[2] = {0, 0};
+  for (const auto& r : *decoded) {
+    ASSERT_TRUE(r.object_id == 0 || r.object_id == 2);
+    ++objects_seen[r.object_id == 0 ? 0 : 1];
+  }
+  EXPECT_GT(objects_seen[0], 0);
+  EXPECT_GT(objects_seen[1], 0);
+}
+
+TEST_F(WireCodecTest, CompressionBeatsTheFlatModel) {
+  // The real codec should land well under the flat per-record byte model
+  // used by the experiment harness (and under a naive raw encoding).
+  const auto ids = AllOf(3);
+  const auto bytes = EncodeRecords(*db_, ids);
+  int64_t model_bytes = 0;
+  for (index::RecordId id : ids) {
+    model_bytes += db_->record(id).wire_bytes;
+  }
+  EXPECT_LT(static_cast<int64_t>(bytes.size()), model_bytes / 3);
+}
+
+TEST_F(WireCodecTest, RejectsCorruptInput) {
+  const auto ids = AllOf(0);
+  auto bytes = EncodeRecords(*db_, ids);
+  EXPECT_FALSE(DecodeRecords({9, 9, 9}).ok());
+  bytes.resize(bytes.size() / 3);
+  EXPECT_FALSE(DecodeRecords(bytes).ok());
+  auto extended = EncodeRecords(*db_, ids);
+  extended.push_back(0);
+  EXPECT_FALSE(DecodeRecords(extended).ok());
+}
+
+TEST_F(WireCodecTest, SubsetOfCoefficients) {
+  // A realistic response: base + the high-w coefficients only.
+  std::vector<index::RecordId> ids;
+  for (size_t i = 0; i < db_->records().size(); ++i) {
+    const auto& r = db_->records()[i];
+    if (r.object_id != 4) continue;
+    if (r.is_base() || r.w >= 0.5) ids.push_back(static_cast<int64_t>(i));
+  }
+  const auto bytes = EncodeRecords(*db_, ids);
+  auto decoded = DecodeRecords(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), ids.size());
+}
+
+}  // namespace
+}  // namespace mars::server

@@ -1,0 +1,273 @@
+// mars_sim — command-line driver for MARS experiments.
+//
+// Subcommands:
+//   generate  --out FILE [--objects N] [--mb N] [--zipf] [--seed S]
+//       Generate a procedural city scene and persist it.
+//   info      --db FILE
+//       Print a summary of a persisted scene.
+//   run       [--db FILE | --objects N | --mb N] [--tour tram|walk]
+//             [--speed S] [--frames N] [--distance M]
+//             [--client buffered|streaming|naive] [--buffer-kb N]
+//             [--query-frac F] [--index support|naive-point]
+//             [--no-prefetch] [--naive-prefetch] [--kalman] [--seed S]
+//       Run one client over one tour and print the metrics.
+//
+// Examples:
+//   mars_sim generate --mb 60 --out city.mars
+//   mars_sim run --db city.mars --tour walk --speed 0.7 --client buffered
+//   mars_sim run --mb 20 --tour tram --speed 1.0 --client naive
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/units.h"
+#include "core/metrics.h"
+#include "core/system.h"
+#include "server/persistence.h"
+#include "workload/scene.h"
+#include "workload/tour.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+struct Flags {
+  std::string command;
+  std::string db_path;
+  std::string out_path;
+  int objects = 0;
+  int mb = 0;
+  bool zipf = false;
+  uint64_t seed = 42;
+  std::string tour = "tram";
+  double speed = 0.5;
+  int frames = 300;
+  double distance = -1.0;
+  std::string client = "buffered";
+  int buffer_kb = 64;
+  double query_frac = 0.1;
+  std::string index = "support";
+  bool no_prefetch = false;
+  bool naive_prefetch = false;
+  bool kalman = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: mars_sim generate|info|run [flags]\n"
+               "run `head -30 tools/mars_sim.cc` for the flag list\n");
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  if (argc < 2) return false;
+  flags->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--db") {
+      flags->db_path = next();
+    } else if (arg == "--out") {
+      flags->out_path = next();
+    } else if (arg == "--objects") {
+      flags->objects = std::atoi(next());
+    } else if (arg == "--mb") {
+      flags->mb = std::atoi(next());
+    } else if (arg == "--zipf") {
+      flags->zipf = true;
+    } else if (arg == "--seed") {
+      flags->seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--tour") {
+      flags->tour = next();
+    } else if (arg == "--speed") {
+      flags->speed = std::atof(next());
+    } else if (arg == "--frames") {
+      flags->frames = std::atoi(next());
+    } else if (arg == "--distance") {
+      flags->distance = std::atof(next());
+    } else if (arg == "--client") {
+      flags->client = next();
+    } else if (arg == "--buffer-kb") {
+      flags->buffer_kb = std::atoi(next());
+    } else if (arg == "--query-frac") {
+      flags->query_frac = std::atof(next());
+    } else if (arg == "--index") {
+      flags->index = next();
+    } else if (arg == "--no-prefetch") {
+      flags->no_prefetch = true;
+    } else if (arg == "--naive-prefetch") {
+      flags->naive_prefetch = true;
+    } else if (arg == "--kalman") {
+      flags->kalman = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+workload::SceneOptions SceneFromFlags(const Flags& flags) {
+  workload::SceneOptions scene =
+      flags.mb > 0 ? workload::SceneForDatasetSize(flags.mb, flags.seed)
+                   : workload::SceneOptions();
+  if (flags.objects > 0) scene.object_count = flags.objects;
+  scene.seed = flags.seed;
+  if (flags.zipf) scene.placement = workload::Placement::kZipf;
+  return scene;
+}
+
+int Generate(const Flags& flags) {
+  if (flags.out_path.empty()) {
+    std::fprintf(stderr, "generate requires --out\n");
+    return 2;
+  }
+  const workload::SceneOptions scene = SceneFromFlags(flags);
+  std::printf("generating %d objects (seed %llu)...\n", scene.object_count,
+              static_cast<unsigned long long>(scene.seed));
+  auto db = workload::GenerateScene(scene);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const auto status = server::SaveDatabase(*db, flags.out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d objects, %zu records, %s of records\n",
+              flags.out_path.c_str(), db->object_count(),
+              db->records().size(),
+              common::FormatBytes(db->total_bytes()).c_str());
+  return 0;
+}
+
+int Info(const Flags& flags) {
+  if (flags.db_path.empty()) {
+    std::fprintf(stderr, "info requires --db\n");
+    return 2;
+  }
+  auto db = server::LoadDatabase(flags.db_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("objects : %d\n", db->object_count());
+  std::printf("records : %zu\n", db->records().size());
+  std::printf("dataset : %s\n",
+              common::FormatBytes(db->total_bytes()).c_str());
+  int64_t coeffs = 0;
+  for (const auto& r : db->records()) {
+    if (!r.is_base()) ++coeffs;
+  }
+  std::printf("coeffs  : %lld\n", static_cast<long long>(coeffs));
+  return 0;
+}
+
+int Run(const Flags& flags) {
+  // Assemble the system: from a persisted DB or a fresh scene.
+  core::System::Config config;
+  config.scene = SceneFromFlags(flags);
+  config.index_kind = flags.index == "naive-point"
+                          ? server::Server::IndexKind::kNaivePoint
+                          : server::Server::IndexKind::kSupportRegion;
+
+  std::unique_ptr<core::System> system;
+  if (!flags.db_path.empty()) {
+    auto db = server::LoadDatabase(flags.db_path);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    auto sys = core::System::FromDatabase(config, std::move(*db));
+    system = std::move(sys);
+  } else {
+    auto sys = core::System::Create(config);
+    if (!sys.ok()) {
+      std::fprintf(stderr, "%s\n", sys.status().ToString().c_str());
+      return 1;
+    }
+    system = std::move(sys).value();
+  }
+  std::printf("dataset: %s, %d objects\n",
+              common::FormatBytes(system->db().total_bytes()).c_str(),
+              system->db().object_count());
+
+  workload::TourOptions tour_options;
+  tour_options.kind = flags.tour == "walk" ? workload::TourKind::kPedestrian
+                                           : workload::TourKind::kTram;
+  tour_options.space = system->space();
+  tour_options.target_speed = flags.speed;
+  tour_options.frames = flags.frames;
+  tour_options.distance = flags.distance;
+  tour_options.seed = flags.seed + 1;
+  const auto tour = workload::GenerateTour(tour_options);
+  std::printf("tour: %s, %zu frames, %.0f m at speed %.3f\n",
+              flags.tour.c_str(), tour.size(),
+              workload::TourDistance(tour), flags.speed);
+
+  core::RunMetrics metrics;
+  if (flags.client == "streaming") {
+    client::StreamingClient::Options options;
+    options.query_fraction = flags.query_frac;
+    metrics = system->RunStreaming(tour, options);
+  } else if (flags.client == "naive") {
+    client::NaiveObjectClient::Options options;
+    options.query_fraction = flags.query_frac;
+    options.cache_bytes = static_cast<int64_t>(flags.buffer_kb) * 1024;
+    metrics = system->RunNaiveObject(tour, options);
+  } else {
+    client::BufferedClient::Options options;
+    options.query_fraction = flags.query_frac;
+    options.buffer_bytes = static_cast<int64_t>(flags.buffer_kb) * 1024;
+    options.enable_prefetch = !flags.no_prefetch;
+    options.motion_aware = !flags.naive_prefetch;
+    if (flags.kalman) {
+      options.predictor = client::BufferedClient::Options::Predictor::kKalman;
+    }
+    metrics = system->RunBuffered(tour, options);
+  }
+
+  std::printf("\n-- metrics --\n");
+  std::printf("frames                  : %lld\n",
+              static_cast<long long>(metrics.frames));
+  std::printf("demand bytes            : %s\n",
+              common::FormatBytes(metrics.demand_bytes).c_str());
+  std::printf("prefetch bytes          : %s\n",
+              common::FormatBytes(metrics.prefetch_bytes).c_str());
+  std::printf("mean response / frame   : %.3f s\n",
+              metrics.MeanResponseSeconds());
+  std::printf("mean response / query   : %.3f s\n",
+              metrics.MeanResponsePerExchange());
+  std::printf("cache hit rate          : %.1f %%\n",
+              100.0 * metrics.cache_hit_rate);
+  std::printf("prefetch utilization    : %.1f %%\n",
+              100.0 * metrics.data_utilization);
+  std::printf("index I/O per frame     : %.1f\n",
+              metrics.MeanNodeAccesses());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    Usage();
+    return 2;
+  }
+  if (flags.command == "generate") return Generate(flags);
+  if (flags.command == "info") return Info(flags);
+  if (flags.command == "run") return Run(flags);
+  Usage();
+  return 2;
+}
