@@ -1,0 +1,98 @@
+// Fault-tolerance sweep: how the full motion-aware client degrades as the
+// link degrades. Sweeps i.i.d. packet loss {0, 1, 5, 10 %} with the
+// outage schedule off and on, and reports both the classic metrics and
+// the degraded-operation ones (retries, timeouts, outage/stale frames,
+// worst stale run). The link clock only advances while the link is in
+// use, so the outage process is parameterized densely (mean gap ~1.5
+// link-seconds, mean duration 1.5 s) to land several outages within a
+// run's few seconds of link time.
+//
+// Expected shapes: bytes and hit rate barely move (lost attempts are
+// retried, not abandoned), response time grows with loss (retries cost
+// link time), and outages convert a bounded number of frames to stale
+// rendering instead of hanging the run — every retry loop in the stack is
+// budgeted, so the bench terminates even at 10 % loss with outages on.
+//
+// Besides the fixed-width table (and the MARS_TABLE_CSV / MARS_TABLE_JSON
+// hooks bench_util provides), the rows are echoed to stdout as JSON lines
+// for direct scripting.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/units.h"
+#include "core/experiment.h"
+
+int main() {
+  using namespace mars;  // NOLINT
+
+  constexpr int32_t kFrames = 240;
+  constexpr double kSpeed = 0.6;
+  constexpr int kTours = 3;
+
+  const std::vector<double> losses = {0.0, 0.01, 0.05, 0.10};
+
+  std::vector<std::vector<std::string>> rows;
+  for (int outage = 0; outage < 2; ++outage) {
+    for (double loss : losses) {
+      // The fault schedule is part of the system config, so each cell
+      // gets its own (deterministically identical) system. A 20 MB scene
+      // keeps the eight rebuilds cheap.
+      core::System::Config config;
+      config.scene = workload::SceneForDatasetSize(20, 7);
+      config.link.loss_probability = loss;
+      if (outage != 0) {
+        // Mean gap 3 link-seconds, mean duration 4 s: short outages are
+        // absorbed by the retry budget (~5 s of attempts + backoff),
+        // longer ones exhaust it and force degraded frames.
+        config.fault.outage_rate_per_hour = 1200.0;
+        config.fault.outage_mean_seconds = 4.0;
+        config.fault.seed = 99;
+      }
+      auto system_or = core::System::Create(config);
+      if (!system_or.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     system_or.status().ToString().c_str());
+        return 1;
+      }
+      core::System& system = **system_or;
+
+      // Pedestrian tours are the prefetcher's hard case (turns are less
+      // predictable), so demand fetches — and their failures — actually
+      // happen.
+      const auto tours =
+          bench::MakeTours(workload::TourKind::kPedestrian, kSpeed, kTours,
+                           kFrames, -1.0, system.space());
+      client::BufferedClient::Options options;
+      options.buffer_bytes = 32 * 1024;  // tighter buffer: real misses
+      const core::RunMetrics m =
+          bench::AverageBuffered(system, tours, options);
+
+      rows.push_back({core::Fmt(100 * loss, 0) + "%",
+                      outage != 0 ? "on" : "off",
+                      core::FmtBytes(m.total_bytes()),
+                      core::Fmt(m.MeanResponseSeconds(), 3),
+                      core::Fmt(100 * m.cache_hit_rate, 1),
+                      std::to_string(m.retries),
+                      std::to_string(m.timeouts),
+                      std::to_string(m.outage_frames),
+                      std::to_string(m.stale_frames),
+                      std::to_string(m.max_stale_run_frames)});
+    }
+  }
+
+  core::PrintTableTitle(
+      "Fault tolerance — buffered client vs loss and outages");
+  core::PrintTableHeader({"loss", "outage", "bytes", "resp/frame",
+                          "hit %", "retries", "timeouts", "outage fr",
+                          "stale fr", "worst run"});
+  for (const auto& row : rows) core::PrintTableRow(row);
+
+  std::printf("\n-- json --\n");
+  for (const auto& row : rows) {
+    std::printf("%s\n", core::TableRowJson(row).c_str());
+  }
+  return 0;
+}

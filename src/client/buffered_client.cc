@@ -22,6 +22,7 @@ BufferedClient::BufferedClient(const Options& options,
       grid_(space, options.grid_nx, options.grid_ny),
       server_(server),
       link_(link),
+      channel_(link, options.channel),
       buffer_(options.buffer_bytes),
       predictor_(options.predictor == Options::Predictor::kKalman
                      ? std::unique_ptr<motion::PositionPredictor>(
@@ -50,7 +51,7 @@ double BufferedClient::BandUpTo(double held) {
 
 BufferedClient::ExchangeTotals BufferedClient::FetchBlocks(
     const std::vector<int64_t>& blocks, const std::vector<double>& w_mins,
-    const std::vector<double>& priorities, bool is_prefetch) {
+    const std::vector<double>& priorities, double speed, bool is_prefetch) {
   ExchangeTotals totals;
   if (blocks.empty()) return totals;
 
@@ -69,6 +70,20 @@ BufferedClient::ExchangeTotals BufferedClient::FetchBlocks(
   totals.request_bytes = result.request_bytes;
   totals.response_bytes = result.response_bytes;
   totals.node_accesses = result.node_accesses;
+
+  const net::ReliableChannel::Result net = channel_.Exchange(
+      result.request_bytes, result.response_bytes, speed);
+  totals.seconds = net.seconds;
+  totals.retries = net.retries;
+  totals.ok = net.status.ok();
+  if (!totals.ok) {
+    // The response was lost: install nothing. The blocks stay at their
+    // resident (possibly coarser) resolution, so the client keeps
+    // rendering and re-requests them next frame. The transient session
+    // dies here, so there is no server-side state to roll back.
+    totals.response_bytes = 0;
+    return totals;
+  }
 
   for (size_t i = 0; i < blocks.size(); ++i) {
     const int64_t bytes = result.per_query_bytes[i];
@@ -139,20 +154,33 @@ BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
   // waits for). Fetch slightly finer than needed so the next frames' small
   // speed fluctuations stay buffered.
   const double w_demand = w_t * options_.resolution_headroom;
+  bool demand_failed = false;
   if (!missing.empty()) {
     const std::vector<double> w_mins(missing.size(), w_demand);
     const std::vector<double> priorities(missing.size(), 1.0);
-    const ExchangeTotals totals =
-        FetchBlocks(missing, w_mins, priorities, /*is_prefetch=*/false);
+    const ExchangeTotals totals = FetchBlocks(missing, w_mins, priorities,
+                                              speed, /*is_prefetch=*/false);
     report.demand_bytes = totals.response_bytes;
     report.node_accesses += totals.node_accesses;
-    report.response_seconds =
-        link_->Exchange(totals.request_bytes, totals.response_bytes, speed);
+    report.response_seconds = totals.seconds;
+    report.retries += totals.retries;
+    if (!totals.ok) {
+      // Outage: the frame runs degraded. Whatever resolution is resident
+      // keeps rendering (coarse data stays useful — the point of the
+      // multiresolution buffer); the still-missing blocks are re-requested
+      // next frame because the residency test keeps failing for them.
+      demand_failed = true;
+      ++report.timeouts;
+      report.outage = true;
+      report.stale_blocks = static_cast<int64_t>(missing.size());
+    }
   }
 
-  // Background prefetch for future frames.
+  // Background prefetch for future frames. Suspended while the link is
+  // down: retry budget is better spent on the demand path, and predicted
+  // blocks would fail the same way.
   buffer_.DecayPriorities(options_.priority_decay);
-  if (options_.enable_prefetch) {
+  if (options_.enable_prefetch && !demand_failed) {
     const int32_t budget_blocks = std::clamp<int32_t>(
         static_cast<int32_t>(
             static_cast<double>(options_.buffer_bytes) /
@@ -198,14 +226,26 @@ BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
       fetch_priority.push_back(item.priority);
     }
     if (!fetch_blocks.empty()) {
-      const ExchangeTotals totals = FetchBlocks(
-          fetch_blocks, fetch_w, fetch_priority, /*is_prefetch=*/true);
-      report.prefetch_bytes = totals.response_bytes;
-      report.node_accesses += totals.node_accesses;
       // Counted on the link, not in the response time: prefetch rides the
       // idle link between frames.
-      link_->Exchange(totals.request_bytes, totals.response_bytes, speed);
+      const ExchangeTotals totals = FetchBlocks(
+          fetch_blocks, fetch_w, fetch_priority, speed, /*is_prefetch=*/true);
+      report.prefetch_bytes = totals.response_bytes;
+      report.node_accesses += totals.node_accesses;
+      report.retries += totals.retries;
+      if (!totals.ok) ++report.timeouts;
     }
+  }
+
+  // Degraded-frame accounting: a frame is stale when a demand fetch
+  // failed and the view had to render coarser-than-needed data.
+  if (report.outage) ++outage_frames_;
+  if (demand_failed && report.stale_blocks > 0) {
+    ++stale_frames_;
+    ++stale_run_frames_;
+    max_stale_run_frames_ = std::max(max_stale_run_frames_, stale_run_frames_);
+  } else {
+    stale_run_frames_ = 0;
   }
 
   total_demand_bytes_ += report.demand_bytes;

@@ -16,6 +16,7 @@
 #include "motion/kalman.h"
 #include "motion/predictor.h"
 #include "net/link.h"
+#include "net/reliable_channel.h"
 #include "server/server.h"
 
 namespace mars::client {
@@ -28,6 +29,14 @@ struct BufferedFrameReport {
   int64_t prefetch_bytes = 0;
   double response_seconds = 0.0;
   int64_t node_accesses = 0;
+  // Fault-tolerance telemetry.
+  int64_t retries = 0;        // lost attempts retried this frame
+  int64_t timeouts = 0;       // exchanges that failed this frame
+  bool outage = false;        // a demand fetch failed: frame ran degraded
+  // In-view blocks rendered from coarser-than-needed (or absent) data
+  // because their fetch failed; the client keeps rendering resident
+  // coarse resolution instead of stalling.
+  int64_t stale_blocks = 0;
 };
 
 // The full motion-aware system client (paper Secs. IV + V): the data space
@@ -39,6 +48,14 @@ struct BufferedFrameReport {
 // most probable future blocks resident. Prefetch exchanges consume link
 // bandwidth but overlap idle time, so they do not add to the per-frame
 // response time.
+//
+// Degraded operation: exchanges run through a ReliableChannel (bounded
+// retries + backoff + deadline). When a demand fetch fails — an outage —
+// the frame renders whatever resolution is resident (coarse blocks stay
+// usable; that is the point of the multiresolution buffer), the missing
+// blocks remain missing so the next frame re-requests them (the demand
+// queue is implicit in the residency test), and prefetching is suspended
+// to save the link budget until an exchange succeeds again.
 class BufferedClient {
  public:
   struct Options {
@@ -79,6 +96,8 @@ class BufferedClient {
     // micro-band refetches as the speed jitters.
     double refetch_tolerance = 0.15;
     uint64_t seed = 1;
+    // Transport retry policy (pay-for-what-you-use on a clean link).
+    net::ReliableChannel::Options channel;
   };
 
   BufferedClient(const Options& options, const geometry::Box2& space,
@@ -94,29 +113,40 @@ class BufferedClient {
   double total_response_seconds() const { return total_response_seconds_; }
   int64_t frames() const { return frames_; }
   const geometry::GridPartition& grid() const { return grid_; }
+  // Fault-tolerance totals.
+  int64_t total_retries() const { return channel_.total_retries(); }
+  int64_t total_timeouts() const { return channel_.total_failures(); }
+  int64_t outage_frames() const { return outage_frames_; }
+  int64_t stale_frames() const { return stale_frames_; }
+  // Worst-case staleness: longest run of consecutive degraded frames.
+  int64_t max_stale_run_frames() const { return max_stale_run_frames_; }
 
  private:
   // Upper bound of the band still missing for a block currently held down
   // to `held` (2.0 when the block holds nothing yet).
   static double BandUpTo(double held);
 
-  // Executes block-granular sub-queries and installs results; returns
-  // {request_bytes, response_bytes, node_accesses}.
+  // Executes block-granular sub-queries as one reliable exchange and
+  // installs results on success; on failure nothing is installed.
   struct ExchangeTotals {
     int64_t request_bytes = 0;
     int64_t response_bytes = 0;
     int64_t node_accesses = 0;
+    double seconds = 0.0;
+    int64_t retries = 0;
+    bool ok = true;
   };
   ExchangeTotals FetchBlocks(const std::vector<int64_t>& blocks,
                              const std::vector<double>& w_mins,
                              const std::vector<double>& priorities,
-                             bool is_prefetch);
+                             double speed, bool is_prefetch);
 
   Options options_;
   Viewport viewport_;
   geometry::GridPartition grid_;
   const server::Server* server_;
   net::SimulatedLink* link_;
+  net::ReliableChannel channel_;
   buffer::BlockBuffer buffer_;
   std::unique_ptr<motion::PositionPredictor> predictor_;
   buffer::MotionAwarePrefetcher motion_prefetcher_;
@@ -135,6 +165,12 @@ class BufferedClient {
   int64_t total_prefetch_bytes_ = 0;
   double total_response_seconds_ = 0.0;
   int64_t frames_ = 0;
+
+  // Degraded-operation accounting.
+  int64_t outage_frames_ = 0;
+  int64_t stale_frames_ = 0;
+  int64_t stale_run_frames_ = 0;
+  int64_t max_stale_run_frames_ = 0;
 };
 
 }  // namespace mars::client

@@ -12,9 +12,17 @@ StreamingClient::StreamingClient(const Options& options,
     : options_(options),
       viewport_(space, options.query_fraction, options.query_fraction),
       server_(server),
-      link_(link) {
+      link_(link),
+      channel_(link, options.channel) {
   MARS_CHECK(server != nullptr);
   MARS_CHECK(link != nullptr);
+}
+
+void StreamingClient::FlushAck() {
+  if (ack_outstanding_) {
+    server::AckPending(&session_);
+    ack_outstanding_ = false;
+  }
 }
 
 StreamingFrameReport StreamingClient::Step(const geometry::Vec2& position,
@@ -23,24 +31,44 @@ StreamingFrameReport StreamingClient::Step(const geometry::Vec2& position,
   const geometry::Box2 window = viewport_.WindowAt(position);
   const double w_min = options_.speed_map.MapSpeedToResolution(speed);
 
+  // This request carries the ack for the previous frame's delivery.
+  FlushAck();
+
   const std::vector<server::SubQuery> plan = PlanContinuousRetrieval(
       window, w_min,
       prev_window_.has_value() ? prev_window_ : std::nullopt, prev_w_min_);
   report.sub_queries = static_cast<int64_t>(plan.size());
 
   const server::QueryResult result = server_->Execute(plan, &session_);
-  report.new_records = static_cast<int64_t>(result.records.size());
-  report.records = result.records;
-  report.request_bytes = result.request_bytes;
-  report.response_bytes = result.response_bytes;
   report.node_accesses = result.node_accesses;
-  report.response_seconds =
-      link_->Exchange(result.request_bytes, result.response_bytes, speed);
 
-  prev_window_ = window;
-  prev_w_min_ = w_min;
-  total_bytes_ += result.response_bytes;
-  total_records_ += report.new_records;
+  const net::ReliableChannel::Result net = channel_.Exchange(
+      result.request_bytes, result.response_bytes, speed);
+  report.status = net.status;
+  report.retries = net.retries;
+  report.response_seconds = net.seconds;
+
+  if (net.status.ok()) {
+    // Delivered: install, and leave the batch pending until the next
+    // request acks it.
+    report.new_records = static_cast<int64_t>(result.records.size());
+    report.records = result.records;
+    report.request_bytes = result.request_bytes;
+    report.response_bytes = result.response_bytes;
+    ack_outstanding_ = true;
+    // Incremental planning proceeds from this frame.
+    prev_window_ = window;
+    prev_w_min_ = w_min;
+    total_bytes_ += result.response_bytes;
+    total_records_ += report.new_records;
+  } else {
+    // Lost despite the retry budget: nothing was installed. Roll the
+    // tentative delivery back so the records are re-sent when next
+    // queried, and keep planning against the last successful frame — on
+    // reconnect the plan re-covers the lost region.
+    server::RollbackPending(&session_);
+  }
+
   total_response_seconds_ += report.response_seconds;
   ++frames_;
   return report;

@@ -6,11 +6,13 @@
 #include <vector>
 
 #include "client/speed_map.h"
+#include "common/status.h"
 #include "index/record.h"
 #include "client/viewport.h"
 #include "geometry/box.h"
 #include "geometry/vec.h"
 #include "net/link.h"
+#include "net/reliable_channel.h"
 #include "server/server.h"
 
 namespace mars::client {
@@ -23,6 +25,13 @@ struct StreamingFrameReport {
   int64_t response_bytes = 0;
   int64_t node_accesses = 0;
   double response_seconds = 0.0;
+  // Transport outcome of the frame's exchange: OK when delivered (or no
+  // exchange was needed); non-OK when the retry budget or deadline was
+  // exhausted — the frame then installed nothing and the server rolled
+  // the tentative delivery back.
+  common::Status status;
+  // Lost attempts retried within this frame's exchange.
+  int64_t retries = 0;
   // Ids of the records delivered this frame (the client's store grows by
   // exactly these).
   std::vector<index::RecordId> records;
@@ -33,11 +42,21 @@ struct StreamingFrameReport {
 // store (the server session filters anything already delivered). No
 // buffering or prefetching — this isolates the multiresolution retrieval
 // effect for the Fig. 8/9 experiments and the index I/O studies.
+//
+// Exchanges run through a ReliableChannel: bounded retries, backoff, and
+// a per-exchange deadline. A failed exchange installs nothing, rolls the
+// server's pending delivery back, and leaves the incremental-planning
+// state at the last *successful* frame, so the next frame's plan
+// re-covers whatever was lost (reconnect reconciliation). Delivered
+// records are committed server-side by the ack piggybacked on the next
+// request.
 class StreamingClient {
  public:
   struct Options {
     double query_fraction = 0.1;  // window side as a fraction of the space
     SpeedResolutionMap speed_map;
+    // Transport retry policy (pay-for-what-you-use on a clean link).
+    net::ReliableChannel::Options channel;
   };
 
   // `server` and `link` must outlive the client.
@@ -49,18 +68,31 @@ class StreamingClient {
   // frame and executes them as one exchange.
   StreamingFrameReport Step(const geometry::Vec2& position, double speed);
 
+  // Acks any still-pending delivery (normally piggybacked on the next
+  // request). Call at end of run to quiesce the session so that the
+  // server's committed state matches the client's store.
+  void FlushAck();
+
   // Cumulative totals.
   int64_t total_bytes() const { return total_bytes_; }
   int64_t total_records() const { return total_records_; }
   double total_response_seconds() const { return total_response_seconds_; }
   int64_t frames() const { return frames_; }
+  int64_t total_retries() const { return channel_.total_retries(); }
+  int64_t total_failures() const { return channel_.total_failures(); }
+  const server::ClientSession& session() const { return session_; }
 
  private:
   Options options_;
   Viewport viewport_;
   const server::Server* server_;
   net::SimulatedLink* link_;
+  net::ReliableChannel channel_;
   server::ClientSession session_;
+
+  // True when the previous frame's delivery still awaits its piggybacked
+  // ack (committed at the start of the next exchange-bearing step).
+  bool ack_outstanding_ = false;
 
   std::optional<geometry::Box2> prev_window_;
   double prev_w_min_ = 2.0;  // "no previous resolution"

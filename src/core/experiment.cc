@@ -1,8 +1,10 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/units.h"
@@ -36,6 +38,13 @@ RunMetrics MeanOf(const std::vector<RunMetrics>& runs) {
     mean.data_utilization += r.data_utilization;
     mean.records_delivered += r.records_delivered;
     mean.tour_distance += r.tour_distance;
+    mean.retries += r.retries;
+    mean.timeouts += r.timeouts;
+    mean.outage_frames += r.outage_frames;
+    mean.stale_frames += r.stale_frames;
+    // Worst case across runs, not the mean: it is a tail metric.
+    mean.max_stale_run_frames =
+        std::max(mean.max_stale_run_frames, r.max_stale_run_frames);
   }
   mean.frames = static_cast<int64_t>(mean.frames / n);
   mean.demand_bytes = static_cast<int64_t>(mean.demand_bytes / n);
@@ -47,6 +56,10 @@ RunMetrics MeanOf(const std::vector<RunMetrics>& runs) {
   mean.data_utilization /= n;
   mean.records_delivered = static_cast<int64_t>(mean.records_delivered / n);
   mean.tour_distance /= n;
+  mean.retries = static_cast<int64_t>(mean.retries / n);
+  mean.timeouts = static_cast<int64_t>(mean.timeouts / n);
+  mean.outage_frames = static_cast<int64_t>(mean.outage_frames / n);
+  mean.stale_frames = static_cast<int64_t>(mean.stale_frames / n);
   return mean;
 }
 
@@ -75,15 +88,71 @@ void AppendCsv(const std::string& prefix,
   std::fclose(f);
 }
 
+// The current table's title and columns, so JSON rows can be emitted as
+// self-describing objects (the bench binaries are single-threaded).
+std::string& CurrentTitle() {
+  static std::string title;
+  return title;
+}
+
+std::vector<std::string>& CurrentColumns() {
+  static std::vector<std::string> columns;
+  return columns;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TableRowJson(const std::vector<std::string>& cells) {
+  const std::vector<std::string>& columns = CurrentColumns();
+  std::string line = "{\"table\":\"" + JsonEscape(CurrentTitle()) + "\"";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const std::string key =
+        i < columns.size() ? columns[i] : "col" + std::to_string(i);
+    line += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(cells[i]) + "\"";
+  }
+  line += "}";
+  return line;
+}
+
+namespace {
+
+// Appends one JSON-lines row to $MARS_TABLE_JSON, if set — the JSON twin
+// of the MARS_TABLE_CSV hook.
+void AppendJson(const std::vector<std::string>& cells) {
+  const char* path = std::getenv("MARS_TABLE_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "%s\n", TableRowJson(cells).c_str());
+  std::fclose(f);
+}
+
 }  // namespace
 
 void PrintTableTitle(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
   AppendCsv("# ", {title});
+  CurrentTitle() = title;
+  CurrentColumns().clear();
 }
 
 void PrintTableHeader(const std::vector<std::string>& columns) {
   AppendCsv("", columns);
+  CurrentColumns() = columns;
   for (const std::string& c : columns) {
     std::printf("%-*s", kCellWidth, c.c_str());
   }
@@ -96,6 +165,7 @@ void PrintTableHeader(const std::vector<std::string>& columns) {
 
 void PrintTableRow(const std::vector<std::string>& cells) {
   AppendCsv("", cells);
+  AppendJson(cells);
   for (const std::string& c : cells) {
     std::printf("%-*s", kCellWidth, c.c_str());
   }

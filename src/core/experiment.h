@@ -29,10 +29,16 @@ RunMetrics MeanOf(const std::vector<RunMetrics>& runs);
 // Fixed-width table helpers shared by the bench binaries. When the
 // MARS_TABLE_CSV environment variable names a file, every table is also
 // appended there in CSV form (one "# title" line, then header and rows),
-// ready for plotting.
+// ready for plotting. When MARS_TABLE_JSON names a file, every row is
+// additionally appended there as one self-describing JSON object per line
+// ({"table": ..., "<column>": "<cell>", ...}).
 void PrintTableTitle(const std::string& title);
 void PrintTableHeader(const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& cells);
+// The JSON-lines encoding of `cells` against the current table's title
+// and columns (what the MARS_TABLE_JSON hook writes); benches that print
+// JSON to stdout reuse it.
+std::string TableRowJson(const std::vector<std::string>& cells);
 std::string Fmt(double value, int precision = 3);
 std::string FmtBytes(int64_t bytes);
 

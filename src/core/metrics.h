@@ -45,6 +45,18 @@ struct RunMetrics {
   // Misc.
   int64_t records_delivered = 0;
   double tour_distance = 0.0;
+
+  // Fault tolerance (degraded-link runs; all zero on a clean link).
+  // Lost attempts retried by the transport.
+  int64_t retries = 0;
+  // Exchanges that exhausted their retry budget or deadline.
+  int64_t timeouts = 0;
+  // Frames that ran without connectivity (a demand exchange failed).
+  int64_t outage_frames = 0;
+  // Frames rendered from coarser-than-needed resident data.
+  int64_t stale_frames = 0;
+  // Worst-case staleness: longest run of consecutive stale frames.
+  int64_t max_stale_run_frames = 0;
 };
 
 }  // namespace mars::core

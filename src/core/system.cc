@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -39,8 +40,11 @@ RunMetrics System::RunStreaming(
     const std::vector<workload::TourPoint>& tour,
     const client::StreamingClient::Options& options) {
   net::SimulatedLink link(config_.link);
+  net::FaultSchedule fault(config_.fault);
+  if (fault.enabled()) link.AttachFaultSchedule(&fault);
   client::StreamingClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
+  int64_t stale_run = 0;
   for (const workload::TourPoint& point : tour) {
     const client::StreamingFrameReport report =
         cl.Step(point.position, point.speed);
@@ -49,8 +53,24 @@ RunMetrics System::RunStreaming(
     metrics.records_delivered += report.new_records;
     metrics.total_response_seconds += report.response_seconds;
     if (report.response_seconds > 0.0) ++metrics.demand_exchanges;
+    metrics.retries += report.retries;
+    if (!report.status.ok()) {
+      ++metrics.timeouts;
+      ++metrics.outage_frames;
+      // A failed frame renders from the store as of the last successful
+      // exchange: it is stale by definition.
+      ++metrics.stale_frames;
+      ++stale_run;
+      metrics.max_stale_run_frames =
+          std::max(metrics.max_stale_run_frames, stale_run);
+    } else {
+      stale_run = 0;
+    }
     ++metrics.frames;
   }
+  // Quiesce: commit the trailing pending delivery so the server's
+  // committed state matches the client's store at run end.
+  cl.FlushAck();
   metrics.tour_distance = workload::TourDistance(tour);
   return metrics;
 }
@@ -59,6 +79,8 @@ RunMetrics System::RunBuffered(
     const std::vector<workload::TourPoint>& tour,
     const client::BufferedClient::Options& options) {
   net::SimulatedLink link(config_.link);
+  net::FaultSchedule fault(config_.fault);
+  if (fault.enabled()) link.AttachFaultSchedule(&fault);
   client::BufferedClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
   for (const workload::TourPoint& point : tour) {
@@ -69,10 +91,15 @@ RunMetrics System::RunBuffered(
     metrics.node_accesses += report.node_accesses;
     metrics.total_response_seconds += report.response_seconds;
     if (report.response_seconds > 0.0) ++metrics.demand_exchanges;
+    metrics.retries += report.retries;
+    metrics.timeouts += report.timeouts;
     ++metrics.frames;
   }
   metrics.cache_hit_rate = cl.buffer_stats().HitRate();
   metrics.data_utilization = cl.buffer_stats().Utilization();
+  metrics.outage_frames = cl.outage_frames();
+  metrics.stale_frames = cl.stale_frames();
+  metrics.max_stale_run_frames = cl.max_stale_run_frames();
   metrics.tour_distance = workload::TourDistance(tour);
   return metrics;
 }
@@ -81,6 +108,8 @@ RunMetrics System::RunNaiveObject(
     const std::vector<workload::TourPoint>& tour,
     const client::NaiveObjectClient::Options& options) {
   net::SimulatedLink link(config_.link);
+  net::FaultSchedule fault(config_.fault);
+  if (fault.enabled()) link.AttachFaultSchedule(&fault);
   client::NaiveObjectClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
   for (const workload::TourPoint& point : tour) {

@@ -10,6 +10,7 @@
 #include "common/statusor.h"
 #include "core/metrics.h"
 #include "index/rtree.h"
+#include "net/fault.h"
 #include "net/link.h"
 #include "server/server.h"
 #include "workload/scene.h"
@@ -30,6 +31,10 @@ class System {
         server::Server::IndexKind::kSupportRegion;
     index::RTreeOptions rtree;
     net::SimulatedLink::Options link;
+    // Deterministic outage/burst/dip schedule. All-zero rates (the
+    // default) disable the fault layer entirely; each Run* call then
+    // behaves bit-identically to a fault-free build.
+    net::FaultSchedule::Options fault;
   };
 
   // Generates the scene and builds the indexes.

@@ -1,0 +1,106 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace mars::net {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}  // namespace
+
+FaultSchedule::Track::Track(double rate_per_hour, double mean_seconds,
+                            uint64_t seed)
+    : rate_per_hour_(rate_per_hour),
+      mean_seconds_(mean_seconds),
+      rng_(seed) {
+  MARS_CHECK_GE(rate_per_hour, 0.0);
+  if (rate_per_hour > 0.0) {
+    MARS_CHECK_GT(mean_seconds, 0.0);
+  }
+}
+
+double FaultSchedule::Track::SampleExp(double mean) {
+  // Inverse-CDF sampling; UniformDouble() < 1 keeps the log finite.
+  return -mean * std::log(1.0 - rng_.UniformDouble());
+}
+
+void FaultSchedule::Track::EnsureCovered(double t) {
+  if (!active()) return;
+  const double gap_mean = 3600.0 / rate_per_hour_;
+  while (horizon_ <= t) {
+    Window w;
+    w.start = horizon_ + SampleExp(gap_mean);
+    w.end = w.start + SampleExp(mean_seconds_);
+    windows_.push_back(w);
+    horizon_ = w.end;
+  }
+}
+
+const FaultSchedule::Window* FaultSchedule::Track::Covering(double t) {
+  if (!active() || t < 0.0) return nullptr;
+  EnsureCovered(t);
+  // First window whose end is past t; covers t iff it has started.
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t,
+      [](double value, const Window& w) { return value < w.end; });
+  if (it == windows_.end() || it->start > t) return nullptr;
+  return &*it;
+}
+
+double FaultSchedule::Track::NextBoundaryAfter(double t) {
+  if (!active()) return kInfinity;
+  EnsureCovered(t);
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t,
+      [](double value, const Window& w) { return value < w.end; });
+  if (it == windows_.end()) return kInfinity;  // unreachable after EnsureCovered
+  return it->start > t ? it->start : it->end;
+}
+
+FaultSchedule::FaultSchedule() : FaultSchedule(Options()) {}
+
+FaultSchedule::FaultSchedule(Options options)
+    : options_(options),
+      enabled_(options.outage_rate_per_hour > 0.0 ||
+               options.burst_rate_per_hour > 0.0 ||
+               options.dip_rate_per_hour > 0.0),
+      // Distinct derived seeds keep the three processes independent.
+      outages_(options.outage_rate_per_hour, options.outage_mean_seconds,
+               options.seed * 2654435761u + 1),
+      bursts_(options.burst_rate_per_hour, options.burst_mean_seconds,
+              options.seed * 2654435761u + 2),
+      dips_(options.dip_rate_per_hour, options.dip_mean_seconds,
+            options.seed * 2654435761u + 3) {
+  MARS_CHECK_GE(options.burst_loss_factor, 1.0);
+  MARS_CHECK_GT(options.dip_bandwidth_factor, 0.0);
+  MARS_CHECK_LE(options.dip_bandwidth_factor, 1.0);
+}
+
+bool FaultSchedule::InOutage(double t) {
+  return outages_.Covering(t) != nullptr;
+}
+
+double FaultSchedule::OutageRemaining(double t) {
+  const Window* w = outages_.Covering(t);
+  return w == nullptr ? 0.0 : w->end - t;
+}
+
+double FaultSchedule::LossFactor(double t) {
+  return bursts_.Covering(t) != nullptr ? options_.burst_loss_factor : 1.0;
+}
+
+double FaultSchedule::BandwidthFactor(double t) {
+  return dips_.Covering(t) != nullptr ? options_.dip_bandwidth_factor : 1.0;
+}
+
+double FaultSchedule::NextBoundaryAfter(double t) {
+  return std::min({outages_.NextBoundaryAfter(t),
+                   bursts_.NextBoundaryAfter(t),
+                   dips_.NextBoundaryAfter(t)});
+}
+
+}  // namespace mars::net

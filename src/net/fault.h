@@ -1,0 +1,118 @@
+#ifndef MARS_NET_FAULT_H_
+#define MARS_NET_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mars::net {
+
+// Deterministic fault schedule for the mobile link (paper Sec. I / VII-A:
+// a 256 Kbps, 200 ms wireless link whose quality collapses with motion).
+// Three independent Poisson window processes model the real impairments of
+// such a link:
+//
+//   * outages   — tunnel / cell-handover blackouts during which no attempt
+//                 can be delivered at all,
+//   * bursts    — windows of strongly elevated loss (interference, cell
+//                 edges): the link's base loss probability is multiplied,
+//   * dips      — transient bandwidth collapses: the usable bandwidth is
+//                 scaled down.
+//
+// Windows are sampled lazily from a seeded Rng (exponential inter-arrival
+// and duration), so the schedule is reproducible bit-for-bit, pure with
+// respect to simulated time, and free when every rate is zero. All times
+// are simulated seconds on the consumer's clock (SimulatedLink's
+// cumulative time or SharedMediumLink's now()).
+class FaultSchedule {
+ public:
+  struct Options {
+    // Mean outage count per simulated hour; 0 disables outages.
+    double outage_rate_per_hour = 0.0;
+    // Mean outage duration in seconds (exponentially distributed).
+    double outage_mean_seconds = 8.0;
+
+    // Burst-loss windows.
+    double burst_rate_per_hour = 0.0;
+    double burst_mean_seconds = 3.0;
+    // Multiplier applied to the link's loss probability inside a burst
+    // (the effective probability is still capped by the link).
+    double burst_loss_factor = 8.0;
+
+    // Transient bandwidth dips.
+    double dip_rate_per_hour = 0.0;
+    double dip_mean_seconds = 10.0;
+    // Fraction of the usable bandwidth that survives inside a dip.
+    double dip_bandwidth_factor = 0.35;
+
+    uint64_t seed = 1;
+  };
+
+  FaultSchedule();  // all-quiet default
+  explicit FaultSchedule(Options options);
+
+  // True when any fault process is active; an all-quiet schedule costs
+  // nothing to consult.
+  bool enabled() const { return enabled_; }
+
+  // True when `t` falls inside an outage window.
+  bool InOutage(double t);
+
+  // Seconds until the current outage window ends; 0 when not in outage.
+  double OutageRemaining(double t);
+
+  // Loss-probability multiplier at `t` (>= 1; burst_loss_factor inside a
+  // burst window).
+  double LossFactor(double t);
+
+  // Usable-bandwidth multiplier at `t` (1 normally, dip_bandwidth_factor
+  // inside a dip window).
+  double BandwidthFactor(double t);
+
+  // The next time > `t` at which any window starts or ends. Lets fluid
+  // link models advance in piecewise-constant steps without integrating
+  // across a fault boundary.
+  double NextBoundaryAfter(double t);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Window {
+    double start = 0.0;
+    double end = 0.0;
+  };
+
+  // One Poisson window process, lazily extended and cached.
+  class Track {
+   public:
+    Track(double rate_per_hour, double mean_seconds, uint64_t seed);
+
+    bool active() const { return rate_per_hour_ > 0.0; }
+    // The window covering `t`, or nullptr.
+    const Window* Covering(double t);
+    // Next window boundary strictly after `t` (infinity when inactive).
+    double NextBoundaryAfter(double t);
+
+   private:
+    void EnsureCovered(double t);
+    double SampleExp(double mean);
+
+    double rate_per_hour_;
+    double mean_seconds_;
+    common::Rng rng_;
+    std::vector<Window> windows_;
+    // Windows are generated through this time.
+    double horizon_ = 0.0;
+  };
+
+  Options options_;
+  bool enabled_;
+  Track outages_;
+  Track bursts_;
+  Track dips_;
+};
+
+}  // namespace mars::net
+
+#endif  // MARS_NET_FAULT_H_

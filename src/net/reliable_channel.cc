@@ -1,0 +1,92 @@
+#include "net/reliable_channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mars::net {
+
+ReliableChannel::ReliableChannel(SimulatedLink* link, Options options)
+    : options_(options), link_(link), rng_(options.seed) {
+  MARS_CHECK(link != nullptr);
+  MARS_CHECK_GT(options.max_attempts, 0);
+  MARS_CHECK_GE(options.base_backoff_seconds, 0.0);
+  MARS_CHECK_GE(options.backoff_multiplier, 1.0);
+  MARS_CHECK_GE(options.max_backoff_seconds, options.base_backoff_seconds);
+  MARS_CHECK_GE(options.jitter_fraction, 0.0);
+  MARS_CHECK_GT(options.deadline_seconds, 0.0);
+}
+
+ReliableChannel::Result ReliableChannel::Exchange(int64_t request_bytes,
+                                                  int64_t response_bytes,
+                                                  double speed) {
+  Result result;
+  ++total_exchanges_;
+
+  int64_t remaining_response = response_bytes;
+  double backoff = options_.base_backoff_seconds;
+
+  while (result.attempts < options_.max_attempts) {
+    ++result.attempts;
+    const SimulatedLink::AttemptOutcome outcome =
+        link_->Attempt(request_bytes, remaining_response, speed);
+    result.seconds += outcome.seconds;
+    if (outcome.delivered) {
+      result.status = common::OkStatus();
+      return result;
+    }
+
+    ++result.retries;
+    ++total_retries_;
+
+    // Partial-transfer resume: bytes that arrived before the drop stay
+    // delivered; only the remainder of the response is re-sent. Request
+    // headers are small and always re-sent.
+    const int64_t saved = static_cast<int64_t>(
+        std::floor(static_cast<double>(remaining_response) *
+                   outcome.fraction_received));
+    remaining_response -= saved;
+    result.bytes_saved_by_resume += saved;
+    total_bytes_saved_ += saved;
+
+    if (result.seconds >= options_.deadline_seconds) {
+      result.status = common::InternalError(
+          "reliable exchange missed its deadline (lost connectivity)");
+      ++total_failures_;
+      return result;
+    }
+    if (result.attempts >= options_.max_attempts) break;
+
+    // Exponential backoff with deterministic jitter before the retry.
+    double wait = std::min(backoff, options_.max_backoff_seconds);
+    if (options_.jitter_fraction > 0.0) {
+      wait *= 1.0 + options_.jitter_fraction * rng_.UniformDouble();
+    }
+    backoff *= options_.backoff_multiplier;
+    link_->Wait(wait);
+    result.seconds += wait;
+    total_backoff_seconds_ += wait;
+    if (result.seconds >= options_.deadline_seconds) {
+      result.status = common::InternalError(
+          "reliable exchange missed its deadline (lost connectivity)");
+      ++total_failures_;
+      return result;
+    }
+  }
+
+  result.status = common::ResourceExhaustedError(
+      "reliable exchange exhausted its retry budget");
+  ++total_failures_;
+  return result;
+}
+
+void ReliableChannel::ResetStats() {
+  total_exchanges_ = 0;
+  total_retries_ = 0;
+  total_failures_ = 0;
+  total_bytes_saved_ = 0;
+  total_backoff_seconds_ = 0.0;
+}
+
+}  // namespace mars::net

@@ -10,18 +10,38 @@ namespace mars::net {
 
 SharedMediumLink::SharedMediumLink() : SharedMediumLink(Options()) {}
 
-SharedMediumLink::SharedMediumLink(Options options) : options_(options) {
+SharedMediumLink::SharedMediumLink(Options options)
+    : options_(options), rng_(options.loss_seed) {
   MARS_CHECK_GT(options.cell_bandwidth_kbps, 0.0);
   MARS_CHECK_GT(options.client_bandwidth_kbps, 0.0);
   MARS_CHECK_GE(options.latency_seconds, 0.0);
   MARS_CHECK_GE(options.motion_degradation, 0.0);
   MARS_CHECK_LT(options.motion_degradation, 1.0);
+  MARS_CHECK_GE(options.loss_probability, 0.0);
+  MARS_CHECK_LT(options.loss_probability, 0.5);
+  MARS_CHECK_GT(options.max_retries_per_transfer, 0);
 }
 
 void SharedMediumLink::Submit(int32_t client, int64_t bytes, double speed) {
   MARS_CHECK_GT(bytes, 0);
-  transfers_.push_back(Transfer{client, static_cast<double>(bytes), now_,
-                                std::clamp(speed, 0.0, 1.0)});
+  const double s = std::clamp(speed, 0.0, 1.0);
+  double carried = static_cast<double>(bytes);
+  if (options_.loss_probability > 0.0) {
+    // Mirror SimulatedLink's loss process at parity: each attempt may be
+    // lost after a uniformly random fraction of the payload, and that
+    // fraction is retransmitted. Bounded by the retry cap.
+    const double p = std::min(0.95, options_.loss_probability * (1.0 + s));
+    int32_t lost = 0;
+    while (rng_.Bernoulli(p)) {
+      carried += rng_.UniformDouble() * static_cast<double>(bytes);
+      ++total_retries_;
+      if (++lost >= options_.max_retries_per_transfer) {
+        ++total_timeouts_;
+        break;
+      }
+    }
+  }
+  transfers_.push_back(Transfer{client, carried, now_, s});
   total_bytes_ += bytes;
 }
 
@@ -34,15 +54,32 @@ std::vector<SharedMediumLink::Completion> SharedMediumLink::Advance(
       common::KbpsToBytesPerSecond(options_.cell_bandwidth_kbps);
   const double bearer =
       common::KbpsToBytesPerSecond(options_.client_bandwidth_kbps);
+  const bool faulty = fault_ != nullptr && fault_->enabled();
 
   while (now_ < target) {
     if (transfers_.empty()) {
       now_ = target;
       break;
     }
-    // Piecewise-constant rates until the next completion or the target.
-    const double share = cell / static_cast<double>(transfers_.size());
+    // The whole cell stalls during an outage (tunnel, handover): step to
+    // the end of the blackout (or the target) without draining.
+    if (faulty && fault_->InOutage(now_)) {
+      const double stall =
+          std::min(target - now_, fault_->OutageRemaining(now_));
+      now_ += stall;
+      total_outage_seconds_ += stall;
+      continue;
+    }
+    const double bw_factor = faulty ? fault_->BandwidthFactor(now_) : 1.0;
+    // Piecewise-constant rates until the next completion, fault boundary,
+    // or the target.
+    const double share =
+        cell * bw_factor / static_cast<double>(transfers_.size());
     double step = target - now_;
+    if (faulty) {
+      const double boundary = fault_->NextBoundaryAfter(now_);
+      if (boundary > now_) step = std::min(step, boundary - now_);
+    }
     for (const Transfer& t : transfers_) {
       const double rate =
           std::min(share, bearer) *

@@ -6,6 +6,8 @@
 #include <list>
 #include <vector>
 
+#include "common/rng.h"
+#include "net/fault.h"
 #include "net/link.h"
 
 namespace mars::net {
@@ -19,6 +21,12 @@ namespace mars::net {
 // until the bytes arrive — so the reported quantity is the *delivery
 // delay* of each exchange.
 //
+// Loss parity with SimulatedLink: each submission may be partially lost
+// and retransmitted (bounded retries, deterministic per-seed), which
+// inflates the bytes the cell has to carry; an attached FaultSchedule
+// additionally stalls the whole cell during outage windows and scales the
+// cell rate during bandwidth dips.
+//
 // Used by the multi-client scalability bench; the paper's single-client
 // evaluation corresponds to one client on a dedicated bearer.
 class SharedMediumLink {
@@ -30,6 +38,14 @@ class SharedMediumLink {
     double client_bandwidth_kbps = 256.0;
     double latency_seconds = 0.2;
     double motion_degradation = 0.5;
+    // Probability that a transfer attempt is lost in flight and must be
+    // retransmitted; the lost fraction of the payload is re-sent. Loss at
+    // speed s is scaled by (1 + s), mirroring SimulatedLink. 0 disables.
+    double loss_probability = 0.0;
+    uint64_t loss_seed = 1;
+    // Cap on retransmissions per submission; hitting it counts a timeout
+    // and delivers the transfer without further inflation.
+    int32_t max_retries_per_transfer = 16;
   };
 
   // A finished exchange: which client, and how long from submission to
@@ -42,8 +58,13 @@ class SharedMediumLink {
   SharedMediumLink();  // default options
   explicit SharedMediumLink(Options options);
 
+  // Attaches a fault schedule consulted at the cell's simulated time
+  // now(). Not owned; must outlive the link.
+  void AttachFaultSchedule(FaultSchedule* schedule) { fault_ = schedule; }
+
   // Enqueues an exchange of `bytes` for `client` moving at normalized
-  // `speed`, submitted at the current simulated time.
+  // `speed`, submitted at the current simulated time. Under loss the
+  // carried byte count is inflated by the retransmitted fractions.
   void Submit(int32_t client, int64_t bytes, double speed);
 
   // Advances simulated time by `dt` seconds, draining transfers under
@@ -56,6 +77,12 @@ class SharedMediumLink {
   double now() const { return now_; }
   size_t in_flight() const { return transfers_.size(); }
   int64_t total_bytes() const { return total_bytes_; }
+  // Lost attempts retransmitted across all submissions.
+  int64_t total_retries() const { return total_retries_; }
+  // Submissions that hit the retransmission cap.
+  int64_t total_timeouts() const { return total_timeouts_; }
+  // Simulated seconds the cell spent fully blacked out.
+  double total_outage_seconds() const { return total_outage_seconds_; }
 
  private:
   struct Transfer {
@@ -66,9 +93,14 @@ class SharedMediumLink {
   };
 
   Options options_;
+  common::Rng rng_;
+  FaultSchedule* fault_ = nullptr;
   double now_ = 0.0;
   std::list<Transfer> transfers_;
   int64_t total_bytes_ = 0;
+  int64_t total_retries_ = 0;
+  int64_t total_timeouts_ = 0;
+  double total_outage_seconds_ = 0.0;
 };
 
 }  // namespace mars::net

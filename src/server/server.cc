@@ -4,6 +4,22 @@
 
 namespace mars::server {
 
+void AckPending(ClientSession* session) {
+  MARS_CHECK(session != nullptr);
+  if (session->pending.empty()) return;
+  session->delivered.insert(session->pending.begin(),
+                            session->pending.end());
+  session->pending.clear();
+  ++session->acked_batches;
+}
+
+void RollbackPending(ClientSession* session) {
+  MARS_CHECK(session != nullptr);
+  if (session->pending.empty()) return;
+  session->pending.clear();
+  ++session->rolled_back_batches;
+}
+
 Server::Server(const ObjectDatabase* db, IndexKind kind,
                index::RTreeOptions options)
     : db_(db), object_index_(options) {
@@ -38,7 +54,10 @@ QueryResult Server::Execute(const std::vector<SubQuery>& queries,
     std::vector<index::RecordId> hits;
     coeff_index_->Query(q.region, q.w_min, q.w_max, &hits);
     for (index::RecordId id : hits) {
-      if (!session->delivered.insert(id).second) {
+      // Filter against everything the client holds or is about to hold;
+      // new records become pending until the client's ack commits them.
+      if (session->delivered.contains(id) ||
+          !session->pending.insert(id).second) {
         ++result.filtered_duplicates;
         continue;
       }

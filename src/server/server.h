@@ -22,13 +22,36 @@ struct SubQuery {
   double w_max = 1.0;
 };
 
-// Per-client server-side session: the set of records already delivered, so
-// the server can filter out data the client holds (paper Sec. IV: "the
-// server filters the results to avoid transmitting the data that is
-// already available at the client").
+// Per-client server-side session: the records the server believes the
+// client holds, so it can filter out data already available there (paper
+// Sec. IV: "the server filters the results to avoid transmitting the data
+// that is already available at the client").
+//
+// Delivery is two-phase to survive a lossy link: Execute() records the
+// records of a response as *pending*; they are only committed to
+// `delivered` by the client's next request, which piggybacks an ack
+// (AckPending), or discarded when the exchange failed (RollbackPending).
+// Without this, a response lost in flight would leave the server believing
+// the client holds data it never received — a permanent desync. Both sets
+// participate in duplicate filtering, so back-to-back queries behave as
+// before on a healthy link.
 struct ClientSession {
+  // Committed: acknowledged by the client.
   std::unordered_set<index::RecordId> delivered;
+  // Sent in the latest response(s) but not yet acknowledged.
+  std::unordered_set<index::RecordId> pending;
+  // Protocol counters (observability / tests).
+  int64_t acked_batches = 0;
+  int64_t rolled_back_batches = 0;
 };
+
+// Commits the session's pending deliveries: the client's next request
+// carries an ack for everything it installed from the previous response.
+void AckPending(ClientSession* session);
+
+// Discards the pending deliveries after a failed exchange, so the records
+// are re-sent when next queried.
+void RollbackPending(ClientSession* session);
 
 // Result of executing one batch of sub-queries.
 struct QueryResult {
@@ -65,7 +88,10 @@ class Server {
          index::RTreeOptions options = index::RTreeOptions());
 
   // Executes a batch of sub-queries as one exchange, filtering against
-  // `session` (updated with the newly delivered records).
+  // `session` (committed and pending records). The newly selected records
+  // are added to the session's *pending* set; the caller acks them
+  // (AckPending) once the client confirms installation, or rolls them
+  // back (RollbackPending) when the exchange fails.
   QueryResult Execute(const std::vector<SubQuery>& queries,
                       ClientSession* session) const;
 

@@ -14,7 +14,13 @@ trap 'rm -rf "$TMP"' EXIT
     --frames 30 --client naive | grep -q "mean response / query"
 "$BIN_DIR/tools/mars_sim" run --objects 10 --seed 5 --frames 30 \
     --client streaming --kalman --index naive-point | grep -q "index I/O"
+# A degraded link: loss + scheduled outages still terminate and report
+# the fault metrics.
+"$BIN_DIR/tools/mars_sim" run --objects 10 --seed 5 --frames 40 \
+    --client buffered --loss 0.05 --outage-rate 30 --outage-secs 5 \
+    | grep -q "outage frames"
 # Unknown flags and missing files fail loudly.
+if "$BIN_DIR/tools/mars_sim" run --loss 0.9 2>/dev/null; then exit 1; fi
 if "$BIN_DIR/tools/mars_sim" run --bogus 2>/dev/null; then exit 1; fi
 if "$BIN_DIR/tools/mars_sim" info --db /nonexistent 2>/dev/null; then exit 1; fi
 echo "cli smoke ok"

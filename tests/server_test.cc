@@ -115,6 +115,64 @@ TEST_F(ServerTest, SessionFiltersRepeatedDelivery) {
   EXPECT_EQ(second.response_bytes, Server::kResponseHeaderBytes);
 }
 
+TEST_F(ServerTest, ExecuteRecordsDeliveriesAsPending) {
+  ClientSession session;
+  const SubQuery q{WindowAroundObject(0), 0.0, 1.0};
+  const auto result = server_->Execute({q}, &session);
+  ASSERT_FALSE(result.records.empty());
+  // Nothing is committed until the client acks.
+  EXPECT_TRUE(session.delivered.empty());
+  EXPECT_EQ(session.pending.size(), result.records.size());
+  for (index::RecordId id : result.records) {
+    EXPECT_TRUE(session.pending.contains(id));
+  }
+}
+
+TEST_F(ServerTest, AckCommitsPendingDeliveries) {
+  ClientSession session;
+  const SubQuery q{WindowAroundObject(0), 0.0, 1.0};
+  const auto first = server_->Execute({q}, &session);
+  AckPending(&session);
+  EXPECT_EQ(session.delivered.size(), first.records.size());
+  EXPECT_TRUE(session.pending.empty());
+  EXPECT_EQ(session.acked_batches, 1);
+  // Committed records stay filtered.
+  const auto second = server_->Execute({q}, &session);
+  EXPECT_TRUE(second.records.empty());
+}
+
+TEST_F(ServerTest, RollbackCausesResend) {
+  ClientSession session;
+  const SubQuery q{WindowAroundObject(0), 0.0, 1.0};
+  const auto first = server_->Execute({q}, &session);
+  ASSERT_FALSE(first.records.empty());
+  // The response was lost in flight: the client never installed it.
+  RollbackPending(&session);
+  EXPECT_TRUE(session.delivered.empty());
+  EXPECT_TRUE(session.pending.empty());
+  EXPECT_EQ(session.rolled_back_batches, 1);
+  // The same query re-delivers the full set.
+  const auto again = server_->Execute({q}, &session);
+  std::unordered_set<index::RecordId> a(first.records.begin(),
+                                        first.records.end());
+  std::unordered_set<index::RecordId> b(again.records.begin(),
+                                        again.records.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ServerTest, PendingFiltersDuplicatesBeforeAck) {
+  // Back-to-back identical queries with no ack in between must not
+  // double-deliver: the pending set participates in filtering.
+  ClientSession session;
+  const SubQuery q{WindowAroundObject(0), 0.0, 1.0};
+  const auto first = server_->Execute({q}, &session);
+  const auto second = server_->Execute({q}, &session);
+  EXPECT_FALSE(first.records.empty());
+  EXPECT_TRUE(second.records.empty());
+  EXPECT_EQ(second.filtered_duplicates,
+            static_cast<int64_t>(first.records.size()));
+}
+
 TEST_F(ServerTest, BandQueriesArePartition) {
   // [w1, 1] then [0, w1) must together equal [0, 1] with no overlap.
   ClientSession session_full;

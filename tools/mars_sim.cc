@@ -10,12 +10,17 @@
 //             [--client buffered|streaming|naive] [--buffer-kb N]
 //             [--query-frac F] [--index support|naive-point]
 //             [--no-prefetch] [--naive-prefetch] [--kalman] [--seed S]
+//             [--loss P] [--outage-rate R] [--outage-secs S]
 //       Run one client over one tour and print the metrics.
+//       --loss injects i.i.d. packet loss (probability per exchange,
+//       < 0.5); --outage-rate schedules full-connectivity outages at R
+//       per hour with mean duration --outage-secs (default 8 s).
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
 //   mars_sim run --db city.mars --tour walk --speed 0.7 --client buffered
 //   mars_sim run --mb 20 --tour tram --speed 1.0 --client naive
+//   mars_sim run --mb 20 --loss 0.05 --outage-rate 30 --outage-secs 5
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +59,9 @@ struct Flags {
   bool no_prefetch = false;
   bool naive_prefetch = false;
   bool kalman = false;
+  double loss = 0.0;
+  double outage_rate = 0.0;
+  double outage_secs = 8.0;
 };
 
 void Usage() {
@@ -108,6 +116,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->naive_prefetch = true;
     } else if (arg == "--kalman") {
       flags->kalman = true;
+    } else if (arg == "--loss") {
+      flags->loss = std::atof(next());
+    } else if (arg == "--outage-rate") {
+      flags->outage_rate = std::atof(next());
+    } else if (arg == "--outage-secs") {
+      flags->outage_secs = std::atof(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -180,6 +194,22 @@ int Run(const Flags& flags) {
   config.index_kind = flags.index == "naive-point"
                           ? server::Server::IndexKind::kNaivePoint
                           : server::Server::IndexKind::kSupportRegion;
+  if (flags.loss < 0.0 || flags.loss >= 0.5) {
+    std::fprintf(stderr, "--loss must be in [0, 0.5)\n");
+    return 2;
+  }
+  if (flags.outage_rate < 0.0) {
+    std::fprintf(stderr, "--outage-rate must be >= 0\n");
+    return 2;
+  }
+  if (flags.outage_rate > 0.0 && flags.outage_secs <= 0.0) {
+    std::fprintf(stderr, "--outage-secs must be > 0\n");
+    return 2;
+  }
+  config.link.loss_probability = flags.loss;
+  config.fault.outage_rate_per_hour = flags.outage_rate;
+  config.fault.outage_mean_seconds = flags.outage_secs;
+  config.fault.seed = flags.seed + 2;
 
   std::unique_ptr<core::System> system;
   if (!flags.db_path.empty()) {
@@ -254,6 +284,18 @@ int Run(const Flags& flags) {
               100.0 * metrics.data_utilization);
   std::printf("index I/O per frame     : %.1f\n",
               metrics.MeanNodeAccesses());
+  if (flags.loss > 0.0 || flags.outage_rate > 0.0) {
+    std::printf("link retries            : %lld\n",
+                static_cast<long long>(metrics.retries));
+    std::printf("exchange timeouts       : %lld\n",
+                static_cast<long long>(metrics.timeouts));
+    std::printf("outage frames           : %lld\n",
+                static_cast<long long>(metrics.outage_frames));
+    std::printf("stale frames            : %lld\n",
+                static_cast<long long>(metrics.stale_frames));
+    std::printf("worst stale run         : %lld frames\n",
+                static_cast<long long>(metrics.max_stale_run_frames));
+  }
   return 0;
 }
 
