@@ -2,10 +2,15 @@
 //
 // The paper evaluates one client on a dedicated 256 Kbps bearer. A
 // deployed server faces many concurrent tourists sharing a cell. This
-// bench runs N clients (alternating tram/walk, distinct seeds) over the
-// same 60 MB scene and re-prices their per-frame transfers on a shared
-// 2 Mbps cell (processor sharing, 256 Kbps per-client cap): the mean
-// per-query response time is reported as the cell fills.
+// bench runs true concurrent fleets through the FleetEngine — N live
+// clients (alternating tram/walk, distinct seeds) against ONE shared
+// server and ONE 2 Mbps shared cell (processor sharing, 256 Kbps
+// per-client cap) — and reports the mean per-query delivery delay as the
+// cell fills. Earlier revisions re-priced offline single-client traces;
+// the fleet engine replaces that with an actual simulation: exchanges
+// queue against each other at the instants they really happen, and the
+// server's session table and hot-encoding cache see the true
+// interleaving.
 //
 // Expected shape: the motion-aware system's tiny transfers leave the cell
 // underutilized, so response times stay nearly flat out to many clients;
@@ -13,14 +18,12 @@
 // and degrades roughly linearly with N.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "client/buffered_client.h"
-#include "client/naive_client.h"
 #include "core/experiment.h"
-#include "net/link.h"
-#include "net/shared_link.h"
+#include "fleet/fleet_engine.h"
 
 namespace {
 
@@ -29,37 +32,23 @@ using namespace mars;  // NOLINT
 constexpr int32_t kFrames = 200;
 constexpr double kSpeed = 0.5;
 
-// Per-frame demand bytes and speeds for one client.
-struct ClientTrace {
-  std::vector<int64_t> bytes;
-  std::vector<double> speeds;
-};
+// A homogeneous fleet of n clients of one kind, with the same id-derived
+// seeds and tours regardless of kind, so the two series face identical
+// workloads.
+std::vector<fleet::ClientSpec> UniformFleet(int n, fleet::ClientKind kind) {
+  std::vector<fleet::ClientSpec> specs =
+      fleet::FleetEngine::MakeMixedFleet(n, kFrames, kSpeed, /*seed=*/0);
+  for (fleet::ClientSpec& spec : specs) spec.kind = kind;
+  return specs;
+}
 
-// Re-prices the traces on a shared medium: exchanges are submitted at
-// their frame times (1 s apart) and drain under processor sharing;
-// returns the mean delivery delay per exchange.
-double SharedResponse(const std::vector<ClientTrace>& traces) {
-  net::SharedMediumLink cell;
-  double total = 0.0;
-  int64_t exchanges = 0;
-  auto account = [&](const std::vector<net::SharedMediumLink::Completion>&
-                         completions) {
-    for (const auto& c : completions) {
-      total += c.response_seconds;
-      ++exchanges;
-    }
-  };
-  for (int32_t f = 0; f < kFrames; ++f) {
-    for (size_t c = 0; c < traces.size(); ++c) {
-      if (traces[c].bytes[f] > 0) {
-        cell.Submit(static_cast<int32_t>(c), traces[c].bytes[f],
-                    traces[c].speeds[f]);
-      }
-    }
-    account(cell.Advance(1.0));  // one query frame per second
-  }
-  account(cell.DrainAll());
-  return exchanges == 0 ? 0.0 : total / exchanges;
+double MeanDelay(const core::System& system,
+                 std::vector<fleet::ClientSpec> specs) {
+  fleet::FleetOptions options;
+  options.workers = 1;
+  fleet::FleetEngine engine(system, options, std::move(specs));
+  const fleet::FleetResult result = engine.Run();
+  return result.aggregate.MeanResponsePerExchange();
 }
 
 }  // namespace
@@ -72,61 +61,25 @@ int main() {
   }
   core::System& system = **system_or;
 
+  std::vector<std::vector<std::string>> rows;
+  for (int n : {1, 2, 4, 8, 16}) {
+    const double motion_aware =
+        MeanDelay(system, UniformFleet(n, fleet::ClientKind::kBuffered));
+    const double naive =
+        MeanDelay(system, UniformFleet(n, fleet::ClientKind::kNaive));
+    rows.push_back({std::to_string(n), core::Fmt(motion_aware, 3),
+                    core::Fmt(naive, 3)});
+  }
+
   core::PrintTableTitle(
       "Scalability — per-query response time (s) vs concurrent clients "
       "(2 Mbps cell)");
   core::PrintTableHeader({"clients", "motion-aware", "naive"});
-  for (int n : {1, 2, 4, 8, 16}) {
-    std::vector<ClientTrace> ma_traces, naive_traces;
-    for (int c = 0; c < n; ++c) {
-      workload::TourOptions tour_options;
-      tour_options.space = system.space();
-      tour_options.kind = (c % 2 == 0) ? workload::TourKind::kTram
-                                       : workload::TourKind::kPedestrian;
-      tour_options.target_speed = kSpeed;
-      tour_options.frames = kFrames;
-      tour_options.tram_stop_frames = 0;
-      tour_options.seed = 3000 + 23 * static_cast<uint64_t>(c);
-      const auto tour = workload::GenerateTour(tour_options);
+  for (const auto& row : rows) core::PrintTableRow(row);
 
-      // Motion-aware client trace (the client's own link is only used for
-      // data-flow accounting; pricing happens on the shared cell).
-      {
-        net::SimulatedLink link;
-        client::BufferedClient::Options options;
-        options.query_fraction = 0.05;
-        options.buffer_bytes = 64 * 1024;
-        options.seed = 100 + static_cast<uint64_t>(c);
-        client::BufferedClient cl(options, system.space(), &system.server(),
-                                  &link);
-        ClientTrace trace;
-        for (const auto& p : tour) {
-          const auto r = cl.Step(p.position, p.speed);
-          trace.bytes.push_back(r.demand_bytes);
-          trace.speeds.push_back(p.speed);
-        }
-        ma_traces.push_back(std::move(trace));
-      }
-      // Naive client trace.
-      {
-        net::SimulatedLink link;
-        client::NaiveObjectClient::Options options;
-        options.query_fraction = 0.05;
-        options.cache_bytes = 64 * 1024;
-        client::NaiveObjectClient cl(options, system.space(),
-                                     &system.server(), &link);
-        ClientTrace trace;
-        for (const auto& p : tour) {
-          const auto r = cl.Step(p.position, p.speed);
-          trace.bytes.push_back(r.bytes);
-          trace.speeds.push_back(p.speed);
-        }
-        naive_traces.push_back(std::move(trace));
-      }
-    }
-    core::PrintTableRow({std::to_string(n),
-                         core::Fmt(SharedResponse(ma_traces), 3),
-                         core::Fmt(SharedResponse(naive_traces), 3)});
+  std::printf("\n-- json --\n");
+  for (const auto& row : rows) {
+    std::printf("%s\n", core::TableRowJson(row).c_str());
   }
   return 0;
 }

@@ -84,6 +84,7 @@ BufferedClient::ExchangeTotals BufferedClient::FetchBlocks(
     totals.response_bytes = 0;
     return totals;
   }
+  totals.records = result.records;
 
   for (size_t i = 0; i < blocks.size(); ++i) {
     const int64_t bytes = result.per_query_bytes[i];
@@ -164,6 +165,8 @@ BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
     report.node_accesses += totals.node_accesses;
     report.response_seconds = totals.seconds;
     report.retries += totals.retries;
+    report.records.insert(report.records.end(), totals.records.begin(),
+                          totals.records.end());
     if (!totals.ok) {
       // Outage: the frame runs degraded. Whatever resolution is resident
       // keeps rendering (coarse data stays useful — the point of the
@@ -233,6 +236,8 @@ BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
       report.prefetch_bytes = totals.response_bytes;
       report.node_accesses += totals.node_accesses;
       report.retries += totals.retries;
+      report.records.insert(report.records.end(), totals.records.begin(),
+                            totals.records.end());
       if (!totals.ok) ++report.timeouts;
     }
   }

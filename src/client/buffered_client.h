@@ -37,6 +37,10 @@ struct BufferedFrameReport {
   // because their fetch failed; the client keeps rendering resident
   // coarse resolution instead of stalling.
   int64_t stale_blocks = 0;
+  // Records delivered this frame (demand + prefetch exchanges that
+  // succeeded). The fleet engine feeds these to the server's shared
+  // hot-encoding cache.
+  std::vector<index::RecordId> records;
 };
 
 // The full motion-aware system client (paper Secs. IV + V): the data space
@@ -135,6 +139,7 @@ class BufferedClient {
     double seconds = 0.0;
     int64_t retries = 0;
     bool ok = true;
+    std::vector<index::RecordId> records;  // delivered (empty on failure)
   };
   ExchangeTotals FetchBlocks(const std::vector<int64_t>& blocks,
                              const std::vector<double>& w_mins,

@@ -8,19 +8,21 @@ namespace mars::client {
 StreamingClient::StreamingClient(const Options& options,
                                  const geometry::Box2& space,
                                  const server::Server* server,
-                                 net::SimulatedLink* link)
+                                 net::SimulatedLink* link,
+                                 server::ClientSession* session)
     : options_(options),
       viewport_(space, options.query_fraction, options.query_fraction),
       server_(server),
       link_(link),
-      channel_(link, options.channel) {
+      channel_(link, options.channel),
+      session_(session != nullptr ? session : &owned_session_) {
   MARS_CHECK(server != nullptr);
   MARS_CHECK(link != nullptr);
 }
 
 void StreamingClient::FlushAck() {
   if (ack_outstanding_) {
-    server::AckPending(&session_);
+    server::AckPending(session_);
     ack_outstanding_ = false;
   }
 }
@@ -39,7 +41,7 @@ StreamingFrameReport StreamingClient::Step(const geometry::Vec2& position,
       prev_window_.has_value() ? prev_window_ : std::nullopt, prev_w_min_);
   report.sub_queries = static_cast<int64_t>(plan.size());
 
-  const server::QueryResult result = server_->Execute(plan, &session_);
+  const server::QueryResult result = server_->Execute(plan, session_);
   report.node_accesses = result.node_accesses;
 
   const net::ReliableChannel::Result net = channel_.Exchange(
@@ -66,7 +68,7 @@ StreamingFrameReport StreamingClient::Step(const geometry::Vec2& position,
     // tentative delivery back so the records are re-sent when next
     // queried, and keep planning against the last successful frame — on
     // reconnect the plan re-covers the lost region.
-    server::RollbackPending(&session_);
+    server::RollbackPending(session_);
   }
 
   total_response_seconds_ += report.response_seconds;

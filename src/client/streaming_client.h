@@ -59,9 +59,15 @@ class StreamingClient {
     net::ReliableChannel::Options channel;
   };
 
-  // `server` and `link` must outlive the client.
+  // `server` and `link` must outlive the client. `session` optionally
+  // points at an external (e.g. server-side SessionTable-resident)
+  // session this client exchanges against; when null the client keeps a
+  // private one. An external session must outlive the client and must not
+  // be shared with another client — it carries this client's
+  // duplicate-filter state.
   StreamingClient(const Options& options, const geometry::Box2& space,
-                  const server::Server* server, net::SimulatedLink* link);
+                  const server::Server* server, net::SimulatedLink* link,
+                  server::ClientSession* session = nullptr);
 
   // Advances one query frame: the client is at `position` moving at
   // normalized `speed`; plans Algorithm-1 sub-queries against the previous
@@ -80,7 +86,7 @@ class StreamingClient {
   int64_t frames() const { return frames_; }
   int64_t total_retries() const { return channel_.total_retries(); }
   int64_t total_failures() const { return channel_.total_failures(); }
-  const server::ClientSession& session() const { return session_; }
+  const server::ClientSession& session() const { return *session_; }
 
  private:
   Options options_;
@@ -88,7 +94,8 @@ class StreamingClient {
   const server::Server* server_;
   net::SimulatedLink* link_;
   net::ReliableChannel channel_;
-  server::ClientSession session_;
+  server::ClientSession owned_session_;
+  server::ClientSession* session_;  // owned_session_ or the external one
 
   // True when the previous frame's delivery still awaits its piggybacked
   // ack (committed at the start of the next exchange-bearing step).

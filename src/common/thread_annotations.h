@@ -1,0 +1,36 @@
+#ifndef MARS_COMMON_THREAD_ANNOTATIONS_H_
+#define MARS_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (-Wthread-safety). They compile
+// away on GCC and MSVC, so the annotated structures stay portable; under
+// clang the analysis statically checks that every access to a
+// MARS_GUARDED_BY member happens with its mutex held.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MARS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MARS_THREAD_ANNOTATION(x)
+#endif
+
+#define MARS_CAPABILITY(x) MARS_THREAD_ANNOTATION(capability(x))
+#define MARS_SCOPED_CAPABILITY MARS_THREAD_ANNOTATION(scoped_lockable)
+#define MARS_GUARDED_BY(x) MARS_THREAD_ANNOTATION(guarded_by(x))
+#define MARS_PT_GUARDED_BY(x) MARS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MARS_ACQUIRE(...) \
+  MARS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MARS_ACQUIRE_SHARED(...) \
+  MARS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define MARS_RELEASE(...) \
+  MARS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MARS_RELEASE_SHARED(...) \
+  MARS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define MARS_REQUIRES(...) \
+  MARS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MARS_REQUIRES_SHARED(...) \
+  MARS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define MARS_EXCLUDES(...) MARS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MARS_RETURN_CAPABILITY(x) MARS_THREAD_ANNOTATION(lock_returned(x))
+#define MARS_NO_THREAD_SAFETY_ANALYSIS \
+  MARS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // MARS_COMMON_THREAD_ANNOTATIONS_H_

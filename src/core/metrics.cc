@@ -1,0 +1,53 @@
+#include "core/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mars::core {
+
+namespace {
+
+void AppendInt(std::string* out, const char* key, int64_t value,
+               bool* first) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %" PRId64, *first ? "" : ", ",
+                key, value);
+  *first = false;
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, const char* key, double value,
+                  bool* first) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %.17g", *first ? "" : ", ",
+                key, value);
+  *first = false;
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string RunMetricsJson(const RunMetrics& m) {
+  std::string out = "{";
+  bool first = true;
+  AppendInt(&out, "frames", m.frames, &first);
+  AppendInt(&out, "demand_bytes", m.demand_bytes, &first);
+  AppendInt(&out, "prefetch_bytes", m.prefetch_bytes, &first);
+  AppendDouble(&out, "total_response_seconds", m.total_response_seconds,
+               &first);
+  AppendInt(&out, "demand_exchanges", m.demand_exchanges, &first);
+  AppendInt(&out, "node_accesses", m.node_accesses, &first);
+  AppendDouble(&out, "cache_hit_rate", m.cache_hit_rate, &first);
+  AppendDouble(&out, "data_utilization", m.data_utilization, &first);
+  AppendInt(&out, "records_delivered", m.records_delivered, &first);
+  AppendDouble(&out, "tour_distance", m.tour_distance, &first);
+  AppendInt(&out, "retries", m.retries, &first);
+  AppendInt(&out, "timeouts", m.timeouts, &first);
+  AppendInt(&out, "outage_frames", m.outage_frames, &first);
+  AppendInt(&out, "stale_frames", m.stale_frames, &first);
+  AppendInt(&out, "max_stale_run_frames", m.max_stale_run_frames, &first);
+  out += "}";
+  return out;
+}
+
+}  // namespace mars::core

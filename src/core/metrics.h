@@ -2,6 +2,7 @@
 #define MARS_CORE_METRICS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace mars::core {
 
@@ -57,7 +58,48 @@ struct RunMetrics {
   int64_t stale_frames = 0;
   // Worst-case staleness: longest run of consecutive stale frames.
   int64_t max_stale_run_frames = 0;
+
+  // Folds `other` into this run: additive fields sum, max_stale_run_frames
+  // takes the worst case, and the two rate fields (cache_hit_rate,
+  // data_utilization) combine as frames-weighted averages so merging a
+  // fleet of equal-length runs equals the plain mean. Merge is
+  // commutative-associative up to floating-point rounding; the fleet
+  // aggregator therefore merges in fixed client-id order.
+  void Merge(const RunMetrics& other) {
+    const double lhs_frames = static_cast<double>(frames);
+    const double rhs_frames = static_cast<double>(other.frames);
+    const double all_frames = lhs_frames + rhs_frames;
+    if (all_frames > 0.0) {
+      cache_hit_rate = (cache_hit_rate * lhs_frames +
+                        other.cache_hit_rate * rhs_frames) /
+                       all_frames;
+      data_utilization = (data_utilization * lhs_frames +
+                          other.data_utilization * rhs_frames) /
+                         all_frames;
+    }
+    frames += other.frames;
+    demand_bytes += other.demand_bytes;
+    prefetch_bytes += other.prefetch_bytes;
+    total_response_seconds += other.total_response_seconds;
+    demand_exchanges += other.demand_exchanges;
+    node_accesses += other.node_accesses;
+    records_delivered += other.records_delivered;
+    tour_distance += other.tour_distance;
+    retries += other.retries;
+    timeouts += other.timeouts;
+    outage_frames += other.outage_frames;
+    stale_frames += other.stale_frames;
+    max_stale_run_frames =
+        max_stale_run_frames > other.max_stale_run_frames
+            ? max_stale_run_frames
+            : other.max_stale_run_frames;
+  }
 };
+
+// Full-precision JSON object for a RunMetrics (doubles printed with %.17g,
+// so equal metrics serialize to byte-identical text — the determinism
+// tests compare these strings directly).
+std::string RunMetricsJson(const RunMetrics& m);
 
 }  // namespace mars::core
 

@@ -1,0 +1,365 @@
+#include "fleet/fleet_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "fleet/thread_pool.h"
+#include "fleet/virtual_clock.h"
+#include "server/wire_codec.h"
+
+namespace mars::fleet {
+
+// All per-client simulation state. During phase A exactly one worker
+// touches a given ClientState; the shared Server/ObjectDatabase are only
+// read, and the hot cache is only probed through const Lookup. The tick
+// scratch fields carry phase A's shared-side effects into phase B.
+struct FleetEngine::ClientState {
+  ClientSpec spec;
+  std::vector<workload::TourPoint> tour;
+  std::unique_ptr<net::FaultSchedule> fault;
+  std::unique_ptr<net::SimulatedLink> link;  // private bearer
+  std::unique_ptr<client::StreamingClient> streaming;
+  std::unique_ptr<client::BufferedClient> buffered;
+  std::unique_ptr<client::NaiveObjectClient> naive;
+
+  int32_t next_frame = 0;
+  core::RunMetrics metrics;
+  int64_t stale_run = 0;  // streaming consecutive-failure tracking
+  int64_t hot_hits = 0;
+  int64_t hot_misses = 0;
+  int64_t hot_bytes_saved = 0;
+
+  // Tick scratch: written by this client's phase-A task, consumed by the
+  // serial phase-B commit.
+  int64_t wire_bytes = 0;  // successful exchanges' bytes for the cell
+  double tick_speed = 0.0;
+  std::vector<index::RecordId> hot_touch;
+  std::vector<std::pair<index::RecordId, std::vector<uint8_t>>> hot_insert;
+};
+
+FleetEngine::FleetEngine(const core::System& system, FleetOptions options,
+                         std::vector<ClientSpec> specs)
+    : system_(system),
+      options_(options),
+      hot_cache_(options.hot_cache_bytes, options.hot_cache_shards) {
+  cell_fault_ = std::make_unique<net::FaultSchedule>(options_.cell_fault);
+  cell_ = std::make_unique<net::SharedMediumLink>(options_.cell);
+  if (cell_fault_->enabled()) cell_->AttachFaultSchedule(cell_fault_.get());
+
+  std::sort(specs.begin(), specs.end(),
+            [](const ClientSpec& a, const ClientSpec& b) {
+              return a.id < b.id;
+            });
+  states_.reserve(specs.size());
+  for (const ClientSpec& spec : specs) {
+    MARS_CHECK(states_.empty() || states_.back()->spec.id < spec.id);
+    states_.push_back(BuildState(spec));
+  }
+}
+
+FleetEngine::~FleetEngine() = default;
+
+std::unique_ptr<FleetEngine::ClientState> FleetEngine::BuildState(
+    const ClientSpec& spec) {
+  auto state = std::make_unique<ClientState>();
+  state->spec = spec;
+
+  workload::TourOptions tour;
+  tour.kind = spec.tour_kind;
+  tour.space = system_.space();
+  tour.target_speed = spec.speed;
+  tour.frames = spec.frames;
+  tour.frame_interval = options_.frame_interval_seconds;
+  tour.seed = spec.tour_seed;
+  state->tour = workload::GenerateTour(tour);
+  state->spec.frames = std::min<int32_t>(
+      spec.frames, static_cast<int32_t>(state->tour.size()));
+
+  // Every derived seed is a function of the spec (hence the client id)
+  // only — never of the fleet size.
+  net::SimulatedLink::Options link_opts = options_.client_link;
+  link_opts.loss_seed = spec.seed * 0x9E3779B97F4A7C15ull + 1;
+  state->link = std::make_unique<net::SimulatedLink>(link_opts);
+  net::FaultSchedule::Options fault_opts = options_.client_fault;
+  fault_opts.seed =
+      fault_opts.seed + 0x100 + static_cast<uint64_t>(spec.id) * 131;
+  state->fault = std::make_unique<net::FaultSchedule>(fault_opts);
+  if (state->fault->enabled()) {
+    state->link->AttachFaultSchedule(state->fault.get());
+  }
+
+  switch (spec.kind) {
+    case ClientKind::kStreaming: {
+      client::StreamingClient::Options opts;
+      opts.query_fraction = spec.query_fraction;
+      opts.channel.seed = spec.seed * 31 + 7;
+      // Streaming sessions are long-lived server-side state: they carry
+      // the duplicate filter across the whole tour, so they live in the
+      // server's striped SessionTable, keyed by client id.
+      state->streaming = std::make_unique<client::StreamingClient>(
+          opts, system_.space(), &system_.server(), state->link.get(),
+          sessions_.GetOrCreate(spec.id));
+      break;
+    }
+    case ClientKind::kBuffered: {
+      client::BufferedClient::Options opts;
+      opts.query_fraction = spec.query_fraction;
+      opts.buffer_bytes = spec.buffer_bytes;
+      opts.seed = spec.seed;
+      opts.channel.seed = spec.seed * 31 + 7;
+      state->buffered = std::make_unique<client::BufferedClient>(
+          opts, system_.space(), &system_.server(), state->link.get());
+      break;
+    }
+    case ClientKind::kNaive: {
+      client::NaiveObjectClient::Options opts;
+      opts.query_fraction = spec.query_fraction;
+      opts.cache_bytes = spec.buffer_bytes;
+      state->naive = std::make_unique<client::NaiveObjectClient>(
+          opts, system_.space(), &system_.server(), state->link.get());
+      break;
+    }
+  }
+  return state;
+}
+
+void FleetEngine::StepClient(ClientState* state) {
+  const workload::TourPoint& point =
+      state->tour[static_cast<size_t>(state->next_frame)];
+  state->wire_bytes = 0;
+  state->tick_speed = point.speed;
+  state->hot_touch.clear();
+  state->hot_insert.clear();
+
+  core::RunMetrics& m = state->metrics;
+  std::vector<index::RecordId> delivered;
+  switch (state->spec.kind) {
+    case ClientKind::kStreaming: {
+      client::StreamingFrameReport report =
+          state->streaming->Step(point.position, point.speed);
+      m.demand_bytes += report.response_bytes;
+      m.node_accesses += report.node_accesses;
+      m.records_delivered += report.new_records;
+      m.retries += report.retries;
+      if (report.status.ok()) {
+        state->stale_run = 0;
+        state->wire_bytes = report.request_bytes + report.response_bytes;
+        delivered = std::move(report.records);
+      } else {
+        ++m.timeouts;
+        ++m.outage_frames;
+        ++m.stale_frames;
+        ++state->stale_run;
+        m.max_stale_run_frames =
+            std::max(m.max_stale_run_frames, state->stale_run);
+      }
+      break;
+    }
+    case ClientKind::kBuffered: {
+      client::BufferedFrameReport report =
+          state->buffered->Step(point.position, point.speed);
+      m.demand_bytes += report.demand_bytes;
+      m.prefetch_bytes += report.prefetch_bytes;
+      m.node_accesses += report.node_accesses;
+      m.records_delivered += static_cast<int64_t>(report.records.size());
+      m.retries += report.retries;
+      m.timeouts += report.timeouts;
+      state->wire_bytes = report.demand_bytes + report.prefetch_bytes;
+      delivered = std::move(report.records);
+      break;
+    }
+    case ClientKind::kNaive: {
+      const client::NaiveFrameReport report =
+          state->naive->Step(point.position, point.speed);
+      m.demand_bytes += report.bytes;
+      m.node_accesses += report.node_accesses;
+      state->wire_bytes = report.bytes;
+      // Naive responses are whole objects, not coefficient records — the
+      // hot-encoding cache does not apply.
+      break;
+    }
+  }
+  ++m.frames;
+
+  // Probe the shared hot-encoding cache: read-only against the state the
+  // cache had at the tick boundary, so the hit/miss pattern cannot depend
+  // on worker interleaving. Misses are encoded *here* — that is the
+  // parallel CPU work the cache exists to spread — and installed by the
+  // serial commit.
+  if (hot_cache_.enabled() && !delivered.empty()) {
+    std::sort(delivered.begin(), delivered.end());
+    delivered.erase(std::unique(delivered.begin(), delivered.end()),
+                    delivered.end());
+    for (const index::RecordId id : delivered) {
+      const int64_t cached_bytes = hot_cache_.Lookup(id);
+      if (cached_bytes >= 0) {
+        ++state->hot_hits;
+        state->hot_bytes_saved += cached_bytes;
+        state->hot_touch.push_back(id);
+      } else {
+        ++state->hot_misses;
+        state->hot_insert.emplace_back(
+            id, server::EncodeRecords(system_.db(), {id}));
+      }
+    }
+  }
+}
+
+void FleetEngine::CommitClient(ClientState* state) {
+  for (const index::RecordId id : state->hot_touch) hot_cache_.Touch(id);
+  for (auto& [id, blob] : state->hot_insert) {
+    hot_cache_.Insert(id, std::move(blob));
+  }
+  state->hot_touch.clear();
+  state->hot_insert.clear();
+  if (state->wire_bytes > 0) {
+    cell_->Submit(state->spec.id, state->wire_bytes, state->tick_speed);
+  }
+}
+
+void FleetEngine::FinishClient(ClientState* state) {
+  core::RunMetrics& m = state->metrics;
+  switch (state->spec.kind) {
+    case ClientKind::kStreaming:
+      // Quiesce: commit the trailing pending delivery so the session's
+      // committed state matches the client's store.
+      state->streaming->FlushAck();
+      break;
+    case ClientKind::kBuffered:
+      m.cache_hit_rate = state->buffered->buffer_stats().HitRate();
+      m.data_utilization = state->buffered->buffer_stats().Utilization();
+      m.outage_frames = state->buffered->outage_frames();
+      m.stale_frames = state->buffered->stale_frames();
+      m.max_stale_run_frames = state->buffered->max_stale_run_frames();
+      break;
+    case ClientKind::kNaive:
+      m.cache_hit_rate = state->naive->CacheHitRate();
+      break;
+  }
+  m.tour_distance = workload::TourDistance(state->tour);
+}
+
+FleetResult FleetEngine::Run() {
+  VirtualScheduler scheduler;
+  ThreadPool pool(options_.workers);
+  const int64_t frame_micros =
+      net::SimClock::ToMicros(options_.frame_interval_seconds);
+  MARS_CHECK_GT(frame_micros, 0);
+
+  std::unordered_map<int32_t, ClientState*> by_id;
+  by_id.reserve(states_.size());
+  for (const auto& state : states_) {
+    by_id.emplace(state->spec.id, state.get());
+    if (state->spec.frames > 0) {
+      scheduler.Schedule(
+          net::SimClock::ToMicros(state->spec.start_offset_seconds),
+          state->spec.id);
+    }
+  }
+
+  const auto apply_completions =
+      [&](const std::vector<net::SharedMediumLink::Completion>& done) {
+        for (const net::SharedMediumLink::Completion& c : done) {
+          ClientState* state = by_id.at(c.client);
+          // Delivery delay on the shared cell is the fleet's response
+          // time; each drained submission is one demand exchange.
+          state->metrics.total_response_seconds += c.response_seconds;
+          ++state->metrics.demand_exchanges;
+        }
+      };
+
+  while (!scheduler.empty()) {
+    const int64_t tick = scheduler.NextMicros();
+    const double tick_seconds = net::SimClock::ToSeconds(tick);
+    // Drain the cell up to this instant first: a transfer finishing at
+    // the tick edge completes before the tick's new submissions queue.
+    if (tick_seconds > cell_->now()) {
+      apply_completions(cell_->Advance(tick_seconds - cell_->now()));
+    }
+    scheduler.clock().AdvanceTo(tick_seconds);
+
+    const std::vector<int32_t> due = scheduler.PopDue(tick);
+    // Phase A: all due clients step in parallel; each task touches only
+    // its own ClientState plus const shared structures.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(due.size());
+    for (const int32_t id : due) {
+      tasks.push_back([this, state = by_id.at(id)] { StepClient(state); });
+    }
+    pool.RunBatch(tasks);
+    // Phase B: commit shared side effects in ascending client id (PopDue
+    // returns ids sorted), then reschedule.
+    for (const int32_t id : due) {
+      ClientState* state = by_id.at(id);
+      CommitClient(state);
+      ++state->next_frame;
+      if (state->next_frame < state->spec.frames) {
+        scheduler.Schedule(
+            net::SimClock::ToMicros(state->spec.start_offset_seconds) +
+                static_cast<int64_t>(state->next_frame) * frame_micros,
+            id);
+      }
+    }
+  }
+  apply_completions(cell_->DrainAll());
+
+  FleetResult result;
+  result.clients.reserve(states_.size());
+  for (const auto& owned : states_) {
+    ClientState* state = owned.get();
+    FinishClient(state);
+    ClientResult client;
+    client.spec = state->spec;
+    client.metrics = state->metrics;
+    client.hot_hits = state->hot_hits;
+    client.hot_misses = state->hot_misses;
+    client.hot_bytes_saved = state->hot_bytes_saved;
+    result.aggregate.Merge(state->metrics);
+    result.hot_hits += state->hot_hits;
+    result.hot_misses += state->hot_misses;
+    result.hot_bytes_saved += state->hot_bytes_saved;
+    result.clients.push_back(std::move(client));
+  }
+  result.cell_bytes = cell_->total_bytes();
+  result.cell_retries = cell_->total_retries();
+  result.cell_timeouts = cell_->total_timeouts();
+  result.cell_outage_seconds = cell_->total_outage_seconds();
+  result.hot_cache_entries = hot_cache_.entries();
+  result.hot_cache_bytes = hot_cache_.size_bytes();
+  result.hot_cache_evictions = hot_cache_.evictions();
+  result.virtual_seconds = cell_->now();
+  return result;
+}
+
+std::vector<ClientSpec> FleetEngine::MakeMixedFleet(int32_t n,
+                                                    int32_t frames,
+                                                    double speed,
+                                                    uint64_t seed) {
+  std::vector<ClientSpec> specs;
+  specs.reserve(static_cast<size_t>(std::max<int32_t>(0, n)));
+  for (int32_t i = 0; i < n; ++i) {
+    ClientSpec spec;
+    spec.id = i;
+    spec.kind = i % 3 == 0   ? ClientKind::kStreaming
+                : i % 3 == 1 ? ClientKind::kBuffered
+                             : ClientKind::kNaive;
+    spec.tour_kind = i % 2 == 0 ? workload::TourKind::kTram
+                                : workload::TourKind::kPedestrian;
+    spec.speed = speed;
+    spec.frames = frames;
+    spec.seed = seed + 100 + static_cast<uint64_t>(i);
+    spec.tour_seed = seed + 3000 + 23 * static_cast<uint64_t>(i);
+    spec.query_fraction = 0.05;
+    spec.buffer_bytes = 64 * 1024;
+    // Stagger fleet arrivals across the frame so the cell sees a steady
+    // trickle, not one synchronized burst.
+    spec.start_offset_seconds = 0.25 * static_cast<double>(i % 4);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace mars::fleet

@@ -1,0 +1,158 @@
+#ifndef MARS_FLEET_FLEET_ENGINE_H_
+#define MARS_FLEET_FLEET_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/system.h"
+#include "net/fault.h"
+#include "net/link.h"
+#include "net/shared_link.h"
+#include "server/hot_cache.h"
+#include "server/session_table.h"
+#include "workload/tour.h"
+
+namespace mars::fleet {
+
+// Which client implementation a fleet member runs.
+enum class ClientKind {
+  kStreaming,  // incremental continuous retrieval (Sec. IV)
+  kBuffered,   // full motion-aware system (Secs. IV + V)
+  kNaive,      // full-resolution objects + LRU baseline (Sec. VII-E)
+};
+
+// One fleet member. Everything that varies per client lives here; every
+// seed below must be a function of the client id only (never of the fleet
+// size), so that client i behaves identically whether it runs alone or
+// among N others — the basis of the session-isolation tests.
+struct ClientSpec {
+  int32_t id = 0;
+  ClientKind kind = ClientKind::kStreaming;
+  workload::TourKind tour_kind = workload::TourKind::kTram;
+  double speed = 0.5;        // normalized cruise speed
+  int32_t frames = 200;      // tour length in query frames
+  uint64_t seed = 1;         // client-side randomness (loss, channel, rng)
+  uint64_t tour_seed = 7;    // trajectory randomness
+  double query_fraction = 0.05;
+  int64_t buffer_bytes = 64 * 1024;  // buffered/naive local budget
+  // When this client's first frame fires, staggering fleet arrivals on
+  // the shared cell.
+  double start_offset_seconds = 0.0;
+};
+
+struct FleetOptions {
+  // Seconds of virtual time between a client's query frames.
+  double frame_interval_seconds = 1.0;
+  // Worker threads for the parallel phase (1 = fully serial reference).
+  int32_t workers = 1;
+  // Per-client private bearer (install semantics: loss, retries,
+  // rollback). loss_seed is re-derived per client from ClientSpec::seed.
+  net::SimulatedLink::Options client_link;
+  // Per-client fault schedule; seed is offset by the client id. All-zero
+  // rates disable it.
+  net::FaultSchedule::Options client_fault;
+  // The shared cell every exchange's bytes are carried on (delivery
+  // delay under processor sharing).
+  net::SharedMediumLink::Options cell;
+  // Cell-level fault schedule (outages stall every client at once).
+  net::FaultSchedule::Options cell_fault;
+  // Shared hot-encoding cache budget; 0 disables.
+  int64_t hot_cache_bytes = 256 * 1024;
+  int32_t hot_cache_shards = 8;
+};
+
+// Per-client outcome.
+struct ClientResult {
+  ClientSpec spec;
+  core::RunMetrics metrics;
+  // Shared hot-encoding cache interactions attributed to this client.
+  int64_t hot_hits = 0;
+  int64_t hot_misses = 0;
+  int64_t hot_bytes_saved = 0;  // encoding work short-circuited, in bytes
+};
+
+struct FleetResult {
+  std::vector<ClientResult> clients;  // ascending client id
+  // Merge of every client's metrics, folded in client-id order.
+  core::RunMetrics aggregate;
+  // Shared-cell totals.
+  int64_t cell_bytes = 0;
+  int64_t cell_retries = 0;
+  int64_t cell_timeouts = 0;
+  double cell_outage_seconds = 0.0;
+  // Hot-encoding cache totals.
+  int64_t hot_hits = 0;
+  int64_t hot_misses = 0;
+  int64_t hot_bytes_saved = 0;
+  int64_t hot_cache_entries = 0;
+  int64_t hot_cache_bytes = 0;
+  int64_t hot_cache_evictions = 0;
+  // Virtual time at which the last exchange drained.
+  double virtual_seconds = 0.0;
+};
+
+// Runs N heterogeneous clients concurrently against ONE shared server and
+// ONE shared cell, in deterministic virtual time.
+//
+// Each tick the engine runs a two-phase step:
+//
+//   Phase A (parallel, thread pool): every client due at the tick steps —
+//   plans its queries, executes them against the const shared Server
+//   (sessions live in a striped SessionTable, one owner each), runs its
+//   private bearer's loss/retry model, probes the shared hot-encoding
+//   cache with read-only lookups, and encodes its cache misses. Nothing
+//   shared is mutated, so the phase is embarrassingly parallel.
+//
+//   Phase B (serial, ascending client id): hot-cache touches/inserts are
+//   committed, each client's successful wire bytes are submitted to the
+//   shared cell, and the client's next frame is scheduled. Then the cell
+//   advances to the next tick, attributing delivery delays to clients.
+//
+// Because every cross-client effect happens in phase B in a fixed order,
+// a fleet run is bit-identical at any worker count: same seeds in, same
+// per-client and aggregate metrics out, whether workers=1 or 8.
+class FleetEngine {
+ public:
+  FleetEngine(const core::System& system, FleetOptions options,
+              std::vector<ClientSpec> specs);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  // Runs every client's full tour; returns when the cell has drained.
+  FleetResult Run();
+
+  // Server-side session registry of the fleet's streaming clients
+  // (observability; populated during construction).
+  const server::SessionTable& sessions() const { return sessions_; }
+
+  // A standard mixed fleet: client i runs kind i%3 (streaming, buffered,
+  // naive) on tour kind i%2 (tram, pedestrian), with id-derived seeds and
+  // staggered start offsets. Client i's spec depends only on (i, frames,
+  // speed, seed) — not on n.
+  static std::vector<ClientSpec> MakeMixedFleet(int32_t n, int32_t frames,
+                                                double speed, uint64_t seed);
+
+ private:
+  struct ClientState;
+
+  std::unique_ptr<ClientState> BuildState(const ClientSpec& spec);
+  void StepClient(ClientState* state);    // phase A (any worker thread)
+  void CommitClient(ClientState* state);  // phase B (engine thread only)
+  void FinishClient(ClientState* state);
+
+  const core::System& system_;
+  FleetOptions options_;
+  server::SessionTable sessions_;
+  server::HotRecordCache hot_cache_;
+  std::vector<std::unique_ptr<ClientState>> states_;
+  std::unique_ptr<net::FaultSchedule> cell_fault_;
+  std::unique_ptr<net::SharedMediumLink> cell_;
+};
+
+}  // namespace mars::fleet
+
+#endif  // MARS_FLEET_FLEET_ENGINE_H_

@@ -1,0 +1,66 @@
+#ifndef MARS_FLEET_VIRTUAL_CLOCK_H_
+#define MARS_FLEET_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "net/sim_clock.h"
+
+namespace mars::fleet {
+
+// Deterministic virtual-time event scheduler for the fleet engine,
+// building on net::SimClock's integer-microsecond view. Events are
+// (tick, client-id) pairs in a min-heap ordered by tick first and client
+// id second, so the set of clients due at an instant — and the order the
+// serial commit phase walks them in — is a pure function of the schedule,
+// never of host thread timing. This is what makes a fleet run replay
+// bit-identically at any worker count.
+class VirtualScheduler {
+ public:
+  // Schedules `client_id` to act at absolute time `at_micros`.
+  void Schedule(int64_t at_micros, int32_t client_id) {
+    heap_.push(Event{at_micros, client_id});
+  }
+
+  bool empty() const { return heap_.empty(); }
+
+  // Earliest scheduled tick. Requires !empty().
+  int64_t NextMicros() const {
+    MARS_CHECK(!heap_.empty());
+    return heap_.top().at_micros;
+  }
+
+  // Pops every event scheduled exactly at `at_micros`; returns the client
+  // ids in ascending order (the heap tie-break).
+  std::vector<int32_t> PopDue(int64_t at_micros) {
+    std::vector<int32_t> due;
+    while (!heap_.empty() && heap_.top().at_micros == at_micros) {
+      due.push_back(heap_.top().client_id);
+      heap_.pop();
+    }
+    return due;
+  }
+
+  // The engine's virtual wall clock, advanced tick by tick.
+  net::SimClock& clock() { return clock_; }
+  const net::SimClock& clock() const { return clock_; }
+
+ private:
+  struct Event {
+    int64_t at_micros;
+    int32_t client_id;
+    // Reversed for a min-heap on std::priority_queue's max-heap.
+    bool operator<(const Event& other) const {
+      if (at_micros != other.at_micros) return at_micros > other.at_micros;
+      return client_id > other.client_id;
+    }
+  };
+
+  std::priority_queue<Event> heap_;
+  net::SimClock clock_;
+};
+
+}  // namespace mars::fleet
+
+#endif  // MARS_FLEET_VIRTUAL_CLOCK_H_

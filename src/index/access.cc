@@ -58,10 +58,10 @@ void SupportRegionIndex::Build(const std::vector<CoeffRecord>& records) {
   tree_ = RTree3::BulkLoad(std::move(entries), options_);
 }
 
-void SupportRegionIndex::Query(const geometry::Box2& region, double w_min,
-                               double w_max,
-                               std::vector<RecordId>* out) const {
-  tree_.Query(LiftWindow(scale_, region, w_min, w_max), out);
+int64_t SupportRegionIndex::Query(const geometry::Box2& region, double w_min,
+                                  double w_max,
+                                  std::vector<RecordId>* out) const {
+  return tree_.Query(LiftWindow(scale_, region, w_min, w_max), out);
 }
 
 int64_t SupportRegionIndex::node_accesses() const {
@@ -94,9 +94,9 @@ void NaivePointIndex::Build(const std::vector<CoeffRecord>& records) {
   tree_ = RTree3::BulkLoad(std::move(entries), options_);
 }
 
-void NaivePointIndex::Query(const geometry::Box2& region, double w_min,
-                            double w_max,
-                            std::vector<RecordId>* out) const {
+int64_t NaivePointIndex::Query(const geometry::Box2& region, double w_min,
+                               double w_max,
+                               std::vector<RecordId>* out) const {
   MARS_CHECK(records_ != nullptr) << "Query before Build";
 
   // Pass 1 (paper Sec. VI): coefficients whose vertex falls inside the
@@ -104,7 +104,8 @@ void NaivePointIndex::Query(const geometry::Box2& region, double w_min,
   // reveal which neighbourhoods must be fetched, so the work is repeated
   // below over the extended region.
   std::vector<int64_t> first_pass;
-  tree_.Query(LiftWindow(scale_, region, w_min, w_max), &first_pass);
+  int64_t accesses =
+      tree_.Query(LiftWindow(scale_, region, w_min, w_max), &first_pass);
 
   // Pass 2: re-execute over the extended region that covers every possible
   // neighbouring vertex, then keep the records whose support region
@@ -116,7 +117,7 @@ void NaivePointIndex::Query(const geometry::Box2& region, double w_min,
   extended.set_hi(1, extended.hi(1) + max_extent_y_);
 
   std::vector<int64_t> second_pass;
-  tree_.Query(extended, &second_pass);
+  accesses += tree_.Query(extended, &second_pass);
 
   for (int64_t id : second_pass) {
     const CoeffRecord& rec = (*records_)[id];
@@ -127,6 +128,7 @@ void NaivePointIndex::Query(const geometry::Box2& region, double w_min,
       out->push_back(id);
     }
   }
+  return accesses;
 }
 
 int64_t NaivePointIndex::node_accesses() const {
@@ -166,15 +168,15 @@ void SupportRegionIndex4D::Build(const std::vector<CoeffRecord>& records) {
   tree_ = RTree4::BulkLoad(std::move(entries), options_);
 }
 
-void SupportRegionIndex4D::Query(const geometry::Box3& region, double w_min,
-                                 double w_max,
-                                 std::vector<RecordId>* out) const {
+int64_t SupportRegionIndex4D::Query(const geometry::Box3& region,
+                                    double w_min, double w_max,
+                                    std::vector<RecordId>* out) const {
   const geometry::Box4 window(
       {scale_.X(region.lo(0)), scale_.Y(region.lo(1)),
        (region.lo(2) - off_z_) * scale_z_, w_min},
       {scale_.X(region.hi(0)), scale_.Y(region.hi(1)),
        (region.hi(2) - off_z_) * scale_z_, w_max});
-  tree_.Query(window, out);
+  return tree_.Query(window, out);
 }
 
 // --- ObjectIndex ----------------------------------------------------------
@@ -189,14 +191,15 @@ void ObjectIndex::Build(const std::vector<geometry::Box3>& object_bounds) {
   }
 }
 
-void ObjectIndex::Query(const geometry::Box2& region,
-                        std::vector<int32_t>* out) const {
+int64_t ObjectIndex::Query(const geometry::Box2& region,
+                           std::vector<int32_t>* out) const {
   std::vector<int64_t> hits;
-  tree_.Query(region, &hits);
+  const int64_t accesses = tree_.Query(region, &hits);
   out->reserve(out->size() + hits.size());
   for (int64_t h : hits) {
     out->push_back(static_cast<int32_t>(h));
   }
+  return accesses;
 }
 
 }  // namespace mars::index

@@ -17,6 +17,11 @@ namespace mars::index {
 // set of records whose support-region MBB intersects R (in the ground
 // plane) with w in [w_min, w_max]; both strategies return exactly that set,
 // at different I/O cost.
+//
+// Thread safety: after Build, Query on a const index is safe from many
+// threads concurrently — the cumulative counters are relaxed atomics and
+// each call returns its own node-access count, so per-exchange accounting
+// never reads order-dependent counter deltas.
 class CoefficientIndex {
  public:
   virtual ~CoefficientIndex() = default;
@@ -24,9 +29,10 @@ class CoefficientIndex {
   // Builds the index over `records`; the table must outlive the index.
   virtual void Build(const std::vector<CoeffRecord>& records) = 0;
 
-  // Appends the ids of the required set for Q(region, w_max, w_min).
-  virtual void Query(const geometry::Box2& region, double w_min,
-                     double w_max, std::vector<RecordId>* out) const = 0;
+  // Appends the ids of the required set for Q(region, w_max, w_min);
+  // returns the node accesses this call spent.
+  virtual int64_t Query(const geometry::Box2& region, double w_min,
+                        double w_max, std::vector<RecordId>* out) const = 0;
 
   // Node accesses accumulated by queries since the last ResetStats() — the
   // paper's I/O cost metric.
@@ -59,8 +65,8 @@ class SupportRegionIndex : public CoefficientIndex {
   explicit SupportRegionIndex(RTreeOptions options = RTreeOptions());
 
   void Build(const std::vector<CoeffRecord>& records) override;
-  void Query(const geometry::Box2& region, double w_min, double w_max,
-             std::vector<RecordId>* out) const override;
+  int64_t Query(const geometry::Box2& region, double w_min, double w_max,
+                std::vector<RecordId>* out) const override;
   int64_t node_accesses() const override;
   void ResetStats() override;
   std::string name() const override { return "support-region"; }
@@ -89,8 +95,8 @@ class NaivePointIndex : public CoefficientIndex {
   explicit NaivePointIndex(RTreeOptions options = RTreeOptions());
 
   void Build(const std::vector<CoeffRecord>& records) override;
-  void Query(const geometry::Box2& region, double w_min, double w_max,
-             std::vector<RecordId>* out) const override;
+  int64_t Query(const geometry::Box2& region, double w_min, double w_max,
+                std::vector<RecordId>* out) const override;
   int64_t node_accesses() const override;
   void ResetStats() override;
   std::string name() const override { return "naive-point"; }
@@ -117,9 +123,10 @@ class SupportRegionIndex4D {
 
   void Build(const std::vector<CoeffRecord>& records);
 
-  // Q(R, w_max, w_min) with a 3D region of interest.
-  void Query(const geometry::Box3& region, double w_min, double w_max,
-             std::vector<RecordId>* out) const;
+  // Q(R, w_max, w_min) with a 3D region of interest; returns this call's
+  // node accesses.
+  int64_t Query(const geometry::Box3& region, double w_min, double w_max,
+                std::vector<RecordId>* out) const;
 
   int64_t node_accesses() const { return tree_.stats().query_node_accesses; }
   void ResetStats() { tree_.ResetStats(); }
@@ -141,8 +148,10 @@ class ObjectIndex {
   // object_bounds[i] = world bounds of object i.
   void Build(const std::vector<geometry::Box3>& object_bounds);
 
-  // Appends the ids of objects whose ground-plane MBR intersects `region`.
-  void Query(const geometry::Box2& region, std::vector<int32_t>* out) const;
+  // Appends the ids of objects whose ground-plane MBR intersects `region`;
+  // returns this call's node accesses.
+  int64_t Query(const geometry::Box2& region,
+                std::vector<int32_t>* out) const;
 
   int64_t node_accesses() const { return tree_.stats().query_node_accesses; }
   void ResetStats() { tree_.ResetStats(); }

@@ -2,6 +2,7 @@
 #define MARS_INDEX_RTREE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -39,15 +40,52 @@ struct RTreeOptions {
   double reinsert_fraction = 0.3;
 };
 
+// Relaxed atomic counter that behaves like a plain int64_t at the call
+// sites (increment, add, read, copy). Queries of a const-shared tree bump
+// these counters concurrently; relaxed ordering suffices because the
+// counters carry no synchronization — they are pure statistics.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(int64_t v) : v_(v) {}  // NOLINT: implicit by design
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  int64_t load() const { return v_.load(std::memory_order_relaxed); }
+  operator int64_t() const { return load(); }  // NOLINT: implicit by design
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(int64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
 // Cumulative access counters, the "I/O cost" metric of the paper's
 // evaluation: every node visited during a query or update counts as one
-// page access.
+// page access. Query-side counters are relaxed atomics so a const tree can
+// be shared across the fleet's worker threads; per-exchange accounting
+// uses the per-call counts the query methods return, never deltas of
+// these cumulative counters (deltas would interleave across clients).
 struct RTreeStats {
-  int64_t query_node_accesses = 0;
-  int64_t insert_node_accesses = 0;
-  int64_t queries = 0;
-  int64_t splits = 0;
-  int64_t reinserts = 0;
+  RelaxedCounter query_node_accesses;
+  RelaxedCounter insert_node_accesses;
+  RelaxedCounter queries;
+  RelaxedCounter splits;
+  RelaxedCounter reinserts;
 };
 
 // In-memory R-tree / R*-tree over axis-aligned boxes in `Dim` dimensions
@@ -154,16 +192,25 @@ class RTree {
   }
 
   // Appends the values of all entries whose box intersects `window`.
-  void Query(const BoxT& window, std::vector<int64_t>* out) const {
+  // Returns the node accesses of this call (also added to the cumulative
+  // stats — with a single atomic add, so concurrent queries on a shared
+  // tree stay cheap and the per-call count stays exact).
+  int64_t Query(const BoxT& window, std::vector<int64_t>* out) const {
     ++stats_.queries;
-    QueryRec(root_.get(), window, out);
+    int64_t accesses = 0;
+    QueryRec(root_.get(), window, out, &accesses);
+    stats_.query_node_accesses += accesses;
+    return accesses;
   }
 
   // Appends (box, value) pairs of all entries whose box intersects
-  // `window`.
-  void QueryEntries(const BoxT& window, std::vector<Entry>* out) const {
+  // `window`. Returns the node accesses of this call.
+  int64_t QueryEntries(const BoxT& window, std::vector<Entry>* out) const {
     ++stats_.queries;
-    QueryEntriesRec(root_.get(), window, out);
+    int64_t accesses = 0;
+    QueryEntriesRec(root_.get(), window, out, &accesses);
+    stats_.query_node_accesses += accesses;
+    return accesses;
   }
 
   // Bounding box of the whole tree (empty box when the tree is empty).
@@ -172,12 +219,13 @@ class RTree {
   // k-nearest-neighbour query (best-first / Hjaltason & Samet): the k
   // entries whose boxes are nearest to `point` (minimum box distance),
   // nearest first. Ties are broken arbitrarily. Counts node accesses like
-  // Query.
-  void NearestNeighbors(const std::array<double, Dim>& point, int32_t k,
-                        std::vector<Entry>* out) const {
+  // Query and returns this call's count.
+  int64_t NearestNeighbors(const std::array<double, Dim>& point, int32_t k,
+                           std::vector<Entry>* out) const {
     ++stats_.queries;
     out->clear();
-    if (size_ == 0 || k <= 0) return;
+    int64_t accesses = 0;
+    if (size_ == 0 || k <= 0) return accesses;
 
     // Min-heap over (distance², node or entry).
     struct HeapItem {
@@ -199,7 +247,7 @@ class RTree {
         out->push_back(*item.entry);
         continue;
       }
-      ++stats_.query_node_accesses;
+      ++accesses;
       const Node* node = item.node;
       if (node->is_leaf) {
         for (const Entry& e : node->entries) {
@@ -212,6 +260,8 @@ class RTree {
         }
       }
     }
+    stats_.query_node_accesses += accesses;
+    return accesses;
   }
 
   // Squared minimum distance from `point` to `box` (0 when inside).
@@ -833,8 +883,8 @@ class RTree {
   // --- Query -----------------------------------------------------------
 
   void QueryRec(const Node* node, const BoxT& window,
-                std::vector<int64_t>* out) const {
-    ++stats_.query_node_accesses;
+                std::vector<int64_t>* out, int64_t* accesses) const {
+    ++*accesses;
     if (node->is_leaf) {
       for (const Entry& e : node->entries) {
         if (e.box.Intersects(window)) out->push_back(e.value);
@@ -842,13 +892,15 @@ class RTree {
       return;
     }
     for (const auto& child : node->children) {
-      if (child->mbr.Intersects(window)) QueryRec(child.get(), window, out);
+      if (child->mbr.Intersects(window)) {
+        QueryRec(child.get(), window, out, accesses);
+      }
     }
   }
 
   void QueryEntriesRec(const Node* node, const BoxT& window,
-                       std::vector<Entry>* out) const {
-    ++stats_.query_node_accesses;
+                       std::vector<Entry>* out, int64_t* accesses) const {
+    ++*accesses;
     if (node->is_leaf) {
       for (const Entry& e : node->entries) {
         if (e.box.Intersects(window)) out->push_back(e);
@@ -857,7 +909,7 @@ class RTree {
     }
     for (const auto& child : node->children) {
       if (child->mbr.Intersects(window)) {
-        QueryEntriesRec(child.get(), window, out);
+        QueryEntriesRec(child.get(), window, out, accesses);
       }
     }
   }

@@ -8,13 +8,36 @@ namespace mars::net {
 // Simulated wall clock, in seconds. All timing in MARS is simulated — the
 // evaluation measures modelled link time, never host time — so experiments
 // are deterministic and machine-independent.
+//
+// For multi-client scheduling, the clock also exposes an integer
+// microsecond view: the fleet engine orders events by int64 µs ticks so
+// that "same instant" is an exact integer comparison, never a
+// floating-point coincidence (the basis of its bit-identical replays at
+// any worker count).
 class SimClock {
  public:
+  static constexpr double kMicrosPerSecond = 1e6;
+
+  // Rounds to the nearest microsecond tick.
+  static int64_t ToMicros(double seconds) {
+    return static_cast<int64_t>(seconds * kMicrosPerSecond + 0.5);
+  }
+  static double ToSeconds(int64_t micros) {
+    return static_cast<double>(micros) / kMicrosPerSecond;
+  }
+
   double now() const { return now_seconds_; }
+  int64_t now_micros() const { return ToMicros(now_seconds_); }
 
   void Advance(double seconds) {
     MARS_CHECK_GE(seconds, 0.0);
     now_seconds_ += seconds;
+  }
+
+  // Advances to an absolute time; no-op when `seconds` is in the past
+  // (completions may already have pushed a sub-clock past a tick edge).
+  void AdvanceTo(double seconds) {
+    if (seconds > now_seconds_) now_seconds_ = seconds;
   }
 
  private:

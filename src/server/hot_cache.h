@@ -1,0 +1,96 @@
+#ifndef MARS_SERVER_HOT_CACHE_H_
+#define MARS_SERVER_HOT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "index/record.h"
+
+namespace mars::server {
+
+// Server-side shared cache of hot wire encodings: the serialized bytes of
+// records recently sent to *any* client. Concurrent clients touring the
+// same district request largely overlapping record sets; encoding each
+// record once and replaying the bytes for the next client short-circuits
+// the per-response serialization work.
+//
+// The cache is sharded by record id, each shard an LRU over its byte
+// budget behind its own reader/writer mutex. It is built for the fleet
+// engine's deterministic two-phase tick:
+//
+//   * During the parallel read phase, workers call only const Lookup(),
+//     which takes a shard's reader lock and mutates nothing — not even
+//     LRU recency — so hit/miss outcomes depend only on the cache state
+//     frozen at the tick boundary, never on worker interleaving.
+//   * During the serial commit phase, the engine applies Touch() (recency
+//     for hits) and Insert() (encodings for misses) in client-id order,
+//     so the cache contents evolve identically at any worker count.
+//
+// Used outside that protocol, the locking still makes every method safe
+// to call concurrently; only the determinism guarantee needs the
+// phase discipline.
+class HotRecordCache {
+ public:
+  // `budget_bytes` caps the summed encoded payload across all shards
+  // (split evenly); 0 disables the cache (every Lookup misses, Insert is
+  // a no-op).
+  explicit HotRecordCache(int64_t budget_bytes, int32_t shards = 8);
+
+  HotRecordCache(const HotRecordCache&) = delete;
+  HotRecordCache& operator=(const HotRecordCache&) = delete;
+
+  // Encoded size of `id`'s cached payload, or -1 on a miss. Read-only:
+  // recency is NOT updated (see the phase protocol above).
+  int64_t Lookup(index::RecordId id) const;
+
+  // Marks `id` most-recently-used. No-op when the entry was evicted
+  // between the lookup and the commit.
+  void Touch(index::RecordId id);
+
+  // Installs the encoding of `id`, evicting least-recently-used entries
+  // while the shard is over budget. An entry already present (e.g.
+  // inserted for an earlier client in the same commit phase) is touched
+  // instead.
+  void Insert(index::RecordId id, std::vector<uint8_t> encoded);
+
+  // Observability.
+  int64_t size_bytes() const;
+  int64_t entries() const;
+  int64_t evictions() const;
+  bool enabled() const { return budget_bytes_ > 0; }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> encoded;
+    std::list<index::RecordId>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable common::SharedMutex mu;
+    std::unordered_map<index::RecordId, Entry> map MARS_GUARDED_BY(mu);
+    // Front = most recent, back = eviction candidate.
+    std::list<index::RecordId> lru MARS_GUARDED_BY(mu);
+    int64_t bytes MARS_GUARDED_BY(mu) = 0;
+    int64_t evictions MARS_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardOf(index::RecordId id) {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+  const Shard& ShardOf(index::RecordId id) const {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
+  int64_t budget_bytes_;
+  int64_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mars::server
+
+#endif  // MARS_SERVER_HOT_CACHE_H_

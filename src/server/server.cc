@@ -46,13 +46,16 @@ QueryResult Server::Execute(const std::vector<SubQuery>& queries,
       kSubQueryBytes * static_cast<int64_t>(queries.size());
   result.response_bytes = kResponseHeaderBytes;
 
-  const int64_t before = coeff_index_->node_accesses();
   result.per_query.resize(queries.size());
   result.per_query_bytes.assign(queries.size(), 0);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const SubQuery& q = queries[qi];
     std::vector<index::RecordId> hits;
-    coeff_index_->Query(q.region, q.w_min, q.w_max, &hits);
+    // Per-call access counts, never cumulative-counter deltas: with the
+    // index const-shared across the fleet's workers, a delta would
+    // absorb other clients' concurrent traversals.
+    result.node_accesses +=
+        coeff_index_->Query(q.region, q.w_min, q.w_max, &hits);
     for (index::RecordId id : hits) {
       // Filter against everything the client holds or is about to hold;
       // new records become pending until the client's ack commits them.
@@ -68,7 +71,6 @@ QueryResult Server::Execute(const std::vector<SubQuery>& queries,
       result.response_bytes += bytes;
     }
   }
-  result.node_accesses = coeff_index_->node_accesses() - before;
   return result;
 }
 
@@ -80,10 +82,8 @@ Server::ObjectQueryResult Server::ExecuteObjectQuery(
   result.request_bytes = kRequestHeaderBytes + kSubQueryBytes;
   result.response_bytes = kResponseHeaderBytes;
 
-  const int64_t before = object_index_.node_accesses();
   std::vector<int32_t> hits;
-  object_index_.Query(region, &hits);
-  result.node_accesses = object_index_.node_accesses() - before;
+  result.node_accesses = object_index_.Query(region, &hits);
   result.all_objects = hits;
   for (int32_t obj : hits) {
     if (!delivered_objects->insert(obj).second) continue;
@@ -96,9 +96,7 @@ Server::ObjectQueryResult Server::ExecuteObjectQuery(
 Server::ObjectListing Server::ListObjects(
     const geometry::Box2& region) const {
   ObjectListing listing;
-  const int64_t before = object_index_.node_accesses();
-  object_index_.Query(region, &listing.objects);
-  listing.node_accesses = object_index_.node_accesses() - before;
+  listing.node_accesses = object_index_.Query(region, &listing.objects);
   return listing;
 }
 

@@ -76,6 +76,14 @@ struct QueryResult {
 
 // The data server: object database + one coefficient access method, plus an
 // object-granularity index for the naive full-resolution path.
+//
+// Thread safety: after construction the server is immutable, and every
+// const method is safe to call from many threads concurrently *provided
+// each thread passes its own session object* — the fleet engine's striped
+// SessionTable guarantees exactly that. Index access counters are relaxed
+// atomics; per-exchange accounting uses per-call counts, so concurrent
+// clients never see each other's I/O. ResetStats is NOT thread-safe and
+// must only run while no queries are in flight.
 class Server {
  public:
   enum class IndexKind {

@@ -1,0 +1,41 @@
+#include "server/session_table.h"
+
+namespace mars::server {
+
+ClientSession* SessionTable::GetOrCreate(int32_t client_id) {
+  Stripe& stripe = stripes_[StripeOf(client_id)];
+  common::MutexLock lock(&stripe.mu);
+  std::unique_ptr<ClientSession>& slot = stripe.sessions[client_id];
+  if (slot == nullptr) slot = std::make_unique<ClientSession>();
+  return slot.get();
+}
+
+ClientSession* SessionTable::Find(int32_t client_id) const {
+  const Stripe& stripe = stripes_[StripeOf(client_id)];
+  common::MutexLock lock(&stripe.mu);
+  const auto it = stripe.sessions.find(client_id);
+  return it == stripe.sessions.end() ? nullptr : it->second.get();
+}
+
+int64_t SessionTable::size() const {
+  int64_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    common::MutexLock lock(&stripe.mu);
+    n += static_cast<int64_t>(stripe.sessions.size());
+  }
+  return n;
+}
+
+int64_t SessionTable::TotalTrackedRecords() const {
+  int64_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    common::MutexLock lock(&stripe.mu);
+    for (const auto& [id, session] : stripe.sessions) {
+      n += static_cast<int64_t>(session->delivered.size()) +
+           static_cast<int64_t>(session->pending.size());
+    }
+  }
+  return n;
+}
+
+}  // namespace mars::server

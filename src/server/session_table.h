@@ -1,0 +1,73 @@
+#ifndef MARS_SERVER_SESSION_TABLE_H_
+#define MARS_SERVER_SESSION_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "server/server.h"
+
+namespace mars::server {
+
+// Server-side registry of per-client sessions for the multi-client fleet.
+//
+// The table is striped: client ids hash onto kStripes independent shards,
+// each guarded by its own mutex, so sessions of different clients never
+// contend on a single table lock (the classic session-table bottleneck of
+// a threaded server). The stripe lock protects the shard's *map* —
+// insertion of new sessions while other workers look sessions up.
+//
+// The ClientSession objects themselves are NOT locked here: the fleet's
+// scheduler runs each client's exchange on exactly one worker at a time
+// (a session has one owner by protocol — its client), so per-session
+// mutual exclusion is structural. Pointers handed out remain stable for
+// the table's lifetime (sessions are heap-allocated and never erased
+// individually).
+class SessionTable {
+ public:
+  static constexpr int32_t kStripes = 16;
+
+  SessionTable() = default;
+
+  SessionTable(const SessionTable&) = delete;
+  SessionTable& operator=(const SessionTable&) = delete;
+
+  // Returns the session of `client_id`, creating it on first use.
+  // Safe to call concurrently for any mix of client ids.
+  ClientSession* GetOrCreate(int32_t client_id);
+
+  // Returns the session of `client_id`, or nullptr when it was never
+  // created. Safe to call concurrently.
+  ClientSession* Find(int32_t client_id) const;
+
+  // Total sessions across all stripes.
+  int64_t size() const;
+
+  // Cumulative committed + pending records across every session — the
+  // server's total duplicate-filter footprint (observability).
+  int64_t TotalTrackedRecords() const;
+
+ private:
+  struct Stripe {
+    mutable common::Mutex mu;
+    std::unordered_map<int32_t, std::unique_ptr<ClientSession>> sessions
+        MARS_GUARDED_BY(mu);
+  };
+
+  static int32_t StripeOf(int32_t client_id) {
+    // Cheap integer hash; client ids are small and dense, so the identity
+    // modulo would also do, but mixing keeps adversarial id patterns from
+    // piling onto one stripe.
+    uint32_t h = static_cast<uint32_t>(client_id) * 2654435761u;
+    return static_cast<int32_t>(h % static_cast<uint32_t>(kStripes));
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace mars::server
+
+#endif  // MARS_SERVER_SESSION_TABLE_H_

@@ -1,0 +1,366 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/system.h"
+#include "fleet/fleet_engine.h"
+#include "fleet/thread_pool.h"
+#include "fleet/virtual_clock.h"
+#include "server/hot_cache.h"
+#include "server/session_table.h"
+
+namespace mars {
+namespace {
+
+core::System::Config SmallConfig() {
+  core::System::Config config;
+  config.scene.object_count = 60;
+  config.scene.seed = 11;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  fleet::ThreadPool pool(4);
+  for (const int batch_size : {0, 1, 3, 7, 64}) {
+    std::atomic<int> counter{0};
+    std::vector<int> hits(static_cast<size_t>(batch_size), 0);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < batch_size; ++i) {
+      tasks.push_back([&counter, &hits, i] {
+        ++hits[static_cast<size_t>(i)];
+        counter.fetch_add(1);
+      });
+    }
+    pool.RunBatch(tasks);
+    EXPECT_EQ(counter.load(), batch_size);
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  fleet::ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  pool.RunBatch(tasks);
+  // Inline execution preserves submission order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  fleet::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::function<void()>> tasks(
+        8, [&counter] { counter.fetch_add(1); });
+    pool.RunBatch(tasks);
+  }
+  EXPECT_EQ(counter.load(), 80);
+}
+
+// ---------------------------------------------------------------------------
+// VirtualScheduler
+
+TEST(VirtualSchedulerTest, OrdersByTickThenClientId) {
+  fleet::VirtualScheduler scheduler;
+  scheduler.Schedule(2'000'000, 3);
+  scheduler.Schedule(1'000'000, 9);
+  scheduler.Schedule(1'000'000, 2);
+  scheduler.Schedule(1'000'000, 5);
+  ASSERT_FALSE(scheduler.empty());
+  EXPECT_EQ(scheduler.NextMicros(), 1'000'000);
+  EXPECT_EQ(scheduler.PopDue(1'000'000), (std::vector<int32_t>{2, 5, 9}));
+  EXPECT_EQ(scheduler.NextMicros(), 2'000'000);
+  EXPECT_EQ(scheduler.PopDue(2'000'000), (std::vector<int32_t>{3}));
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(VirtualSchedulerTest, MicroTickRoundTrip) {
+  EXPECT_EQ(net::SimClock::ToMicros(1.0), 1'000'000);
+  EXPECT_EQ(net::SimClock::ToMicros(0.25), 250'000);
+  EXPECT_DOUBLE_EQ(net::SimClock::ToSeconds(1'500'000), 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// RunMetrics::Merge
+
+TEST(RunMetricsTest, MergeSumsAndWeights) {
+  core::RunMetrics a;
+  a.frames = 100;
+  a.demand_bytes = 1000;
+  a.cache_hit_rate = 0.8;
+  a.max_stale_run_frames = 3;
+  core::RunMetrics b;
+  b.frames = 300;
+  b.demand_bytes = 500;
+  b.cache_hit_rate = 0.4;
+  b.max_stale_run_frames = 7;
+  a.Merge(b);
+  EXPECT_EQ(a.frames, 400);
+  EXPECT_EQ(a.demand_bytes, 1500);
+  // Frames-weighted: (0.8*100 + 0.4*300) / 400 = 0.5.
+  EXPECT_DOUBLE_EQ(a.cache_hit_rate, 0.5);
+  EXPECT_EQ(a.max_stale_run_frames, 7);
+}
+
+TEST(RunMetricsTest, JsonIsFullPrecision) {
+  core::RunMetrics m;
+  m.total_response_seconds = 0.1 + 0.2;  // 0.30000000000000004
+  const std::string json = core::RunMetricsJson(m);
+  EXPECT_NE(json.find("0.30000000000000004"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// SessionTable / HotRecordCache units
+
+TEST(SessionTableTest, GetOrCreateIsStableAndIsolated) {
+  server::SessionTable table;
+  server::ClientSession* a = table.GetOrCreate(1);
+  server::ClientSession* b = table.GetOrCreate(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.GetOrCreate(1), a);
+  EXPECT_EQ(table.Find(1), a);
+  EXPECT_EQ(table.Find(99), nullptr);
+  a->delivered.insert(42);
+  EXPECT_EQ(table.Find(2)->delivered.size(), 0u);
+  EXPECT_EQ(table.size(), 2);
+  EXPECT_EQ(table.TotalTrackedRecords(), 1);
+}
+
+TEST(HotRecordCacheTest, LookupIsReadOnlyAndLruEvicts) {
+  // One shard so the LRU order is directly observable.
+  server::HotRecordCache cache(/*budget_bytes=*/8, /*shards=*/1);
+  cache.Insert(1, std::vector<uint8_t>(4, 0xAB));
+  cache.Insert(2, std::vector<uint8_t>(4, 0xCD));
+  EXPECT_EQ(cache.entries(), 2);
+  EXPECT_EQ(cache.Lookup(1), 4);
+  EXPECT_EQ(cache.Lookup(3), -1);
+  // Lookup must NOT refresh recency: 1 is still the LRU victim.
+  cache.Insert(3, std::vector<uint8_t>(4, 0xEF));
+  EXPECT_EQ(cache.Lookup(1), -1);
+  EXPECT_EQ(cache.Lookup(2), 4);
+  EXPECT_EQ(cache.evictions(), 1);
+  // Touch does refresh: after touching 2, inserting evicts 3.
+  cache.Touch(2);
+  cache.Insert(4, std::vector<uint8_t>(4, 0x01));
+  EXPECT_EQ(cache.Lookup(3), -1);
+  EXPECT_EQ(cache.Lookup(2), 4);
+}
+
+TEST(HotRecordCacheTest, ZeroBudgetDisables) {
+  server::HotRecordCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert(1, std::vector<uint8_t>(4, 0));
+  EXPECT_EQ(cache.Lookup(1), -1);
+  EXPECT_EQ(cache.entries(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// FleetEngine
+
+class FleetEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto system = core::System::Create(SmallConfig());
+    ASSERT_TRUE(system.ok());
+    system_ = std::move(*system).release();
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+  }
+
+  static core::System* system_;
+};
+
+core::System* FleetEngineTest::system_ = nullptr;
+
+std::string FleetJson(const fleet::FleetResult& result) {
+  std::string out;
+  for (const fleet::ClientResult& client : result.clients) {
+    out += std::to_string(client.spec.id) + ":" +
+           core::RunMetricsJson(client.metrics) + ";" +
+           std::to_string(client.hot_hits) + "/" +
+           std::to_string(client.hot_misses) + "\n";
+  }
+  out += "aggregate:" + core::RunMetricsJson(result.aggregate);
+  return out;
+}
+
+// The tentpole guarantee: same seed, any worker count → bit-identical
+// per-client and aggregate metrics.
+TEST_F(FleetEngineTest, BitIdenticalAcrossWorkerCounts) {
+  std::string reference;
+  for (const int workers : {1, 8}) {
+    fleet::FleetOptions options;
+    options.workers = workers;
+    fleet::FleetEngine engine(
+        *system_, options,
+        fleet::FleetEngine::MakeMixedFleet(9, /*frames=*/25, /*speed=*/0.5,
+                                           /*seed=*/0));
+    const fleet::FleetResult result = engine.Run();
+    ASSERT_EQ(result.clients.size(), 9u);
+    EXPECT_GT(result.aggregate.frames, 0);
+    const std::string json = FleetJson(result);
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference)
+          << "fleet metrics diverged at workers=" << workers;
+    }
+  }
+}
+
+// Session isolation: two streaming clients with identical tours and seeds
+// must EACH receive the full record stream. If sessions leaked between
+// clients, the second client's deliveries would be filtered as duplicates
+// of the first's.
+TEST_F(FleetEngineTest, StreamingSessionsAreIsolated) {
+  std::vector<fleet::ClientSpec> specs(2);
+  specs[0].id = 0;
+  specs[1].id = 1;
+  for (fleet::ClientSpec& spec : specs) {
+    spec.kind = fleet::ClientKind::kStreaming;
+    spec.frames = 20;
+    spec.seed = 5;       // identical twins...
+    spec.tour_seed = 9;  // ...on the same trajectory
+    // Wide windows so the sparse test scene actually yields records.
+    spec.query_fraction = 0.3;
+  }
+  fleet::FleetOptions options;
+  options.workers = 2;
+  fleet::FleetEngine engine(*system_, options, std::move(specs));
+  const fleet::FleetResult result = engine.Run();
+  ASSERT_EQ(result.clients.size(), 2u);
+  const core::RunMetrics& first = result.clients[0].metrics;
+  const core::RunMetrics& second = result.clients[1].metrics;
+  EXPECT_GT(first.records_delivered, 0);
+  EXPECT_EQ(first.records_delivered, second.records_delivered);
+  EXPECT_EQ(first.demand_bytes, second.demand_bytes);
+  // Server-side, each session tracked its own copy.
+  const server::ClientSession* s0 = engine.sessions().Find(0);
+  const server::ClientSession* s1 = engine.sessions().Find(1);
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(static_cast<int64_t>(s0->delivered.size()),
+            first.records_delivered);
+  EXPECT_EQ(static_cast<int64_t>(s1->delivered.size()),
+            second.records_delivered);
+}
+
+// A client's content-level behaviour (what it queries and receives) must
+// not depend on who else is in the fleet — only its *timing* may. Run
+// client 2 alone, then inside a 6-client fleet, and compare.
+TEST_F(FleetEngineTest, ClientBehaviourIndependentOfFleetSize) {
+  const std::vector<fleet::ClientSpec> six =
+      fleet::FleetEngine::MakeMixedFleet(6, /*frames=*/20, /*speed=*/0.5,
+                                         /*seed=*/0);
+  // Disable the hot cache so per-client hit counters match too (cache
+  // contents legitimately depend on the co-resident clients).
+  fleet::FleetOptions options;
+  options.workers = 2;
+  options.hot_cache_bytes = 0;
+
+  fleet::FleetEngine solo_engine(
+      *system_, options, std::vector<fleet::ClientSpec>{six[1]});
+  const fleet::FleetResult solo = solo_engine.Run();
+
+  fleet::FleetEngine fleet_engine(*system_, options, six);
+  const fleet::FleetResult full = fleet_engine.Run();
+
+  const core::RunMetrics& alone = solo.clients[0].metrics;
+  const core::RunMetrics& among = full.clients[1].metrics;
+  EXPECT_EQ(alone.frames, among.frames);
+  EXPECT_EQ(alone.demand_bytes, among.demand_bytes);
+  EXPECT_EQ(alone.prefetch_bytes, among.prefetch_bytes);
+  EXPECT_EQ(alone.node_accesses, among.node_accesses);
+  EXPECT_EQ(alone.records_delivered, among.records_delivered);
+  EXPECT_EQ(alone.demand_exchanges, among.demand_exchanges);
+  // Timing is where the shared cell shows up: with six clients the cell
+  // is busier, so delays can only grow.
+  EXPECT_GE(among.total_response_seconds, alone.total_response_seconds);
+}
+
+// The hot-encoding cache actually short-circuits repeated encodings when
+// clients overlap (identical twins are the extreme case).
+TEST_F(FleetEngineTest, HotCacheServesOverlappingClients) {
+  std::vector<fleet::ClientSpec> specs(3);
+  for (int i = 0; i < 3; ++i) {
+    specs[static_cast<size_t>(i)].id = i;
+    specs[static_cast<size_t>(i)].kind = fleet::ClientKind::kStreaming;
+    specs[static_cast<size_t>(i)].frames = 15;
+    specs[static_cast<size_t>(i)].seed = 5;
+    specs[static_cast<size_t>(i)].tour_seed = 9;
+    specs[static_cast<size_t>(i)].query_fraction = 0.3;
+    // Stagger the twins: same-tick lookups see the tick-frozen cache, so
+    // hits require the first twin's commit to land first.
+    specs[static_cast<size_t>(i)].start_offset_seconds = 0.25 * i;
+  }
+  fleet::FleetOptions options;
+  options.hot_cache_bytes = 4 * 1024 * 1024;
+  fleet::FleetEngine engine(*system_, options, std::move(specs));
+  const fleet::FleetResult result = engine.Run();
+  EXPECT_GT(result.hot_misses, 0);
+  // Clients 1 and 2 ride on client 0's encodings.
+  EXPECT_GT(result.hot_hits, 0);
+  EXPECT_GT(result.hot_bytes_saved, 0);
+  EXPECT_EQ(result.clients[0].hot_hits, 0);  // first encoder misses
+  EXPECT_GT(result.clients[1].hot_hits, 0);
+  EXPECT_GT(result.clients[2].hot_hits, 0);
+}
+
+// Degraded fleet: 5% loss on both the private bearers and the cell, plus
+// outage schedules, must still complete every frame with bounded retries
+// (no hang) and deterministic accounting.
+TEST_F(FleetEngineTest, LossyFleetCompletesWithBoundedRetries) {
+  fleet::FleetOptions options;
+  options.workers = 4;
+  options.client_link.loss_probability = 0.05;
+  options.client_fault.outage_rate_per_hour = 60.0;
+  options.client_fault.outage_mean_seconds = 5.0;
+  options.cell.loss_probability = 0.05;
+  options.cell_fault.outage_rate_per_hour = 60.0;
+  options.cell_fault.outage_mean_seconds = 5.0;
+  const int32_t kClients = 6;
+  const int32_t kFrames = 25;
+  fleet::FleetEngine engine(
+      *system_, options,
+      fleet::FleetEngine::MakeMixedFleet(kClients, kFrames, /*speed=*/0.5,
+                                         /*seed=*/3));
+  const fleet::FleetResult result = engine.Run();
+  // Every client ran its whole tour.
+  EXPECT_EQ(result.aggregate.frames, kClients * kFrames);
+  for (const fleet::ClientResult& client : result.clients) {
+    EXPECT_EQ(client.metrics.frames, kFrames);
+  }
+  // Retries happened but stayed bounded by the per-exchange budgets.
+  EXPECT_GT(result.aggregate.retries + result.cell_retries, 0);
+  // The run drained in finite virtual time.
+  EXPECT_GT(result.virtual_seconds, 0.0);
+  EXPECT_LT(result.virtual_seconds, 10000.0);
+
+  // And the degraded run is just as deterministic: replay serially.
+  fleet::FleetOptions serial = options;
+  serial.workers = 1;
+  fleet::FleetEngine replay(
+      *system_, serial,
+      fleet::FleetEngine::MakeMixedFleet(kClients, kFrames, /*speed=*/0.5,
+                                         /*seed=*/3));
+  EXPECT_EQ(FleetJson(replay.Run()), FleetJson(result));
+}
+
+}  // namespace
+}  // namespace mars

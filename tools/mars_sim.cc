@@ -11,16 +11,24 @@
 //             [--query-frac F] [--index support|naive-point]
 //             [--no-prefetch] [--naive-prefetch] [--kalman] [--seed S]
 //             [--loss P] [--outage-rate R] [--outage-secs S]
+//             [--clients N] [--workers M]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
 //       < 0.5); --outage-rate schedules full-connectivity outages at R
 //       per hour with mean duration --outage-secs (default 8 s).
+//       With --clients N > 1, runs a mixed fleet of N concurrent clients
+//       (streaming/buffered/naive, alternating tram/walk tours) against
+//       one shared server and a shared 2 Mbps cell, using --workers M
+//       threads for the parallel phase; the per-client and aggregate
+//       metrics are bit-identical at any M. --loss then applies to the
+//       cell, --outage-rate to the cell's fault schedule.
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
 //   mars_sim run --db city.mars --tour walk --speed 0.7 --client buffered
 //   mars_sim run --mb 20 --tour tram --speed 1.0 --client naive
 //   mars_sim run --mb 20 --loss 0.05 --outage-rate 30 --outage-secs 5
+//   mars_sim run --mb 20 --clients 32 --workers 8 --frames 120
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +40,7 @@
 #include "common/units.h"
 #include "core/metrics.h"
 #include "core/system.h"
+#include "fleet/fleet_engine.h"
 #include "server/persistence.h"
 #include "workload/scene.h"
 #include "workload/tour.h"
@@ -62,6 +71,8 @@ struct Flags {
   double loss = 0.0;
   double outage_rate = 0.0;
   double outage_secs = 8.0;
+  int clients = 1;
+  int workers = 1;
 };
 
 void Usage() {
@@ -122,6 +133,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->outage_rate = std::atof(next());
     } else if (arg == "--outage-secs") {
       flags->outage_secs = std::atof(next());
+    } else if (arg == "--clients") {
+      flags->clients = std::atoi(next());
+    } else if (arg == "--workers") {
+      flags->workers = std::atoi(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -187,6 +202,52 @@ int Info(const Flags& flags) {
   return 0;
 }
 
+// Fleet mode: N concurrent clients against one shared server and cell.
+int RunFleet(const core::System& system, const Flags& flags) {
+  fleet::FleetOptions options;
+  options.workers = flags.workers;
+  options.cell.loss_probability = flags.loss;
+  options.cell_fault.outage_rate_per_hour = flags.outage_rate;
+  options.cell_fault.outage_mean_seconds = flags.outage_secs;
+  options.cell_fault.seed = flags.seed + 2;
+  std::vector<fleet::ClientSpec> specs = fleet::FleetEngine::MakeMixedFleet(
+      flags.clients, flags.frames, flags.speed, flags.seed);
+  for (fleet::ClientSpec& spec : specs) {
+    spec.buffer_bytes = static_cast<int64_t>(flags.buffer_kb) * 1024;
+  }
+  fleet::FleetEngine engine(system, options, std::move(specs));
+  const fleet::FleetResult result = engine.Run();
+
+  std::printf("\n-- fleet (%d clients, %d workers) --\n", flags.clients,
+              flags.workers);
+  std::printf("virtual seconds         : %.1f\n", result.virtual_seconds);
+  std::printf("cell bytes              : %s\n",
+              common::FormatBytes(result.cell_bytes).c_str());
+  std::printf("cell retries / timeouts : %lld / %lld\n",
+              static_cast<long long>(result.cell_retries),
+              static_cast<long long>(result.cell_timeouts));
+  std::printf("cell outage             : %.1f s\n",
+              result.cell_outage_seconds);
+  std::printf("hot cache hits / misses : %lld / %lld\n",
+              static_cast<long long>(result.hot_hits),
+              static_cast<long long>(result.hot_misses));
+  std::printf("hot encode bytes saved  : %s\n",
+              common::FormatBytes(result.hot_bytes_saved).c_str());
+  std::printf("mean response / query   : %.3f s\n",
+              result.aggregate.MeanResponsePerExchange());
+
+  // Full-precision JSON lines: one per client plus the aggregate. Diffing
+  // this block across --workers values must show zero differences.
+  std::printf("\n-- json --\n");
+  for (const fleet::ClientResult& client : result.clients) {
+    std::printf("{\"client\": %d, \"metrics\": %s}\n", client.spec.id,
+                core::RunMetricsJson(client.metrics).c_str());
+  }
+  std::printf("{\"aggregate\": %s}\n",
+              core::RunMetricsJson(result.aggregate).c_str());
+  return 0;
+}
+
 int Run(const Flags& flags) {
   // Assemble the system: from a persisted DB or a fresh scene.
   core::System::Config config;
@@ -231,6 +292,8 @@ int Run(const Flags& flags) {
   std::printf("dataset: %s, %d objects\n",
               common::FormatBytes(system->db().total_bytes()).c_str(),
               system->db().object_count());
+
+  if (flags.clients > 1) return RunFleet(*system, flags);
 
   workload::TourOptions tour_options;
   tour_options.kind = flags.tour == "walk" ? workload::TourKind::kPedestrian
