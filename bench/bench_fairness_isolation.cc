@@ -1,0 +1,214 @@
+// Extension experiment: fairness isolation on the shared cell.
+//
+// A small fleet of motion-aware clients (streaming + buffered) shares the
+// cell with greedy naive neighbours that request full-resolution objects
+// over wide windows — the bulk load the paper's Sec. VII-E baseline
+// generates. Under the legacy equal-share discipline the cell divides
+// capacity per *transfer*, so a naive client with k queued transfers
+// holds k shares and drowns everyone else. Under weighted fair queuing
+// the division is per *client*, so the motion-aware class keeps its share
+// no matter how deep the bulk backlog grows.
+//
+// The bench runs the same fleet under both disciplines (and once more
+// with admission control on top) and reports the motion-aware class's
+// delivery-delay tail. It fails loudly if:
+//
+//   * WFQ does not improve the motion-aware p99 by at least 3x over
+//     equal share (the isolation guarantee this PR exists for), or
+//   * aggregate metrics differ between workers=1 and workers=8 (WFQ
+//     completions must stay deterministically ordered).
+//
+// CI runs this with MARS_BENCH_SMOKE=1 / MARS_BENCH_JSON=<path>; the
+// emitted metrics are deterministic simulated quantities, gated against
+// bench/baselines/ by tools/bench_gate.py.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "fleet/fleet_engine.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+struct Shape {
+  int32_t motion_clients;  // half streaming, half buffered
+  int32_t greedy_clients;  // naive bulk
+  int32_t frames;
+};
+
+// The fleet: `motion_clients` well-behaved members with the paper's
+// default windows, plus `greedy_clients` naive members with wide windows
+// and tiny local caches, so nearly every frame re-fetches full objects.
+std::vector<fleet::ClientSpec> MakeContendedFleet(const Shape& shape) {
+  std::vector<fleet::ClientSpec> specs;
+  specs.reserve(
+      static_cast<size_t>(shape.motion_clients + shape.greedy_clients));
+  int32_t id = 0;
+  for (int32_t i = 0; i < shape.motion_clients; ++i, ++id) {
+    fleet::ClientSpec spec;
+    spec.id = id;
+    spec.kind = (i % 2 == 0) ? fleet::ClientKind::kStreaming
+                             : fleet::ClientKind::kBuffered;
+    spec.tour_kind = (i % 2 == 0) ? workload::TourKind::kTram
+                                  : workload::TourKind::kPedestrian;
+    spec.frames = shape.frames;
+    spec.seed = 100 + static_cast<uint64_t>(id);
+    spec.tour_seed = 900 + static_cast<uint64_t>(id);
+    spec.query_fraction = 0.08;
+    specs.push_back(spec);
+  }
+  for (int32_t i = 0; i < shape.greedy_clients; ++i, ++id) {
+    fleet::ClientSpec spec;
+    spec.id = id;
+    spec.kind = fleet::ClientKind::kNaive;
+    spec.tour_kind = workload::TourKind::kTram;
+    spec.frames = shape.frames;
+    spec.seed = 100 + static_cast<uint64_t>(id);
+    spec.tour_seed = 900 + static_cast<uint64_t>(id);
+    spec.query_fraction = 0.35;      // wide windows → bulk object fetches
+    spec.buffer_bytes = 16 * 1024;   // tiny LRU → constant re-fetching
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+fleet::FleetOptions MakeOptions(net::SharedMediumLink::Discipline discipline,
+                                bool admission, int workers) {
+  fleet::FleetOptions options;
+  options.workers = workers;
+  // A starved cell: every greedy transfer backlogs, which is the whole
+  // point — isolation only matters under contention.
+  options.cell.cell_bandwidth_kbps = 512.0;
+  options.cell.client_bandwidth_kbps = 256.0;
+  options.cell.discipline = discipline;
+  options.admission.enabled = admission;
+  return options;
+}
+
+// Motion-aware classes merged (streaming + buffered).
+core::RunMetrics MotionAware(const fleet::FleetResult& result) {
+  core::RunMetrics merged;
+  merged.Merge(
+      result.by_kind[static_cast<size_t>(fleet::ClientKind::kStreaming)]
+          .metrics);
+  merged.Merge(
+      result.by_kind[static_cast<size_t>(fleet::ClientKind::kBuffered)]
+          .metrics);
+  return merged;
+}
+
+}  // namespace
+
+int main() {
+  auto system_or = core::System::Create(bench::DefaultConfig());
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+
+  const bool smoke = bench::SmokeMode();
+  const Shape shape = smoke ? Shape{4, 4, 20} : Shape{6, 6, 50};
+
+  struct Row {
+    const char* label;
+    net::SharedMediumLink::Discipline discipline;
+    bool admission;
+  };
+  const Row kRows[] = {
+      {"equal-share", net::SharedMediumLink::Discipline::kEqualShare, false},
+      {"wfq", net::SharedMediumLink::Discipline::kWeightedFair, false},
+      {"wfq+admission", net::SharedMediumLink::Discipline::kWeightedFair,
+       true},
+  };
+
+  double equal_p99 = 0.0;
+  double wfq_p99 = 0.0;
+  double wfq_admission_p99 = 0.0;
+  double naive_wfq_p99 = 0.0;
+  int64_t deferred = 0;
+  int64_t shed = 0;
+  std::vector<std::vector<std::string>> rows;
+  for (const Row& row : kRows) {
+    fleet::FleetEngine engine(system,
+                              MakeOptions(row.discipline, row.admission, 8),
+                              MakeContendedFleet(shape));
+    const fleet::FleetResult result = engine.Run();
+
+    // Determinism check: the serial replay must match bit for bit.
+    fleet::FleetEngine replay(system,
+                              MakeOptions(row.discipline, row.admission, 1),
+                              MakeContendedFleet(shape));
+    const fleet::FleetResult serial = replay.Run();
+    if (core::RunMetricsJson(serial.aggregate) !=
+        core::RunMetricsJson(result.aggregate)) {
+      std::fprintf(stderr,
+                   "FATAL: %s metrics diverged between workers=8 and "
+                   "workers=1\n",
+                   row.label);
+      return 1;
+    }
+
+    const core::RunMetrics motion = MotionAware(result);
+    const core::RunMetrics& naive =
+        result.by_kind[static_cast<size_t>(fleet::ClientKind::kNaive)]
+            .metrics;
+    if (row.discipline == net::SharedMediumLink::Discipline::kEqualShare) {
+      equal_p99 = motion.P99ResponseSeconds();
+    } else if (!row.admission) {
+      wfq_p99 = motion.P99ResponseSeconds();
+      naive_wfq_p99 = naive.P99ResponseSeconds();
+    } else {
+      wfq_admission_p99 = motion.P99ResponseSeconds();
+      deferred = result.deferred_exchanges;
+      shed = result.shed_exchanges;
+    }
+    rows.push_back({row.label, core::Fmt(motion.P50ResponseSeconds(), 3),
+                    core::Fmt(motion.P99ResponseSeconds(), 3),
+                    core::Fmt(naive.P99ResponseSeconds(), 3),
+                    std::to_string(result.deferred_exchanges),
+                    std::to_string(result.shed_exchanges)});
+  }
+
+  core::PrintTableTitle(
+      "Fairness isolation — motion-aware tail vs greedy naive neighbours");
+  core::PrintTableHeader({"discipline", "motion p50 s", "motion p99 s",
+                          "naive p99 s", "deferred", "shed"});
+  for (const auto& row : rows) core::PrintTableRow(row);
+
+  const double gain = wfq_p99 > 0.0 ? equal_p99 / wfq_p99 : 0.0;
+  std::printf(
+      "motion-aware p99: equal-share %.3fs vs wfq %.3fs → %.1fx better\n",
+      equal_p99, wfq_p99, gain);
+  std::printf("aggregate metrics identical at workers 1 and 8\n");
+
+  std::printf("\n-- json --\n");
+  for (const auto& row : rows) {
+    std::printf("%s\n", core::TableRowJson(row).c_str());
+  }
+
+  if (!bench::WriteBenchJson(
+          "fairness_isolation",
+          {{"motion_p99_equal_seconds", equal_p99, false},
+           {"motion_p99_wfq_seconds", wfq_p99, false},
+           {"motion_p99_wfq_admission_seconds", wfq_admission_p99, false},
+           {"naive_p99_wfq_seconds", naive_wfq_p99, false},
+           {"isolation_gain", gain, true},
+           {"deferred_exchanges", static_cast<double>(deferred), false},
+           {"shed_exchanges", static_cast<double>(shed), false}})) {
+    return 1;
+  }
+
+  if (gain < 3.0) {
+    std::fprintf(stderr,
+                 "FATAL: WFQ improved motion-aware p99 only %.2fx over "
+                 "equal share (need >= 3x)\n",
+                 gain);
+    return 1;
+  }
+  return 0;
+}

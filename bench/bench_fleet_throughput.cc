@@ -28,8 +28,6 @@ namespace {
 
 using namespace mars;  // NOLINT
 
-constexpr int32_t kClients = 32;
-constexpr int32_t kFrames = 60;
 constexpr double kSpeed = 0.5;
 
 }  // namespace
@@ -42,10 +40,19 @@ int main() {
   }
   core::System& system = **system_or;
 
+  // CI's bench-smoke preset trades scale for runtime; the determinism
+  // check is identical either way.
+  const bool smoke = bench::SmokeMode();
+  const int32_t kClients = smoke ? 12 : 32;
+  const int32_t kFrames = smoke ? 25 : 60;
+  const std::vector<int> worker_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+
   std::vector<std::vector<std::string>> rows;
   std::string reference_json;
   double serial_seconds = 0.0;
-  for (int workers : {1, 2, 4, 8}) {
+  fleet::FleetResult last;
+  for (int workers : worker_counts) {
     fleet::FleetOptions options;
     options.workers = workers;
     fleet::FleetEngine engine(
@@ -77,6 +84,7 @@ int main() {
          core::Fmt(result.aggregate.MeanResponsePerExchange(), 3),
          std::to_string(result.hot_hits),
          core::FmtBytes(result.hot_bytes_saved)});
+    last = result;
   }
 
   core::PrintTableTitle(
@@ -89,6 +97,25 @@ int main() {
   std::printf("\n-- json --\n");
   for (const auto& row : rows) {
     std::printf("%s\n", core::TableRowJson(row).c_str());
+  }
+
+  // Gated metrics: deterministic simulated quantities only (wall clock
+  // would make the CI gate flake on runner speed).
+  const double hot_lookups =
+      static_cast<double>(last.hot_hits + last.hot_misses);
+  if (!bench::WriteBenchJson(
+          "fleet_throughput",
+          {{"resp_per_exchange_seconds",
+            last.aggregate.MeanResponsePerExchange(), false},
+           {"p99_response_seconds", last.aggregate.P99ResponseSeconds(),
+            false},
+           {"virtual_seconds", last.virtual_seconds, false},
+           {"hot_hit_rate",
+            hot_lookups > 0.0 ? static_cast<double>(last.hot_hits) /
+                                    hot_lookups
+                              : 0.0,
+            true}})) {
+    return 1;
   }
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "bench/bench_util.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace mars::bench {
 
 std::vector<std::vector<workload::TourPoint>> MakeTours(
@@ -66,6 +69,37 @@ core::System::Config DefaultConfig() {
 
 const char* TourKindName(workload::TourKind kind) {
   return kind == workload::TourKind::kTram ? "tram" : "walk";
+}
+
+bool SmokeMode() {
+  const char* value = std::getenv("MARS_BENCH_SMOKE");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+bool WriteBenchJson(const char* bench_name,
+                    const std::vector<BenchMetric>& metrics) {
+  const char* path = std::getenv("MARS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return true;
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench json: cannot open %s\n", path);
+    return false;
+  }
+  std::fprintf(file, "{\n  \"bench\": \"%s\",\n  \"metrics\": {",
+               bench_name);
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    // %.17g round-trips doubles exactly, matching RunMetricsJson.
+    std::fprintf(file,
+                 "%s\n    \"%s\": {\"value\": %.17g, "
+                 "\"higher_is_better\": %s}",
+                 i == 0 ? "" : ",", metrics[i].name, metrics[i].value,
+                 metrics[i].higher_is_better ? "true" : "false");
+  }
+  std::fprintf(file, "\n  }\n}\n");
+  std::fclose(file);
+  std::printf("bench json written to %s\n", path);
+  return true;
 }
 
 }  // namespace mars::bench

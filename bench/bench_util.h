@@ -54,6 +54,32 @@ core::System::Config DefaultConfig();
 
 const char* TourKindName(workload::TourKind kind);
 
+// --- CI bench-smoke support -------------------------------------------------
+//
+// The bench-regression CI gate (tools/bench_gate.py) runs selected benches
+// with MARS_BENCH_SMOKE=1 (small presets, seconds not minutes) and
+// MARS_BENCH_JSON=<path> (machine-readable metrics), then compares the
+// metrics against bench/baselines/*.json. Only deterministic *simulated*
+// quantities belong in the JSON — never wall-clock — so the gate cannot
+// flake on runner speed.
+
+// True when MARS_BENCH_SMOKE is set to a non-empty, non-"0" value.
+bool SmokeMode();
+
+// One gated metric. `higher_is_better` tells the gate which direction is
+// a regression.
+struct BenchMetric {
+  const char* name;
+  double value;
+  bool higher_is_better;
+};
+
+// Writes {"bench": name, "metrics": {...}} to the MARS_BENCH_JSON path.
+// No-op (returns true) when the variable is unset; returns false and
+// prints to stderr when the file cannot be written.
+bool WriteBenchJson(const char* bench_name,
+                    const std::vector<BenchMetric>& metrics);
+
 }  // namespace mars::bench
 
 #endif  // MARS_BENCH_BENCH_UTIL_H_

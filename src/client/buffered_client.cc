@@ -101,6 +101,12 @@ BufferedClient::ExchangeTotals BufferedClient::FetchBlocks(
   return totals;
 }
 
+void BufferedClient::OnBackpressure(double retry_after_seconds) {
+  channel_.Defer(retry_after_seconds);
+  suppress_prefetch_once_ = true;
+  ++backpressure_frames_;
+}
+
 BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
                                          double speed) {
   BufferedFrameReport report;
@@ -180,10 +186,14 @@ BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
   }
 
   // Background prefetch for future frames. Suspended while the link is
-  // down: retry budget is better spent on the demand path, and predicted
-  // blocks would fail the same way.
+  // down (retry budget is better spent on the demand path, and predicted
+  // blocks would fail the same way) and for one frame after a
+  // backpressure signal (the cell is overloaded; speculative traffic is
+  // the first thing to shed).
   buffer_.DecayPriorities(options_.priority_decay);
-  if (options_.enable_prefetch && !demand_failed) {
+  const bool prefetch_suppressed = suppress_prefetch_once_;
+  suppress_prefetch_once_ = false;
+  if (options_.enable_prefetch && !demand_failed && !prefetch_suppressed) {
     const int32_t budget_blocks = std::clamp<int32_t>(
         static_cast<int32_t>(
             static_cast<double>(options_.buffer_bytes) /

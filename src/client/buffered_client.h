@@ -109,6 +109,14 @@ class BufferedClient {
 
   BufferedFrameReport Step(const geometry::Vec2& position, double speed);
 
+  // Backpressure signal from the cell's admission controller: the next
+  // exchange waits `retry_after_seconds` before its first attempt, and
+  // the next frame's speculative prefetch is suppressed so the client
+  // sheds load where it hurts least. No-op for clients that never
+  // receive it.
+  void OnBackpressure(double retry_after_seconds);
+  int64_t backpressure_frames() const { return backpressure_frames_; }
+
   const buffer::BlockBufferStats& buffer_stats() const {
     return buffer_.stats();
   }
@@ -170,6 +178,11 @@ class BufferedClient {
   int64_t total_prefetch_bytes_ = 0;
   double total_response_seconds_ = 0.0;
   int64_t frames_ = 0;
+
+  // Backpressure: skip the next frame's prefetch after the cell asked us
+  // to back off.
+  bool suppress_prefetch_once_ = false;
+  int64_t backpressure_frames_ = 0;
 
   // Degraded-operation accounting.
   int64_t outage_frames_ = 0;

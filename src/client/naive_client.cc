@@ -17,10 +17,18 @@ NaiveObjectClient::NaiveObjectClient(const Options& options,
   MARS_CHECK(link != nullptr);
 }
 
+void NaiveObjectClient::OnBackpressure(double /*retry_after_seconds*/) {
+  next_window_scale_ = 0.5;
+  ++backpressure_frames_;
+}
+
 NaiveFrameReport NaiveObjectClient::Step(const geometry::Vec2& position,
                                          double speed) {
   NaiveFrameReport report;
-  const geometry::Box2 window = viewport_.WindowAt(position);
+  const double scale = next_window_scale_;
+  next_window_scale_ = 1.0;
+  const geometry::Box2 window = geometry::Box2FromCenter(
+      position, viewport_.width() * scale, viewport_.height() * scale);
 
   const server::Server::ObjectListing listing = server_->ListObjects(window);
   report.node_accesses = listing.node_accesses;

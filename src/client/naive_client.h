@@ -38,6 +38,14 @@ class NaiveObjectClient {
 
   NaiveFrameReport Step(const geometry::Vec2& position, double speed);
 
+  // Backpressure signal from the cell's admission controller. The naive
+  // client has no transport-level deferral (it talks to the raw link), so
+  // it adapts the only knob it has: the next frame's window is halved,
+  // which roughly halves the full-resolution bytes it demands. No-op for
+  // clients that never receive it.
+  void OnBackpressure(double retry_after_seconds);
+  int64_t backpressure_frames() const { return backpressure_frames_; }
+
   int64_t total_bytes() const { return total_bytes_; }
   double total_response_seconds() const { return total_response_seconds_; }
   int64_t frames() const { return frames_; }
@@ -49,6 +57,11 @@ class NaiveObjectClient {
   const server::Server* server_;
   net::SimulatedLink* link_;
   buffer::LruCache<int32_t> cache_;
+
+  // Scale applied to the next frame's window after backpressure (1.0
+  // otherwise).
+  double next_window_scale_ = 1.0;
+  int64_t backpressure_frames_ = 0;
 
   int64_t object_lookups_ = 0;
   int64_t object_hits_ = 0;

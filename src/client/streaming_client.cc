@@ -20,6 +20,11 @@ StreamingClient::StreamingClient(const Options& options,
   MARS_CHECK(link != nullptr);
 }
 
+void StreamingClient::OnBackpressure(double retry_after_seconds) {
+  channel_.Defer(retry_after_seconds);
+  ++backpressure_frames_;
+}
+
 void StreamingClient::FlushAck() {
   if (ack_outstanding_) {
     server::AckPending(session_);

@@ -79,6 +79,13 @@ class StreamingClient {
   // server's committed state matches the client's store.
   void FlushAck();
 
+  // Backpressure signal from the cell's admission controller: the next
+  // exchange waits `retry_after_seconds` before its first attempt (the
+  // wait is excluded from the exchange's deadline budget). A client that
+  // never receives this behaves exactly as before.
+  void OnBackpressure(double retry_after_seconds);
+  int64_t backpressure_frames() const { return backpressure_frames_; }
+
   // Cumulative totals.
   int64_t total_bytes() const { return total_bytes_; }
   int64_t total_records() const { return total_records_; }
@@ -108,6 +115,7 @@ class StreamingClient {
   int64_t total_records_ = 0;
   double total_response_seconds_ = 0.0;
   int64_t frames_ = 0;
+  int64_t backpressure_frames_ = 0;
 };
 
 }  // namespace mars::client

@@ -27,6 +27,46 @@ void AppendDouble(std::string* out, const char* key, double value,
 
 }  // namespace
 
+void LatencyHistogram::Add(double seconds) {
+  // Find the bucket by walking the multiplicatively built edge ladder.
+  // The comparison sequence is identical on every platform (only double
+  // multiply and compare), so bucket indices are bit-stable.
+  int bucket = kBuckets - 1;
+  double edge = kMinSeconds;
+  for (int i = 0; i < kBuckets - 1; ++i) {
+    if (seconds < edge) {
+      bucket = i;
+      break;
+    }
+    edge *= kGrowth;
+  }
+  ++counts[bucket];
+  ++total;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+  total += other.total;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based ceiling.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  double edge = kMinSeconds;  // upper edge of bucket 0
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) return edge;
+    edge *= kGrowth;
+  }
+  return edge;  // unreachable: seen == total >= rank by the loop end
+}
+
 std::string RunMetricsJson(const RunMetrics& m) {
   std::string out = "{";
   bool first = true;
@@ -46,6 +86,12 @@ std::string RunMetricsJson(const RunMetrics& m) {
   AppendInt(&out, "outage_frames", m.outage_frames, &first);
   AppendInt(&out, "stale_frames", m.stale_frames, &first);
   AppendInt(&out, "max_stale_run_frames", m.max_stale_run_frames, &first);
+  AppendInt(&out, "deferred_exchanges", m.deferred_exchanges, &first);
+  AppendInt(&out, "shed_exchanges", m.shed_exchanges, &first);
+  AppendInt(&out, "backpressure_frames", m.backpressure_frames, &first);
+  AppendInt(&out, "response_samples", m.response_histogram.total, &first);
+  AppendDouble(&out, "response_p50_seconds", m.P50ResponseSeconds(), &first);
+  AppendDouble(&out, "response_p99_seconds", m.P99ResponseSeconds(), &first);
   out += "}";
   return out;
 }

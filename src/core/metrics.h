@@ -6,6 +6,28 @@
 
 namespace mars::core {
 
+// Fixed log-scale latency histogram: 96 quarter-octave buckets spanning
+// ~1 ms to ~4 hours of simulated delay. Counts are integers, Merge is a
+// plain sum, and bucket edges are built by repeated multiplication with
+// one double constant — no libm — so two runs that observe the same
+// delays produce bit-identical histograms (and hence bit-identical
+// quantiles) on any machine and at any fleet worker count.
+struct LatencyHistogram {
+  static constexpr int kBuckets = 96;
+  static constexpr double kMinSeconds = 1e-3;
+  // 2^(1/4): each bucket is a quarter octave wide.
+  static constexpr double kGrowth = 1.189207115002721;
+
+  int64_t counts[kBuckets] = {};
+  int64_t total = 0;
+
+  void Add(double seconds);
+  void Merge(const LatencyHistogram& other);
+  // Upper edge of the bucket holding the q-quantile sample (0 when
+  // empty). Quantization error is bounded by one bucket (< 19%).
+  double Quantile(double q) const;
+};
+
 // Aggregate outcome of running one client over one tour — the quantities
 // the paper's evaluation reports (Sec. VII).
 struct RunMetrics {
@@ -59,6 +81,26 @@ struct RunMetrics {
   // Worst-case staleness: longest run of consecutive stale frames.
   int64_t max_stale_run_frames = 0;
 
+  // Admission control / backpressure (all zero when admission is off).
+  // Exchanges the cell's admission controller deferred (each deferral
+  // counts once).
+  int64_t deferred_exchanges = 0;
+  // Bulk exchanges shed under overload.
+  int64_t shed_exchanges = 0;
+  // Frames the client throttled itself after a backpressure signal.
+  int64_t backpressure_frames = 0;
+
+  // Distribution of per-exchange delivery delays (the response_seconds
+  // samples behind total_response_seconds). Populated by the fleet
+  // engine's cell completions and by the single-client runners.
+  LatencyHistogram response_histogram;
+  double P50ResponseSeconds() const {
+    return response_histogram.Quantile(0.50);
+  }
+  double P99ResponseSeconds() const {
+    return response_histogram.Quantile(0.99);
+  }
+
   // Folds `other` into this run: additive fields sum, max_stale_run_frames
   // takes the worst case, and the two rate fields (cache_hit_rate,
   // data_utilization) combine as frames-weighted averages so merging a
@@ -93,6 +135,10 @@ struct RunMetrics {
         max_stale_run_frames > other.max_stale_run_frames
             ? max_stale_run_frames
             : other.max_stale_run_frames;
+    deferred_exchanges += other.deferred_exchanges;
+    shed_exchanges += other.shed_exchanges;
+    backpressure_frames += other.backpressure_frames;
+    response_histogram.Merge(other.response_histogram);
   }
 };
 

@@ -32,10 +32,18 @@ struct FleetEngine::ClientState {
   int64_t hot_misses = 0;
   int64_t hot_bytes_saved = 0;
 
+  // Admission control: times the *current* frame has been deferred, and
+  // the last admitted exchange's wire bytes — the size estimate the next
+  // admission decision is made against (0 until the first exchange).
+  int32_t consecutive_defers = 0;
+  int64_t last_wire_bytes = 0;
+
   // Tick scratch: written by this client's phase-A task, consumed by the
   // serial phase-B commit.
   int64_t wire_bytes = 0;  // successful exchanges' bytes for the cell
   double tick_speed = 0.0;
+  server::AdmissionController::Request adm_request;
+  server::AdmissionController::Verdict adm_verdict;
   std::vector<index::RecordId> hot_touch;
   std::vector<std::pair<index::RecordId, std::vector<uint8_t>>> hot_insert;
 };
@@ -44,6 +52,7 @@ FleetEngine::FleetEngine(const core::System& system, FleetOptions options,
                          std::vector<ClientSpec> specs)
     : system_(system),
       options_(options),
+      admission_(options.admission),
       hot_cache_(options.hot_cache_bytes, options.hot_cache_shards) {
   cell_fault_ = std::make_unique<net::FaultSchedule>(options_.cell_fault);
   cell_ = std::make_unique<net::SharedMediumLink>(options_.cell);
@@ -56,6 +65,7 @@ FleetEngine::FleetEngine(const core::System& system, FleetOptions options,
   states_.reserve(specs.size());
   for (const ClientSpec& spec : specs) {
     MARS_CHECK(states_.empty() || states_.back()->spec.id < spec.id);
+    cell_->SetClientWeight(spec.id, spec.weight);
     states_.push_back(BuildState(spec));
   }
 }
@@ -135,6 +145,66 @@ void FleetEngine::StepClient(ClientState* state) {
   state->hot_insert.clear();
 
   core::RunMetrics& m = state->metrics;
+
+  // Admission check against the tick-frozen cell. The cell is only
+  // mutated by the serial phases, so these reads — and the pure
+  // Decide() — give every worker interleaving the same verdict.
+  state->adm_verdict = server::AdmissionController::Verdict{};
+  if (admission_.enabled()) {
+    server::AdmissionController::Request req;
+    req.client = state->spec.id;
+    req.bytes = state->last_wire_bytes;
+    // Naive full-resolution re-retrievals are the cell's bulk traffic:
+    // the client can keep serving its LRU cache instead. The
+    // motion-aware clients' incremental demand exchanges are not
+    // sheddable.
+    req.deferrable = state->spec.kind == ClientKind::kNaive;
+    req.prior_defers = state->consecutive_defers;
+    req.client_backlog_bytes = cell_->client_backlog_bytes(state->spec.id);
+    req.client_queue_depth = cell_->client_queue_depth(state->spec.id);
+    req.cell_backlog_bytes = cell_->backlog_bytes();
+    state->adm_request = req;
+    state->adm_verdict = admission_.Decide(req);
+    switch (state->adm_verdict.decision) {
+      case server::AdmissionController::Decision::kAdmit:
+        break;
+      case server::AdmissionController::Decision::kDefer:
+        // The engine retries this frame after the backoff; tell the
+        // client so it adapts (transport pacing, prefetch suppression,
+        // window shrink).
+        switch (state->spec.kind) {
+          case ClientKind::kStreaming:
+            state->streaming->OnBackpressure(
+                state->adm_verdict.retry_after_seconds);
+            break;
+          case ClientKind::kBuffered:
+            state->buffered->OnBackpressure(
+                state->adm_verdict.retry_after_seconds);
+            break;
+          case ClientKind::kNaive:
+            state->naive->OnBackpressure(
+                state->adm_verdict.retry_after_seconds);
+            break;
+        }
+        ++m.deferred_exchanges;
+        ++m.backpressure_frames;
+        ++state->consecutive_defers;
+        return;
+      case server::AdmissionController::Decision::kShed:
+        // The frame runs without its exchange: the client renders
+        // whatever it holds (stale), and the tour moves on.
+        ++m.frames;
+        ++m.shed_exchanges;
+        ++m.stale_frames;
+        ++state->stale_run;
+        m.max_stale_run_frames =
+            std::max(m.max_stale_run_frames, state->stale_run);
+        state->consecutive_defers = 0;
+        return;
+    }
+    state->consecutive_defers = 0;
+  }
+
   std::vector<index::RecordId> delivered;
   switch (state->spec.kind) {
     case ClientKind::kStreaming: {
@@ -183,6 +253,7 @@ void FleetEngine::StepClient(ClientState* state) {
     }
   }
   ++m.frames;
+  if (state->wire_bytes > 0) state->last_wire_bytes = state->wire_bytes;
 
   // Probe the shared hot-encoding cache: read-only against the state the
   // cache had at the tick boundary, so the hit/miss pattern cannot depend
@@ -231,9 +302,12 @@ void FleetEngine::FinishClient(ClientState* state) {
     case ClientKind::kBuffered:
       m.cache_hit_rate = state->buffered->buffer_stats().HitRate();
       m.data_utilization = state->buffered->buffer_stats().Utilization();
-      m.outage_frames = state->buffered->outage_frames();
-      m.stale_frames = state->buffered->stale_frames();
-      m.max_stale_run_frames = state->buffered->max_stale_run_frames();
+      // += / max: shed frames may already have been counted stale by the
+      // engine's admission path.
+      m.outage_frames += state->buffered->outage_frames();
+      m.stale_frames += state->buffered->stale_frames();
+      m.max_stale_run_frames = std::max(
+          m.max_stale_run_frames, state->buffered->max_stale_run_frames());
       break;
     case ClientKind::kNaive:
       m.cache_hit_rate = state->naive->CacheHitRate();
@@ -260,6 +334,7 @@ FleetResult FleetEngine::Run() {
     }
   }
 
+  int64_t peak_backlog = 0;
   const auto apply_completions =
       [&](const std::vector<net::SharedMediumLink::Completion>& done) {
         for (const net::SharedMediumLink::Completion& c : done) {
@@ -267,6 +342,7 @@ FleetResult FleetEngine::Run() {
           // Delivery delay on the shared cell is the fleet's response
           // time; each drained submission is one demand exchange.
           state->metrics.total_response_seconds += c.response_seconds;
+          state->metrics.response_histogram.Add(c.response_seconds);
           ++state->metrics.demand_exchanges;
         }
       };
@@ -292,17 +368,41 @@ FleetResult FleetEngine::Run() {
     pool.RunBatch(tasks);
     // Phase B: commit shared side effects in ascending client id (PopDue
     // returns ids sorted), then reschedule.
+    using Decision = server::AdmissionController::Decision;
     for (const int32_t id : due) {
       ClientState* state = by_id.at(id);
+      if (admission_.enabled()) {
+        admission_.Record(state->adm_request, state->adm_verdict);
+        if (state->adm_verdict.decision == Decision::kDefer) {
+          ++sessions_.GetOrCreate(id)->deferred_requests;
+        } else if (state->adm_verdict.decision == Decision::kShed) {
+          ++sessions_.GetOrCreate(id)->shed_requests;
+        }
+      }
+      if (state->adm_verdict.decision == Decision::kDefer) {
+        // The frame did not run; retry it after the backoff hint.
+        scheduler.Schedule(
+            tick + std::max<int64_t>(
+                       1, net::SimClock::ToMicros(
+                              state->adm_verdict.retry_after_seconds)),
+            id);
+        continue;
+      }
       CommitClient(state);
       ++state->next_frame;
       if (state->next_frame < state->spec.frames) {
+        // A frame deferred past its successor's slot pushes the
+        // successor to strictly after this tick; on the regular cadence
+        // the max() is a no-op.
         scheduler.Schedule(
-            net::SimClock::ToMicros(state->spec.start_offset_seconds) +
-                static_cast<int64_t>(state->next_frame) * frame_micros,
+            std::max<int64_t>(
+                net::SimClock::ToMicros(state->spec.start_offset_seconds) +
+                    static_cast<int64_t>(state->next_frame) * frame_micros,
+                tick + 1),
             id);
       }
     }
+    peak_backlog = std::max(peak_backlog, cell_->backlog_bytes());
   }
   apply_completions(cell_->DrainAll());
 
@@ -318,11 +418,18 @@ FleetResult FleetEngine::Run() {
     client.hot_misses = state->hot_misses;
     client.hot_bytes_saved = state->hot_bytes_saved;
     result.aggregate.Merge(state->metrics);
+    ClassStats& cls = result.by_kind[static_cast<size_t>(state->spec.kind)];
+    ++cls.clients;
+    cls.metrics.Merge(state->metrics);
     result.hot_hits += state->hot_hits;
     result.hot_misses += state->hot_misses;
     result.hot_bytes_saved += state->hot_bytes_saved;
     result.clients.push_back(std::move(client));
   }
+  result.admitted_exchanges = admission_.admitted_requests();
+  result.deferred_exchanges = admission_.deferred_requests();
+  result.shed_exchanges = admission_.shed_requests();
+  result.peak_cell_backlog_bytes = peak_backlog;
   result.cell_bytes = cell_->total_bytes();
   result.cell_retries = cell_->total_retries();
   result.cell_timeouts = cell_->total_timeouts();

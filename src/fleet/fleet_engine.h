@@ -1,6 +1,7 @@
 #ifndef MARS_FLEET_FLEET_ENGINE_H_
 #define MARS_FLEET_FLEET_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "net/fault.h"
 #include "net/link.h"
 #include "net/shared_link.h"
+#include "server/admission.h"
 #include "server/hot_cache.h"
 #include "server/session_table.h"
 #include "workload/tour.h"
@@ -40,6 +42,10 @@ struct ClientSpec {
   // When this client's first frame fires, staggering fleet arrivals on
   // the shared cell.
   double start_offset_seconds = 0.0;
+  // This client's weighted-fair-queuing share of the shared cell
+  // (net/shared_link.h). Relative: a weight-2 client gets twice the
+  // bandwidth of a weight-1 client while both are backlogged.
+  double weight = 1.0;
 };
 
 struct FleetOptions {
@@ -61,6 +67,9 @@ struct FleetOptions {
   // Shared hot-encoding cache budget; 0 disables.
   int64_t hot_cache_bytes = 256 * 1024;
   int32_t hot_cache_shards = 8;
+  // Server-side admission control on the shared cell (disabled by
+  // default, so a fleet behaves exactly as before unless opted in).
+  server::AdmissionController::Options admission;
 };
 
 // Per-client outcome.
@@ -73,10 +82,28 @@ struct ClientResult {
   int64_t hot_bytes_saved = 0;  // encoding work short-circuited, in bytes
 };
 
+// Aggregate over all fleet members running one ClientKind — the
+// per-class isolation view the fairness benchmarks report (is the
+// motion-aware class's p99 protected from the naive class's bulk load?).
+struct ClassStats {
+  int64_t clients = 0;
+  // Merge of the class members' metrics, folded in client-id order.
+  core::RunMetrics metrics;
+};
+
 struct FleetResult {
   std::vector<ClientResult> clients;  // ascending client id
   // Merge of every client's metrics, folded in client-id order.
   core::RunMetrics aggregate;
+  // Per-kind aggregates, indexed by ClientKind's enumerator order
+  // (streaming, buffered, naive).
+  std::array<ClassStats, 3> by_kind;
+  // Admission-control totals (all zero when admission is disabled).
+  int64_t admitted_exchanges = 0;
+  int64_t deferred_exchanges = 0;
+  int64_t shed_exchanges = 0;
+  // Largest cell backlog observed at a tick boundary (bytes queued).
+  int64_t peak_cell_backlog_bytes = 0;
   // Shared-cell totals.
   int64_t cell_bytes = 0;
   int64_t cell_retries = 0;
@@ -98,17 +125,22 @@ struct FleetResult {
 //
 // Each tick the engine runs a two-phase step:
 //
-//   Phase A (parallel, thread pool): every client due at the tick steps —
-//   plans its queries, executes them against the const shared Server
-//   (sessions live in a striped SessionTable, one owner each), runs its
-//   private bearer's loss/retry model, probes the shared hot-encoding
-//   cache with read-only lookups, and encodes its cache misses. Nothing
-//   shared is mutated, so the phase is embarrassingly parallel.
+//   Phase A (parallel, thread pool): every client due at the tick first
+//   passes admission — a pure policy decision against the tick-frozen
+//   cell snapshot (deferred/shed clients stop here) — then steps: plans
+//   its queries, executes them against the const shared Server (sessions
+//   live in a striped SessionTable, one owner each), runs its private
+//   bearer's loss/retry model, probes the shared hot-encoding cache with
+//   read-only lookups, and encodes its cache misses. Nothing shared is
+//   mutated, so the phase is embarrassingly parallel.
 //
-//   Phase B (serial, ascending client id): hot-cache touches/inserts are
-//   committed, each client's successful wire bytes are submitted to the
-//   shared cell, and the client's next frame is scheduled. Then the cell
-//   advances to the next tick, attributing delivery delays to clients.
+//   Phase B (serial, ascending client id): admission verdicts are
+//   recorded (deferred frames are rescheduled after their backoff),
+//   hot-cache touches/inserts are committed, each client's successful
+//   wire bytes are submitted to the shared cell (weighted-fair-queued
+//   per ClientSpec::weight), and the client's next frame is scheduled.
+//   Then the cell advances to the next tick, attributing delivery delays
+//   to clients.
 //
 // Because every cross-client effect happens in phase B in a fixed order,
 // a fleet run is bit-identical at any worker count: same seeds in, same
@@ -146,6 +178,7 @@ class FleetEngine {
 
   const core::System& system_;
   FleetOptions options_;
+  server::AdmissionController admission_;
   server::SessionTable sessions_;
   server::HotRecordCache hot_cache_;
   std::vector<std::unique_ptr<ClientState>> states_;

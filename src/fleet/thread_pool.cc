@@ -46,12 +46,24 @@ void ThreadPool::WorkerLoop() {
       if (stop_) return;
       seen_generation = generation_;
       tasks = batch_;
+      // The batch may already be retired: when the other threads drain a
+      // small batch before this worker gets scheduled, RunBatch has
+      // returned and nulled batch_ by the time we wake — there is
+      // nothing to do for this generation.
+      if (tasks == nullptr) continue;
+      ++draining_;
     }
     const size_t ran = DrainBatch(*tasks);
-    if (ran > 0) {
+    {
       std::lock_guard<std::mutex> lock(mu_);
       finished_ += ran;
-      if (finished_ == tasks->size()) done_cv_.notify_all();
+      --draining_;
+      // RunBatch must not retire the batch while any worker still holds
+      // the pointer, even one that claimed zero tasks — hence the
+      // draining_ condition on top of the task count.
+      if (finished_ == tasks->size() && draining_ == 0) {
+        done_cv_.notify_all();
+      }
     }
   }
 }
@@ -75,7 +87,9 @@ void ThreadPool::RunBatch(const std::vector<std::function<void()>>& tasks) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     finished_ += ran;
-    done_cv_.wait(lock, [&] { return finished_ == tasks.size(); });
+    done_cv_.wait(lock, [&] {
+      return finished_ == tasks.size() && draining_ == 0;
+    });
     batch_ = nullptr;
   }
 }

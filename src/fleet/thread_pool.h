@@ -52,6 +52,7 @@ class ThreadPool {
   const std::vector<std::function<void()>>* batch_ = nullptr;
   int64_t generation_ = 0;            // bumped per batch
   size_t finished_ = 0;               // tasks completed in this batch
+  int32_t draining_ = 0;              // workers currently inside the batch
   bool stop_ = false;
 
   std::atomic<size_t> next_{0};       // claim cursor into the batch

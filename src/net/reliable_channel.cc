@@ -18,12 +18,31 @@ ReliableChannel::ReliableChannel(SimulatedLink* link, Options options)
   MARS_CHECK_GT(options.deadline_seconds, 0.0);
 }
 
+void ReliableChannel::Defer(double seconds) {
+  MARS_CHECK_GE(seconds, 0.0);
+  pending_defer_seconds_ += seconds;
+}
+
 ReliableChannel::Result ReliableChannel::Exchange(int64_t request_bytes,
                                                   int64_t response_bytes,
                                                   double speed) {
   Result result;
   ++total_exchanges_;
 
+  // Honor accumulated admission backpressure before the first attempt:
+  // the wait advances the link clock (so fault windows progress) and
+  // counts toward the exchange's wall time, but not its deadline — the
+  // deferral was the server's choice, not lost connectivity.
+  if (pending_defer_seconds_ > 0.0) {
+    link_->Wait(pending_defer_seconds_);
+    result.seconds += pending_defer_seconds_;
+    total_deferred_seconds_ += pending_defer_seconds_;
+    ++total_deferrals_;
+    pending_defer_seconds_ = 0.0;
+  }
+
+  // Deadline budget starts after any deferral wait.
+  const double deadline_at = result.seconds + options_.deadline_seconds;
   int64_t remaining_response = response_bytes;
   double backoff = options_.base_backoff_seconds;
 
@@ -50,7 +69,7 @@ ReliableChannel::Result ReliableChannel::Exchange(int64_t request_bytes,
     result.bytes_saved_by_resume += saved;
     total_bytes_saved_ += saved;
 
-    if (result.seconds >= options_.deadline_seconds) {
+    if (result.seconds >= deadline_at) {
       result.status = common::InternalError(
           "reliable exchange missed its deadline (lost connectivity)");
       ++total_failures_;
@@ -67,7 +86,7 @@ ReliableChannel::Result ReliableChannel::Exchange(int64_t request_bytes,
     link_->Wait(wait);
     result.seconds += wait;
     total_backoff_seconds_ += wait;
-    if (result.seconds >= options_.deadline_seconds) {
+    if (result.seconds >= deadline_at) {
       result.status = common::InternalError(
           "reliable exchange missed its deadline (lost connectivity)");
       ++total_failures_;
@@ -86,7 +105,9 @@ void ReliableChannel::ResetStats() {
   total_retries_ = 0;
   total_failures_ = 0;
   total_bytes_saved_ = 0;
+  total_deferrals_ = 0;
   total_backoff_seconds_ = 0.0;
+  total_deferred_seconds_ = 0.0;
 }
 
 }  // namespace mars::net

@@ -66,6 +66,16 @@ class ReliableChannel {
   Result Exchange(int64_t request_bytes, int64_t response_bytes,
                   double speed);
 
+  // Server-driven backpressure: the cell's admission controller deferred
+  // this client's last submission, so the next exchange holds off for
+  // `seconds` before its first attempt — an explicit, bounded wait
+  // instead of burning the retry budget (and eventually timing out)
+  // against an overloaded cell. Repeated deferrals accumulate.
+  void Defer(double seconds);
+  // Deferral waits consumed by exchanges so far.
+  int64_t total_deferrals() const { return total_deferrals_; }
+  double total_deferred_seconds() const { return total_deferred_seconds_; }
+
   const Options& options() const { return options_; }
   int64_t total_exchanges() const { return total_exchanges_; }
   int64_t total_retries() const { return total_retries_; }
@@ -80,11 +90,17 @@ class ReliableChannel {
   SimulatedLink* link_;
   common::Rng rng_;
 
+  // Accumulated backpressure to honor before the next exchange's first
+  // attempt.
+  double pending_defer_seconds_ = 0.0;
+
   int64_t total_exchanges_ = 0;
   int64_t total_retries_ = 0;
   int64_t total_failures_ = 0;
   int64_t total_bytes_saved_ = 0;
+  int64_t total_deferrals_ = 0;
   double total_backoff_seconds_ = 0.0;
+  double total_deferred_seconds_ = 0.0;
 };
 
 }  // namespace mars::net

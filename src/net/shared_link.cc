@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/units.h"
@@ -20,6 +21,10 @@ SharedMediumLink::SharedMediumLink(Options options)
   MARS_CHECK_GE(options.loss_probability, 0.0);
   MARS_CHECK_LT(options.loss_probability, 0.5);
   MARS_CHECK_GT(options.max_retries_per_transfer, 0);
+}
+
+void SharedMediumLink::SetClientWeight(int32_t client, double weight) {
+  vclock_.SetWeight(client, weight);
 }
 
 void SharedMediumLink::Submit(int32_t client, int64_t bytes, double speed) {
@@ -41,8 +46,34 @@ void SharedMediumLink::Submit(int32_t client, int64_t bytes, double speed) {
       }
     }
   }
-  transfers_.push_back(Transfer{client, carried, now_, s});
+  ClientQueue& cq = clients_[client];
+  if (cq.queue.empty()) vclock_.Activate(client);
+  const double virtual_finish = vclock_.Stamp(client, carried);
+  cq.queue.push_back(Transfer{carried, now_, s, virtual_finish});
+  ++in_flight_;
   total_bytes_ += bytes;
+}
+
+int64_t SharedMediumLink::client_backlog_bytes(int32_t client) const {
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return 0;
+  double sum = 0.0;
+  for (const Transfer& t : it->second.queue) sum += t.remaining_bytes;
+  return static_cast<int64_t>(sum);
+}
+
+int32_t SharedMediumLink::client_queue_depth(int32_t client) const {
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return 0;
+  return static_cast<int32_t>(it->second.queue.size());
+}
+
+int64_t SharedMediumLink::backlog_bytes() const {
+  double sum = 0.0;
+  for (const auto& [id, cq] : clients_) {
+    for (const Transfer& t : cq.queue) sum += t.remaining_bytes;
+  }
+  return static_cast<int64_t>(sum);
 }
 
 std::vector<SharedMediumLink::Completion> SharedMediumLink::Advance(
@@ -57,7 +88,7 @@ std::vector<SharedMediumLink::Completion> SharedMediumLink::Advance(
   const bool faulty = fault_ != nullptr && fault_->enabled();
 
   while (now_ < target) {
-    if (transfers_.empty()) {
+    if (in_flight_ == 0) {
       now_ = target;
       break;
     }
@@ -70,45 +101,150 @@ std::vector<SharedMediumLink::Completion> SharedMediumLink::Advance(
       total_outage_seconds_ += stall;
       continue;
     }
-    const double bw_factor = faulty ? fault_->BandwidthFactor(now_) : 1.0;
-    // Piecewise-constant rates until the next completion, fault boundary,
-    // or the target.
-    const double share =
-        cell * bw_factor / static_cast<double>(transfers_.size());
-    double step = target - now_;
-    if (faulty) {
-      const double boundary = fault_->NextBoundaryAfter(now_);
-      if (boundary > now_) step = std::min(step, boundary - now_);
-    }
-    for (const Transfer& t : transfers_) {
-      const double rate =
-          std::min(share, bearer) *
-          (1.0 - options_.motion_degradation * t.speed);
-      step = std::min(step, t.remaining_bytes / rate);
-    }
-    // Drain for `step` seconds.
-    now_ += step;
-    for (auto it = transfers_.begin(); it != transfers_.end();) {
-      const double rate =
-          std::min(share, bearer) *
-          (1.0 - options_.motion_degradation * it->speed);
-      it->remaining_bytes -= rate * step;
-      if (it->remaining_bytes <= 1e-6) {
-        completions.push_back(Completion{
-            it->client,
-            now_ - it->submitted_at + options_.latency_seconds});
-        it = transfers_.erase(it);
-      } else {
-        ++it;
-      }
+    if (options_.discipline == Discipline::kWeightedFair) {
+      StepWeightedFair(target, cell, bearer, &completions);
+    } else {
+      StepEqualShare(target, cell, bearer, &completions);
     }
   }
   return completions;
 }
 
+void SharedMediumLink::StepWeightedFair(
+    double target, double cell, double bearer,
+    std::vector<Completion>* completions) {
+  const bool faulty = fault_ != nullptr && fault_->enabled();
+  const double bw_factor = faulty ? fault_->BandwidthFactor(now_) : 1.0;
+  const double active_weight = vclock_.total_active_weight();
+
+  // Piecewise-constant rates until the next head-of-line completion,
+  // fault boundary, or the target. Each backlogged client serves only its
+  // head transfer at min(GPS share, bearer) — the aggregate bearer cap is
+  // structural.
+  double step = target - now_;
+  if (faulty) {
+    const double boundary = fault_->NextBoundaryAfter(now_);
+    if (boundary > now_) step = std::min(step, boundary - now_);
+  }
+  // Head-of-line rate for every backlogged client, frozen for the
+  // interval; the map scan runs in client-id order.
+  struct Service {
+    int32_t client;
+    ClientQueue* cq;
+    double rate;
+  };
+  std::vector<Service> service;
+  service.reserve(clients_.size());
+  for (auto& [id, cq] : clients_) {
+    if (cq.queue.empty()) continue;
+    const Transfer& head = cq.queue.front();
+    const double share =
+        cell * bw_factor * vclock_.WeightOf(id) / active_weight;
+    const double rate = std::min(share, bearer * MotionFactor(head.speed));
+    service.push_back(Service{id, &cq, rate});
+    if (rate > 0.0) {
+      step = std::min(step, head.remaining_bytes / rate);
+    }
+  }
+
+  now_ += step;
+  // Virtual time advances with the capacity offered to the active set.
+  vclock_.OnServed(cell * bw_factor * step);
+
+  // Drain heads; completions coinciding at this instant are emitted in
+  // (virtual finish tag, client id) order.
+  struct Finished {
+    double virtual_finish;
+    Completion completion;
+  };
+  std::vector<Finished> finished;
+  for (const Service& s : service) {
+    Transfer& head = s.cq->queue.front();
+    head.remaining_bytes -= s.rate * step;
+    if (head.remaining_bytes <= 1e-6) {
+      finished.push_back(Finished{
+          head.virtual_finish,
+          Completion{s.client,
+                     now_ - head.submitted_at + options_.latency_seconds}});
+      s.cq->queue.pop_front();
+      --in_flight_;
+      if (s.cq->queue.empty()) vclock_.Deactivate(s.client);
+    }
+  }
+  std::stable_sort(finished.begin(), finished.end(),
+                   [](const Finished& a, const Finished& b) {
+                     if (a.virtual_finish != b.virtual_finish) {
+                       return a.virtual_finish < b.virtual_finish;
+                     }
+                     return a.completion.client < b.completion.client;
+                   });
+  for (const Finished& f : finished) completions->push_back(f.completion);
+}
+
+void SharedMediumLink::StepEqualShare(double target, double cell,
+                                      double bearer,
+                                      std::vector<Completion>* completions) {
+  const bool faulty = fault_ != nullptr && fault_->enabled();
+  const double bw_factor = faulty ? fault_->BandwidthFactor(now_) : 1.0;
+  const double share =
+      cell * bw_factor / static_cast<double>(in_flight_);
+
+  double step = target - now_;
+  if (faulty) {
+    const double boundary = fault_->NextBoundaryAfter(now_);
+    if (boundary > now_) step = std::min(step, boundary - now_);
+  }
+  // First pass: per-transfer uncapped rates, rescaled so each client's
+  // aggregate never exceeds its bearer (the mid-transfer-join over-credit
+  // fix: a client's k inflight transfers used to draw k bearers' worth).
+  for (auto& [id, cq] : clients_) {
+    if (cq.queue.empty()) continue;
+    double uncapped_sum = 0.0;
+    for (const Transfer& t : cq.queue) {
+      uncapped_sum += std::min(share, bearer * MotionFactor(t.speed));
+    }
+    const double cap = bearer * MotionFactor(cq.queue.front().speed);
+    const double scale = uncapped_sum > cap ? cap / uncapped_sum : 1.0;
+    for (const Transfer& t : cq.queue) {
+      const double rate =
+          std::min(share, bearer * MotionFactor(t.speed)) * scale;
+      if (rate > 0.0) step = std::min(step, t.remaining_bytes / rate);
+    }
+  }
+
+  now_ += step;
+  vclock_.OnServed(cell * bw_factor * step);
+
+  // Second pass: drain with the identical rates and collect completions
+  // (clients in id order; within a client, submission order).
+  for (auto& [id, cq] : clients_) {
+    if (cq.queue.empty()) continue;
+    double uncapped_sum = 0.0;
+    for (const Transfer& t : cq.queue) {
+      uncapped_sum += std::min(share, bearer * MotionFactor(t.speed));
+    }
+    const double cap = bearer * MotionFactor(cq.queue.front().speed);
+    const double scale = uncapped_sum > cap ? cap / uncapped_sum : 1.0;
+    for (auto it = cq.queue.begin(); it != cq.queue.end();) {
+      const double rate =
+          std::min(share, bearer * MotionFactor(it->speed)) * scale;
+      it->remaining_bytes -= rate * step;
+      if (it->remaining_bytes <= 1e-6) {
+        completions->push_back(Completion{
+            id, now_ - it->submitted_at + options_.latency_seconds});
+        it = cq.queue.erase(it);
+        --in_flight_;
+      } else {
+        ++it;
+      }
+    }
+    if (cq.queue.empty()) vclock_.Deactivate(id);
+  }
+}
+
 std::vector<SharedMediumLink::Completion> SharedMediumLink::DrainAll() {
   std::vector<Completion> completions;
-  while (!transfers_.empty()) {
+  while (in_flight_ > 0) {
     const auto batch = Advance(3600.0);
     completions.insert(completions.end(), batch.begin(), batch.end());
   }

@@ -3,20 +3,42 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
+#include <deque>
+#include <map>
 #include <vector>
 
 #include "common/rng.h"
 #include "net/fault.h"
 #include "net/link.h"
+#include "net/wfq.h"
 
 namespace mars::net {
 
 // A shared wireless medium serving several clients at once, modelled as a
-// fluid processor-sharing queue: the cell's downlink capacity is divided
-// equally among the transfers in flight (each additionally capped by its
-// client's bearer rate and degraded by that client's motion), and
-// transfers persist across frames until drained. Clients do not block on
+// fluid queue over the cell's downlink capacity. Two service disciplines:
+//
+//   * kWeightedFair (default): deterministic weighted fair queuing. Each
+//     client owns a FIFO queue; at any instant the backlogged clients
+//     divide the cell capacity in proportion to their weights (fluid GPS),
+//     each serving its head-of-line transfer, additionally capped by the
+//     client's bearer rate and degraded by that transfer's motion.
+//     Arrivals are stamped with virtual start/finish tags (net/wfq.h);
+//     completions coinciding in real time are emitted in (finish tag,
+//     client id) order, so runs are bit-identical for a given submission
+//     sequence. A greedy client's backlog cannot starve anyone: every
+//     other client keeps at least its weight's share of the cell.
+//
+//   * kEqualShare: the legacy processor-sharing model — capacity divided
+//     equally among the *transfers* in flight, so a client with k
+//     transfers holds k shares. Kept for the fairness-isolation bench and
+//     ablations. Unlike the original implementation, a client's aggregate
+//     rate is now correctly capped by its bearer at every reschedule
+//     point: a second transfer joining mid-flight used to grant the
+//     client another full bearer's worth of credit (over-crediting bytes
+//     already in flight); the shares are now rescaled so the client never
+//     outruns its own radio.
+//
+// Transfers persist across frames until drained. Clients do not block on
 // their transfers — an AR client keeps moving and renders coarse data
 // until the bytes arrive — so the reported quantity is the *delivery
 // delay* of each exchange.
@@ -27,14 +49,21 @@ namespace mars::net {
 // additionally stalls the whole cell during outage windows and scales the
 // cell rate during bandwidth dips.
 //
-// Used by the multi-client scalability bench; the paper's single-client
-// evaluation corresponds to one client on a dedicated bearer.
+// Used by the fleet engine and the multi-client benches; the paper's
+// single-client evaluation corresponds to one client on a dedicated
+// bearer.
 class SharedMediumLink {
  public:
+  enum class Discipline {
+    kWeightedFair,  // per-client WFQ (see above)
+    kEqualShare,    // legacy per-transfer processor sharing
+  };
+
   struct Options {
     // Total cell capacity.
     double cell_bandwidth_kbps = 2048.0;
-    // Per-client bearer cap (the paper's 256 Kbps).
+    // Per-client bearer cap (the paper's 256 Kbps). Caps each client's
+    // *aggregate* rate across all its inflight transfers.
     double client_bandwidth_kbps = 256.0;
     double latency_seconds = 0.2;
     double motion_degradation = 0.5;
@@ -46,6 +75,8 @@ class SharedMediumLink {
     // Cap on retransmissions per submission; hitting it counts a timeout
     // and delivers the transfer without further inflation.
     int32_t max_retries_per_transfer = 16;
+    // Service discipline on the cell.
+    Discipline discipline = Discipline::kWeightedFair;
   };
 
   // A finished exchange: which client, and how long from submission to
@@ -62,20 +93,29 @@ class SharedMediumLink {
   // now(). Not owned; must outlive the link.
   void AttachFaultSchedule(FaultSchedule* schedule) { fault_ = schedule; }
 
+  // Sets `client`'s WFQ weight (> 0; default 1). Under kWeightedFair a
+  // backlogged client receives cell * weight / sum(active weights); under
+  // kEqualShare weights are ignored. May be called at any time; takes
+  // effect from the next service interval.
+  void SetClientWeight(int32_t client, double weight);
+  double ClientWeight(int32_t client) const {
+    return vclock_.WeightOf(client);
+  }
+
   // Enqueues an exchange of `bytes` for `client` moving at normalized
   // `speed`, submitted at the current simulated time. Under loss the
   // carried byte count is inflated by the retransmitted fractions.
   void Submit(int32_t client, int64_t bytes, double speed);
 
-  // Advances simulated time by `dt` seconds, draining transfers under
-  // processor sharing; returns the exchanges that completed.
+  // Advances simulated time by `dt` seconds, draining transfers under the
+  // configured discipline; returns the exchanges that completed.
   std::vector<Completion> Advance(double dt);
 
   // Drains everything left; returns the remaining completions.
   std::vector<Completion> DrainAll();
 
   double now() const { return now_; }
-  size_t in_flight() const { return transfers_.size(); }
+  size_t in_flight() const { return in_flight_; }
   int64_t total_bytes() const { return total_bytes_; }
   // Lost attempts retransmitted across all submissions.
   int64_t total_retries() const { return total_retries_; }
@@ -84,19 +124,53 @@ class SharedMediumLink {
   // Simulated seconds the cell spent fully blacked out.
   double total_outage_seconds() const { return total_outage_seconds_; }
 
+  // Backlog observability — what the admission controller consults.
+  // Remaining carried bytes queued for `client` (including the transfer
+  // in service).
+  int64_t client_backlog_bytes(int32_t client) const;
+  // Transfers queued for `client`.
+  int32_t client_queue_depth(int32_t client) const;
+  // Remaining carried bytes across every client.
+  int64_t backlog_bytes() const;
+  // The scheduler's virtual time (observability / tests).
+  double virtual_time() const { return vclock_.virtual_time(); }
+
  private:
   struct Transfer {
-    int32_t client;
     double remaining_bytes;
     double submitted_at;
     double speed;
+    double virtual_finish;  // WFQ tag stamped at submission
   };
+
+  struct ClientQueue {
+    std::deque<Transfer> queue;
+    double backlog_bytes = 0.0;
+  };
+
+  // One piecewise-constant service interval under the given discipline;
+  // appends completions. `target` bounds the interval.
+  void StepWeightedFair(double target, double cell, double bearer,
+                        std::vector<Completion>* completions);
+  void StepEqualShare(double target, double cell, double bearer,
+                      std::vector<Completion>* completions);
+
+  double MotionFactor(double speed) const {
+    return 1.0 - options_.motion_degradation * speed;
+  }
+
+  void FinishTransfer(int32_t client, ClientQueue* cq,
+                      std::vector<Completion>* completions);
 
   Options options_;
   common::Rng rng_;
   FaultSchedule* fault_ = nullptr;
   double now_ = 0.0;
-  std::list<Transfer> transfers_;
+  // Ordered by client id so every scan (rate allocation, completion
+  // emission, backlog sums) is deterministic.
+  std::map<int32_t, ClientQueue> clients_;
+  WfqVirtualClock vclock_;
+  size_t in_flight_ = 0;
   int64_t total_bytes_ = 0;
   int64_t total_retries_ = 0;
   int64_t total_timeouts_ = 0;

@@ -43,6 +43,11 @@ struct ClientSession {
   // Protocol counters (observability / tests).
   int64_t acked_batches = 0;
   int64_t rolled_back_batches = 0;
+  // Admission outcomes recorded against this client by the cell's
+  // admission controller (server/admission.h): exchanges the server told
+  // the client to defer, and bulk requests it shed under overload.
+  int64_t deferred_requests = 0;
+  int64_t shed_requests = 0;
 };
 
 // Commits the session's pending deliveries: the client's next request

@@ -38,4 +38,15 @@ int64_t SessionTable::TotalTrackedRecords() const {
   return n;
 }
 
+int64_t SessionTable::TotalAdmissionEvents() const {
+  int64_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    common::MutexLock lock(&stripe.mu);
+    for (const auto& [id, session] : stripe.sessions) {
+      n += session->deferred_requests + session->shed_requests;
+    }
+  }
+  return n;
+}
+
 }  // namespace mars::server

@@ -50,6 +50,10 @@ class SessionTable {
   // server's total duplicate-filter footprint (observability).
   int64_t TotalTrackedRecords() const;
 
+  // Cumulative admission-control events (deferred + shed requests)
+  // recorded against every session (observability).
+  int64_t TotalAdmissionEvents() const;
+
  private:
   struct Stripe {
     mutable common::Mutex mu;

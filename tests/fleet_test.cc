@@ -70,6 +70,22 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   EXPECT_EQ(counter.load(), 80);
 }
 
+// Regression: a worker that sleeps through an entire small batch used to
+// wake to a retired (nulled, then destroyed) batch pointer and crash.
+// Thousands of tiny batches on a wide pool make that window likely; the
+// fix (workers skip retired batches, RunBatch waits for every worker to
+// leave the batch) must survive this under TSan/ASan too.
+TEST(ThreadPoolTest, ManySmallBatchesDoNotRace) {
+  fleet::ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::function<void()>> tasks(
+        2, [&counter] { counter.fetch_add(1); });
+    pool.RunBatch(tasks);
+  }
+  EXPECT_EQ(counter.load(), 4000);
+}
+
 // ---------------------------------------------------------------------------
 // VirtualScheduler
 
@@ -113,6 +129,43 @@ TEST(RunMetricsTest, MergeSumsAndWeights) {
   // Frames-weighted: (0.8*100 + 0.4*300) / 400 = 0.5.
   EXPECT_DOUBLE_EQ(a.cache_hit_rate, 0.5);
   EXPECT_EQ(a.max_stale_run_frames, 7);
+}
+
+TEST(LatencyHistogramTest, QuantilesBracketSamples) {
+  core::LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) h.Add(0.01);
+  for (int i = 0; i < 10; ++i) h.Add(10.0);
+  EXPECT_EQ(h.total, 100);
+  // Quantiles return the upper bucket edge: within one quarter-octave
+  // (< 19%) above the sample.
+  const double p50 = h.Quantile(0.50);
+  EXPECT_GE(p50, 0.01);
+  EXPECT_LT(p50, 0.012);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 10.0);
+  EXPECT_LT(p99, 12.0);
+  EXPECT_LE(p50, p99);
+  // Out-of-range samples clamp to the edge buckets instead of dropping.
+  h.Add(0.0);
+  h.Add(1e9);
+  EXPECT_EQ(h.total, 102);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedAdds) {
+  core::LatencyHistogram a, b, combined;
+  for (int i = 0; i < 40; ++i) {
+    const double v = 0.001 * (i + 1) * (i + 1);
+    (i % 2 == 0 ? a : b).Add(v);
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total, combined.total);
+  for (int i = 0; i < core::LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(a.counts[i], combined.counts[i]) << "bucket " << i;
+  }
+  // Bit-identical quantiles: the determinism the fleet JSON relies on.
+  EXPECT_DOUBLE_EQ(a.Quantile(0.99), combined.Quantile(0.99));
 }
 
 TEST(RunMetricsTest, JsonIsFullPrecision) {
@@ -360,6 +413,135 @@ TEST_F(FleetEngineTest, LossyFleetCompletesWithBoundedRetries) {
       fleet::FleetEngine::MakeMixedFleet(kClients, kFrames, /*speed=*/0.5,
                                          /*seed=*/3));
   EXPECT_EQ(FleetJson(replay.Run()), FleetJson(result));
+}
+
+// WFQ in the fleet: two identical naive clients on a saturated cell, one
+// with triple weight. The heavier client must see strictly lower total
+// delivery delay — the weight actually buys bandwidth.
+TEST_F(FleetEngineTest, HeavierClientGetsLowerDelay) {
+  std::vector<fleet::ClientSpec> specs(2);
+  for (int i = 0; i < 2; ++i) {
+    specs[i].id = i;
+    specs[i].kind = fleet::ClientKind::kNaive;
+    specs[i].frames = 20;
+    specs[i].seed = 7;       // identical twins...
+    specs[i].tour_seed = 4;  // ...on the same trajectory
+    specs[i].query_fraction = 0.3;
+  }
+  specs[1].weight = 3.0;
+  fleet::FleetOptions options;
+  options.workers = 2;
+  options.hot_cache_bytes = 0;
+  // Squeeze the cell so both clients stay backlogged and contend.
+  options.cell.cell_bandwidth_kbps = 96.0;
+  options.cell.client_bandwidth_kbps = 96.0;
+  fleet::FleetEngine engine(*system_, options, std::move(specs));
+  const fleet::FleetResult result = engine.Run();
+  ASSERT_EQ(result.clients.size(), 2u);
+  const core::RunMetrics& light = result.clients[0].metrics;
+  const core::RunMetrics& heavy = result.clients[1].metrics;
+  ASSERT_GT(light.demand_bytes, 0);
+  EXPECT_EQ(light.demand_bytes, heavy.demand_bytes);
+  EXPECT_LT(heavy.total_response_seconds, light.total_response_seconds);
+  EXPECT_LT(heavy.P99ResponseSeconds(), light.P99ResponseSeconds());
+}
+
+// Admission control on a starved cell: naive bulk requests get deferred
+// and eventually shed, motion-aware classes are never shed, accounting
+// balances, and the whole thing stays bit-identical across worker counts.
+TEST_F(FleetEngineTest, AdmissionShedsOnlyBulkAndStaysDeterministic) {
+  const int32_t kClients = 9;
+  const int32_t kFrames = 25;
+  auto make_options = [](int workers) {
+    fleet::FleetOptions options;
+    options.workers = workers;
+    // A starved cell with a tight admission budget so the controller
+    // actually has to defer and shed.
+    options.cell.cell_bandwidth_kbps = 128.0;
+    options.cell.client_bandwidth_kbps = 64.0;
+    options.admission.enabled = true;
+    options.admission.max_client_backlog_bytes = 8 * 1024;
+    options.admission.max_client_queue_depth = 2;
+    options.admission.overload_backlog_bytes = 16 * 1024;
+    options.admission.shed_backlog_bytes = 48 * 1024;
+    options.admission.defer_backoff_seconds = 0.25;
+    options.admission.max_defers = 3;
+    return options;
+  };
+  auto make_specs = [&] {
+    auto specs = fleet::FleetEngine::MakeMixedFleet(kClients, kFrames,
+                                                    /*speed=*/0.5, /*seed=*/0);
+    for (fleet::ClientSpec& spec : specs) {
+      spec.query_fraction = 0.3;  // enough demand to congest the cell
+      spec.weight = 1.0 + static_cast<double>(spec.id % 3);
+    }
+    return specs;
+  };
+
+  fleet::FleetEngine engine(*system_, make_options(8), make_specs());
+  const fleet::FleetResult result = engine.Run();
+
+  // Every client still completed its tour: deferral is bounded, shedding
+  // consumes the frame, nothing hangs.
+  EXPECT_EQ(result.aggregate.frames, kClients * kFrames);
+  // The controller actually exercised both the defer and the shed paths.
+  EXPECT_GT(result.deferred_exchanges, 0);
+  EXPECT_GT(result.shed_exchanges, 0);
+  EXPECT_GT(result.admitted_exchanges, 0);
+  EXPECT_GT(result.peak_cell_backlog_bytes, 0);
+  // Aggregate metrics agree with the controller's own totals.
+  EXPECT_EQ(result.aggregate.deferred_exchanges, result.deferred_exchanges);
+  EXPECT_EQ(result.aggregate.shed_exchanges, result.shed_exchanges);
+  // Only the naive bulk class is deferrable → only it can be shed.
+  const auto& streaming =
+      result.by_kind[static_cast<size_t>(fleet::ClientKind::kStreaming)];
+  const auto& buffered =
+      result.by_kind[static_cast<size_t>(fleet::ClientKind::kBuffered)];
+  const auto& naive =
+      result.by_kind[static_cast<size_t>(fleet::ClientKind::kNaive)];
+  EXPECT_EQ(streaming.metrics.shed_exchanges, 0);
+  EXPECT_EQ(buffered.metrics.shed_exchanges, 0);
+  EXPECT_EQ(naive.metrics.shed_exchanges, result.shed_exchanges);
+  EXPECT_GT(streaming.clients, 0);
+  EXPECT_GT(naive.clients, 0);
+  // Sessions carry the per-client admission history.
+  int64_t session_defers = 0;
+  int64_t session_sheds = 0;
+  for (const fleet::ClientResult& client : result.clients) {
+    const server::ClientSession* session =
+        engine.sessions().Find(client.spec.id);
+    ASSERT_NE(session, nullptr);
+    session_defers += session->deferred_requests;
+    session_sheds += session->shed_requests;
+  }
+  EXPECT_EQ(session_defers, result.deferred_exchanges);
+  EXPECT_EQ(session_sheds, result.shed_exchanges);
+
+  // Deferral retries reshape the tick schedule into many tiny batches —
+  // exactly the load that exposed the thread-pool retire race — and the
+  // run must still be bit-identical serially.
+  fleet::FleetEngine replay(*system_, make_options(1), make_specs());
+  const fleet::FleetResult serial = replay.Run();
+  EXPECT_EQ(FleetJson(serial), FleetJson(result));
+  EXPECT_EQ(serial.deferred_exchanges, result.deferred_exchanges);
+  EXPECT_EQ(serial.shed_exchanges, result.shed_exchanges);
+  EXPECT_EQ(serial.peak_cell_backlog_bytes, result.peak_cell_backlog_bytes);
+}
+
+// Admission disabled (the default) must leave every metric untouched:
+// no deferrals, no sheds, no backpressure — the legacy behaviour.
+TEST_F(FleetEngineTest, AdmissionDisabledIsInert) {
+  fleet::FleetOptions options;
+  options.workers = 2;
+  fleet::FleetEngine engine(
+      *system_, options,
+      fleet::FleetEngine::MakeMixedFleet(6, /*frames=*/15, /*speed=*/0.5,
+                                         /*seed=*/2));
+  const fleet::FleetResult result = engine.Run();
+  EXPECT_EQ(result.admitted_exchanges, 0);
+  EXPECT_EQ(result.deferred_exchanges, 0);
+  EXPECT_EQ(result.shed_exchanges, 0);
+  EXPECT_EQ(result.aggregate.backpressure_frames, 0);
 }
 
 }  // namespace

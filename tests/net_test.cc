@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "net/link.h"
 #include "net/shared_link.h"
 #include "net/sim_clock.h"
+#include "net/wfq.h"
 
 namespace mars::net {
 namespace {
@@ -222,6 +225,193 @@ TEST(SharedLinkTest, MotionDegradesIndividually) {
   const auto done = cell.DrainAll();
   ASSERT_EQ(done.size(), 2u);
   EXPECT_LT(done[0].response_seconds, done[1].response_seconds);
+}
+
+TEST(WfqClockTest, StampsFollowFifoWithinClient) {
+  WfqVirtualClock clock;
+  clock.Activate(0);
+  // First transfer starts at V=0; the second queues behind it.
+  EXPECT_DOUBLE_EQ(clock.Stamp(0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(clock.Stamp(0, 50.0), 150.0);
+  // Once V overtakes the tail, the next stamp starts from V.
+  clock.OnServed(300.0);  // W = 1, so dV = 300
+  EXPECT_DOUBLE_EQ(clock.virtual_time(), 300.0);
+  EXPECT_DOUBLE_EQ(clock.Stamp(0, 10.0), 310.0);
+}
+
+TEST(WfqClockTest, WeightScalesFinishTags) {
+  WfqVirtualClock clock;
+  clock.SetWeight(1, 2.0);
+  clock.Activate(0);
+  clock.Activate(1);
+  EXPECT_DOUBLE_EQ(clock.total_active_weight(), 3.0);
+  // Equal bytes: the double-weight client's finish tag is half as far.
+  EXPECT_DOUBLE_EQ(clock.Stamp(0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(clock.Stamp(1, 100.0), 50.0);
+  // Virtual time advances at served / W.
+  clock.OnServed(30.0);
+  EXPECT_DOUBLE_EQ(clock.virtual_time(), 10.0);
+}
+
+TEST(WfqClockTest, ActivationIsIdempotent) {
+  WfqVirtualClock clock;
+  clock.Activate(3);
+  clock.Activate(3);
+  EXPECT_DOUBLE_EQ(clock.total_active_weight(), 1.0);
+  clock.Deactivate(3);
+  clock.Deactivate(3);
+  EXPECT_DOUBLE_EQ(clock.total_active_weight(), 0.0);
+  clock.Deactivate(99);  // never seen: no-op
+  EXPECT_DOUBLE_EQ(clock.total_active_weight(), 0.0);
+  // Re-weighting an active client adjusts the active sum in place.
+  clock.Activate(3);
+  clock.SetWeight(3, 4.0);
+  EXPECT_DOUBLE_EQ(clock.total_active_weight(), 4.0);
+}
+
+TEST(SharedLinkWfqTest, WeightsSplitBandwidthTwoToOne) {
+  SharedMediumLink::Options options;
+  options.cell_bandwidth_kbps = 256.0;    // 32 KB/s
+  options.client_bandwidth_kbps = 256.0;  // bearer never binds
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  cell.SetClientWeight(0, 2.0);
+  cell.SetClientWeight(1, 1.0);
+  cell.Submit(0, 64000, 0.0);
+  cell.Submit(1, 64000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 2u);
+  // While both are backlogged, client 0 drains at 2/3 cell and client 1
+  // at 1/3: client 0 finishes at t = 64000 / (32000*2/3) = 3 s; client 1
+  // then holds the whole cell for its remaining 32000 bytes: t = 4 s.
+  EXPECT_EQ(done[0].client, 0);
+  EXPECT_NEAR(done[0].response_seconds, 3.0, 1e-6);
+  EXPECT_EQ(done[1].client, 1);
+  EXPECT_NEAR(done[1].response_seconds, 4.0, 1e-6);
+}
+
+TEST(SharedLinkWfqTest, PerClientQueueIsFifo) {
+  SharedMediumLink::Options options;
+  options.cell_bandwidth_kbps = 2048.0;
+  options.client_bandwidth_kbps = 256.0;  // 32 KB/s bearer
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  // One client, two concurrent transfers: WFQ serves the head only, at
+  // the bearer rate — the second waits its turn.
+  cell.Submit(0, 32000, 0.0);
+  cell.Submit(0, 32000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0].response_seconds, 1.0, 1e-6);
+  EXPECT_NEAR(done[1].response_seconds, 2.0, 1e-6);
+}
+
+TEST(SharedLinkWfqTest, GreedyBacklogCannotStarveOthers) {
+  SharedMediumLink::Options options;
+  options.cell_bandwidth_kbps = 512.0;    // 64 KB/s
+  options.client_bandwidth_kbps = 512.0;  // bearer never binds
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  // Greedy client 0 stacks ten 64000-byte transfers. Client 1 submits
+  // one small exchange a second later and still receives its full half
+  // of the cell: 32000 bytes at 32 KB/s = 1 s delivery. (Equal-share
+  // would give it 1/11 of the cell — about 5.5 s.)
+  for (int i = 0; i < 10; ++i) cell.Submit(0, 64000, 0.0);
+  const auto early = cell.Advance(1.0);
+  ASSERT_EQ(early.size(), 1u);  // greedy's head drained alone
+  cell.Submit(1, 32000, 0.0);
+  const auto done = cell.DrainAll();
+  double client1_response = -1.0;
+  for (const auto& c : done) {
+    if (c.client == 1) client1_response = c.response_seconds;
+  }
+  EXPECT_NEAR(client1_response, 1.0, 1e-6);
+}
+
+TEST(SharedLinkWfqTest, BacklogObservability) {
+  SharedMediumLink::Options options;
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  cell.Submit(0, 32000, 0.0);
+  cell.Submit(0, 16000, 0.0);
+  cell.Submit(1, 8000, 0.0);
+  EXPECT_EQ(cell.client_backlog_bytes(0), 48000);
+  EXPECT_EQ(cell.client_queue_depth(0), 2);
+  EXPECT_EQ(cell.client_backlog_bytes(1), 8000);
+  EXPECT_EQ(cell.client_queue_depth(1), 1);
+  EXPECT_EQ(cell.client_backlog_bytes(7), 0);  // unknown client
+  EXPECT_EQ(cell.backlog_bytes(), 56000);
+  cell.DrainAll();
+  EXPECT_EQ(cell.backlog_bytes(), 0);
+}
+
+TEST(SharedLinkWfqTest, DeterministicAcrossRuns) {
+  const auto run = [] {
+    SharedMediumLink::Options options;
+    options.loss_probability = 0.1;
+    options.loss_seed = 42;
+    SharedMediumLink cell(options);
+    cell.SetClientWeight(1, 3.0);
+    std::vector<double> out;
+    for (int i = 0; i < 20; ++i) {
+      cell.Submit(i % 4, 8000 + 1000 * i, 0.1 * (i % 10));
+      for (const auto& c : cell.Advance(0.3)) {
+        out.push_back(c.response_seconds + c.client);
+      }
+    }
+    for (const auto& c : cell.DrainAll()) {
+      out.push_back(c.response_seconds + c.client);
+    }
+    return out;
+  };
+  // Bitwise-identical completion sequence, including under loss.
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SharedLinkEqualShareTest, AggregateBearerCapAcrossTransfers) {
+  SharedMediumLink::Options options;
+  options.discipline = SharedMediumLink::Discipline::kEqualShare;
+  options.cell_bandwidth_kbps = 2048.0;
+  options.client_bandwidth_kbps = 256.0;  // 32 KB/s bearer
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  // Regression: one client with two concurrent 32000-byte transfers may
+  // carry 32 KB/s in aggregate — both drain at t = 2.0 s. The old model
+  // capped per *transfer*, so the mid-flight join over-credited the
+  // client to 64 KB/s and both finished at 1.0 s.
+  cell.Submit(0, 32000, 0.0);
+  cell.Submit(0, 32000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0].response_seconds, 2.0, 1e-6);
+  EXPECT_NEAR(done[1].response_seconds, 2.0, 1e-6);
+}
+
+TEST(SharedLinkEqualShareTest, GreedyClientDrownsNeighbour) {
+  // The motivation for WFQ, pinned as a test: under equal share a greedy
+  // backlog multiplies its cell share and the polite client waits.
+  SharedMediumLink::Options options;
+  options.discipline = SharedMediumLink::Discipline::kEqualShare;
+  options.cell_bandwidth_kbps = 512.0;    // 64 KB/s
+  options.client_bandwidth_kbps = 512.0;  // bearer never binds
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  for (int i = 0; i < 7; ++i) cell.Submit(0, 64000, 0.0);
+  cell.Submit(1, 32000, 0.0);
+  const auto done = cell.DrainAll();
+  double client1_response = -1.0;
+  for (const auto& c : done) {
+    if (c.client == 1) client1_response = c.response_seconds;
+  }
+  // Client 1 holds 1/8 of the cell (8 KB/s) while the greedy transfers
+  // drain — strictly worse than its WFQ half-share.
+  EXPECT_GT(client1_response, 3.0);
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 
 #include "geometry/box.h"
 #include "index/record.h"
+#include "server/admission.h"
 #include "server/object_db.h"
 #include "server/server.h"
+#include "server/session_table.h"
 #include "workload/scene.h"
 
 namespace mars::server {
@@ -276,6 +278,136 @@ TEST(ServerIndexKindTest, BothIndexesServeIdenticalResults) {
     EXPECT_EQ(ra.records, rb.records) << "w_min " << w_min;
     EXPECT_EQ(ra.response_bytes, rb.response_bytes);
   }
+}
+
+AdmissionController::Options AdmissionOptions() {
+  AdmissionController::Options options;
+  options.enabled = true;
+  options.max_client_backlog_bytes = 1000;
+  options.max_client_queue_depth = 2;
+  options.overload_backlog_bytes = 5000;
+  options.shed_backlog_bytes = 10000;
+  options.defer_backoff_seconds = 0.5;
+  options.max_defers = 3;
+  return options;
+}
+
+TEST(AdmissionTest, DisabledAdmitsEverything) {
+  AdmissionController admission;  // default options: disabled
+  AdmissionController::Request request;
+  request.bytes = 1 << 30;
+  request.client_backlog_bytes = 1 << 30;
+  request.client_queue_depth = 1000;
+  request.cell_backlog_bytes = 1 << 30;
+  request.deferrable = true;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionTest, AdmitsWithinBounds) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.bytes = 400;
+  request.client_backlog_bytes = 500;
+  request.client_queue_depth = 1;
+  request.cell_backlog_bytes = 100;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionTest, DefersClientOverByteBudget) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.bytes = 600;
+  request.client_backlog_bytes = 500;  // 500 + 600 > 1000
+  const auto verdict = admission.Decide(request);
+  EXPECT_EQ(verdict.decision, AdmissionController::Decision::kDefer);
+  EXPECT_DOUBLE_EQ(verdict.retry_after_seconds, 0.5);
+  // Unknown size (0) is admitted against the byte bound.
+  request.bytes = 0;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionTest, DefersClientOverQueueDepth) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.client_queue_depth = 2;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kDefer);
+}
+
+TEST(AdmissionTest, BackoffGrowsLinearly) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.client_queue_depth = 2;
+  request.prior_defers = 2;
+  const auto verdict = admission.Decide(request);
+  EXPECT_EQ(verdict.decision, AdmissionController::Decision::kDefer);
+  EXPECT_DOUBLE_EQ(verdict.retry_after_seconds, 1.5);  // 0.5 * (1 + 2)
+}
+
+TEST(AdmissionTest, OverloadDefersOnlyBulk) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.cell_backlog_bytes = 6000;  // past overload, below shed
+  request.deferrable = true;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kDefer);
+  // Demand traffic sails through the same backlog.
+  request.deferrable = false;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionTest, ShedsBulkPastShedWatermark) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.cell_backlog_bytes = 10000;
+  request.deferrable = true;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kShed);
+  request.deferrable = false;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionTest, DeferralIsBounded) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.client_queue_depth = 100;  // would defer forever
+  request.prior_defers = 3;          // hit max_defers
+  // Non-deferrable demand is forced through; bulk is shed.
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kAdmit);
+  request.deferrable = true;
+  EXPECT_EQ(admission.Decide(request).decision,
+            AdmissionController::Decision::kShed);
+}
+
+TEST(AdmissionTest, RecordAccumulatesCounters) {
+  AdmissionController admission(AdmissionOptions());
+  AdmissionController::Request request;
+  request.bytes = 100;
+  admission.Record(request,
+                   {AdmissionController::Decision::kAdmit, 0.0});
+  admission.Record(request,
+                   {AdmissionController::Decision::kDefer, 0.5});
+  admission.Record(request, {AdmissionController::Decision::kShed, 0.0});
+  admission.Record(request, {AdmissionController::Decision::kShed, 0.0});
+  EXPECT_EQ(admission.admitted_requests(), 1);
+  EXPECT_EQ(admission.admitted_bytes(), 100);
+  EXPECT_EQ(admission.deferred_requests(), 1);
+  EXPECT_EQ(admission.shed_requests(), 2);
+  EXPECT_EQ(admission.shed_bytes(), 200);
+}
+
+TEST(SessionTableTest, TracksAdmissionEvents) {
+  SessionTable table;
+  table.GetOrCreate(1)->deferred_requests = 3;
+  table.GetOrCreate(2)->shed_requests = 2;
+  table.GetOrCreate(3);
+  EXPECT_EQ(table.TotalAdmissionEvents(), 5);
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares a bench run's JSON output (written by the bench binary when
+MARS_BENCH_JSON=<path> is set) against a checked-in baseline under
+bench/baselines/. Every gated metric is a *deterministic simulated*
+quantity — delivery-delay quantiles, virtual time, hit rates — never
+wall clock, so the gate's verdict does not depend on runner speed.
+
+A metric regresses when it moves in its bad direction (each entry
+carries `higher_is_better`) by more than --tolerance (default 15%).
+Improvements and new metrics never fail; a metric present in the
+baseline but missing from the run does, since silently dropping a gated
+metric is how regressions hide.
+
+Usage:
+    bench_gate.py --baseline bench/baselines/foo.json --current out.json
+    bench_gate.py ... --update   # rewrite the baseline from the run
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+        raise SystemExit(f"{path}: missing 'metrics' object")
+    return doc
+
+
+def compare(baseline, current, tolerance):
+    failures = []
+    report = []
+    for name, base in sorted(baseline["metrics"].items()):
+        cur = current["metrics"].get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but missing from run")
+            continue
+        base_value = float(base["value"])
+        cur_value = float(cur["value"])
+        higher_is_better = bool(base.get("higher_is_better", False))
+        if base_value == 0.0:
+            # Zero baselines (e.g. no sheds expected): any movement in the
+            # bad direction is a regression, movement toward zero is fine.
+            bad = cur_value < 0.0 if higher_is_better else cur_value > 0.0
+            delta_text = f"{cur_value:+.6g} from zero baseline"
+        else:
+            delta = (cur_value - base_value) / abs(base_value)
+            bad = (delta < -tolerance) if higher_is_better else (delta > tolerance)
+            delta_text = f"{delta:+.1%}"
+        arrow = "worse" if bad else "ok"
+        report.append(
+            f"  {name}: baseline={base_value:.6g} current={cur_value:.6g} "
+            f"({delta_text}, {arrow})"
+        )
+        if bad:
+            failures.append(
+                f"{name}: {delta_text} beyond tolerance "
+                f"(baseline {base_value:.6g} -> {cur_value:.6g}, "
+                f"{'higher' if higher_is_better else 'lower'} is better)"
+            )
+    for name in sorted(set(current["metrics"]) - set(baseline["metrics"])):
+        report.append(f"  {name}: new metric (not gated)")
+    return failures, report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline file from the current run and exit",
+    )
+    args = parser.parse_args()
+
+    current = load(args.current)
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline {args.baseline} updated from {args.current}")
+        return 0
+
+    baseline = load(args.baseline)
+    if baseline.get("bench") != current.get("bench"):
+        raise SystemExit(
+            f"bench name mismatch: baseline={baseline.get('bench')!r} "
+            f"current={current.get('bench')!r}"
+        )
+
+    failures, report = compare(baseline, current, args.tolerance)
+    print(f"bench {current.get('bench')} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%}):")
+    for line in report:
+        print(line)
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

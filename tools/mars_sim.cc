@@ -12,6 +12,7 @@
 //             [--no-prefetch] [--naive-prefetch] [--kalman] [--seed S]
 //             [--loss P] [--outage-rate R] [--outage-secs S]
 //             [--clients N] [--workers M]
+//             [--fairness wfq|equal] [--weights S,B,N] [--admission]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
 //       < 0.5); --outage-rate schedules full-connectivity outages at R
@@ -22,6 +23,13 @@
 //       threads for the parallel phase; the per-client and aggregate
 //       metrics are bit-identical at any M. --loss then applies to the
 //       cell, --outage-rate to the cell's fault schedule.
+//       --fairness selects the cell's scheduling discipline (weighted
+//       fair queuing by default; "equal" is the legacy per-transfer
+//       equal-share model). --weights sets the WFQ weight per client
+//       kind as three comma-separated values: streaming,buffered,naive
+//       (e.g. --weights 2,2,1 gives the motion-aware clients twice the
+//       naive baseline's share). --admission enables the server's
+//       admission controller on the cell (defer/shed under overload).
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
@@ -73,6 +81,11 @@ struct Flags {
   double outage_secs = 8.0;
   int clients = 1;
   int workers = 1;
+  std::string fairness = "wfq";
+  double weight_streaming = 1.0;
+  double weight_buffered = 1.0;
+  double weight_naive = 1.0;
+  bool admission = false;
 };
 
 void Usage() {
@@ -137,6 +150,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->clients = std::atoi(next());
     } else if (arg == "--workers") {
       flags->workers = std::atoi(next());
+    } else if (arg == "--fairness") {
+      flags->fairness = next();
+    } else if (arg == "--weights") {
+      if (std::sscanf(next(), "%lf,%lf,%lf", &flags->weight_streaming,
+                      &flags->weight_buffered, &flags->weight_naive) != 3) {
+        std::fprintf(stderr, "--weights wants S,B,N (three doubles)\n");
+        return false;
+      }
+    } else if (arg == "--admission") {
+      flags->admission = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -207,6 +230,11 @@ int RunFleet(const core::System& system, const Flags& flags) {
   fleet::FleetOptions options;
   options.workers = flags.workers;
   options.cell.loss_probability = flags.loss;
+  options.cell.discipline =
+      flags.fairness == "equal"
+          ? net::SharedMediumLink::Discipline::kEqualShare
+          : net::SharedMediumLink::Discipline::kWeightedFair;
+  options.admission.enabled = flags.admission;
   options.cell_fault.outage_rate_per_hour = flags.outage_rate;
   options.cell_fault.outage_mean_seconds = flags.outage_secs;
   options.cell_fault.seed = flags.seed + 2;
@@ -214,6 +242,17 @@ int RunFleet(const core::System& system, const Flags& flags) {
       flags.clients, flags.frames, flags.speed, flags.seed);
   for (fleet::ClientSpec& spec : specs) {
     spec.buffer_bytes = static_cast<int64_t>(flags.buffer_kb) * 1024;
+    switch (spec.kind) {
+      case fleet::ClientKind::kStreaming:
+        spec.weight = flags.weight_streaming;
+        break;
+      case fleet::ClientKind::kBuffered:
+        spec.weight = flags.weight_buffered;
+        break;
+      case fleet::ClientKind::kNaive:
+        spec.weight = flags.weight_naive;
+        break;
+    }
   }
   fleet::FleetEngine engine(system, options, std::move(specs));
   const fleet::FleetResult result = engine.Run();
@@ -235,6 +274,32 @@ int RunFleet(const core::System& system, const Flags& flags) {
               common::FormatBytes(result.hot_bytes_saved).c_str());
   std::printf("mean response / query   : %.3f s\n",
               result.aggregate.MeanResponsePerExchange());
+  std::printf("p50 / p99 response      : %.3f / %.3f s\n",
+              result.aggregate.P50ResponseSeconds(),
+              result.aggregate.P99ResponseSeconds());
+  if (flags.admission) {
+    std::printf("admitted/deferred/shed  : %lld / %lld / %lld\n",
+                static_cast<long long>(result.admitted_exchanges),
+                static_cast<long long>(result.deferred_exchanges),
+                static_cast<long long>(result.shed_exchanges));
+    std::printf("peak cell backlog       : %s\n",
+                common::FormatBytes(result.peak_cell_backlog_bytes).c_str());
+  }
+  static const char* const kKindNames[] = {"streaming", "buffered", "naive"};
+  for (size_t k = 0; k < result.by_kind.size(); ++k) {
+    const fleet::ClassStats& cls = result.by_kind[k];
+    if (cls.clients == 0) continue;
+    const double goodput =
+        result.virtual_seconds > 0.0
+            ? static_cast<double>(cls.metrics.total_bytes()) /
+                  result.virtual_seconds
+            : 0.0;
+    std::printf(
+        "class %-9s           : %lld clients, %.0f B/s goodput, "
+        "p99 %.3f s\n",
+        kKindNames[k], static_cast<long long>(cls.clients), goodput,
+        cls.metrics.P99ResponseSeconds());
+  }
 
   // Full-precision JSON lines: one per client plus the aggregate. Diffing
   // this block across --workers values must show zero differences.
