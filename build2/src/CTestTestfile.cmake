@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("geometry")
+subdirs("mesh")
+subdirs("wavelet")
+subdirs("index")
+subdirs("motion")
+subdirs("buffer")
+subdirs("net")
+subdirs("server")
+subdirs("client")
+subdirs("workload")
+subdirs("core")
+subdirs("fleet")
