@@ -8,7 +8,20 @@
 // and for node capacities 10 / 20 / 40 around the paper's page-size-20
 // choice. Expected shapes: R* with reinsertion is the cheapest to query;
 // capacity changes trade tree height against per-node scan width.
+//
+// Second sweep: the sharded coefficient index at K = 1 / 4 / 16 shards,
+// reporting node accesses and wall-clock latency per query for both
+// sequential and parallel fan-out. Expected shapes: node accesses stay
+// in the same ballpark (fan-out prunes whole shards but K trees are
+// each shallower than one big tree), K = 1 matches the plain index
+// exactly, and parallel fan-out only helps latency once K is large
+// enough that a query crosses several shards.
+//
+// Under MARS_BENCH_SMOKE the scene and query counts shrink, and the
+// deterministic I/O metrics (never wall-clock) are written to
+// MARS_BENCH_JSON for the CI regression gate.
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -16,11 +29,12 @@
 #include "common/rng.h"
 #include "core/experiment.h"
 #include "index/access.h"
+#include "index/sharded_index.h"
 #include "workload/scene.h"
 
 namespace {
 
-double MeanQueryIo(mars::index::SupportRegionIndex& index,
+double MeanQueryIo(mars::index::CoefficientIndex& index,
                    const mars::geometry::Box2& space, int queries) {
   mars::common::Rng rng(7);
   std::vector<mars::index::RecordId> out;
@@ -36,12 +50,34 @@ double MeanQueryIo(mars::index::SupportRegionIndex& index,
   return static_cast<double>(index.node_accesses()) / queries;
 }
 
+// Wall-clock microseconds per query over the same window stream.
+double MeanQueryMicros(mars::index::CoefficientIndex& index,
+                       const mars::geometry::Box2& space, int queries) {
+  mars::common::Rng rng(7);
+  std::vector<mars::index::RecordId> out;
+  const auto start = std::chrono::steady_clock::now();
+  for (int q = 0; q < queries; ++q) {
+    const double w = space.Extent(0) * 0.1;
+    const double x = rng.Uniform(space.lo(0), space.hi(0) - w);
+    const double y = rng.Uniform(space.lo(1), space.hi(1) - w);
+    out.clear();
+    index.Query(mars::geometry::MakeBox2(x, y, x + w, y + w), 0.5, 1.0,
+                &out);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         queries;
+}
+
 }  // namespace
 
 int main() {
   using namespace mars;  // NOLINT
 
-  workload::SceneOptions scene = workload::SceneForDatasetSize(20);
+  const bool smoke = bench::SmokeMode();
+  workload::SceneOptions scene =
+      workload::SceneForDatasetSize(smoke ? 5 : 20);
+  const int queries = smoke ? 100 : 300;
   auto db = workload::GenerateScene(scene);
   if (!db.ok()) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
@@ -60,6 +96,7 @@ int main() {
       {"guttman", index::SplitPolicy::kGuttmanQuadratic, false},
   };
 
+  double reinsert_cap20_io = 0.0;
   core::PrintTableTitle(
       "Ablation — node accesses per 10% window query (w in [0.5, 1])");
   core::PrintTableHeader({"variant", "cap=10", "cap=20", "cap=40"});
@@ -72,9 +109,43 @@ int main() {
       options.node_capacity = capacity;
       index::SupportRegionIndex idx(options);
       idx.Build(db->records());
-      row.push_back(core::Fmt(MeanQueryIo(idx, scene.space, 300), 1));
+      const double io = MeanQueryIo(idx, scene.space, queries);
+      if (v.reinsert && capacity == 20) reinsert_cap20_io = io;
+      row.push_back(core::Fmt(io, 1));
     }
     core::PrintTableRow(row);
   }
+
+  // --- Shard-count sweep ----------------------------------------------------
+  std::vector<bench::BenchMetric> metrics = {
+      {"rstar_reinsert_cap20_io", reinsert_cap20_io, false},
+  };
+  static const char* const kShardIoNames[] = {
+      "shards_1_io", "shards_4_io", "shards_16_io"};
+
+  core::PrintTableTitle(
+      "Sharded index — per 10% window query (w in [0.5, 1])");
+  core::PrintTableHeader(
+      {"shards", "accesses", "us (seq)", "us (par x4)"});
+  int shard_setting = 0;
+  for (int32_t shards : {1, 4, 16}) {
+    index::ShardedIndexOptions options;
+    options.shards = shards;
+    index::ShardedCoefficientIndex sequential(options);
+    sequential.Build(db->records());
+    const double io = MeanQueryIo(sequential, scene.space, queries);
+    const double us_seq = MeanQueryMicros(sequential, scene.space, queries);
+
+    options.fanout_workers = 4;
+    index::ShardedCoefficientIndex parallel(options);
+    parallel.Build(db->records());
+    const double us_par = MeanQueryMicros(parallel, scene.space, queries);
+
+    core::PrintTableRow({std::to_string(shards), core::Fmt(io, 1),
+                         core::Fmt(us_seq, 1), core::Fmt(us_par, 1)});
+    metrics.push_back({kShardIoNames[shard_setting++], io, false});
+  }
+
+  if (!bench::WriteBenchJson("ablation_index", metrics)) return 1;
   return 0;
 }

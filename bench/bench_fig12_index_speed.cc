@@ -19,6 +19,7 @@
 #include "client/viewport.h"
 #include "core/experiment.h"
 #include "index/access.h"
+#include "index/sharded_index.h"
 #include "workload/scene.h"
 
 namespace {
@@ -75,6 +76,28 @@ int main() {
     const double saving = nv > 0 ? 100.0 * (1.0 - ma / nv) : 0.0;
     core::PrintTableRow({core::Fmt(speed, 3), core::Fmt(ma, 1),
                          core::Fmt(nv, 1), core::Fmt(saving, 1) + "%"});
+  }
+
+  // Shard sweep of the motion-aware index at slow and fast speeds: every
+  // K returns the same required set; the I/O column shows what coverage
+  // pruning vs per-shard tree height does to the access count.
+  core::PrintTableTitle(
+      "Fig. 12 (suppl.) — sharded motion-aware index I/O per query");
+  core::PrintTableHeader({"speed", "K=1", "K=4", "K=16"});
+  for (double speed : {0.001, 0.5, 1.0}) {
+    const auto tours =
+        bench::MakeTours(workload::TourKind::kTram, speed,
+                         bench::kDefaultTours, 200, -1.0, scene.space);
+    std::vector<std::string> row = {core::Fmt(speed, 3)};
+    for (int32_t shards : {1, 4, 16}) {
+      index::ShardedIndexOptions options;
+      options.shards = shards;
+      index::ShardedCoefficientIndex sharded(options);
+      sharded.Build(db->records());
+      row.push_back(
+          core::Fmt(MeanIoPerQuery(sharded, tours, scene.space, 0.1), 1));
+    }
+    core::PrintTableRow(row);
   }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "client/viewport.h"
 #include "core/experiment.h"
 #include "index/access.h"
+#include "index/sharded_index.h"
 #include "workload/scene.h"
 
 namespace {
@@ -102,6 +103,36 @@ int main() {
     const double saving = nv > 0 ? 100.0 * (1.0 - ma / nv) : 0.0;
     core::PrintTableRow({std::to_string(mb) + "MB", core::Fmt(ma, 1),
                          core::Fmt(nv, 1), core::Fmt(saving, 1) + "%"});
+  }
+
+  // --- (c) shard-count sweep at the default 10% frame ---------------------
+  // How partitioning scales with data: per-shard trees get shallower as
+  // the dataset grows across a fixed K, while coverage fan-out keeps a
+  // window from paying for shards it cannot touch.
+  core::PrintTableTitle(
+      "Fig. 13(c) — sharded motion-aware index I/O vs dataset size "
+      "(speed 0.5, 10%)");
+  core::PrintTableHeader({"dataset", "K=1", "K=4", "K=16"});
+  for (int32_t mb : {20, 60}) {
+    const workload::SceneOptions scene = workload::SceneForDatasetSize(mb);
+    auto db = workload::GenerateScene(scene);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    const auto tours =
+        bench::MakeTours(workload::TourKind::kTram, kSpeed,
+                         bench::kDefaultTours, kFrames, -1.0, scene.space);
+    std::vector<std::string> row = {std::to_string(mb) + "MB"};
+    for (int32_t shards : {1, 4, 16}) {
+      index::ShardedIndexOptions options;
+      options.shards = shards;
+      index::ShardedCoefficientIndex sharded(options);
+      sharded.Build(db->records());
+      row.push_back(
+          core::Fmt(MeanIoPerQuery(sharded, tours, scene.space, 0.1), 1));
+    }
+    core::PrintTableRow(row);
   }
   return 0;
 }

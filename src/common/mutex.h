@@ -21,6 +21,7 @@ class MARS_CAPABILITY("mutex") Mutex {
 
   void Lock() MARS_ACQUIRE() { mu_.lock(); }
   void Unlock() MARS_RELEASE() { mu_.unlock(); }
+  bool TryLock() MARS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
   std::mutex mu_;

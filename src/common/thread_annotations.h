@@ -24,6 +24,8 @@
   MARS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
 #define MARS_RELEASE_SHARED(...) \
   MARS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define MARS_TRY_ACQUIRE(...) \
+  MARS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
 #define MARS_REQUIRES(...) \
   MARS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
 #define MARS_REQUIRES_SHARED(...) \

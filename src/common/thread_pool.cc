@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mars::common {
+
+ThreadPool::ThreadPool(int32_t workers)
+    : workers_(std::max<int32_t>(1, workers)) {
+  threads_.reserve(static_cast<size_t>(workers_ - 1));
+  for (int32_t i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::DrainBatch(
+    const std::vector<std::function<void()>>& tasks) {
+  size_t ran = 0;
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks.size()) return ran;
+    tasks[i]();
+    ++ran;
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  int64_t seen_generation = 0;
+  for (;;) {
+    const std::vector<std::function<void()>>* tasks = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      tasks = batch_;
+      // The batch may already be retired: when the other threads drain a
+      // small batch before this worker gets scheduled, RunBatch has
+      // returned and nulled batch_ by the time we wake — there is
+      // nothing to do for this generation.
+      if (tasks == nullptr) continue;
+      ++draining_;
+    }
+    const size_t ran = DrainBatch(*tasks);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_ += ran;
+      --draining_;
+      // RunBatch must not retire the batch while any worker still holds
+      // the pointer, even one that claimed zero tasks — hence the
+      // draining_ condition on top of the task count.
+      if (finished_ == tasks->size() && draining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::RunBatch(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty() || tasks.size() == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MARS_CHECK(batch_ == nullptr);  // not reentrant
+    batch_ = &tasks;
+    finished_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  const size_t ran = DrainBatch(tasks);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    finished_ += ran;
+    done_cv_.wait(lock, [&] {
+      return finished_ == tasks.size() && draining_ == 0;
+    });
+    batch_ = nullptr;
+  }
+}
+
+}  // namespace mars::common

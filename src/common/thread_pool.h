@@ -1,0 +1,64 @@
+#ifndef MARS_COMMON_THREAD_POOL_H_
+#define MARS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mars::common {
+
+// Fixed-size worker pool executing one batch of independent tasks at a
+// time. The fleet engine uses it for the parallel phase of each tick
+// (every due client's step is one task) and the sharded coefficient
+// index for per-shard query fan-out; tasks never touch another task's
+// state, and RunBatch does not return until every task has finished —
+// a full barrier, after which the caller merges results serially.
+//
+// `workers` counts the calling thread: a pool of W spawns W-1 threads and
+// the caller works the batch too, so workers=1 degenerates to plain
+// inline execution with no threads at all (and therefore byte-identical
+// behaviour with zero scheduling noise — the reference for the fleet
+// determinism tests).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int32_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs all tasks, returning after the last one completes. Tasks are
+  // claimed dynamically (atomic cursor), so stragglers do not serialize
+  // the batch. Not reentrant; one batch at a time.
+  void RunBatch(const std::vector<std::function<void()>>& tasks);
+
+  int32_t workers() const { return workers_; }
+
+ private:
+  void WorkerLoop();
+  // Claims and runs tasks from the current batch until exhausted;
+  // returns how many tasks this thread completed.
+  size_t DrainBatch(const std::vector<std::function<void()>>& tasks);
+
+  const int32_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // caller waits for batch completion
+  const std::vector<std::function<void()>>* batch_ = nullptr;
+  int64_t generation_ = 0;            // bumped per batch
+  size_t finished_ = 0;               // tasks completed in this batch
+  int32_t draining_ = 0;              // workers currently inside the batch
+  bool stop_ = false;
+
+  std::atomic<size_t> next_{0};       // claim cursor into the batch
+};
+
+}  // namespace mars::common
+
+#endif  // MARS_COMMON_THREAD_POOL_H_

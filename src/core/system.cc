@@ -32,8 +32,12 @@ std::unique_ptr<System> System::FromDatabase(const Config& config,
 System::System(const Config& config,
                std::unique_ptr<server::ObjectDatabase> db)
     : config_(config), db_(std::move(db)) {
-  server_ = std::make_unique<server::Server>(db_.get(), config.index_kind,
-                                             config.rtree);
+  server::Server::Options options;
+  options.kind = config.index_kind;
+  options.rtree = config.rtree;
+  options.shards = config.shards;
+  options.fanout_workers = config.fanout_workers;
+  server_ = std::make_unique<server::Server>(db_.get(), options);
 }
 
 RunMetrics System::RunStreaming(

@@ -30,6 +30,11 @@ class System {
     server::Server::IndexKind index_kind =
         server::Server::IndexKind::kSupportRegion;
     index::RTreeOptions rtree;
+    // Ground-plane shard count of the server's coefficient index; the
+    // default 1 is bit-identical to the historical single-tree server.
+    int32_t shards = 1;
+    // Worker budget for parallel per-shard query fan-out (1 = sequential).
+    int32_t fanout_workers = 1;
     net::SimulatedLink::Options link;
     // Deterministic outage/burst/dip schedule. All-zero rates (the
     // default) disable the fault layer entirely; each Run* call then
@@ -62,6 +67,9 @@ class System {
                             const client::NaiveObjectClient::Options& options);
 
   const server::Server& server() const { return *server_; }
+  // Ingest entry point (serial phase only): the server owns the staging
+  // and epoch machinery.
+  server::Server* mutable_server() { return server_.get(); }
   const server::ObjectDatabase& db() const { return *db_; }
   const geometry::Box2& space() const { return config_.scene.space; }
   const Config& config() const { return config_; }

@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "fleet/thread_pool.h"
+#include "common/thread_pool.h"
 #include "fleet/virtual_clock.h"
 #include "server/wire_codec.h"
 
@@ -318,7 +318,7 @@ void FleetEngine::FinishClient(ClientState* state) {
 
 FleetResult FleetEngine::Run() {
   VirtualScheduler scheduler;
-  ThreadPool pool(options_.workers);
+  common::ThreadPool pool(options_.workers);
   const int64_t frame_micros =
       net::SimClock::ToMicros(options_.frame_interval_seconds);
   MARS_CHECK_GT(frame_micros, 0);

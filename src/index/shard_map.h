@@ -1,0 +1,101 @@
+#ifndef MARS_INDEX_SHARD_MAP_H_
+#define MARS_INDEX_SHARD_MAP_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "geometry/box.h"
+#include "index/record.h"
+
+namespace mars::index {
+
+// Ground-plane shard map: a uniform grid of K cells tiling the bounding
+// box of the record table, routing each record to exactly one shard by
+// the center of its ground-plane support MBB. The map is a *placement*
+// heuristic only — query correctness never depends on it, because the
+// sharded index fans out by each shard's actual coverage box (the union
+// of the support MBBs routed there), which is exact for any routing.
+//
+// Records staged after Build (online ingest) may fall outside the
+// original bounds; Route clamps them to the nearest edge cell, so the
+// map never has to be rebuilt when the world grows.
+class ShardMap {
+ public:
+  // Passthrough map: everything routes to shard 0.
+  ShardMap() = default;
+
+  // Tiles `bounds` with a near-square grid of exactly `shards` cells
+  // (cols = ceil(sqrt(K)); trailing grid cells wrap onto the first
+  // shards when K is not a product of the grid sides).
+  static ShardMap Build(const geometry::Box2& bounds, int32_t shards) {
+    MARS_CHECK_GE(shards, 1);
+    ShardMap map;
+    map.shards_ = shards;
+    map.bounds_ = bounds;
+    map.cols_ = static_cast<int32_t>(
+        std::ceil(std::sqrt(static_cast<double>(shards))));
+    map.rows_ = (shards + map.cols_ - 1) / map.cols_;
+    return map;
+  }
+
+  // Bounding box of the records' ground-plane support MBBs.
+  static geometry::Box2 GroundBounds(const std::vector<CoeffRecord>& records) {
+    geometry::Box2 bounds;
+    for (const CoeffRecord& r : records) {
+      bounds.ExtendPoint({r.support_bounds.lo(0), r.support_bounds.lo(1)});
+      bounds.ExtendPoint({r.support_bounds.hi(0), r.support_bounds.hi(1)});
+    }
+    return bounds;
+  }
+
+  int32_t shard_count() const { return shards_; }
+
+  // Shard id for a record (by the ground-plane center of its support MBB).
+  int32_t Route(const CoeffRecord& record) const {
+    if (shards_ == 1) return 0;
+    const double cx =
+        0.5 * (record.support_bounds.lo(0) + record.support_bounds.hi(0));
+    const double cy =
+        0.5 * (record.support_bounds.lo(1) + record.support_bounds.hi(1));
+    return CellAt(cx, cy) % shards_;
+  }
+
+  // Nominal cell of a ground point (clamped into the grid).
+  int32_t CellAt(double x, double y) const {
+    if (shards_ == 1 || bounds_.IsEmpty()) return 0;
+    const int32_t col = Clamp(
+        static_cast<int32_t>((x - bounds_.lo(0)) / CellWidth()), cols_);
+    const int32_t row = Clamp(
+        static_cast<int32_t>((y - bounds_.lo(1)) / CellHeight()), rows_);
+    return row * cols_ + col;
+  }
+
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  const geometry::Box2& bounds() const { return bounds_; }
+
+ private:
+  static int32_t Clamp(int32_t v, int32_t n) {
+    return std::max<int32_t>(0, std::min<int32_t>(v, n - 1));
+  }
+  double CellWidth() const {
+    const double e = bounds_.Extent(0);
+    return e > 0 ? e / cols_ : 1.0;
+  }
+  double CellHeight() const {
+    const double e = bounds_.Extent(1);
+    return e > 0 ? e / rows_ : 1.0;
+  }
+
+  int32_t shards_ = 1;
+  int32_t rows_ = 1;
+  int32_t cols_ = 1;
+  geometry::Box2 bounds_;
+};
+
+}  // namespace mars::index
+
+#endif  // MARS_INDEX_SHARD_MAP_H_

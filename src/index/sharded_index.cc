@@ -1,0 +1,323 @@
+#include "index/sharded_index.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mars::index {
+
+namespace {
+
+// Ground-plane (x, y) projection of a record's support MBB.
+geometry::Box2 GroundSupport(const CoeffRecord& r) {
+  return geometry::Box2({r.support_bounds.lo(0), r.support_bounds.lo(1)},
+                        {r.support_bounds.hi(0), r.support_bounds.hi(1)});
+}
+
+std::string KindName(ShardedIndexOptions::Kind kind) {
+  switch (kind) {
+    case ShardedIndexOptions::Kind::kSupportRegion:
+      return "support-region";
+    case ShardedIndexOptions::Kind::kNaivePoint:
+      return "naive-point";
+  }
+  MARS_CHECK(false);
+  return "";
+}
+
+}  // namespace
+
+ShardedCoefficientIndex::ShardedCoefficientIndex(ShardedIndexOptions options)
+    : options_(options) {
+  MARS_CHECK_GE(options_.shards, 1);
+  MARS_CHECK_GE(options_.fanout_workers, 1);
+}
+
+ShardedCoefficientIndex::~ShardedCoefficientIndex() = default;
+
+std::unique_ptr<CoefficientIndex> ShardedCoefficientIndex::MakeInner() const {
+  switch (options_.kind) {
+    case ShardedIndexOptions::Kind::kSupportRegion:
+      return std::make_unique<SupportRegionIndex>(options_.rtree);
+    case ShardedIndexOptions::Kind::kNaivePoint:
+      return std::make_unique<NaivePointIndex>(options_.rtree);
+  }
+  MARS_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<ShardedCoefficientIndex::Shard>
+ShardedCoefficientIndex::BuildShard(int32_t id,
+                                    std::vector<CoeffRecord> records,
+                                    std::vector<RecordId> ids) const {
+  auto shard = std::make_unique<Shard>();
+  shard->id = id;
+  shard->records = std::move(records);
+  shard->ids = std::move(ids);
+  for (const CoeffRecord& r : shard->records) {
+    shard->coverage.Extend(GroundSupport(r));
+  }
+  if (!shard->records.empty()) {
+    shard->index = MakeInner();
+    // Built over the shard's own table (the inner access methods keep a
+    // pointer to it), so the records copied here must stay put — which
+    // they do: a Shard is immutable once installed.
+    shard->index->Build(shard->records);
+  }
+  return shard;
+}
+
+void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
+  const int32_t k = options_.shards;
+  map_ = k == 1 ? ShardMap()
+                : ShardMap::Build(ShardMap::GroundBounds(records), k);
+
+  // Partition the table.
+  std::vector<std::vector<CoeffRecord>> tables(k);
+  std::vector<std::vector<RecordId>> ids(k);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const int32_t s = map_.Route(records[i]);
+    tables[s].push_back(records[i]);
+    ids[s].push_back(static_cast<RecordId>(i));
+  }
+
+  if (options_.fanout_workers > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<common::ThreadPool>(options_.fanout_workers);
+  }
+
+  // Build every shard — in parallel when a pool is available (shard
+  // builds are independent), sequentially otherwise. Either way the
+  // result is the same set of trees.
+  std::vector<std::unique_ptr<Shard>> shards(k);
+  if (pool_ != nullptr && k > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(k);
+    for (int32_t s = 0; s < k; ++s) {
+      tasks.push_back([this, s, &shards, &tables, &ids] {
+        shards[s] = BuildShard(s, std::move(tables[s]), std::move(ids[s]));
+      });
+    }
+    common::MutexLock pool_lock(&pool_mu_);
+    pool_->RunBatch(tasks);
+  } else {
+    for (int32_t s = 0; s < k; ++s) {
+      shards[s] = BuildShard(s, std::move(tables[s]), std::move(ids[s]));
+    }
+  }
+
+  {
+    common::WriterLock lock(&mu_);
+    shards_ = std::move(shards);
+    epoch_ = 0;
+  }
+  common::MutexLock stage_lock(&stage_mu_);
+  staged_.assign(k, {});
+  staged_count_ = 0;
+}
+
+int64_t ShardedCoefficientIndex::QueryShard(const Shard& shard,
+                                            const geometry::Box2& region,
+                                            double w_min, double w_max,
+                                            std::vector<RecordId>* out) {
+  ++shard.fanout_queries;
+  if (shard.index == nullptr) return 0;
+  std::vector<RecordId> local;
+  const int64_t accesses = shard.index->Query(region, w_min, w_max, &local);
+  out->reserve(out->size() + local.size());
+  for (RecordId id : local) {
+    out->push_back(shard.ids[static_cast<size_t>(id)]);
+  }
+  return accesses;
+}
+
+int64_t ShardedCoefficientIndex::Query(const geometry::Box2& region,
+                                       double w_min, double w_max,
+                                       std::vector<RecordId>* out) const {
+  common::ReaderLock lock(&mu_);
+  MARS_CHECK(!shards_.empty());
+
+  // K = 1 is a strict passthrough: one shard, queried unconditionally,
+  // so traversal and node accesses match the unsharded index exactly
+  // (the single tree always pays at least the root visit).
+  if (shards_.size() == 1) {
+    return QueryShard(*shards_[0], region, w_min, w_max, out);
+  }
+
+  // Fan out to the shards whose coverage intersects the window. The
+  // coverage boxes are exact (union of the support MBBs routed there),
+  // so a skipped shard provably contributes nothing to the required set.
+  std::vector<const Shard*> hit;
+  hit.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    if (shard->coverage.Intersects(region)) hit.push_back(shard.get());
+  }
+  if (hit.empty()) return 0;
+
+  // Parallel fan-out when the pool is free; sequential otherwise (pool
+  // busy means another query — or a fleet tick that owns the pool's
+  // worker budget elsewhere — is mid-batch, and ThreadPool batches are
+  // not reentrant). Both paths produce identical output: results merge
+  // in ascending shard id and node accesses sum order-independently.
+  if (pool_ != nullptr && hit.size() > 1 && pool_mu_.TryLock()) {
+    std::vector<std::vector<RecordId>> results(hit.size());
+    std::vector<int64_t> accesses(hit.size(), 0);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(hit.size());
+    for (size_t i = 0; i < hit.size(); ++i) {
+      tasks.push_back([&, i] {
+        accesses[i] =
+            QueryShard(*hit[i], region, w_min, w_max, &results[i]);
+      });
+    }
+    pool_->RunBatch(tasks);
+    pool_mu_.Unlock();
+    int64_t total = 0;
+    for (size_t i = 0; i < hit.size(); ++i) {
+      total += accesses[i];
+      out->insert(out->end(), results[i].begin(), results[i].end());
+    }
+    return total;
+  }
+
+  int64_t total = 0;
+  for (const Shard* shard : hit) {
+    total += QueryShard(*shard, region, w_min, w_max, out);
+  }
+  return total;
+}
+
+int64_t ShardedCoefficientIndex::node_accesses() const {
+  common::ReaderLock lock(&mu_);
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->retired_accesses;
+    if (shard->index != nullptr) total += shard->index->node_accesses();
+  }
+  return total;
+}
+
+void ShardedCoefficientIndex::ResetStats() {
+  common::WriterLock lock(&mu_);
+  for (const auto& shard : shards_) {
+    shard->retired_accesses = 0;
+    shard->fanout_queries = 0;
+    if (shard->index != nullptr) shard->index->ResetStats();
+  }
+}
+
+std::string ShardedCoefficientIndex::name() const {
+  // K = 1 reports the inner method's name so every existing log line,
+  // JSON field and test expectation is untouched at the default.
+  if (options_.shards == 1) return KindName(options_.kind);
+  return "sharded-" + std::to_string(options_.shards) + "(" +
+         KindName(options_.kind) + ")";
+}
+
+void ShardedCoefficientIndex::Stage(const CoeffRecord* records, size_t count,
+                                    RecordId first_id) {
+  common::MutexLock lock(&stage_mu_);
+  MARS_CHECK(!staged_.empty());  // Build must run before ingest starts.
+  for (size_t i = 0; i < count; ++i) {
+    const int32_t s = map_.Route(records[i]);
+    staged_[s].emplace_back(first_id + static_cast<RecordId>(i), records[i]);
+  }
+  staged_count_ += static_cast<int64_t>(count);
+}
+
+int64_t ShardedCoefficientIndex::CommitStaged() {
+  // Claim the staged buffers.
+  std::vector<std::vector<std::pair<RecordId, CoeffRecord>>> pending;
+  {
+    common::MutexLock lock(&stage_mu_);
+    if (staged_count_ == 0) return 0;
+    pending = std::move(staged_);
+    staged_.assign(pending.size(), {});
+    staged_count_ = 0;
+  }
+
+  // Snapshot the affected shards' tables (queries keep running on the
+  // old shards meanwhile).
+  struct Rebuild {
+    int32_t shard;
+    std::vector<CoeffRecord> records;
+    std::vector<RecordId> ids;
+  };
+  std::vector<Rebuild> rebuilds;
+  int64_t folded = 0;
+  {
+    common::ReaderLock lock(&mu_);
+    MARS_CHECK_EQ(pending.size(), shards_.size());
+    for (size_t s = 0; s < pending.size(); ++s) {
+      if (pending[s].empty()) continue;
+      Rebuild rb;
+      rb.shard = static_cast<int32_t>(s);
+      rb.records = shards_[s]->records;
+      rb.ids = shards_[s]->ids;
+      for (auto& [id, record] : pending[s]) {
+        rb.records.push_back(std::move(record));
+        rb.ids.push_back(id);
+      }
+      folded += static_cast<int64_t>(pending[s].size());
+      rebuilds.push_back(std::move(rb));
+    }
+  }
+
+  // Build the replacement shards with no lock held — the expensive part
+  // of the epoch happens while readers proceed untouched.
+  std::vector<std::unique_ptr<Shard>> built;
+  built.reserve(rebuilds.size());
+  for (Rebuild& rb : rebuilds) {
+    built.push_back(
+        BuildShard(rb.shard, std::move(rb.records), std::move(rb.ids)));
+  }
+
+  // Swap. Counters transfer at swap time so queries that ran during the
+  // rebuild are not lost: the old tree's accesses retire into the new
+  // shard's carried total.
+  common::WriterLock lock(&mu_);
+  for (auto& shard : built) {
+    std::unique_ptr<Shard>& slot = shards_[shard->id];
+    shard->retired_accesses = slot->retired_accesses;
+    if (slot->index != nullptr) {
+      shard->retired_accesses += slot->index->node_accesses();
+    }
+    shard->fanout_queries = slot->fanout_queries;
+    shard->rebuilds = slot->rebuilds + 1;
+    slot = std::move(shard);
+  }
+  ++epoch_;
+  return folded;
+}
+
+int64_t ShardedCoefficientIndex::staged_records() const {
+  common::MutexLock lock(&stage_mu_);
+  return staged_count_;
+}
+
+int64_t ShardedCoefficientIndex::epoch() const {
+  common::ReaderLock lock(&mu_);
+  return epoch_;
+}
+
+std::vector<ShardedCoefficientIndex::ShardStats>
+ShardedCoefficientIndex::Stats() const {
+  common::ReaderLock lock(&mu_);
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.shard = shard->id;
+    s.records = static_cast<int64_t>(shard->records.size());
+    s.node_accesses = shard->retired_accesses;
+    if (shard->index != nullptr) {
+      s.node_accesses += shard->index->node_accesses();
+    }
+    s.fanout_queries = shard->fanout_queries.load();
+    s.rebuilds = shard->rebuilds;
+    s.coverage = shard->coverage;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+}  // namespace mars::index

@@ -1,0 +1,183 @@
+#ifndef MARS_INDEX_SHARDED_INDEX_H_
+#define MARS_INDEX_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "geometry/box.h"
+#include "index/access.h"
+#include "index/record.h"
+#include "index/rtree.h"
+#include "index/shard_map.h"
+
+namespace mars::index {
+
+// Configuration of a sharded coefficient index.
+struct ShardedIndexOptions {
+  // Ground-plane shard count K. With the default of 1 the index is a
+  // strict passthrough around one inner tree: same build, same traversal,
+  // same node accesses — bit-identical to the unsharded access methods.
+  int32_t shards = 1;
+
+  // Access method each shard runs internally.
+  enum class Kind {
+    kSupportRegion,  // the paper's motion-aware index (Sec. VI-B)
+    kNaivePoint,     // the straightforward point index (Sec. VI)
+  };
+  Kind kind = Kind::kSupportRegion;
+
+  RTreeOptions rtree;
+
+  // Worker count for parallel query fan-out (counting the caller, like
+  // common::ThreadPool). 1 = sequential fan-out. Values > 1 spin up an
+  // internal pool shared by all queries; a query that finds the pool
+  // busy (another query is fanning out) falls back to sequential, which
+  // returns the exact same records and node accesses — parallelism only
+  // changes wall clock, never results.
+  int32_t fanout_workers = 1;
+};
+
+// The coefficient access method refactored for scale: a ground-plane
+// ShardMap routes every record to one of K shards, each owning an
+// independent inner index (support-region or naive-point) over its own
+// record slice with its own GroundScale normalization. A window query
+// fans out only to the shards whose coverage box (union of routed
+// support MBBs — exact for any routing) intersects the window, merging
+// results in ascending shard id so the output is deterministic for any
+// fan-out execution order.
+//
+// Sharding is also what takes ingest online: records staged after Build
+// (AddObject after FinalizeRecords) accumulate in per-shard staging
+// buffers, and CommitStaged folds each buffer into its shard by an epoch
+// rebuild — build the shard's new table + tree off to the side, then
+// swap it in under a writer lock. The other K−1 shards are untouched
+// (their trees, coverage and counters survive by identity), and
+// in-flight queries are never invalidated: they either hold the reader
+// lock (and the swap waits) or start after the swap (and see the new
+// epoch).
+//
+// Thread safety: Query/node_accesses/Stats are safe from many threads
+// concurrently, including against a concurrent Stage. CommitStaged and
+// ResetStats are single-writer operations: at most one at a time, but
+// safe against concurrent queries.
+class ShardedCoefficientIndex : public CoefficientIndex {
+ public:
+  explicit ShardedCoefficientIndex(ShardedIndexOptions options);
+  ~ShardedCoefficientIndex() override;
+
+  ShardedCoefficientIndex(const ShardedCoefficientIndex&) = delete;
+  ShardedCoefficientIndex& operator=(const ShardedCoefficientIndex&) = delete;
+
+  // Builds the shard map and every shard's inner index. Unlike the inner
+  // access methods, the sharded index copies each record into its shard's
+  // local table, so `records` does NOT need to outlive the index.
+  void Build(const std::vector<CoeffRecord>& records) override;
+
+  // Fans out Q(region, w_max, w_min) to the intersecting shards and
+  // appends the merged required set (global record ids, ascending shard
+  // id, inner traversal order within a shard). Returns the node accesses
+  // summed over the shards touched.
+  int64_t Query(const geometry::Box2& region, double w_min, double w_max,
+                std::vector<RecordId>* out) const override;
+
+  int64_t node_accesses() const override;
+  void ResetStats() override;
+  std::string name() const override;
+
+  // --- Online ingest ------------------------------------------------------
+
+  // Stages `count` records (global ids first_id, first_id + 1, ...) into
+  // their shards' staging buffers. Staged records are invisible to
+  // queries until CommitStaged. Thread-safe against concurrent queries.
+  void Stage(const CoeffRecord* records, size_t count, RecordId first_id);
+
+  // Epoch rebuild: folds every non-empty staging buffer into its shard
+  // (build-then-swap; only the affected shards are rebuilt). Returns the
+  // number of records folded. Single-writer; safe against concurrent
+  // queries.
+  int64_t CommitStaged();
+
+  // Records staged but not yet committed.
+  int64_t staged_records() const;
+
+  // Epochs committed so far (CommitStaged calls that folded records).
+  int64_t epoch() const;
+
+  // --- Observability ------------------------------------------------------
+
+  struct ShardStats {
+    int32_t shard = 0;
+    int64_t records = 0;
+    // Cumulative node accesses, carried across epoch rebuilds.
+    int64_t node_accesses = 0;
+    // Queries the fan-out routed to this shard.
+    int64_t fanout_queries = 0;
+    // Epoch rebuilds this shard absorbed.
+    int64_t rebuilds = 0;
+    geometry::Box2 coverage;
+  };
+  std::vector<ShardStats> Stats() const;
+
+  int32_t shard_count() const { return options_.shards; }
+  const ShardMap& shard_map() const { return map_; }
+
+ private:
+  // One shard. Immutable after the swap that installs it, except the
+  // statistics counters (relaxed atomics, like the inner trees').
+  struct Shard {
+    int32_t id = 0;
+    // Shard-local record table the inner index is built over (the inner
+    // access methods require the table to outlive the tree, so each
+    // epoch owns its copy) and the local → global id map.
+    std::vector<CoeffRecord> records;
+    std::vector<RecordId> ids;
+    std::unique_ptr<CoefficientIndex> index;  // null for an empty shard
+    // Union of the ground-plane support MBBs routed here — the exact
+    // fan-out filter.
+    geometry::Box2 coverage;
+    // Stats carried over from the epochs this shard replaced.
+    int64_t retired_accesses = 0;
+    int64_t rebuilds = 0;
+    mutable RelaxedCounter fanout_queries;
+  };
+
+  std::unique_ptr<CoefficientIndex> MakeInner() const;
+  // Builds a shard over `records`/`ids` (no locks held).
+  std::unique_ptr<Shard> BuildShard(int32_t id,
+                                    std::vector<CoeffRecord> records,
+                                    std::vector<RecordId> ids) const;
+  // Queries one shard, appending global ids; returns node accesses.
+  static int64_t QueryShard(const Shard& shard, const geometry::Box2& region,
+                            double w_min, double w_max,
+                            std::vector<RecordId>* out);
+
+  ShardedIndexOptions options_;
+  ShardMap map_;
+
+  // Shard array. The vector itself (size, slot addresses) is fixed by
+  // Build; the pointed-to shards are swapped by CommitStaged.
+  mutable common::SharedMutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_ MARS_GUARDED_BY(mu_);
+  int64_t epoch_ MARS_GUARDED_BY(mu_) = 0;
+
+  // Per-shard staging buffers for online ingest.
+  mutable common::Mutex stage_mu_;
+  std::vector<std::vector<std::pair<RecordId, CoeffRecord>>> staged_
+      MARS_GUARDED_BY(stage_mu_);
+  int64_t staged_count_ MARS_GUARDED_BY(stage_mu_) = 0;
+
+  // Fan-out pool (fanout_workers > 1). pool_mu_ admits one fanning-out
+  // query at a time; contenders fall back to sequential execution.
+  mutable common::Mutex pool_mu_;
+  mutable std::unique_ptr<common::ThreadPool> pool_;
+};
+
+}  // namespace mars::index
+
+#endif  // MARS_INDEX_SHARDED_INDEX_H_

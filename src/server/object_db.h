@@ -23,10 +23,13 @@ class ObjectDatabase {
   ObjectDatabase& operator=(ObjectDatabase&&) = default;
 
   // Adds an object (world coordinates already baked in); returns its id.
-  // Must not be called after FinalizeRecords().
+  // Before FinalizeRecords() this only stores the mesh; after it (online
+  // ingest) the object's records are appended to the table immediately, so
+  // callers can diff records().size() around the call to learn the new
+  // record-id range. Not safe against concurrent readers of records().
   int32_t AddObject(wavelet::MultiResMesh object);
 
-  // Builds the record table. Call once, after the last AddObject().
+  // Builds the record table. Call once, after the last bulk AddObject().
   void FinalizeRecords();
   bool finalized() const { return finalized_; }
 
@@ -58,6 +61,10 @@ class ObjectDatabase {
   }
 
  private:
+  // Emits the base-mesh and coefficient records of one object into the
+  // flat table, updating bounds and byte accounting.
+  void AppendObjectRecords(int32_t obj_id);
+
   std::vector<wavelet::MultiResMesh> objects_;
   std::vector<index::CoeffRecord> records_;
   std::vector<geometry::Box3> object_bounds_;

@@ -20,21 +20,52 @@ void RollbackPending(ClientSession* session) {
   ++session->rolled_back_batches;
 }
 
-Server::Server(const ObjectDatabase* db, IndexKind kind,
-               index::RTreeOptions options)
-    : db_(db), object_index_(options) {
+Server::Server(const ObjectDatabase* db, Options options)
+    : db_(db), object_index_(options.rtree) {
   MARS_CHECK(db != nullptr);
   MARS_CHECK(db->finalized()) << "ObjectDatabase must be finalized";
-  switch (kind) {
-    case IndexKind::kSupportRegion:
-      coeff_index_ = std::make_unique<index::SupportRegionIndex>(options);
-      break;
-    case IndexKind::kNaivePoint:
-      coeff_index_ = std::make_unique<index::NaivePointIndex>(options);
-      break;
-  }
+  index::ShardedIndexOptions sharded;
+  sharded.shards = options.shards;
+  sharded.kind = options.kind == IndexKind::kSupportRegion
+                     ? index::ShardedIndexOptions::Kind::kSupportRegion
+                     : index::ShardedIndexOptions::Kind::kNaivePoint;
+  sharded.rtree = options.rtree;
+  sharded.fanout_workers = options.fanout_workers;
+  coeff_index_ = std::make_unique<index::ShardedCoefficientIndex>(sharded);
   coeff_index_->Build(db->records());
   object_index_.Build(db->object_bounds());
+}
+
+Server::Server(ObjectDatabase* db, Options options)
+    : Server(static_cast<const ObjectDatabase*>(db), options) {
+  mutable_db_ = db;
+}
+
+Server::Server(const ObjectDatabase* db, IndexKind kind,
+               index::RTreeOptions options)
+    : Server(db, Options{kind, options, /*shards=*/1, /*fanout_workers=*/1}) {}
+
+int32_t Server::AddObject(wavelet::MultiResMesh object) {
+  MARS_CHECK(mutable_db_ != nullptr)
+      << "AddObject requires the ingest-capable constructor";
+  const size_t first = db_->records().size();
+  const int32_t obj_id = mutable_db_->AddObject(std::move(object));
+  const auto& records = db_->records();
+  coeff_index_->Stage(records.data() + first, records.size() - first,
+                      static_cast<index::RecordId>(first));
+  staged_objects_.push_back(obj_id);
+  return obj_id;
+}
+
+int64_t Server::CommitIngest() {
+  MARS_CHECK(mutable_db_ != nullptr)
+      << "CommitIngest requires the ingest-capable constructor";
+  const int64_t folded = coeff_index_->CommitStaged();
+  for (int32_t obj_id : staged_objects_) {
+    object_index_.Insert(obj_id, db_->object_bounds()[obj_id]);
+  }
+  staged_objects_.clear();
+  return folded;
 }
 
 QueryResult Server::Execute(const std::vector<SubQuery>& queries,

@@ -10,7 +10,9 @@
 #include "index/access.h"
 #include "index/record.h"
 #include "index/rtree.h"
+#include "index/sharded_index.h"
 #include "server/object_db.h"
+#include "wavelet/multires_mesh.h"
 
 namespace mars::server {
 
@@ -79,16 +81,19 @@ struct QueryResult {
   int64_t filtered_duplicates = 0;
 };
 
-// The data server: object database + one coefficient access method, plus an
-// object-granularity index for the naive full-resolution path.
+// The data server: object database + one coefficient access method (always
+// a ShardedCoefficientIndex — at the default K = 1 it is a strict
+// passthrough around the requested inner tree), plus an object-granularity
+// index for the naive full-resolution path.
 //
-// Thread safety: after construction the server is immutable, and every
-// const method is safe to call from many threads concurrently *provided
-// each thread passes its own session object* — the fleet engine's striped
-// SessionTable guarantees exactly that. Index access counters are relaxed
-// atomics; per-exchange accounting uses per-call counts, so concurrent
-// clients never see each other's I/O. ResetStats is NOT thread-safe and
-// must only run while no queries are in flight.
+// Thread safety: every const method is safe to call from many threads
+// concurrently *provided each thread passes its own session object* — the
+// fleet engine's striped SessionTable guarantees exactly that. Index
+// access counters are relaxed atomics; per-exchange accounting uses
+// per-call counts, so concurrent clients never see each other's I/O.
+// ResetStats, AddObject and CommitIngest are NOT thread-safe and must only
+// run while no queries are in flight (the fleet's serial phase): ingest
+// appends to the shared record table that Execute reads.
 class Server {
  public:
   enum class IndexKind {
@@ -96,7 +101,25 @@ class Server {
     kNaivePoint,     // the straightforward point index (Sec. VI)
   };
 
-  // `db` must be finalized and must outlive the server.
+  struct Options {
+    IndexKind kind = IndexKind::kSupportRegion;
+    index::RTreeOptions rtree;
+    // Ground-plane shard count of the coefficient index. 1 (default)
+    // behaves bit-identically to the historical single-tree server.
+    int32_t shards = 1;
+    // Worker budget for parallel per-shard query fan-out (1 = sequential;
+    // results are identical either way).
+    int32_t fanout_workers = 1;
+  };
+
+  // Read-only server: `db` must be finalized and must outlive the server.
+  Server(const ObjectDatabase* db, Options options);
+
+  // Ingest-capable server: additionally accepts AddObject/CommitIngest,
+  // which append to `db`.
+  Server(ObjectDatabase* db, Options options);
+
+  // Legacy construction, equivalent to Options{kind, options}.
   Server(const ObjectDatabase* db, IndexKind kind,
          index::RTreeOptions options = index::RTreeOptions());
 
@@ -129,10 +152,34 @@ class Server {
   };
   ObjectListing ListObjects(const geometry::Box2& region) const;
 
+  // --- Online ingest (serial phase only; requires the ingest ctor) --------
+
+  // Adds an object to the database and stages its records into the
+  // coefficient index. The object stays invisible to every query path
+  // until CommitIngest() swaps it in. Returns the object id.
+  int32_t AddObject(wavelet::MultiResMesh object);
+
+  // Commits everything staged since the last commit: epoch-rebuilds the
+  // affected coefficient shards (build-then-swap; untouched shards keep
+  // their trees and counters) and inserts the new objects into the
+  // object-granularity index. Returns the number of coefficient records
+  // folded in.
+  int64_t CommitIngest();
+
+  bool ingest_enabled() const { return mutable_db_ != nullptr; }
+  int64_t staged_records() const { return coeff_index_->staged_records(); }
+  int64_t ingest_epoch() const { return coeff_index_->epoch(); }
+
+  // --- Observability ------------------------------------------------------
+
   const ObjectDatabase& db() const { return *db_; }
   const index::CoefficientIndex& coefficient_index() const {
     return *coeff_index_;
   }
+  const index::ShardedCoefficientIndex& sharded_index() const {
+    return *coeff_index_;
+  }
+  int32_t shard_count() const { return coeff_index_->shard_count(); }
 
   // Cumulative I/O counters across both indexes.
   int64_t node_accesses() const;
@@ -145,8 +192,11 @@ class Server {
 
  private:
   const ObjectDatabase* db_;
-  std::unique_ptr<index::CoefficientIndex> coeff_index_;
+  ObjectDatabase* mutable_db_ = nullptr;  // non-null iff ingest-capable
+  std::unique_ptr<index::ShardedCoefficientIndex> coeff_index_;
   index::ObjectIndex object_index_;
+  // Objects added but not yet committed into the object index.
+  std::vector<int32_t> staged_objects_;
 };
 
 }  // namespace mars::server

@@ -7,6 +7,8 @@
 #include "geometry/box.h"
 #include "index/access.h"
 #include "index/record.h"
+#include "index/sharded_index.h"
+#include "workload/scene.h"
 
 namespace mars::index {
 namespace {
@@ -320,6 +322,254 @@ TEST(SupportRegionIndex4DTest, IoCounterWorks) {
   std::vector<RecordId> out;
   index.Query(geometry::MakeBox3(0, 0, 0, 500, 500, 20), 0.0, 1.0, &out);
   EXPECT_GT(index.node_accesses(), 0);
+}
+
+// --- ShardedCoefficientIndex ----------------------------------------------
+
+ShardedIndexOptions ShardedOptions(int32_t shards,
+                                   ShardedIndexOptions::Kind kind,
+                                   int32_t fanout_workers = 1) {
+  ShardedIndexOptions options;
+  options.shards = shards;
+  options.kind = kind;
+  options.fanout_workers = fanout_workers;
+  return options;
+}
+
+// Every shard count must return exactly the single-tree required set:
+// same ids, any order.
+class ShardEquivalenceTest : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(ShardEquivalenceTest, MatchesOracleBothKinds) {
+  const int32_t shards = GetParam();
+  const auto records = MakeRecords(40, 50, 3);
+
+  for (const auto kind : {ShardedIndexOptions::Kind::kSupportRegion,
+                          ShardedIndexOptions::Kind::kNaivePoint}) {
+    ShardedCoefficientIndex index(ShardedOptions(shards, kind));
+    index.Build(records);
+
+    common::Rng rng(17);
+    for (int q = 0; q < 30; ++q) {
+      const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+      const geometry::Box2 region =
+          geometry::MakeBox2(x, y, x + 100, y + 100);
+      std::vector<RecordId> got;
+      index.Query(region, 0.3, 1.0, &got);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, Oracle(records, region, 0.3, 1.0))
+          << "shards=" << shards;
+    }
+  }
+}
+
+TEST_P(ShardEquivalenceTest, MatchesOracleOnGeneratedScenes) {
+  const int32_t shards = GetParam();
+  for (const auto placement :
+       {workload::Placement::kUniform, workload::Placement::kZipf}) {
+    workload::SceneOptions scene;
+    scene.object_count = 40;
+    scene.placement = placement;
+    scene.seed = 7;
+    auto db = workload::GenerateScene(scene);
+    ASSERT_TRUE(db.ok());
+    const auto& records = db->records();
+
+    ShardedCoefficientIndex index(
+        ShardedOptions(shards, ShardedIndexOptions::Kind::kSupportRegion));
+    index.Build(records);
+
+    common::Rng rng(29);
+    for (int q = 0; q < 20; ++q) {
+      const double x = rng.Uniform(scene.space.lo(0), scene.space.hi(0));
+      const double y = rng.Uniform(scene.space.lo(1), scene.space.hi(1));
+      const geometry::Box2 region =
+          geometry::MakeBox2(x, y, x + 150, y + 150);
+      std::vector<RecordId> got;
+      index.Query(region, 0.0, 1.0, &got);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, Oracle(records, region, 0.0, 1.0))
+          << "shards=" << shards;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardEquivalenceTest,
+                         ::testing::Values(1, 3, 4, 7, 16));
+
+TEST(ShardedIndexTest, SingleShardIsBitIdenticalPassthrough) {
+  // K = 1 must reproduce the unsharded index exactly: same ids in the
+  // same order, same per-call and cumulative node accesses, same name.
+  const auto records = MakeRecords(40, 50, 3);
+  SupportRegionIndex plain;
+  plain.Build(records);
+  ShardedCoefficientIndex sharded(
+      ShardedOptions(1, ShardedIndexOptions::Kind::kSupportRegion));
+  sharded.Build(records);
+  EXPECT_EQ(sharded.name(), plain.name());
+
+  common::Rng rng(31);
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+    const geometry::Box2 region = geometry::MakeBox2(x, y, x + 80, y + 80);
+    std::vector<RecordId> got_plain, got_sharded;
+    const int64_t io_plain = plain.Query(region, 0.4, 1.0, &got_plain);
+    const int64_t io_sharded = sharded.Query(region, 0.4, 1.0, &got_sharded);
+    EXPECT_EQ(got_sharded, got_plain);  // order included
+    EXPECT_EQ(io_sharded, io_plain);
+  }
+  EXPECT_EQ(sharded.node_accesses(), plain.node_accesses());
+}
+
+TEST(ShardedIndexTest, ParallelFanOutMatchesSequential) {
+  const auto records = MakeRecords(60, 40, 9);
+  ShardedCoefficientIndex sequential(
+      ShardedOptions(8, ShardedIndexOptions::Kind::kSupportRegion));
+  ShardedCoefficientIndex parallel(ShardedOptions(
+      8, ShardedIndexOptions::Kind::kSupportRegion, /*fanout_workers=*/4));
+  sequential.Build(records);
+  parallel.Build(records);
+
+  common::Rng rng(37);
+  for (int q = 0; q < 40; ++q) {
+    const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+    const geometry::Box2 region = geometry::MakeBox2(x, y, x + 200, y + 200);
+    std::vector<RecordId> got_seq, got_par;
+    const int64_t io_seq = sequential.Query(region, 0.0, 1.0, &got_seq);
+    const int64_t io_par = parallel.Query(region, 0.0, 1.0, &got_par);
+    // Shard-id-ordered merge: identical order, not just identical sets.
+    EXPECT_EQ(got_par, got_seq);
+    EXPECT_EQ(io_par, io_seq);
+  }
+  EXPECT_EQ(parallel.node_accesses(), sequential.node_accesses());
+}
+
+TEST(ShardedIndexTest, FanOutSkipsNonIntersectingShards) {
+  // Two far-apart clusters: a window over one cluster must not touch the
+  // other cluster's shards.
+  std::vector<CoeffRecord> records;
+  auto add_cluster = [&records](double cx, double cy, int32_t obj) {
+    for (int i = 0; i < 50; ++i) {
+      CoeffRecord r;
+      r.object_id = obj;
+      r.coeff_id = i;
+      r.w = 0.5;
+      r.position = {cx + i, cy + i, 0};
+      r.support_bounds = geometry::MakeBox3(cx + i - 1, cy + i - 1, 0,
+                                            cx + i + 1, cy + i + 1, 5);
+      records.push_back(r);
+    }
+  };
+  add_cluster(0, 0, 0);
+  add_cluster(10000, 10000, 1);
+
+  ShardedCoefficientIndex index(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+
+  std::vector<RecordId> out;
+  index.Query(geometry::MakeBox2(0, 0, 100, 100), 0.0, 1.0, &out);
+  EXPECT_EQ(out.size(), 50u);
+
+  int64_t queried_shards = 0;
+  for (const auto& s : index.Stats()) {
+    if (s.fanout_queries > 0) ++queried_shards;
+  }
+  EXPECT_LT(queried_shards, index.shard_count());
+}
+
+TEST(ShardedIndexTest, OnlineIngestVisibleAfterCommit) {
+  const auto records = MakeRecords(30, 30, 13);
+  ShardedCoefficientIndex index(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+
+  // Stage a batch of extra records continuing the global id space.
+  auto extra = MakeRecords(10, 30, 99);
+  const RecordId first = static_cast<RecordId>(records.size());
+  index.Stage(extra.data(), extra.size(), first);
+  EXPECT_EQ(index.staged_records(), static_cast<int64_t>(extra.size()));
+  EXPECT_EQ(index.epoch(), 0);
+
+  const geometry::Box2 everything = geometry::MakeBox2(-100, -100, 1100, 1100);
+  std::vector<RecordId> out;
+  index.Query(everything, 0.0, 1.0, &out);
+  EXPECT_EQ(out.size(), records.size());  // staged still invisible
+
+  EXPECT_EQ(index.CommitStaged(), static_cast<int64_t>(extra.size()));
+  EXPECT_EQ(index.staged_records(), 0);
+  EXPECT_EQ(index.epoch(), 1);
+
+  // All records visible, ids correct: the oracle over the union table.
+  std::vector<CoeffRecord> all = records;
+  all.insert(all.end(), extra.begin(), extra.end());
+  out.clear();
+  index.Query(everything, 0.0, 1.0, &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, Oracle(all, everything, 0.0, 1.0));
+
+  // Empty commit is a no-op.
+  EXPECT_EQ(index.CommitStaged(), 0);
+  EXPECT_EQ(index.epoch(), 1);
+}
+
+TEST(ShardedIndexTest, CommitOnlyRebuildsAffectedShards) {
+  const auto records = MakeRecords(40, 40, 21);
+  ShardedCoefficientIndex index(
+      ShardedOptions(16, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+
+  // One extra record lands in exactly one shard.
+  CoeffRecord extra = records[0];
+  index.Stage(&extra, 1, static_cast<RecordId>(records.size()));
+  ASSERT_EQ(index.CommitStaged(), 1);
+
+  int64_t rebuilt = 0;
+  for (const auto& s : index.Stats()) {
+    rebuilt += s.rebuilds;
+  }
+  EXPECT_EQ(rebuilt, 1);
+}
+
+TEST(ShardedIndexTest, StatsSurviveEpochRebuild) {
+  const auto records = MakeRecords(30, 30, 23);
+  ShardedCoefficientIndex index(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+
+  const geometry::Box2 everything = geometry::MakeBox2(-100, -100, 1100, 1100);
+  std::vector<RecordId> out;
+  index.Query(everything, 0.0, 1.0, &out);
+  const int64_t before = index.node_accesses();
+  EXPECT_GT(before, 0);
+
+  CoeffRecord extra = records[0];
+  index.Stage(&extra, 1, static_cast<RecordId>(records.size()));
+  index.CommitStaged();
+  // The rebuilt shard retires its traversal counter into the new epoch:
+  // totals stay monotonic across the swap.
+  EXPECT_GE(index.node_accesses(), before);
+}
+
+TEST(ShardedIndexTest, Name) {
+  ShardedCoefficientIndex one(
+      ShardedOptions(1, ShardedIndexOptions::Kind::kSupportRegion));
+  ShardedCoefficientIndex four(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kNaivePoint));
+  EXPECT_EQ(one.name(), "support-region");
+  EXPECT_EQ(four.name(), "sharded-4(naive-point)");
+}
+
+TEST(ObjectIndexTest, InsertAfterBuildIsQueryable) {
+  std::vector<geometry::Box3> bounds = {
+      geometry::MakeBox3(0, 0, 0, 10, 10, 30),
+  };
+  ObjectIndex idx;
+  idx.Build(bounds);
+  idx.Insert(1, geometry::MakeBox3(50, 50, 0, 60, 60, 30));
+  std::vector<int32_t> out;
+  idx.Query(geometry::MakeBox2(45, 45, 65, 65), &out);
+  EXPECT_EQ(out, (std::vector<int32_t>{1}));
 }
 
 TEST(ObjectIndexTest, IoCounterAdvances) {

@@ -10,7 +10,7 @@
 #include "core/metrics.h"
 #include "core/system.h"
 #include "fleet/fleet_engine.h"
-#include "fleet/thread_pool.h"
+#include "common/thread_pool.h"
 #include "fleet/virtual_clock.h"
 #include "server/hot_cache.h"
 #include "server/session_table.h"
@@ -29,7 +29,7 @@ core::System::Config SmallConfig() {
 // ThreadPool
 
 TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
-  fleet::ThreadPool pool(4);
+  common::ThreadPool pool(4);
   for (const int batch_size : {0, 1, 3, 7, 64}) {
     std::atomic<int> counter{0};
     std::vector<int> hits(static_cast<size_t>(batch_size), 0);
@@ -47,7 +47,7 @@ TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
 }
 
 TEST(ThreadPoolTest, SingleWorkerRunsInline) {
-  fleet::ThreadPool pool(1);
+  common::ThreadPool pool(1);
   EXPECT_EQ(pool.workers(), 1);
   std::vector<int> order;
   std::vector<std::function<void()>> tasks;
@@ -60,7 +60,7 @@ TEST(ThreadPoolTest, SingleWorkerRunsInline) {
 }
 
 TEST(ThreadPoolTest, ReusableAcrossBatches) {
-  fleet::ThreadPool pool(3);
+  common::ThreadPool pool(3);
   std::atomic<int> counter{0};
   for (int round = 0; round < 10; ++round) {
     std::vector<std::function<void()>> tasks(
@@ -76,7 +76,7 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
 // fix (workers skip retired batches, RunBatch waits for every worker to
 // leave the batch) must survive this under TSan/ASan too.
 TEST(ThreadPoolTest, ManySmallBatchesDoNotRace) {
-  fleet::ThreadPool pool(8);
+  common::ThreadPool pool(8);
   std::atomic<int> counter{0};
   for (int round = 0; round < 2000; ++round) {
     std::vector<std::function<void()>> tasks(
@@ -272,6 +272,56 @@ TEST_F(FleetEngineTest, BitIdenticalAcrossWorkerCounts) {
     } else {
       EXPECT_EQ(json, reference)
           << "fleet metrics diverged at workers=" << workers;
+    }
+  }
+}
+
+// Sharding the server's coefficient index must keep the fleet
+// deterministic: at a fixed shard count the metrics are byte-identical
+// at any worker count and for both fan-out modes (sequential and
+// parallel). Against the single-tree system only the index I/O counts
+// may differ (K independent trees traverse differently) — everything
+// the clients observe (bytes, records, timing) must match exactly.
+TEST_F(FleetEngineTest, ShardedServerBitIdenticalAcrossWorkersAndFanOut) {
+  auto run = [](core::System& system, int workers) {
+    fleet::FleetOptions options;
+    options.workers = workers;
+    fleet::FleetEngine engine(
+        system, options,
+        fleet::FleetEngine::MakeMixedFleet(9, /*frames=*/25, /*speed=*/0.5,
+                                           /*seed=*/0));
+    return engine.Run();
+  };
+
+  const fleet::FleetResult unsharded = run(*system_, 1);
+
+  std::string reference;
+  for (const int fanout_workers : {1, 4}) {
+    core::System::Config config = SmallConfig();
+    config.shards = 4;
+    config.fanout_workers = fanout_workers;
+    auto sharded = core::System::Create(config);
+    ASSERT_TRUE(sharded.ok());
+    for (const int workers : {1, 8}) {
+      const fleet::FleetResult result = run(**sharded, workers);
+      const std::string json = FleetJson(result);
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        EXPECT_EQ(json, reference)
+            << "diverged at workers=" << workers
+            << " fanout_workers=" << fanout_workers;
+      }
+      // Identical required sets → identical client-observable traffic.
+      EXPECT_EQ(result.aggregate.demand_bytes,
+                unsharded.aggregate.demand_bytes);
+      EXPECT_EQ(result.aggregate.prefetch_bytes,
+                unsharded.aggregate.prefetch_bytes);
+      EXPECT_EQ(result.aggregate.records_delivered,
+                unsharded.aggregate.records_delivered);
+      EXPECT_EQ(result.aggregate.frames, unsharded.aggregate.frames);
+      EXPECT_EQ(result.aggregate.total_response_seconds,
+                unsharded.aggregate.total_response_seconds);
     }
   }
 }

@@ -7,7 +7,9 @@
 
 #include "common/rng.h"
 #include "geometry/box.h"
+#include "index/record.h"
 #include "index/rtree.h"
+#include "index/shard_map.h"
 
 namespace mars::index {
 namespace {
@@ -503,6 +505,70 @@ TEST(RTreeTest, QueryEntriesReturnsBoxes) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].value, 1);
   EXPECT_EQ(out[0].box, geometry::MakeBox2(0, 0, 1, 1));
+}
+
+// --- ShardMap -------------------------------------------------------------
+
+CoeffRecord RecordAt(double x, double y) {
+  CoeffRecord r;
+  r.position = {x, y, 0};
+  r.support_bounds = geometry::MakeBox3(x - 1, y - 1, 0, x + 1, y + 1, 5);
+  return r;
+}
+
+TEST(ShardMapTest, DefaultRoutesEverythingToShardZero) {
+  ShardMap map;
+  EXPECT_EQ(map.shard_count(), 1);
+  EXPECT_EQ(map.Route(RecordAt(0, 0)), 0);
+  EXPECT_EQ(map.Route(RecordAt(1e9, -1e9)), 0);
+}
+
+TEST(ShardMapTest, GridCoversAllShards) {
+  // Every shard id must be reachable: spraying points over the bounds
+  // hits each of the K shards at least once, and never an out-of-range id.
+  const geometry::Box2 bounds = geometry::MakeBox2(0, 0, 1000, 1000);
+  for (int32_t k : {1, 2, 3, 4, 7, 16}) {
+    const ShardMap map = ShardMap::Build(bounds, k);
+    EXPECT_EQ(map.shard_count(), k);
+    EXPECT_GE(map.rows() * map.cols(), k);
+    std::vector<bool> seen(k, false);
+    common::Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+      const int32_t s =
+          map.Route(RecordAt(rng.Uniform(0, 1000), rng.Uniform(0, 1000)));
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, k);
+      seen[s] = true;
+    }
+    for (int32_t s = 0; s < k; ++s) {
+      EXPECT_TRUE(seen[s]) << "shard " << s << " unreachable at K=" << k;
+    }
+  }
+}
+
+TEST(ShardMapTest, OutOfBoundsPointsClampToEdgeCells) {
+  const ShardMap map =
+      ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 4);
+  // Ingested records outside the original bounds still route somewhere
+  // valid (the nearest edge cell), never out of range.
+  for (const auto& [x, y] : std::vector<std::pair<double, double>>{
+           {-50, -50}, {150, 150}, {-50, 150}, {50, 1e6}}) {
+    const int32_t s = map.Route(RecordAt(x, y));
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+  }
+}
+
+TEST(ShardMapTest, RoutingIsDeterministic) {
+  const geometry::Box2 bounds = geometry::MakeBox2(0, 0, 500, 500);
+  const ShardMap a = ShardMap::Build(bounds, 9);
+  const ShardMap b = ShardMap::Build(bounds, 9);
+  common::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const CoeffRecord r =
+        RecordAt(rng.Uniform(0, 500), rng.Uniform(0, 500));
+    EXPECT_EQ(a.Route(r), b.Route(r));
+  }
 }
 
 }  // namespace

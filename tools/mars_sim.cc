@@ -11,7 +11,8 @@
 //             [--query-frac F] [--index support|naive-point]
 //             [--no-prefetch] [--naive-prefetch] [--kalman] [--seed S]
 //             [--loss P] [--outage-rate R] [--outage-secs S]
-//             [--clients N] [--workers M]
+//             [--clients N] [--workers M] [--shards K]
+//             [--fanout-workers W]
 //             [--fairness wfq|equal] [--weights S,B,N] [--admission]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
@@ -30,6 +31,12 @@
 //       (e.g. --weights 2,2,1 gives the motion-aware clients twice the
 //       naive baseline's share). --admission enables the server's
 //       admission controller on the cell (defer/shed under overload).
+//       --shards K partitions the coefficient index over a ground-plane
+//       grid of K shards (default 1 = the classic single tree; every
+//       query's required set is identical at any K) and prints per-shard
+//       stats in the JSON block when K > 1. --fanout-workers W > 1
+//       queries the shards in parallel; results are identical to
+//       sequential fan-out.
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
@@ -81,6 +88,8 @@ struct Flags {
   double outage_secs = 8.0;
   int clients = 1;
   int workers = 1;
+  int shards = 1;
+  int fanout_workers = 1;
   std::string fairness = "wfq";
   double weight_streaming = 1.0;
   double weight_buffered = 1.0;
@@ -150,6 +159,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->clients = std::atoi(next());
     } else if (arg == "--workers") {
       flags->workers = std::atoi(next());
+    } else if (arg == "--shards") {
+      flags->shards = std::atoi(next());
+    } else if (arg == "--fanout-workers") {
+      flags->fanout_workers = std::atoi(next());
     } else if (arg == "--fairness") {
       flags->fairness = next();
     } else if (arg == "--weights") {
@@ -223,6 +236,23 @@ int Info(const Flags& flags) {
   }
   std::printf("coeffs  : %lld\n", static_cast<long long>(coeffs));
   return 0;
+}
+
+// Per-shard stats JSON, one line per shard. Only emitted when sharding
+// is actually on (K > 1), so default-configuration output stays
+// byte-identical to the single-tree era.
+void PrintShardStats(const core::System& system) {
+  const server::Server& server = system.server();
+  if (server.shard_count() <= 1) return;
+  for (const auto& s : server.sharded_index().Stats()) {
+    std::printf(
+        "{\"shard\": %d, \"records\": %lld, \"node_accesses\": %lld, "
+        "\"fanout_queries\": %lld, \"rebuilds\": %lld}\n",
+        s.shard, static_cast<long long>(s.records),
+        static_cast<long long>(s.node_accesses),
+        static_cast<long long>(s.fanout_queries),
+        static_cast<long long>(s.rebuilds));
+  }
 }
 
 // Fleet mode: N concurrent clients against one shared server and cell.
@@ -310,6 +340,7 @@ int RunFleet(const core::System& system, const Flags& flags) {
   }
   std::printf("{\"aggregate\": %s}\n",
               core::RunMetricsJson(result.aggregate).c_str());
+  PrintShardStats(system);
   return 0;
 }
 
@@ -332,6 +363,12 @@ int Run(const Flags& flags) {
     std::fprintf(stderr, "--outage-secs must be > 0\n");
     return 2;
   }
+  if (flags.shards < 1 || flags.fanout_workers < 1) {
+    std::fprintf(stderr, "--shards and --fanout-workers must be >= 1\n");
+    return 2;
+  }
+  config.shards = flags.shards;
+  config.fanout_workers = flags.fanout_workers;
   config.link.loss_probability = flags.loss;
   config.fault.outage_rate_per_hour = flags.outage_rate;
   config.fault.outage_mean_seconds = flags.outage_secs;
@@ -423,6 +460,10 @@ int Run(const Flags& flags) {
                 static_cast<long long>(metrics.stale_frames));
     std::printf("worst stale run         : %lld frames\n",
                 static_cast<long long>(metrics.max_stale_run_frames));
+  }
+  if (flags.shards > 1) {
+    std::printf("\n-- shards --\n");
+    PrintShardStats(*system);
   }
   return 0;
 }
