@@ -1,0 +1,232 @@
+// Extension experiment: cross-client request coalescing on the shared
+// cell (server inflight table + single-copy delivery).
+//
+// Co-located fleets — tour groups riding the same seeded trajectory, the
+// "tour bus" workload — request largely identical record sets each frame.
+// Without coalescing every member pays for its own copy on the cell and
+// the server encodes the same records once per requester. With the
+// inflight table (server/inflight_table.h) the first requester carries
+// the payload, followers attach for a small per-carrier header, and each
+// tick's overlapping cache misses are encoded exactly once.
+//
+// The bench runs uniform and Zipf scenes at fleet sizes 8 and 32, off vs
+// on, and reports the encode-work and cell-byte reductions. It fails
+// loudly if:
+//
+//   * coalescing changes *what* is delivered (aggregate demand bytes or
+//     records must match the off run bit for bit),
+//   * the coalesced run diverges between workers=1 and workers=8 (the
+//     two-phase discipline must keep shared-cell accounting
+//     deterministic), or
+//   * at 32 co-located clients the encode-work reduction is < 2x or the
+//     cell-byte reduction is < 1.5x (the perf targets this PR exists
+//     for).
+//
+// CI runs this with MARS_BENCH_SMOKE=1 / MARS_BENCH_JSON=<path>; the
+// emitted metrics are deterministic simulated quantities, gated against
+// bench/baselines/ by tools/bench_gate.py.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "fleet/fleet_engine.h"
+#include "workload/scene.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+// Co-located fleet: clients i with the same i % 4 share a tour seed and
+// kind, so a 32-client fleet is four "tour buses" of eight co-riders
+// each requesting near-identical windows every frame.
+std::vector<fleet::ClientSpec> MakeCoLocatedFleet(int32_t n,
+                                                  int32_t frames) {
+  std::vector<fleet::ClientSpec> specs;
+  specs.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    fleet::ClientSpec spec;
+    spec.id = i;
+    spec.kind = (i % 2 == 0) ? fleet::ClientKind::kStreaming
+                             : fleet::ClientKind::kBuffered;
+    spec.tour_kind = (i % 4 < 2) ? workload::TourKind::kTram
+                                 : workload::TourKind::kPedestrian;
+    spec.frames = frames;
+    spec.seed = 100 + static_cast<uint64_t>(i);
+    spec.tour_seed = 900 + static_cast<uint64_t>(i % 4);
+    spec.query_fraction = 0.08;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+fleet::FleetOptions MakeOptions(bool coalesce, int workers) {
+  fleet::FleetOptions options;
+  options.workers = workers;
+  options.coalesce.enabled = coalesce;
+  return options;
+}
+
+struct RunStats {
+  int64_t encode_calls = 0;
+  int64_t cell_bytes = 0;
+  int64_t coalesce_hits = 0;
+  int64_t bytes_saved = 0;
+  int64_t demand_bytes = 0;
+  int64_t records = 0;
+  std::string aggregate_json;
+};
+
+RunStats RunFleet(core::System& system, int32_t n, int32_t frames,
+                  bool coalesce, int workers) {
+  fleet::FleetEngine engine(system, MakeOptions(coalesce, workers),
+                            MakeCoLocatedFleet(n, frames));
+  const fleet::FleetResult result = engine.Run();
+  RunStats stats;
+  stats.encode_calls = result.encode_calls;
+  stats.cell_bytes = result.cell_bytes;
+  stats.coalesce_hits = result.coalesce_hits;
+  stats.bytes_saved = result.coalesce_bytes_saved;
+  stats.demand_bytes = result.aggregate.demand_bytes;
+  stats.records = result.aggregate.records_delivered;
+  stats.aggregate_json = core::RunMetricsJson(result.aggregate);
+  return stats;
+}
+
+double Ratio(int64_t off, int64_t on) {
+  return on > 0 ? static_cast<double>(off) / static_cast<double>(on) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::SmokeMode();
+  const int32_t frames = smoke ? 12 : 40;
+
+  struct Scene {
+    const char* label;
+    workload::Placement placement;
+  };
+  const Scene kScenes[] = {
+      {"uniform", workload::Placement::kUniform},
+      {"zipf", workload::Placement::kZipf},
+  };
+  const int32_t kFleets[] = {8, 32};
+
+  double encode_reduction_u32 = 0.0;
+  double cell_reduction_u32 = 0.0;
+  double encode_reduction_z32 = 0.0;
+  double cell_reduction_z32 = 0.0;
+  int64_t coalesce_hits_u32 = 0;
+  int64_t bytes_saved_u32 = 0;
+  bool thresholds_ok = true;
+  std::vector<std::vector<std::string>> rows;
+
+  for (const Scene& scene : kScenes) {
+    // The full 60 MB scene in both modes: shrinking it starves the Zipf
+    // tours of data and degenerates the coalescing ratios; smoke saves
+    // its time on the frame count instead.
+    core::System::Config config = bench::DefaultConfig();
+    config.scene.placement = scene.placement;
+    auto system_or = core::System::Create(config);
+    if (!system_or.ok()) {
+      std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+      return 1;
+    }
+    core::System& system = **system_or;
+
+    for (const int32_t n : kFleets) {
+      const RunStats off = RunFleet(system, n, frames, false, 8);
+      const RunStats on = RunFleet(system, n, frames, true, 8);
+
+      // Coalescing must change how bytes are carried, never what the
+      // clients receive.
+      if (off.demand_bytes != on.demand_bytes || off.records != on.records) {
+        std::fprintf(stderr,
+                     "FATAL: %s n=%d delivery changed under coalescing "
+                     "(demand %lld->%lld bytes, records %lld->%lld)\n",
+                     scene.label, n, static_cast<long long>(off.demand_bytes),
+                     static_cast<long long>(on.demand_bytes),
+                     static_cast<long long>(off.records),
+                     static_cast<long long>(on.records));
+        return 1;
+      }
+
+      // Determinism: the coalesced serial replay must match bit for bit.
+      const RunStats serial = RunFleet(system, n, frames, true, 1);
+      if (serial.aggregate_json != on.aggregate_json ||
+          serial.cell_bytes != on.cell_bytes ||
+          serial.encode_calls != on.encode_calls ||
+          serial.coalesce_hits != on.coalesce_hits) {
+        std::fprintf(stderr,
+                     "FATAL: %s n=%d coalesced run diverged between "
+                     "workers=8 and workers=1\n",
+                     scene.label, n);
+        return 1;
+      }
+
+      const double encode_ratio = Ratio(off.encode_calls, on.encode_calls);
+      const double cell_ratio = Ratio(off.cell_bytes, on.cell_bytes);
+      rows.push_back({scene.label, std::to_string(n),
+                      std::to_string(off.encode_calls),
+                      std::to_string(on.encode_calls),
+                      core::Fmt(encode_ratio, 2),
+                      core::Fmt(off.cell_bytes / 1.0e6, 2),
+                      core::Fmt(on.cell_bytes / 1.0e6, 2),
+                      core::Fmt(cell_ratio, 2),
+                      std::to_string(on.coalesce_hits)});
+
+      if (n == 32) {
+        if (scene.placement == workload::Placement::kUniform) {
+          encode_reduction_u32 = encode_ratio;
+          cell_reduction_u32 = cell_ratio;
+          coalesce_hits_u32 = on.coalesce_hits;
+          bytes_saved_u32 = on.bytes_saved;
+        } else {
+          encode_reduction_z32 = encode_ratio;
+          cell_reduction_z32 = cell_ratio;
+        }
+        if (encode_ratio < 2.0 || cell_ratio < 1.5) {
+          std::fprintf(stderr,
+                       "FATAL: %s n=32 coalescing reduced encode work "
+                       "%.2fx (need >= 2x) and cell bytes %.2fx (need "
+                       ">= 1.5x)\n",
+                       scene.label, encode_ratio, cell_ratio);
+          thresholds_ok = false;
+        }
+      }
+    }
+  }
+
+  core::PrintTableTitle(
+      "Request coalescing — co-located fleets, off vs on (workers 8)");
+  core::PrintTableHeader({"scene", "clients", "encodes off", "encodes on",
+                          "encode x", "cell MB off", "cell MB on", "cell x",
+                          "hits"});
+  for (const auto& row : rows) core::PrintTableRow(row);
+  std::printf(
+      "coalesced runs identical at workers 1 and 8; delivery identical "
+      "off vs on\n");
+
+  std::printf("\n-- json --\n");
+  for (const auto& row : rows) {
+    std::printf("%s\n", core::TableRowJson(row).c_str());
+  }
+
+  if (!bench::WriteBenchJson(
+          "coalesce",
+          {{"encode_reduction_u32", encode_reduction_u32, true},
+           {"cell_reduction_u32", cell_reduction_u32, true},
+           {"encode_reduction_z32", encode_reduction_z32, true},
+           {"cell_reduction_z32", cell_reduction_z32, true},
+           {"coalesce_hits_u32", static_cast<double>(coalesce_hits_u32),
+            true},
+           {"bytes_saved_u32", static_cast<double>(bytes_saved_u32),
+            true}})) {
+    return 1;
+  }
+
+  return thresholds_ok ? 0 : 1;
+}

@@ -10,26 +10,36 @@
 // the motion-aware system stays roughly flat, winning by a factor of a
 // few at crawl speed and well over an order of magnitude at speed 1.0;
 // tram tours respond slightly faster than pedestrian tours.
+//
+// CI runs this with MARS_BENCH_SMOKE=1 (shorter tours, two speeds) and
+// MARS_BENCH_JSON=<path> for the artifact upload.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/experiment.h"
 
 namespace {
 
-void RunComparison(mars::core::System& system) {
+int RunComparison(mars::core::System& system) {
   using namespace mars;  // NOLINT
-  constexpr int32_t kFrames = 300;
+  const bool smoke = bench::SmokeMode();
+  const int32_t frames = smoke ? 60 : 300;
+  const int tours_per_setting = smoke ? 2 : 8;
   constexpr double kQueryFraction = 0.05;  // the paper uses 5% here
+  const std::vector<double> speeds =
+      smoke ? std::vector<double>{0.25, 1.0} : core::StandardSpeeds();
 
+  double ma_top_speed = 0.0;
+  double naive_top_speed = 0.0;
   core::PrintTableHeader({"speed", "kind", "MA (s)", "naive (s)",
                           "speedup"});
-  for (double speed : core::StandardSpeeds()) {
+  for (double speed : speeds) {
     for (auto kind :
          {workload::TourKind::kTram, workload::TourKind::kPedestrian}) {
-      const auto tours = bench::MakeTours(kind, speed, 8,
-                                          kFrames, -1.0, system.space());
+      const auto tours = bench::MakeTours(kind, speed, tours_per_setting,
+                                          frames, -1.0, system.space());
       client::BufferedClient::Options ma;
       ma.query_fraction = kQueryFraction;
       ma.buffer_bytes = 64 * 1024;
@@ -45,11 +55,27 @@ void RunComparison(mars::core::System& system) {
       const double ma_resp = m.MeanResponsePerExchange();
       const double nv_resp = n.MeanResponsePerExchange();
       const double speedup = ma_resp > 0 ? nv_resp / ma_resp : 0.0;
+      if (speed == speeds.back() && kind == workload::TourKind::kTram) {
+        ma_top_speed = ma_resp;
+        naive_top_speed = nv_resp;
+      }
       core::PrintTableRow({core::Fmt(speed, 3), bench::TourKindName(kind),
                            core::Fmt(ma_resp, 3), core::Fmt(nv_resp, 3),
                            core::Fmt(speedup, 1) + "x"});
     }
   }
+
+  const double top_gain =
+      ma_top_speed > 0 ? naive_top_speed / ma_top_speed : 0.0;
+  if (!bench::WriteBenchJson(
+          "fig14_response_uniform",
+          {{"ma_response_tram_top_speed_seconds", ma_top_speed, false},
+           {"naive_response_tram_top_speed_seconds", naive_top_speed,
+            false},
+           {"speedup_tram_top_speed", top_gain, true}})) {
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -63,6 +89,5 @@ int main() {
   }
   core::PrintTableTitle(
       "Fig. 14 — mean query response time vs speed (uniform data)");
-  RunComparison(**system_or);
-  return 0;
+  return RunComparison(**system_or);
 }

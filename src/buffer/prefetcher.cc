@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "buffer/sector_allocator.h"
@@ -39,6 +40,30 @@ struct Candidate {
 };
 
 }  // namespace
+
+void PrefetchPlan::Dedupe() {
+  std::unordered_map<int64_t, size_t> first;
+  std::vector<Item> unique;
+  unique.reserve(items.size());
+  for (const Item& item : items) {
+    const auto [it, inserted] = first.emplace(item.block, unique.size());
+    if (inserted) {
+      unique.push_back(item);
+      continue;
+    }
+    Item& kept = unique[it->second];
+    // Merge: the stronger claim wins the eviction priority; the finer
+    // resolution request wins the band (fetching coarser than any
+    // requester wanted would leave a hole).
+    kept.priority = std::max(kept.priority, item.priority);
+    kept.w_min = std::min(kept.w_min, item.w_min);
+  }
+  if (unique.size() == items.size()) return;  // already duplicate-free
+  items = std::move(unique);
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.priority > b.priority;
+  });
+}
 
 MotionAwarePrefetcher::MotionAwarePrefetcher()
     : MotionAwarePrefetcher(Options()) {}
@@ -145,6 +170,11 @@ PrefetchPlan MotionAwarePrefetcher::Plan(
             [](const PrefetchPlan::Item& a, const PrefetchPlan::Item& b) {
               return a.priority > b.priority;
             });
+  // The per-sector candidate sets are disjoint by construction today (the
+  // `seen` set gives every block exactly one sector), but a block
+  // reachable from two direction sectors must never be fetched twice —
+  // enforce it here rather than relying on upstream invariants.
+  plan.Dedupe();
   return plan;
 }
 
@@ -170,6 +200,10 @@ PrefetchPlan NaivePrefetcher::Plan(const GridPartition& grid,
           block, 0.5, std::clamp(speed, 0.0, 1.0)});
     });
   }
+  // Disjoint rings cannot duplicate a block; a no-op that keeps the
+  // ring-order guarantee, present for the same invariant as the
+  // motion-aware path.
+  plan.Dedupe();
   return plan;
 }
 

@@ -26,6 +26,12 @@ struct PrefetchPlan {
     double w_min = 0.0;
   };
   std::vector<Item> items;
+
+  // Collapses duplicate blocks (e.g. a block reachable from two direction
+  // sectors) into one item carrying the higher priority and the finer
+  // (smaller) w_min, then re-sorts by priority. A duplicate-free plan is
+  // left exactly as-is, ordering included.
+  void Dedupe();
 };
 
 // Motion-aware prefetcher (paper Sec. V): predicts the client's path,

@@ -117,6 +117,20 @@ class BufferedClient {
   void OnBackpressure(double retry_after_seconds);
   int64_t backpressure_frames() const { return backpressure_frames_; }
 
+  // Coalesced-delivery notification from the serving cell: `records` of
+  // the latest frame's exchanges arrive as a single shared copy riding
+  // another client's transfer (server inflight table), saving `bytes` on
+  // the medium. The payload itself is identical — this is accounting for
+  // the delivery path only.
+  void OnSharedDelivery(int64_t records, int64_t bytes) {
+    shared_delivery_records_ += records;
+    shared_delivery_bytes_ += bytes;
+  }
+  int64_t shared_delivery_records() const {
+    return shared_delivery_records_;
+  }
+  int64_t shared_delivery_bytes() const { return shared_delivery_bytes_; }
+
   const buffer::BlockBufferStats& buffer_stats() const {
     return buffer_.stats();
   }
@@ -183,6 +197,8 @@ class BufferedClient {
   // to back off.
   bool suppress_prefetch_once_ = false;
   int64_t backpressure_frames_ = 0;
+  int64_t shared_delivery_records_ = 0;
+  int64_t shared_delivery_bytes_ = 0;
 
   // Degraded-operation accounting.
   int64_t outage_frames_ = 0;

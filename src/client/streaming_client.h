@@ -86,6 +86,20 @@ class StreamingClient {
   void OnBackpressure(double retry_after_seconds);
   int64_t backpressure_frames() const { return backpressure_frames_; }
 
+  // Coalesced-delivery notification from the serving cell: `records` of
+  // the latest frame's response arrive as a single shared copy riding
+  // another client's transfer (server inflight table), saving `bytes` on
+  // the medium. The payload itself is identical — this is accounting for
+  // the delivery path only.
+  void OnSharedDelivery(int64_t records, int64_t bytes) {
+    shared_delivery_records_ += records;
+    shared_delivery_bytes_ += bytes;
+  }
+  int64_t shared_delivery_records() const {
+    return shared_delivery_records_;
+  }
+  int64_t shared_delivery_bytes() const { return shared_delivery_bytes_; }
+
   // Cumulative totals.
   int64_t total_bytes() const { return total_bytes_; }
   int64_t total_records() const { return total_records_; }
@@ -116,6 +130,8 @@ class StreamingClient {
   double total_response_seconds_ = 0.0;
   int64_t frames_ = 0;
   int64_t backpressure_frames_ = 0;
+  int64_t shared_delivery_records_ = 0;
+  int64_t shared_delivery_bytes_ = 0;
 };
 
 }  // namespace mars::client

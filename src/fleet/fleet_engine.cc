@@ -1,8 +1,11 @@
 #include "fleet/fleet_engine.h"
 
 #include <algorithm>
+#include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -32,6 +35,25 @@ struct FleetEngine::ClientState {
   int64_t hot_misses = 0;
   int64_t hot_bytes_saved = 0;
 
+  // Coalescing lifetime counters (stay zero with coalescing off, except
+  // encode_calls, which counts in both modes).
+  int64_t coalesce_hits = 0;
+  int64_t coalesce_attaches = 0;
+  int64_t coalesce_bytes_saved = 0;
+  int64_t encode_calls = 0;
+  int64_t cell_bytes = 0;
+  int64_t next_submit_seq = 0;
+
+  // A submitted-but-unresolved coalesced exchange: completes when its own
+  // transfer and every attached carrier have drained.
+  struct PendingExchange {
+    int64_t seq = 0;
+    double submit_seconds = 0.0;
+    double own_finish = -1.0;  // < 0 while the own transfer is in flight
+    std::vector<server::InflightTable::Carrier> carriers;
+  };
+  std::deque<PendingExchange> pending;  // engine thread only, FIFO by seq
+
   // Admission control: times the *current* frame has been deferred, and
   // the last admitted exchange's wire bytes — the size estimate the next
   // admission decision is made against (0 until the first exchange).
@@ -46,6 +68,12 @@ struct FleetEngine::ClientState {
   server::AdmissionController::Verdict adm_verdict;
   std::vector<index::RecordId> hot_touch;
   std::vector<std::pair<index::RecordId, std::vector<uint8_t>>> hot_insert;
+  // Coalescing tick scratch: this tick's delivered records with their
+  // payload byte counts, the records missed by both the inflight table
+  // and the cache, and the subset this client claimed for encoding.
+  std::vector<std::pair<index::RecordId, int64_t>> tick_records;
+  std::vector<index::RecordId> encode_candidates;
+  std::vector<index::RecordId> claimed;
 };
 
 FleetEngine::FleetEngine(const core::System& system, FleetOptions options,
@@ -53,7 +81,15 @@ FleetEngine::FleetEngine(const core::System& system, FleetOptions options,
     : system_(system),
       options_(options),
       admission_(options.admission),
-      hot_cache_(options.hot_cache_bytes, options.hot_cache_shards) {
+      hot_cache_(options.hot_cache_bytes, options.hot_cache_shards),
+      inflight_(options.coalesce) {
+  // Coalesced delivery resolution needs the cell's per-client FIFO
+  // completion order, which only WFQ provides (equal share drains every
+  // transfer simultaneously).
+  if (inflight_.enabled()) {
+    MARS_CHECK(options_.cell.discipline ==
+               net::SharedMediumLink::Discipline::kWeightedFair);
+  }
   cell_fault_ = std::make_unique<net::FaultSchedule>(options_.cell_fault);
   cell_ = std::make_unique<net::SharedMediumLink>(options_.cell);
   if (cell_fault_->enabled()) cell_->AttachFaultSchedule(cell_fault_.get());
@@ -143,6 +179,9 @@ void FleetEngine::StepClient(ClientState* state) {
   state->tick_speed = point.speed;
   state->hot_touch.clear();
   state->hot_insert.clear();
+  state->tick_records.clear();
+  state->encode_candidates.clear();
+  state->claimed.clear();
 
   core::RunMetrics& m = state->metrics;
 
@@ -255,6 +294,36 @@ void FleetEngine::StepClient(ClientState* state) {
   ++m.frames;
   if (state->wire_bytes > 0) state->last_wire_bytes = state->wire_bytes;
 
+  // Classify this tick's delivered records against the tick-frozen shared
+  // structures — read-only probes, so the outcome cannot depend on worker
+  // interleaving.
+  if (inflight_.enabled() && !delivered.empty()) {
+    // Coalescing path: a record already riding another client's transfer
+    // needs neither cache accounting nor an encoding — the serial commit
+    // will attach this client to the carrier. The remaining records probe
+    // the hot cache as usual, but misses are *not* encoded here: the
+    // serial claim sub-phase first deduplicates them across the tick's
+    // clients (see Run()).
+    std::sort(delivered.begin(), delivered.end());
+    delivered.erase(std::unique(delivered.begin(), delivered.end()),
+                    delivered.end());
+    for (const index::RecordId id : delivered) {
+      state->tick_records.emplace_back(id,
+                                       system_.db().record(id).wire_bytes);
+      if (inflight_.Probe(id) >= 0) continue;
+      if (!hot_cache_.enabled()) continue;
+      const int64_t cached_bytes = hot_cache_.Lookup(id);
+      if (cached_bytes >= 0) {
+        ++state->hot_hits;
+        state->hot_bytes_saved += cached_bytes;
+        state->hot_touch.push_back(id);
+      } else {
+        ++state->hot_misses;
+        state->encode_candidates.push_back(id);
+      }
+    }
+    return;
+  }
   // Probe the shared hot-encoding cache: read-only against the state the
   // cache had at the tick boundary, so the hit/miss pattern cannot depend
   // on worker interleaving. Misses are encoded *here* — that is the
@@ -272,6 +341,7 @@ void FleetEngine::StepClient(ClientState* state) {
         state->hot_touch.push_back(id);
       } else {
         ++state->hot_misses;
+        ++state->encode_calls;
         state->hot_insert.emplace_back(
             id, server::EncodeRecords(system_.db(), {id}));
       }
@@ -286,9 +356,80 @@ void FleetEngine::CommitClient(ClientState* state) {
   }
   state->hot_touch.clear();
   state->hot_insert.clear();
-  if (state->wire_bytes > 0) {
+  if (state->wire_bytes <= 0) return;
+  if (!inflight_.enabled()) {
     cell_->Submit(state->spec.id, state->wire_bytes, state->tick_speed);
+    state->cell_bytes += state->wire_bytes;
+    return;
   }
+
+  // Coalesced submission: records already in flight ride their carrier's
+  // transfer, so this client is charged its exchange minus those payloads
+  // plus one attach header per distinct carrier. Commits run in ascending
+  // client id, so a record first requested this tick is registered by its
+  // lowest-id requester before the others reach their Attach().
+  using AttachOutcome = server::InflightTable::AttachOutcome;
+  int64_t shared_bytes = 0;
+  int64_t shared_records = 0;
+  std::vector<server::InflightTable::Carrier> carriers;
+  std::vector<std::pair<index::RecordId, int64_t>> owned;
+  for (const auto& [rec, bytes] : state->tick_records) {
+    const auto attach = inflight_.Attach(rec, state->spec.id);
+    switch (attach.outcome) {
+      case AttachOutcome::kAttached:
+        shared_bytes += bytes;
+        ++shared_records;
+        ++state->coalesce_hits;
+        state->coalesce_bytes_saved += bytes;
+        if (std::find(carriers.begin(), carriers.end(), attach.carrier) ==
+            carriers.end()) {
+          carriers.push_back(attach.carrier);
+        }
+        break;
+      case AttachOutcome::kNotInflight:
+        owned.emplace_back(rec, bytes);
+        break;
+      case AttachOutcome::kRefused:
+        // Waiter cap hit: the payload is still in flight (re-registering
+        // would double-serve it), but this client pays full freight.
+        break;
+    }
+  }
+  const int64_t header_bytes = static_cast<int64_t>(carriers.size()) *
+                               options_.coalesce.attach_header_bytes;
+  state->coalesce_attaches += static_cast<int64_t>(carriers.size());
+  const int64_t charged = state->wire_bytes - shared_bytes + header_bytes;
+  // The exchange always carries at least its own request/response
+  // framing, which is never coalesced.
+  MARS_CHECK_GT(charged, 0);
+  const int64_t seq =
+      cell_->Submit(state->spec.id, charged, state->tick_speed);
+  MARS_CHECK_EQ(seq, state->next_submit_seq);
+  ++state->next_submit_seq;
+  state->cell_bytes += charged;
+  for (const auto& [rec, bytes] : owned) {
+    inflight_.Register(rec, state->spec.id, seq, bytes);
+  }
+  ClientState::PendingExchange exchange;
+  exchange.seq = seq;
+  exchange.submit_seconds = cell_->now();
+  exchange.carriers = std::move(carriers);
+  state->pending.push_back(std::move(exchange));
+  if (shared_records > 0) {
+    // Delivery-path observability: tell the client part of its frame's
+    // payload arrives as a single shared copy on another transfer.
+    switch (state->spec.kind) {
+      case ClientKind::kStreaming:
+        state->streaming->OnSharedDelivery(shared_records, shared_bytes);
+        break;
+      case ClientKind::kBuffered:
+        state->buffered->OnSharedDelivery(shared_records, shared_bytes);
+        break;
+      case ClientKind::kNaive:
+        break;  // naive responses are whole objects; never coalesced
+    }
+  }
+  state->tick_records.clear();
 }
 
 void FleetEngine::FinishClient(ClientState* state) {
@@ -335,15 +476,67 @@ FleetResult FleetEngine::Run() {
   }
 
   int64_t peak_backlog = 0;
+  const bool coalescing = inflight_.enabled();
+  // Absolute finish times of drained transfers, keyed by (client, seq):
+  // what a coalesced exchange waits on for the carriers it attached to.
+  std::map<std::pair<int32_t, int64_t>, double> finish_at;
   const auto apply_completions =
       [&](const std::vector<net::SharedMediumLink::Completion>& done) {
+        if (!coalescing) {
+          for (const net::SharedMediumLink::Completion& c : done) {
+            ClientState* state = by_id.at(c.client);
+            // Delivery delay on the shared cell is the fleet's response
+            // time; each drained submission is one demand exchange.
+            state->metrics.total_response_seconds += c.response_seconds;
+            state->metrics.response_histogram.Add(c.response_seconds);
+            ++state->metrics.demand_exchanges;
+          }
+          return;
+        }
         for (const net::SharedMediumLink::Completion& c : done) {
           ClientState* state = by_id.at(c.client);
-          // Delivery delay on the shared cell is the fleet's response
-          // time; each drained submission is one demand exchange.
-          state->metrics.total_response_seconds += c.response_seconds;
-          state->metrics.response_histogram.Add(c.response_seconds);
-          ++state->metrics.demand_exchanges;
+          // WFQ serves one head-of-line transfer per client, so a
+          // client's completions arrive in submission order: this one
+          // belongs to its first still-unfinished pending exchange.
+          auto it = std::find_if(
+              state->pending.begin(), state->pending.end(),
+              [](const ClientState::PendingExchange& e) {
+                return e.own_finish < 0.0;
+              });
+          MARS_CHECK(it != state->pending.end());
+          MARS_CHECK_EQ(it->seq, c.seq);
+          it->own_finish = it->submit_seconds + c.response_seconds;
+          finish_at[{c.client, c.seq}] = it->own_finish;
+          // The carried payloads are delivered: retire the transfer's
+          // inflight entries so later requesters re-fetch (or hit the
+          // hot cache) instead of attaching to a drained carrier.
+          inflight_.OnTransferComplete(c.client, c.seq);
+        }
+        // Resolve in client-id order: an exchange's response time runs
+        // until its own transfer and every attached carrier drained.
+        for (const auto& owned : states_) {
+          ClientState* state = owned.get();
+          while (!state->pending.empty() &&
+                 state->pending.front().own_finish >= 0.0) {
+            ClientState::PendingExchange& ex = state->pending.front();
+            double finish = ex.own_finish;
+            bool ready = true;
+            for (const auto& carrier : ex.carriers) {
+              const auto fit =
+                  finish_at.find({carrier.owner, carrier.transfer_seq});
+              if (fit == finish_at.end()) {
+                ready = false;
+                break;
+              }
+              finish = std::max(finish, fit->second);
+            }
+            if (!ready) break;
+            const double response = finish - ex.submit_seconds;
+            state->metrics.total_response_seconds += response;
+            state->metrics.response_histogram.Add(response);
+            ++state->metrics.demand_exchanges;
+            state->pending.pop_front();
+          }
         }
       };
 
@@ -366,6 +559,30 @@ FleetResult FleetEngine::Run() {
       tasks.push_back([this, state = by_id.at(id)] { StepClient(state); });
     }
     pool.RunBatch(tasks);
+    if (coalescing && hot_cache_.enabled()) {
+      // Phase A2 (serial): claim encode ownership per record in client-id
+      // order — of a tick's requesters, exactly the first encodes; the
+      // rest attach to its registration at commit time.
+      std::unordered_set<index::RecordId> tick_claims;
+      std::vector<std::function<void()>> encode_tasks;
+      for (const int32_t id : due) {
+        ClientState* state = by_id.at(id);
+        for (const index::RecordId rec : state->encode_candidates) {
+          if (tick_claims.insert(rec).second) state->claimed.push_back(rec);
+        }
+        if (state->claimed.empty()) continue;
+        encode_tasks.push_back([this, state] {
+          for (const index::RecordId rec : state->claimed) {
+            state->hot_insert.emplace_back(
+                rec, server::EncodeRecords(system_.db(), {rec}));
+          }
+          state->encode_calls += static_cast<int64_t>(state->claimed.size());
+        });
+      }
+      // Phase A3 (parallel): the claimed encodings are the tick's actual
+      // serialization work, spread across the pool.
+      pool.RunBatch(encode_tasks);
+    }
     // Phase B: commit shared side effects in ascending client id (PopDue
     // returns ids sorted), then reschedule.
     using Decision = server::AdmissionController::Decision;
@@ -405,6 +622,11 @@ FleetResult FleetEngine::Run() {
     peak_backlog = std::max(peak_backlog, cell_->backlog_bytes());
   }
   apply_completions(cell_->DrainAll());
+  if (coalescing) {
+    // Every carrier has drained, so every coalesced exchange resolved.
+    for (const auto& state : states_) MARS_CHECK(state->pending.empty());
+    MARS_CHECK_EQ(inflight_.entries(), 0);
+  }
 
   FleetResult result;
   result.clients.reserve(states_.size());
@@ -417,13 +639,29 @@ FleetResult FleetEngine::Run() {
     client.hot_hits = state->hot_hits;
     client.hot_misses = state->hot_misses;
     client.hot_bytes_saved = state->hot_bytes_saved;
+    client.coalesce_hits = state->coalesce_hits;
+    client.coalesce_attaches = state->coalesce_attaches;
+    client.coalesce_bytes_saved = state->coalesce_bytes_saved;
+    client.encode_calls = state->encode_calls;
+    client.cell_bytes = state->cell_bytes;
     result.aggregate.Merge(state->metrics);
     ClassStats& cls = result.by_kind[static_cast<size_t>(state->spec.kind)];
     ++cls.clients;
     cls.metrics.Merge(state->metrics);
+    cls.coalesce_hits += state->coalesce_hits;
+    cls.coalesce_attaches += state->coalesce_attaches;
+    cls.coalesce_bytes_saved += state->coalesce_bytes_saved;
+    cls.encode_calls += state->encode_calls;
+    cls.cell_bytes += state->cell_bytes;
     result.hot_hits += state->hot_hits;
     result.hot_misses += state->hot_misses;
     result.hot_bytes_saved += state->hot_bytes_saved;
+    result.coalesce_hits += state->coalesce_hits;
+    result.coalesce_attaches += state->coalesce_attaches;
+    result.coalesce_bytes_saved += state->coalesce_bytes_saved;
+    result.coalesce_header_bytes +=
+        state->coalesce_attaches * options_.coalesce.attach_header_bytes;
+    result.encode_calls += state->encode_calls;
     result.clients.push_back(std::move(client));
   }
   result.admitted_exchanges = admission_.admitted_requests();
@@ -437,6 +675,8 @@ FleetResult FleetEngine::Run() {
   result.hot_cache_entries = hot_cache_.entries();
   result.hot_cache_bytes = hot_cache_.size_bytes();
   result.hot_cache_evictions = hot_cache_.evictions();
+  result.hot_shards = hot_cache_.Stats();
+  result.coalesce_refused = inflight_.total_refused();
   result.virtual_seconds = cell_->now();
   return result;
 }

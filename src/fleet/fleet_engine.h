@@ -13,6 +13,7 @@
 #include "net/shared_link.h"
 #include "server/admission.h"
 #include "server/hot_cache.h"
+#include "server/inflight_table.h"
 #include "server/session_table.h"
 #include "workload/tour.h"
 
@@ -70,6 +71,14 @@ struct FleetOptions {
   // Server-side admission control on the shared cell (disabled by
   // default, so a fleet behaves exactly as before unless opted in).
   server::AdmissionController::Options admission;
+  // Cross-client request coalescing (server/inflight_table.h): records
+  // already riding another client's cell transfer are attached to that
+  // carrier instead of re-sent, and each tick's overlapping cache misses
+  // are encoded once instead of once per client. Disabled by default —
+  // a strict bit-identical passthrough. Requires the weighted-fair cell
+  // discipline: coalesced delivery resolution relies on WFQ's per-client
+  // FIFO completion order.
+  server::InflightTable::Options coalesce;
 };
 
 // Per-client outcome.
@@ -80,6 +89,16 @@ struct ClientResult {
   int64_t hot_hits = 0;
   int64_t hot_misses = 0;
   int64_t hot_bytes_saved = 0;  // encoding work short-circuited, in bytes
+  // Cross-client coalescing (all zero with coalescing off).
+  int64_t coalesce_hits = 0;         // records delivered via a carrier
+  int64_t coalesce_attaches = 0;     // distinct carriers attached to
+  int64_t coalesce_bytes_saved = 0;  // payload bytes not re-carried
+  // Records this client wire-encoded (counted in both modes: the
+  // server-side serialization work the coalescer deduplicates).
+  int64_t encode_calls = 0;
+  // Bytes this client actually charged to the shared cell (after
+  // coalescing discounts; equals its wire bytes with coalescing off).
+  int64_t cell_bytes = 0;
 };
 
 // Aggregate over all fleet members running one ClientKind — the
@@ -89,6 +108,12 @@ struct ClassStats {
   int64_t clients = 0;
   // Merge of the class members' metrics, folded in client-id order.
   core::RunMetrics metrics;
+  // Per-class coalescing totals (summed in client-id order).
+  int64_t coalesce_hits = 0;
+  int64_t coalesce_attaches = 0;
+  int64_t coalesce_bytes_saved = 0;
+  int64_t encode_calls = 0;
+  int64_t cell_bytes = 0;
 };
 
 struct FleetResult {
@@ -116,6 +141,17 @@ struct FleetResult {
   int64_t hot_cache_entries = 0;
   int64_t hot_cache_bytes = 0;
   int64_t hot_cache_evictions = 0;
+  // Per-shard hot-cache counters (always populated; the cache is on by
+  // default).
+  std::vector<server::HotRecordCache::ShardStats> hot_shards;
+  // Cross-client coalescing totals (all zero with coalescing off).
+  int64_t coalesce_hits = 0;
+  int64_t coalesce_attaches = 0;
+  int64_t coalesce_bytes_saved = 0;
+  int64_t coalesce_refused = 0;  // attaches refused by the waiter cap
+  int64_t coalesce_header_bytes = 0;
+  // Records wire-encoded server-side across the whole run (both modes).
+  int64_t encode_calls = 0;
   // Virtual time at which the last exchange drained.
   double virtual_seconds = 0.0;
 };
@@ -141,6 +177,27 @@ struct FleetResult {
 //   per ClientSpec::weight), and the client's next frame is scheduled.
 //   Then the cell advances to the next tick, attributing delivery delays
 //   to clients.
+//
+// With coalescing enabled (FleetOptions::coalesce), two sub-phases slot
+// between A and B, preserving the discipline:
+//
+//   Phase A additionally classifies each delivered record with a
+//   read-only InflightTable probe against the tick-frozen table — records
+//   already in flight skip the cache probe and the encode entirely.
+//
+//   Phase A2 (serial, ascending client id): each record missed by both
+//   the table and the cache is *claimed* by its lowest-id requester, so
+//   one tick encodes each record at most once fleet-wide.
+//
+//   Phase A3 (parallel): the claimed encodings run on the pool — this is
+//   the tick's real serialization work, now deduplicated.
+//
+//   Phase B then attaches each already-inflight record to its carrier
+//   (charging only an attach header per distinct carrier), registers the
+//   records this client now carries, and submits the discounted byte
+//   count. A coalesced exchange completes when its own transfer AND every
+//   carrier it attached to have drained; WFQ's deterministic per-client
+//   FIFO completion order makes that resolution worker-count-invariant.
 //
 // Because every cross-client effect happens in phase B in a fixed order,
 // a fleet run is bit-identical at any worker count: same seeds in, same
@@ -181,6 +238,7 @@ class FleetEngine {
   server::AdmissionController admission_;
   server::SessionTable sessions_;
   server::HotRecordCache hot_cache_;
+  server::InflightTable inflight_;
   std::vector<std::unique_ptr<ClientState>> states_;
   std::unique_ptr<net::FaultSchedule> cell_fault_;
   std::unique_ptr<net::SharedMediumLink> cell_;

@@ -27,7 +27,8 @@ void SharedMediumLink::SetClientWeight(int32_t client, double weight) {
   vclock_.SetWeight(client, weight);
 }
 
-void SharedMediumLink::Submit(int32_t client, int64_t bytes, double speed) {
+int64_t SharedMediumLink::Submit(int32_t client, int64_t bytes,
+                                 double speed) {
   MARS_CHECK_GT(bytes, 0);
   const double s = std::clamp(speed, 0.0, 1.0);
   double carried = static_cast<double>(bytes);
@@ -49,9 +50,11 @@ void SharedMediumLink::Submit(int32_t client, int64_t bytes, double speed) {
   ClientQueue& cq = clients_[client];
   if (cq.queue.empty()) vclock_.Activate(client);
   const double virtual_finish = vclock_.Stamp(client, carried);
-  cq.queue.push_back(Transfer{carried, now_, s, virtual_finish});
+  const int64_t seq = cq.next_seq++;
+  cq.queue.push_back(Transfer{carried, now_, s, virtual_finish, seq});
   ++in_flight_;
   total_bytes_ += bytes;
+  return seq;
 }
 
 int64_t SharedMediumLink::client_backlog_bytes(int32_t client) const {
@@ -164,7 +167,7 @@ void SharedMediumLink::StepWeightedFair(
     if (head.remaining_bytes <= 1e-6) {
       finished.push_back(Finished{
           head.virtual_finish,
-          Completion{s.client,
+          Completion{s.client, head.seq,
                      now_ - head.submitted_at + options_.latency_seconds}});
       s.cq->queue.pop_front();
       --in_flight_;
@@ -231,7 +234,8 @@ void SharedMediumLink::StepEqualShare(double target, double cell,
       it->remaining_bytes -= rate * step;
       if (it->remaining_bytes <= 1e-6) {
         completions->push_back(Completion{
-            id, now_ - it->submitted_at + options_.latency_seconds});
+            id, it->seq,
+            now_ - it->submitted_at + options_.latency_seconds});
         it = cq.queue.erase(it);
         --in_flight_;
       } else {

@@ -80,9 +80,16 @@ class SharedMediumLink {
   };
 
   // A finished exchange: which client, and how long from submission to
-  // last byte (including the connection latency).
+  // last byte (including the connection latency). `seq` is the client's
+  // per-submission sequence number (assigned by Submit, starting at 0) —
+  // the handle coalesced shared payloads are keyed by: a waiter attached
+  // to transfer (client, seq) is delivered exactly when that completion
+  // fires. Under kWeightedFair each client serves head-of-line only, so
+  // a client's completions arrive in seq order; kEqualShare drains all
+  // transfers at once and gives no such guarantee.
   struct Completion {
     int32_t client = 0;
+    int64_t seq = 0;
     double response_seconds = 0.0;
   };
 
@@ -105,7 +112,10 @@ class SharedMediumLink {
   // Enqueues an exchange of `bytes` for `client` moving at normalized
   // `speed`, submitted at the current simulated time. Under loss the
   // carried byte count is inflated by the retransmitted fractions.
-  void Submit(int32_t client, int64_t bytes, double speed);
+  // Returns the submission's per-client sequence number (echoed in its
+  // Completion), so callers charging shared payloads to this transfer
+  // can key their waiters by (client, seq).
+  int64_t Submit(int32_t client, int64_t bytes, double speed);
 
   // Advances simulated time by `dt` seconds, draining transfers under the
   // configured discipline; returns the exchanges that completed.
@@ -141,11 +151,13 @@ class SharedMediumLink {
     double submitted_at;
     double speed;
     double virtual_finish;  // WFQ tag stamped at submission
+    int64_t seq;            // per-client submission sequence number
   };
 
   struct ClientQueue {
     std::deque<Transfer> queue;
     double backlog_bytes = 0.0;
+    int64_t next_seq = 0;
   };
 
   // One piecewise-constant service interval under the given discipline;

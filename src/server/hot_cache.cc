@@ -22,7 +22,11 @@ int64_t HotRecordCache::Lookup(index::RecordId id) const {
   const Shard& shard = ShardOf(id);
   common::ReaderLock lock(&shard.mu);
   const auto it = shard.map.find(id);
-  if (it == shard.map.end()) return -1;
+  if (it == shard.map.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   return static_cast<int64_t>(it->second.encoded.size());
 }
 
@@ -87,6 +91,24 @@ int64_t HotRecordCache::evictions() const {
     n += shard->evictions;
   }
   return n;
+}
+
+std::vector<HotRecordCache::ShardStats> HotRecordCache::Stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    common::ReaderLock lock(&shard.mu);
+    ShardStats s;
+    s.shard = static_cast<int32_t>(i);
+    s.hits = shard.hits.load(std::memory_order_relaxed);
+    s.misses = shard.misses.load(std::memory_order_relaxed);
+    s.evictions = shard.evictions;
+    s.entries = static_cast<int64_t>(shard.map.size());
+    s.bytes = shard.bytes;
+    stats.push_back(s);
+  }
+  return stats;
 }
 
 }  // namespace mars::server

@@ -1,6 +1,7 @@
 #ifndef MARS_SERVER_HOT_CACHE_H_
 #define MARS_SERVER_HOT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -64,6 +65,19 @@ class HotRecordCache {
   int64_t evictions() const;
   bool enabled() const { return budget_bytes_ > 0; }
 
+  // Per-shard counter snapshot, indexed by shard. Hits/misses count
+  // Lookup outcomes (a disabled cache counts nothing); evictions count
+  // Insert-driven LRU removals.
+  struct ShardStats {
+    int32_t shard = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<ShardStats> Stats() const;
+
  private:
   struct Entry {
     std::vector<uint8_t> encoded;
@@ -77,6 +91,11 @@ class HotRecordCache {
     std::list<index::RecordId> lru MARS_GUARDED_BY(mu);
     int64_t bytes MARS_GUARDED_BY(mu) = 0;
     int64_t evictions MARS_GUARDED_BY(mu) = 0;
+    // Lookup outcome counters: bumped under the reader lock from the
+    // fleet's parallel phase, hence relaxed atomics rather than
+    // MARS_GUARDED_BY fields.
+    mutable std::atomic<int64_t> hits{0};
+    mutable std::atomic<int64_t> misses{0};
   };
 
   Shard& ShardOf(index::RecordId id) {

@@ -1,0 +1,157 @@
+#ifndef MARS_SERVER_INFLIGHT_TABLE_H_
+#define MARS_SERVER_INFLIGHT_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "index/record.h"
+
+namespace mars::server {
+
+// Cross-client request coalescing: a registry of record payloads currently
+// in flight on the shared cell. The first client to request a record
+// performs the index walk and the wire encoding (reusing HotRecordCache on
+// a miss) and becomes the entry's *owner*; its cell transfer is the
+// entry's *carrier*. Any client requesting the same record while the
+// carrier is still draining *attaches* as a waiter: it receives the
+// identical payload bytes from the shared copy, and the cell is charged
+// only a small per-attach header instead of the payload — the single-copy
+// delivery that makes co-located fleets affordable.
+//
+// Like HotRecordCache, the table is sharded by record id and built for the
+// fleet engine's deterministic two-phase tick:
+//
+//   * During the parallel read phase, workers call only const Probe(),
+//     which takes a shard's reader lock and mutates nothing, so the
+//     inflight/absent classification of every record depends only on the
+//     table state frozen at the tick boundary, never on worker
+//     interleaving.
+//   * During the serial commit phase, the engine calls Register() /
+//     Attach() in client-id order (so the lowest-id requester of a tick
+//     owns the encoding and later ids attach), and OnTransferComplete()
+//     as carriers drain, in the cell's deterministic completion order.
+//
+// Used outside that protocol, the locking still makes every method safe to
+// call concurrently; only the determinism guarantee needs the phase
+// discipline.
+class InflightTable {
+ public:
+  struct Options {
+    // Off by default: a disabled table probes as empty and registers
+    // nothing, so the engine's submission path is a strict passthrough.
+    bool enabled = false;
+    // Wire bytes charged to a follower per distinct carrier it attaches
+    // to (the "also deliver this transfer to me" control frame).
+    int64_t attach_header_bytes = 64;
+    // Attach-policy knob: cap on waiters per entry (0 = unbounded). A
+    // full entry refuses further attaches — the next requester pays full
+    // freight for its copy, bounding how many sessions one carrier
+    // failure could strand.
+    int32_t max_waiters_per_entry = 0;
+    int32_t shards = 8;
+  };
+
+  // The transfer carrying an entry's payload: the owning client and that
+  // client's per-submission sequence number on the cell.
+  struct Carrier {
+    int32_t owner = 0;
+    int64_t transfer_seq = 0;
+    friend bool operator==(const Carrier& a, const Carrier& b) {
+      return a.owner == b.owner && a.transfer_seq == b.transfer_seq;
+    }
+  };
+
+  enum class AttachOutcome {
+    kAttached,     // rides `carrier`'s transfer; payload not re-sent
+    kNotInflight,  // no entry: the caller owns (and must register) it
+    kRefused,      // entry full: in flight, but the caller pays in full
+  };
+  struct AttachResult {
+    AttachOutcome outcome = AttachOutcome::kNotInflight;
+    Carrier carrier;
+    int64_t bytes = 0;
+  };
+
+  InflightTable();  // default (disabled) options
+  explicit InflightTable(Options options);
+
+  InflightTable(const InflightTable&) = delete;
+  InflightTable& operator=(const InflightTable&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+  const Options& options() const { return options_; }
+
+  // Payload bytes of `id`'s inflight copy, or -1 when nothing is in
+  // flight. Read-only (see the phase protocol above).
+  int64_t Probe(index::RecordId id) const;
+
+  // Registers `id` as carried by (owner, transfer_seq) with `bytes` of
+  // payload. Single-flight: a record may have at most one carrier, so
+  // registering an id that is already in flight is a programming error —
+  // callers must Attach() instead (a kRefused attach pays full freight
+  // but still must not re-register).
+  void Register(index::RecordId id, int32_t owner, int64_t transfer_seq,
+                int64_t bytes);
+
+  // Attaches `follower` to `id`'s entry; waiters are recorded in attach
+  // order. See AttachOutcome for the three possible results.
+  AttachResult Attach(index::RecordId id, int32_t follower);
+
+  // Removes every entry carried by (owner, transfer_seq) — the payloads
+  // have been delivered to the owner and all attached waiters. Returns
+  // the number of entries removed.
+  int64_t OnTransferComplete(int32_t owner, int64_t transfer_seq);
+
+  // Cancels every entry owned by `client` (timed out / disconnected
+  // before its transfers drained). Waiters of the cancelled entries are
+  // stranded: their shared copy will never arrive, so the caller must
+  // re-issue their requests. Returned in (record id, attach) order.
+  struct Stranded {
+    index::RecordId record = 0;
+    int32_t waiter = 0;
+  };
+  std::vector<Stranded> CancelClient(int32_t client);
+
+  // Observability.
+  int64_t entries() const;
+  int64_t total_registered() const;
+  int64_t total_attached() const;
+  int64_t total_refused() const;
+  int64_t total_cancelled() const;
+  // Waiters currently attached to `id`, in attach order (tests).
+  std::vector<int32_t> WaitersOf(index::RecordId id) const;
+
+ private:
+  struct Entry {
+    Carrier carrier;
+    int64_t bytes = 0;
+    std::vector<int32_t> waiters;
+  };
+
+  struct Shard {
+    mutable common::SharedMutex mu;
+    std::unordered_map<index::RecordId, Entry> map MARS_GUARDED_BY(mu);
+    int64_t registered MARS_GUARDED_BY(mu) = 0;
+    int64_t attached MARS_GUARDED_BY(mu) = 0;
+    int64_t refused MARS_GUARDED_BY(mu) = 0;
+    int64_t cancelled MARS_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardOf(index::RecordId id) {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+  const Shard& ShardOf(index::RecordId id) const {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mars::server
+
+#endif  // MARS_SERVER_INFLIGHT_TABLE_H_

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -578,6 +579,59 @@ TEST(PrefetcherTest, SpeedSetsPrefetchResolution) {
   ASSERT_FALSE(fast.items.empty());
   EXPECT_DOUBLE_EQ(slow.items[0].w_min, 0.1);
   EXPECT_DOUBLE_EQ(fast.items[0].w_min, 0.9);
+}
+
+TEST(PrefetchPlanTest, DedupeKeepsHigherPriorityAndFinerResolution) {
+  // Block 7 appears twice — e.g. reachable from two direction sectors —
+  // once strong/coarse and once weak/fine. The merged item must carry
+  // the stronger priority and the finer (smaller) w_min.
+  PrefetchPlan plan;
+  plan.items = {{5, 0.9, 0.5},
+                {7, 0.6, 0.8},
+                {3, 0.4, 0.5},
+                {7, 0.2, 0.3}};
+  plan.Dedupe();
+  ASSERT_EQ(plan.items.size(), 3u);
+  EXPECT_EQ(plan.items[0].block, 5);
+  EXPECT_EQ(plan.items[1].block, 7);
+  EXPECT_DOUBLE_EQ(plan.items[1].priority, 0.6);
+  EXPECT_DOUBLE_EQ(plan.items[1].w_min, 0.3);
+  EXPECT_EQ(plan.items[2].block, 3);
+}
+
+TEST(PrefetchPlanTest, DedupeIsNoopWhenUnique) {
+  // A duplicate-free plan must come back exactly as it went in — order
+  // included, even where priorities tie (a re-sort could reorder ties
+  // and silently change which blocks survive a budget cut downstream).
+  PrefetchPlan plan;
+  plan.items = {{4, 0.5, 0.2}, {9, 0.5, 0.4}, {1, 0.5, 0.6}, {2, 0.7, 0.1}};
+  const auto before = plan.items;
+  plan.Dedupe();
+  ASSERT_EQ(plan.items.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(plan.items[i].block, before[i].block) << "index " << i;
+    EXPECT_DOUBLE_EQ(plan.items[i].priority, before[i].priority);
+    EXPECT_DOUBLE_EQ(plan.items[i].w_min, before[i].w_min);
+  }
+}
+
+TEST(PrefetcherTest, PlansAreDuplicateFree) {
+  motion::MotionPredictor predictor;
+  for (int t = 0; t < 50; ++t) predictor.Observe({10.0 * t, 500});
+  const geometry::GridPartition grid(geometry::MakeBox2(0, 0, 1000, 1000),
+                                     20, 20);
+  MotionAwarePrefetcher prefetcher;
+  common::Rng rng(11);
+  const auto ma = prefetcher.Plan(predictor, grid, {490, 500}, 0.5, 24, rng);
+  NaivePrefetcher naive;
+  const auto nv = naive.Plan(grid, {500, 500}, 0.5, 30);
+  for (const auto* plan : {&ma, &nv}) {
+    std::unordered_set<int64_t> seen;
+    for (const auto& item : plan->items) {
+      EXPECT_TRUE(seen.insert(item.block).second)
+          << "block " << item.block << " planned twice";
+    }
+  }
 }
 
 }  // namespace

@@ -594,5 +594,138 @@ TEST_F(FleetEngineTest, AdmissionDisabledIsInert) {
   EXPECT_EQ(result.aggregate.backpressure_frames, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-client request coalescing (server inflight table)
+
+// A fleet whose members ride the same seeded tour — the co-located
+// workload the coalescer exists for.
+std::vector<fleet::ClientSpec> CoLocatedStreamingFleet(int32_t n,
+                                                       int32_t frames) {
+  std::vector<fleet::ClientSpec> specs;
+  for (int32_t i = 0; i < n; ++i) {
+    fleet::ClientSpec spec;
+    spec.id = i;
+    spec.kind = fleet::ClientKind::kStreaming;
+    spec.tour_kind = workload::TourKind::kTram;
+    spec.frames = frames;
+    spec.seed = 100 + static_cast<uint64_t>(i);
+    spec.tour_seed = 900;  // shared: identical trajectories
+    spec.query_fraction = 0.08;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+// FleetJson plus the coalescing counters, so divergence in the shared-
+// delivery accounting fails the byte-identity checks too.
+std::string CoalesceJson(const fleet::FleetResult& result) {
+  std::string out = FleetJson(result);
+  for (const fleet::ClientResult& client : result.clients) {
+    out += "\n" + std::to_string(client.spec.id) + ":coalesce " +
+           std::to_string(client.coalesce_hits) + "/" +
+           std::to_string(client.coalesce_attaches) + "/" +
+           std::to_string(client.coalesce_bytes_saved) + "/" +
+           std::to_string(client.encode_calls) + "/" +
+           std::to_string(client.cell_bytes);
+  }
+  out += "\ntotals:" + std::to_string(result.coalesce_hits) + "/" +
+         std::to_string(result.coalesce_bytes_saved) + "/" +
+         std::to_string(result.encode_calls) + "/" +
+         std::to_string(result.cell_bytes);
+  return out;
+}
+
+// The coalesced two-phase discipline must stay deterministic: at a fixed
+// shard count, workers 1 and 8 give byte-identical metrics *and*
+// byte-identical coalescing counters, with the feature off and on.
+TEST_F(FleetEngineTest, CoalescedFleetBitIdenticalAcrossWorkers) {
+  core::System::Config config = SmallConfig();
+  config.shards = 4;
+  auto sharded = core::System::Create(config);
+  ASSERT_TRUE(sharded.ok());
+  for (const bool coalesce : {false, true}) {
+    std::string reference;
+    for (const int workers : {1, 8}) {
+      fleet::FleetOptions options;
+      options.workers = workers;
+      options.coalesce.enabled = coalesce;
+      fleet::FleetEngine engine(**sharded, options,
+                                CoLocatedStreamingFleet(8, /*frames=*/20));
+      const std::string json = CoalesceJson(engine.Run());
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        EXPECT_EQ(json, reference) << "diverged at workers=" << workers
+                                   << " coalesce=" << coalesce;
+      }
+    }
+  }
+}
+
+// The perf property: co-located clients requesting the same records pay
+// the cell once under coalescing, and the server encodes each record
+// once per tick instead of once per requester. What the clients receive
+// must not change at all.
+TEST_F(FleetEngineTest, CoalescingReducesCellBytesAndEncodes) {
+  auto run = [&](bool coalesce) {
+    fleet::FleetOptions options;
+    options.workers = 4;
+    options.coalesce.enabled = coalesce;
+    fleet::FleetEngine engine(*system_, options,
+                              CoLocatedStreamingFleet(6, /*frames=*/20));
+    return engine.Run();
+  };
+  const fleet::FleetResult off = run(false);
+  const fleet::FleetResult on = run(true);
+
+  // Delivery is unchanged: same frames, same records, same client bytes.
+  EXPECT_EQ(on.aggregate.frames, off.aggregate.frames);
+  EXPECT_EQ(on.aggregate.records_delivered, off.aggregate.records_delivered);
+  EXPECT_EQ(on.aggregate.demand_bytes, off.aggregate.demand_bytes);
+
+  // The carrier path is exercised and cheaper.
+  EXPECT_GT(on.coalesce_hits, 0);
+  EXPECT_GT(on.coalesce_bytes_saved, 0);
+  EXPECT_LT(on.cell_bytes, off.cell_bytes);
+  EXPECT_LT(on.encode_calls, off.encode_calls);
+  // Saved payload is real savings even after the attach headers.
+  EXPECT_GT(on.coalesce_bytes_saved, on.coalesce_header_bytes);
+
+  // Off is a strict passthrough: no coalescing state leaks into it.
+  EXPECT_EQ(off.coalesce_hits, 0);
+  EXPECT_EQ(off.coalesce_attaches, 0);
+  EXPECT_EQ(off.coalesce_bytes_saved, 0);
+  EXPECT_EQ(off.coalesce_refused, 0);
+}
+
+// Naive clients fetch whole objects, never coefficient records, so a
+// naive-only fleet must behave identically with coalescing on — the
+// inflight table simply never has anything to attach to.
+TEST_F(FleetEngineTest, NaiveOnlyFleetUnaffectedByCoalescing) {
+  auto run = [&](bool coalesce) {
+    fleet::FleetOptions options;
+    options.workers = 2;
+    options.coalesce.enabled = coalesce;
+    std::vector<fleet::ClientSpec> specs;
+    for (int32_t i = 0; i < 4; ++i) {
+      fleet::ClientSpec spec;
+      spec.id = i;
+      spec.kind = fleet::ClientKind::kNaive;
+      spec.frames = 15;
+      spec.seed = 100 + static_cast<uint64_t>(i);
+      spec.tour_seed = 900;
+      specs.push_back(spec);
+    }
+    fleet::FleetEngine engine(*system_, options, std::move(specs));
+    return engine.Run();
+  };
+  const fleet::FleetResult off = run(false);
+  const fleet::FleetResult on = run(true);
+  EXPECT_EQ(FleetJson(on), FleetJson(off));
+  EXPECT_EQ(on.cell_bytes, off.cell_bytes);
+  EXPECT_EQ(on.coalesce_hits, 0);
+  EXPECT_EQ(on.coalesce_attaches, 0);
+}
+
 }  // namespace
 }  // namespace mars

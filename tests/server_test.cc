@@ -6,6 +6,8 @@
 #include "geometry/box.h"
 #include "index/record.h"
 #include "server/admission.h"
+#include "server/hot_cache.h"
+#include "server/inflight_table.h"
 #include "server/object_db.h"
 #include "server/server.h"
 #include "server/session_table.h"
@@ -520,6 +522,136 @@ TEST(SessionTableTest, TracksAdmissionEvents) {
   table.GetOrCreate(2)->shed_requests = 2;
   table.GetOrCreate(3);
   EXPECT_EQ(table.TotalAdmissionEvents(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// InflightTable (cross-client request coalescing)
+
+InflightTable::Options EnabledInflight() {
+  InflightTable::Options options;
+  options.enabled = true;
+  return options;
+}
+
+TEST(InflightTableTest, SingleFlightProbeAndAttach) {
+  InflightTable table(EnabledInflight());
+  EXPECT_EQ(table.Probe(7), -1);
+  EXPECT_EQ(table.Attach(7, 3).outcome,
+            InflightTable::AttachOutcome::kNotInflight);
+
+  table.Register(7, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/112);
+  EXPECT_EQ(table.Probe(7), 112);
+  EXPECT_EQ(table.entries(), 1);
+
+  const auto attach = table.Attach(7, /*follower=*/3);
+  EXPECT_EQ(attach.outcome, InflightTable::AttachOutcome::kAttached);
+  EXPECT_EQ(attach.carrier.owner, 1);
+  EXPECT_EQ(attach.carrier.transfer_seq, 0);
+  EXPECT_EQ(attach.bytes, 112);
+  // One entry still: attaching never spawns a second carrier.
+  EXPECT_EQ(table.entries(), 1);
+  EXPECT_EQ(table.total_registered(), 1);
+  EXPECT_EQ(table.total_attached(), 1);
+}
+
+TEST(InflightTableTest, WaitersRecordedInAttachOrder) {
+  InflightTable table(EnabledInflight());
+  table.Register(42, /*owner=*/0, /*transfer_seq=*/5, /*bytes=*/64);
+  table.Attach(42, 9);
+  table.Attach(42, 2);
+  table.Attach(42, 6);
+  EXPECT_EQ(table.WaitersOf(42), (std::vector<int32_t>{9, 2, 6}));
+}
+
+TEST(InflightTableTest, WaiterCapRefusesWithoutReregistering) {
+  InflightTable::Options options = EnabledInflight();
+  options.max_waiters_per_entry = 2;
+  InflightTable table(options);
+  table.Register(1, /*owner=*/0, /*transfer_seq=*/0, /*bytes=*/100);
+  EXPECT_EQ(table.Attach(1, 1).outcome,
+            InflightTable::AttachOutcome::kAttached);
+  EXPECT_EQ(table.Attach(1, 2).outcome,
+            InflightTable::AttachOutcome::kAttached);
+  const auto refused = table.Attach(1, 3);
+  EXPECT_EQ(refused.outcome, InflightTable::AttachOutcome::kRefused);
+  // A refused attach still reports the carrier so the caller knows the
+  // payload is in flight — it pays full freight but must not register.
+  EXPECT_EQ(refused.carrier.owner, 0);
+  EXPECT_EQ(table.entries(), 1);
+  EXPECT_EQ(table.total_refused(), 1);
+  EXPECT_EQ(table.WaitersOf(1), (std::vector<int32_t>{1, 2}));
+}
+
+TEST(InflightTableTest, TransferCompleteRemovesOnlyMatchingCarrier) {
+  InflightTable table(EnabledInflight());
+  table.Register(10, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/50);
+  table.Register(11, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/60);
+  table.Register(12, /*owner=*/1, /*transfer_seq=*/1, /*bytes=*/70);
+  table.Register(13, /*owner=*/2, /*transfer_seq=*/0, /*bytes=*/80);
+  EXPECT_EQ(table.OnTransferComplete(1, 0), 2);
+  EXPECT_EQ(table.Probe(10), -1);
+  EXPECT_EQ(table.Probe(11), -1);
+  EXPECT_EQ(table.Probe(12), 70);  // same owner, later transfer
+  EXPECT_EQ(table.Probe(13), 80);  // other owner
+  EXPECT_EQ(table.entries(), 2);
+}
+
+TEST(InflightTableTest, CancelStrandsWaitersInRecordOrder) {
+  InflightTable table(EnabledInflight());
+  table.Register(30, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/10);
+  table.Register(20, /*owner=*/1, /*transfer_seq=*/1, /*bytes=*/10);
+  table.Register(25, /*owner=*/2, /*transfer_seq=*/0, /*bytes=*/10);
+  table.Attach(30, 5);
+  table.Attach(30, 4);
+  table.Attach(20, 6);
+  table.Attach(25, 7);
+
+  const auto stranded = table.CancelClient(1);
+  ASSERT_EQ(stranded.size(), 3u);
+  // Ascending record id, attach order within a record.
+  EXPECT_EQ(stranded[0].record, 20);
+  EXPECT_EQ(stranded[0].waiter, 6);
+  EXPECT_EQ(stranded[1].record, 30);
+  EXPECT_EQ(stranded[1].waiter, 5);
+  EXPECT_EQ(stranded[2].record, 30);
+  EXPECT_EQ(stranded[2].waiter, 4);
+  EXPECT_EQ(table.total_cancelled(), 2);
+  // Client 2's entry survives untouched.
+  EXPECT_EQ(table.Probe(25), 10);
+  EXPECT_EQ(table.WaitersOf(25), (std::vector<int32_t>{7}));
+}
+
+TEST(InflightTableTest, DisabledTableIsInert) {
+  InflightTable table;  // default options: disabled
+  EXPECT_FALSE(table.enabled());
+  table.Register(1, 0, 0, 100);  // dropped, not a check failure
+  EXPECT_EQ(table.Probe(1), -1);
+  EXPECT_EQ(table.Attach(1, 2).outcome,
+            InflightTable::AttachOutcome::kNotInflight);
+  EXPECT_EQ(table.entries(), 0);
+  EXPECT_EQ(table.OnTransferComplete(0, 0), 0);
+  EXPECT_TRUE(table.CancelClient(0).empty());
+}
+
+TEST(HotRecordCacheTest, PerShardStatsCountHitsAndMisses) {
+  HotRecordCache cache(/*budget_bytes=*/1 << 20, /*shards=*/4);
+  ASSERT_TRUE(cache.enabled());
+  cache.Insert(1, {uint8_t{1}, uint8_t{2}});
+  EXPECT_EQ(cache.Lookup(1), 2);   // hit
+  EXPECT_EQ(cache.Lookup(1), 2);   // hit
+  EXPECT_EQ(cache.Lookup(9), -1);  // miss
+
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t entries = 0;
+  for (const auto& s : cache.Stats()) {
+    hits += s.hits;
+    misses += s.misses;
+    entries += s.entries;
+  }
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(misses, 1);
+  EXPECT_EQ(entries, 1);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 //             [--clients N] [--workers M] [--shards K]
 //             [--fanout-workers W]
 //             [--fairness wfq|equal] [--weights S,B,N] [--admission]
+//             [--coalesce on|off]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
 //       < 0.5); --outage-rate schedules full-connectivity outages at R
@@ -31,6 +32,15 @@
 //       (e.g. --weights 2,2,1 gives the motion-aware clients twice the
 //       naive baseline's share). --admission enables the server's
 //       admission controller on the cell (defer/shed under overload).
+//       --coalesce on enables cross-client request coalescing on the
+//       cell (fleet mode only, requires --fairness wfq): concurrent
+//       requests for the same record ride one wire copy through the
+//       server's inflight table; the cell is charged once for the
+//       coalesced payload plus a small per-attach header. Off (the
+//       default) is a strict passthrough — output is bit-identical to
+//       a build without the feature. When on, the JSON block gains
+//       per-class coalescing lines, a totals line, and per-shard hot
+//       cache stats.
 //       --shards K partitions the coefficient index over a ground-plane
 //       grid of K shards (default 1 = the classic single tree; every
 //       query's required set is identical at any K) and prints per-shard
@@ -95,6 +105,7 @@ struct Flags {
   double weight_buffered = 1.0;
   double weight_naive = 1.0;
   bool admission = false;
+  std::string coalesce = "off";
 };
 
 void Usage() {
@@ -173,6 +184,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       }
     } else if (arg == "--admission") {
       flags->admission = true;
+    } else if (arg == "--coalesce") {
+      flags->coalesce = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -265,6 +278,7 @@ int RunFleet(const core::System& system, const Flags& flags) {
           ? net::SharedMediumLink::Discipline::kEqualShare
           : net::SharedMediumLink::Discipline::kWeightedFair;
   options.admission.enabled = flags.admission;
+  options.coalesce.enabled = flags.coalesce == "on";
   options.cell_fault.outage_rate_per_hour = flags.outage_rate;
   options.cell_fault.outage_mean_seconds = flags.outage_secs;
   options.cell_fault.seed = flags.seed + 2;
@@ -307,6 +321,17 @@ int RunFleet(const core::System& system, const Flags& flags) {
   std::printf("p50 / p99 response      : %.3f / %.3f s\n",
               result.aggregate.P50ResponseSeconds(),
               result.aggregate.P99ResponseSeconds());
+  const bool coalescing = flags.coalesce == "on";
+  if (coalescing) {
+    std::printf("coalesce hits / attach  : %lld / %lld\n",
+                static_cast<long long>(result.coalesce_hits),
+                static_cast<long long>(result.coalesce_attaches));
+    std::printf("coalesce bytes saved    : %s (refused %lld)\n",
+                common::FormatBytes(result.coalesce_bytes_saved).c_str(),
+                static_cast<long long>(result.coalesce_refused));
+    std::printf("encode calls            : %lld\n",
+                static_cast<long long>(result.encode_calls));
+  }
   if (flags.admission) {
     std::printf("admitted/deferred/shed  : %lld / %lld / %lld\n",
                 static_cast<long long>(result.admitted_exchanges),
@@ -341,6 +366,43 @@ int RunFleet(const core::System& system, const Flags& flags) {
   std::printf("{\"aggregate\": %s}\n",
               core::RunMetricsJson(result.aggregate).c_str());
   PrintShardStats(system);
+  if (coalescing) {
+    // Coalescing telemetry rides extra JSON lines so the off-mode block
+    // above stays byte-identical to the pre-coalescing era.
+    for (size_t k = 0; k < result.by_kind.size(); ++k) {
+      const fleet::ClassStats& cls = result.by_kind[k];
+      if (cls.clients == 0) continue;
+      std::printf(
+          "{\"coalesce_class\": \"%s\", \"hits\": %lld, \"attaches\": %lld, "
+          "\"bytes_saved\": %lld, \"encode_calls\": %lld, "
+          "\"cell_bytes\": %lld}\n",
+          kKindNames[k], static_cast<long long>(cls.coalesce_hits),
+          static_cast<long long>(cls.coalesce_attaches),
+          static_cast<long long>(cls.coalesce_bytes_saved),
+          static_cast<long long>(cls.encode_calls),
+          static_cast<long long>(cls.cell_bytes));
+    }
+    std::printf(
+        "{\"coalesce\": {\"hits\": %lld, \"attaches\": %lld, "
+        "\"bytes_saved\": %lld, \"refused\": %lld, \"header_bytes\": %lld, "
+        "\"encode_calls\": %lld}}\n",
+        static_cast<long long>(result.coalesce_hits),
+        static_cast<long long>(result.coalesce_attaches),
+        static_cast<long long>(result.coalesce_bytes_saved),
+        static_cast<long long>(result.coalesce_refused),
+        static_cast<long long>(result.coalesce_header_bytes),
+        static_cast<long long>(result.encode_calls));
+    for (const auto& s : result.hot_shards) {
+      std::printf(
+          "{\"hot_shard\": %d, \"hits\": %lld, \"misses\": %lld, "
+          "\"evictions\": %lld, \"entries\": %lld, \"bytes\": %lld}\n",
+          s.shard, static_cast<long long>(s.hits),
+          static_cast<long long>(s.misses),
+          static_cast<long long>(s.evictions),
+          static_cast<long long>(s.entries),
+          static_cast<long long>(s.bytes));
+    }
+  }
   return 0;
 }
 
@@ -365,6 +427,16 @@ int Run(const Flags& flags) {
   }
   if (flags.shards < 1 || flags.fanout_workers < 1) {
     std::fprintf(stderr, "--shards and --fanout-workers must be >= 1\n");
+    return 2;
+  }
+  if (flags.coalesce != "on" && flags.coalesce != "off") {
+    std::fprintf(stderr, "--coalesce wants on|off\n");
+    return 2;
+  }
+  if (flags.coalesce == "on" && flags.fairness == "equal") {
+    std::fprintf(stderr,
+                 "--coalesce on requires --fairness wfq (shared-delivery "
+                 "resolution relies on per-client FIFO completions)\n");
     return 2;
   }
   config.shards = flags.shards;
