@@ -16,6 +16,9 @@
 // Besides the fixed-width table (and the MARS_TABLE_CSV / MARS_TABLE_JSON
 // hooks bench_util provides), the rows are echoed to stdout as JSON lines
 // for direct scripting.
+//
+// CI runs this with MARS_BENCH_SMOKE=1 / MARS_BENCH_JSON=<path>; the
+// emitted metrics are deterministic simulated quantities.
 
 #include <cstdio>
 #include <string>
@@ -28,12 +31,16 @@
 int main() {
   using namespace mars;  // NOLINT
 
-  constexpr int32_t kFrames = 240;
+  const bool smoke = bench::SmokeMode();
+  const int32_t kFrames = smoke ? 80 : 240;
   constexpr double kSpeed = 0.6;
-  constexpr int kTours = 3;
+  const int kTours = smoke ? 2 : 3;
 
   const std::vector<double> losses = {0.0, 0.01, 0.05, 0.10};
 
+  double mean_response_l5_outage = 0.0;
+  double stale_frames_l5_outage = 0.0;
+  double hit_rate_l5_outage = 0.0;
   std::vector<std::vector<std::string>> rows;
   for (int outage = 0; outage < 2; ++outage) {
     for (double loss : losses) {
@@ -69,6 +76,11 @@ int main() {
       options.buffer_bytes = 32 * 1024;  // tighter buffer: real misses
       const core::RunMetrics m =
           bench::AverageBuffered(system, tours, options);
+      if (loss == 0.05 && outage != 0) {
+        mean_response_l5_outage = m.MeanResponseSeconds();
+        stale_frames_l5_outage = static_cast<double>(m.stale_frames);
+        hit_rate_l5_outage = m.cache_hit_rate;
+      }
 
       rows.push_back({core::Fmt(100 * loss, 0) + "%",
                       outage != 0 ? "on" : "off",
@@ -93,6 +105,14 @@ int main() {
   std::printf("\n-- json --\n");
   for (const auto& row : rows) {
     std::printf("%s\n", core::TableRowJson(row).c_str());
+  }
+
+  if (!bench::WriteBenchJson(
+          "fault_tolerance",
+          {{"mean_response_l5_outage", mean_response_l5_outage, false},
+           {"stale_frames_l5_outage", stale_frames_l5_outage, false},
+           {"hit_rate_l5_outage", hit_rate_l5_outage, true}})) {
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,215 @@
+// Fault-tolerant handover on the multi-cell topology: what a whole-cell
+// outage costs the fleet, and what it costs the *bystanders*.
+//
+// A 12-client mixed fleet roams a 20 MB scene tiled into four cells.
+// Run A is fault-free. Run B kills the most-populated home cell for a
+// 60 s window mid-run: its clients fail over to the nearest healthy
+// neighbour, their in-flight transfers are cancelled and re-issued
+// there, and the refugees then compete with the neighbour's natives for
+// cell capacity.
+//
+// The bench reports the per-class damage and fails loudly if:
+//
+//   * a client homed on the dead cell never fails over (the outage
+//     window must actually be covered),
+//   * clients that never touched the dead cell keep less than 90 % of
+//     their fault-free goodput (refugee load must degrade bystanders
+//     gracefully — WFQ bounds the spillover), or
+//   * run B diverges between workers=1 and workers=8 (failover,
+//     cancellation, and re-issue must stay deterministic).
+//
+// CI runs this with MARS_BENCH_SMOKE=1 / MARS_BENCH_JSON=<path>; the
+// emitted metrics are deterministic simulated quantities, gated against
+// bench/baselines/handover.json by tools/bench_gate.py.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "fleet/fleet_engine.h"
+#include "workload/scene.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+std::vector<fleet::ClientSpec> RoamingFleet(int32_t n, int32_t frames) {
+  auto specs =
+      fleet::FleetEngine::MakeMixedFleet(n, frames, /*speed=*/0.9, /*seed=*/7);
+  for (fleet::ClientSpec& spec : specs) spec.query_fraction = 0.1;
+  return specs;
+}
+
+fleet::FleetResult RunFleet(core::System& system, int32_t frames,
+                            int workers, int32_t dead_cell,
+                            double outage_start, double outage_seconds) {
+  fleet::FleetOptions options;
+  options.workers = workers;
+  options.cells = 4;
+  // Tight cells so the outage catches transfers in flight and the
+  // refugees actually contend with the natives.
+  options.cell.cell_bandwidth_kbps = 1024.0;
+  options.cell.client_bandwidth_kbps = 256.0;
+  if (dead_cell >= 0) {
+    options.cell_outages.push_back({dead_cell, outage_start, outage_seconds});
+  }
+  fleet::FleetEngine engine(system, options, RoamingFleet(12, frames));
+  return engine.Run();
+}
+
+// Topology + chaos accounting appended to the aggregate metrics, so the
+// workers-1-vs-8 comparison covers the fault machinery too.
+std::string ReplayJson(const fleet::FleetResult& result) {
+  std::string out = core::RunMetricsJson(result.aggregate);
+  out += ";" + std::to_string(result.handovers) + "/" +
+         std::to_string(result.failovers) + "/" +
+         std::to_string(result.reissued_transfers) + "/" +
+         std::to_string(result.reissued_bytes);
+  for (const fleet::ClientResult& client : result.clients) {
+    out += ";" + std::to_string(client.final_cell) + "/" +
+           std::to_string(client.handovers) + "/" +
+           std::to_string(client.failovers) + "/" +
+           std::to_string(client.cell_bytes);
+  }
+  return out;
+}
+
+// Delivered bytes per simulated second of delivery delay — the goodput a
+// user experiences. Bytes are identical across runs (content never
+// depends on the topology), so the ratio is driven by the delay.
+double Goodput(const core::RunMetrics& m) {
+  const double bytes = static_cast<double>(m.total_bytes());
+  return m.total_response_seconds > 0.0 ? bytes / m.total_response_seconds
+                                        : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::SmokeMode();
+  const int32_t frames = smoke ? 60 : 160;
+  const double outage_start = 20.0;
+  const double outage_seconds = 60.0;
+
+  core::System::Config config;
+  config.scene = workload::SceneForDatasetSize(20, 7);
+  auto system_or = core::System::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+
+  // Run A (fault-free) fixes the victim: the cell most clients call home.
+  const fleet::FleetResult clean = RunFleet(system, frames, 8, -1, 0, 0);
+  int64_t population[4] = {0, 0, 0, 0};
+  for (const fleet::ClientResult& client : clean.clients) {
+    ++population[client.home_cell];
+  }
+  int32_t dead_cell = 0;
+  for (int32_t k = 1; k < 4; ++k) {
+    if (population[k] > population[dead_cell]) dead_cell = k;
+  }
+
+  // Run B: that cell blacks out mid-run.
+  const fleet::FleetResult fault =
+      RunFleet(system, frames, 8, dead_cell, outage_start, outage_seconds);
+
+  // Determinism: failover, cancellation, and re-issue replay bit for bit.
+  const fleet::FleetResult serial =
+      RunFleet(system, frames, 1, dead_cell, outage_start, outage_seconds);
+  if (ReplayJson(serial) != ReplayJson(fault)) {
+    std::fprintf(stderr,
+                 "FATAL: faulted run diverged between workers=8 and "
+                 "workers=1\n");
+    return 1;
+  }
+
+  // Per-class tallies: victims homed on the dead cell vs bystanders that
+  // never touched it (home elsewhere, never failed over into it).
+  bool ok = true;
+  int64_t victims = 0, victims_failed_over = 0;
+  double victim_clean_resp = 0.0, victim_fault_resp = 0.0;
+  double bystander_clean_goodput = 0.0, bystander_fault_goodput = 0.0;
+  int64_t bystanders = 0;
+  for (size_t i = 0; i < fault.clients.size(); ++i) {
+    const fleet::ClientResult& b = fault.clients[i];
+    const fleet::ClientResult& a = clean.clients[i];
+    if (b.home_cell == dead_cell) {
+      ++victims;
+      if (b.failovers > 0) ++victims_failed_over;
+      victim_clean_resp += a.metrics.total_response_seconds;
+      victim_fault_resp += b.metrics.total_response_seconds;
+    } else if (b.failovers == 0) {
+      ++bystanders;
+      bystander_clean_goodput += Goodput(a.metrics);
+      bystander_fault_goodput += Goodput(b.metrics);
+    }
+  }
+  if (victims == 0 || victims_failed_over == 0) {
+    std::fprintf(stderr,
+                 "FATAL: outage on cell %d forced no failover "
+                 "(%lld clients homed there)\n",
+                 dead_cell, static_cast<long long>(victims));
+    ok = false;
+  }
+  const double failover_coverage =
+      victims > 0 ? static_cast<double>(victims_failed_over) /
+                        static_cast<double>(victims)
+                  : 0.0;
+  const double healthy_goodput_ratio =
+      bystander_clean_goodput > 0.0
+          ? bystander_fault_goodput / bystander_clean_goodput
+          : 0.0;
+  if (bystanders == 0 || healthy_goodput_ratio < 0.9) {
+    std::fprintf(stderr,
+                 "FATAL: bystanders kept %.1f%% of fault-free goodput "
+                 "(need >= 90%%, %lld bystanders)\n",
+                 100.0 * healthy_goodput_ratio,
+                 static_cast<long long>(bystanders));
+    ok = false;
+  }
+
+  const double mean_response_clean =
+      clean.aggregate.MeanResponseSeconds();
+  const double mean_response_fault =
+      fault.aggregate.MeanResponseSeconds();
+
+  core::PrintTableTitle("Handover under cell failure — 4 cells, 12 clients");
+  core::PrintTableHeader({"run", "handovers", "failovers", "reissued",
+                          "reissued KB", "resp/frame", "outage s"});
+  core::PrintTableRow({"clean", std::to_string(clean.handovers),
+                       std::to_string(clean.failovers),
+                       std::to_string(clean.reissued_transfers),
+                       core::Fmt(clean.reissued_bytes / 1024.0, 1),
+                       core::Fmt(mean_response_clean, 3),
+                       core::Fmt(clean.cell_outage_seconds, 1)});
+  core::PrintTableRow({"fault", std::to_string(fault.handovers),
+                       std::to_string(fault.failovers),
+                       std::to_string(fault.reissued_transfers),
+                       core::Fmt(fault.reissued_bytes / 1024.0, 1),
+                       core::Fmt(mean_response_fault, 3),
+                       core::Fmt(fault.cell_outage_seconds, 1)});
+  std::printf(
+      "dead cell %d: %lld/%lld homed clients failed over; bystanders "
+      "kept %.1f%% of fault-free goodput\n",
+      dead_cell, static_cast<long long>(victims_failed_over),
+      static_cast<long long>(victims), 100.0 * healthy_goodput_ratio);
+  std::printf(
+      "victim delivery delay %.1f s -> %.1f s across the blackout\n",
+      victim_clean_resp, victim_fault_resp);
+
+  if (!bench::WriteBenchJson(
+          "handover",
+          {{"healthy_goodput_ratio", healthy_goodput_ratio, true},
+           {"failover_coverage", failover_coverage, true},
+           {"reissued_transfers",
+            static_cast<double>(fault.reissued_transfers), true},
+           {"mean_response_fault", mean_response_fault, false}})) {
+    return 1;
+  }
+
+  return ok ? 0 : 1;
+}

@@ -1,9 +1,11 @@
 #include "fleet/fleet_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <functional>
 #include <map>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -42,12 +44,20 @@ struct FleetEngine::ClientState {
   int64_t coalesce_bytes_saved = 0;
   int64_t encode_calls = 0;
   int64_t cell_bytes = 0;
-  int64_t next_submit_seq = 0;
+  // Per-cell submission sequence cursor (size K; index = cell id).
+  std::vector<int64_t> next_submit_seq;
+
+  // Multi-cell routing state (cell 0 / zero at K = 1).
+  int32_t cell = 0;       // cell currently serving this client
+  int32_t home_cell = 0;  // cell covering the tour's first point
+  int64_t handovers = 0;
+  int64_t failovers = 0;
 
   // A submitted-but-unresolved coalesced exchange: completes when its own
   // transfer and every attached carrier have drained.
   struct PendingExchange {
     int64_t seq = 0;
+    int32_t cell = 0;  // cell the own transfer currently rides on
     double submit_seconds = 0.0;
     double own_finish = -1.0;  // < 0 while the own transfer is in flight
     std::vector<server::InflightTable::Carrier> carriers;
@@ -80,7 +90,6 @@ FleetEngine::FleetEngine(const core::System& system, FleetOptions options,
                          std::vector<ClientSpec> specs)
     : system_(system),
       options_(options),
-      admission_(options.admission),
       hot_cache_(options.hot_cache_bytes, options.hot_cache_shards),
       inflight_(options.coalesce) {
   // Coalesced delivery resolution needs the cell's per-client FIFO
@@ -90,19 +99,58 @@ FleetEngine::FleetEngine(const core::System& system, FleetOptions options,
     MARS_CHECK(options_.cell.discipline ==
                net::SharedMediumLink::Discipline::kWeightedFair);
   }
-  cell_fault_ = std::make_unique<net::FaultSchedule>(options_.cell_fault);
-  cell_ = std::make_unique<net::SharedMediumLink>(options_.cell);
-  if (cell_fault_->enabled()) cell_->AttachFaultSchedule(cell_fault_.get());
+  MARS_CHECK_GE(options_.cells, 1);
+  const int32_t num_cells = options_.cells;
+  topology_ = net::CellTopology::Build(system_.space(), num_cells);
+  admission_.reserve(static_cast<size_t>(num_cells));
+  cell_faults_.reserve(static_cast<size_t>(num_cells));
+  cells_.reserve(static_cast<size_t>(num_cells));
+  cell_stats_.resize(static_cast<size_t>(num_cells));
+  for (int32_t k = 0; k < num_cells; ++k) {
+    // Cell 0 takes the configured options verbatim (the K = 1
+    // passthrough); later cells decorrelate their stochastic streams by
+    // mixing the cell id into the seeds.
+    net::FaultSchedule::Options fault_opts = options_.cell_fault;
+    if (k > 0) {
+      fault_opts.seed +=
+          0x9E3779B97F4A7C15ull * static_cast<uint64_t>(k);
+    }
+    auto fault = std::make_unique<net::FaultSchedule>(fault_opts);
+    for (const FleetOptions::CellOutage& outage : options_.cell_outages) {
+      if (outage.cell == k) fault->InjectOutage(outage.start, outage.duration);
+    }
+    net::SharedMediumLink::Options link_opts = options_.cell;
+    if (k > 0) {
+      link_opts.loss_seed +=
+          0xC2B2AE3D27D4EB4Full * static_cast<uint64_t>(k);
+    }
+    auto link = std::make_unique<net::SharedMediumLink>(link_opts);
+    if (fault->enabled()) link->AttachFaultSchedule(fault.get());
+    admission_.push_back(
+        std::make_unique<server::AdmissionController>(options_.admission));
+    cell_faults_.push_back(std::move(fault));
+    cells_.push_back(std::move(link));
+  }
 
   std::sort(specs.begin(), specs.end(),
             [](const ClientSpec& a, const ClientSpec& b) {
               return a.id < b.id;
             });
   states_.reserve(specs.size());
+  by_id_.reserve(specs.size());
   for (const ClientSpec& spec : specs) {
     MARS_CHECK(states_.empty() || states_.back()->spec.id < spec.id);
-    cell_->SetClientWeight(spec.id, spec.weight);
+    // Weights are registered everywhere: a client may be served by any
+    // cell over its tour, and registration does not activate it.
+    for (const auto& link : cells_) link->SetClientWeight(spec.id, spec.weight);
     states_.push_back(BuildState(spec));
+    ClientState* state = states_.back().get();
+    state->next_submit_seq.assign(static_cast<size_t>(num_cells), 0);
+    if (num_cells > 1 && !state->tour.empty()) {
+      state->cell = topology_.CellAt(state->tour.front().position);
+      state->home_cell = state->cell;
+    }
+    by_id_.emplace(spec.id, state);
   }
 }
 
@@ -133,7 +181,10 @@ std::unique_ptr<FleetEngine::ClientState> FleetEngine::BuildState(
   fault_opts.seed =
       fault_opts.seed + 0x100 + static_cast<uint64_t>(spec.id) * 131;
   state->fault = std::make_unique<net::FaultSchedule>(fault_opts);
-  if (state->fault->enabled()) {
+  // Attach when the sampled tracks are live OR handovers will inject
+  // re-association blackouts later (InjectOutage flips enabled(), but the
+  // bearer only consults a schedule attached up front).
+  if (state->fault->enabled() || options_.handover_blackout_seconds > 0.0) {
     state->link->AttachFaultSchedule(state->fault.get());
   }
 
@@ -189,7 +240,9 @@ void FleetEngine::StepClient(ClientState* state) {
   // mutated by the serial phases, so these reads — and the pure
   // Decide() — give every worker interleaving the same verdict.
   state->adm_verdict = server::AdmissionController::Verdict{};
-  if (admission_.enabled()) {
+  const server::AdmissionController& admission = *admission_[state->cell];
+  if (admission.enabled()) {
+    const net::SharedMediumLink& cell = *cells_[state->cell];
     server::AdmissionController::Request req;
     req.client = state->spec.id;
     req.bytes = state->last_wire_bytes;
@@ -199,11 +252,11 @@ void FleetEngine::StepClient(ClientState* state) {
     // sheddable.
     req.deferrable = state->spec.kind == ClientKind::kNaive;
     req.prior_defers = state->consecutive_defers;
-    req.client_backlog_bytes = cell_->client_backlog_bytes(state->spec.id);
-    req.client_queue_depth = cell_->client_queue_depth(state->spec.id);
-    req.cell_backlog_bytes = cell_->backlog_bytes();
+    req.client_backlog_bytes = cell.client_backlog_bytes(state->spec.id);
+    req.client_queue_depth = cell.client_queue_depth(state->spec.id);
+    req.cell_backlog_bytes = cell.backlog_bytes();
     state->adm_request = req;
-    state->adm_verdict = admission_.Decide(req);
+    state->adm_verdict = admission.Decide(req);
     switch (state->adm_verdict.decision) {
       case server::AdmissionController::Decision::kAdmit:
         break;
@@ -357,8 +410,13 @@ void FleetEngine::CommitClient(ClientState* state) {
   state->hot_touch.clear();
   state->hot_insert.clear();
   if (state->wire_bytes <= 0) return;
+  const int32_t cell_id = state->cell;
+  net::SharedMediumLink* cell = cells_[cell_id].get();
   if (!inflight_.enabled()) {
-    cell_->Submit(state->spec.id, state->wire_bytes, state->tick_speed);
+    const int64_t seq =
+        cell->Submit(state->spec.id, state->wire_bytes, state->tick_speed);
+    MARS_CHECK_EQ(seq, state->next_submit_seq[cell_id]);
+    ++state->next_submit_seq[cell_id];
     state->cell_bytes += state->wire_bytes;
     return;
   }
@@ -374,7 +432,7 @@ void FleetEngine::CommitClient(ClientState* state) {
   std::vector<server::InflightTable::Carrier> carriers;
   std::vector<std::pair<index::RecordId, int64_t>> owned;
   for (const auto& [rec, bytes] : state->tick_records) {
-    const auto attach = inflight_.Attach(rec, state->spec.id);
+    const auto attach = inflight_.Attach(rec, state->spec.id, cell_id);
     switch (attach.outcome) {
       case AttachOutcome::kAttached:
         shared_bytes += bytes;
@@ -390,8 +448,9 @@ void FleetEngine::CommitClient(ClientState* state) {
         owned.emplace_back(rec, bytes);
         break;
       case AttachOutcome::kRefused:
-        // Waiter cap hit: the payload is still in flight (re-registering
-        // would double-serve it), but this client pays full freight.
+        // Waiter cap hit, or the carrier rides another cell: the payload
+        // is still in flight (re-registering would double-serve it), but
+        // this client pays full freight.
         break;
     }
   }
@@ -403,16 +462,17 @@ void FleetEngine::CommitClient(ClientState* state) {
   // framing, which is never coalesced.
   MARS_CHECK_GT(charged, 0);
   const int64_t seq =
-      cell_->Submit(state->spec.id, charged, state->tick_speed);
-  MARS_CHECK_EQ(seq, state->next_submit_seq);
-  ++state->next_submit_seq;
+      cell->Submit(state->spec.id, charged, state->tick_speed);
+  MARS_CHECK_EQ(seq, state->next_submit_seq[cell_id]);
+  ++state->next_submit_seq[cell_id];
   state->cell_bytes += charged;
   for (const auto& [rec, bytes] : owned) {
-    inflight_.Register(rec, state->spec.id, seq, bytes);
+    inflight_.Register(rec, state->spec.id, seq, bytes, cell_id);
   }
   ClientState::PendingExchange exchange;
   exchange.seq = seq;
-  exchange.submit_seconds = cell_->now();
+  exchange.cell = cell_id;
+  exchange.submit_seconds = cell->now();
   exchange.carriers = std::move(carriers);
   state->pending.push_back(std::move(exchange));
   if (shared_records > 0) {
@@ -464,10 +524,7 @@ FleetResult FleetEngine::Run() {
       net::SimClock::ToMicros(options_.frame_interval_seconds);
   MARS_CHECK_GT(frame_micros, 0);
 
-  std::unordered_map<int32_t, ClientState*> by_id;
-  by_id.reserve(states_.size());
   for (const auto& state : states_) {
-    by_id.emplace(state->spec.id, state.get());
     if (state->spec.frames > 0) {
       scheduler.Schedule(
           net::SimClock::ToMicros(state->spec.start_offset_seconds),
@@ -475,78 +532,135 @@ FleetResult FleetEngine::Run() {
     }
   }
 
+  const int32_t num_cells = options_.cells;
   int64_t peak_backlog = 0;
   const bool coalescing = inflight_.enabled();
-  // Absolute finish times of drained transfers, keyed by (client, seq):
-  // what a coalesced exchange waits on for the carriers it attached to.
-  std::map<std::pair<int32_t, int64_t>, double> finish_at;
-  const auto apply_completions =
-      [&](const std::vector<net::SharedMediumLink::Completion>& done) {
+  // Book one cell's drained completions, in the cell's deterministic
+  // completion order. Cells are always recorded in ascending cell id, so
+  // the booking sequence is worker-count-invariant.
+  const auto record_completions =
+      [&](int32_t cell_id,
+          const std::vector<net::SharedMediumLink::Completion>& done) {
         if (!coalescing) {
           for (const net::SharedMediumLink::Completion& c : done) {
-            ClientState* state = by_id.at(c.client);
+            ClientState* state = by_id_.at(c.client);
             // Delivery delay on the shared cell is the fleet's response
-            // time; each drained submission is one demand exchange.
-            state->metrics.total_response_seconds += c.response_seconds;
-            state->metrics.response_histogram.Add(c.response_seconds);
+            // time; each drained submission is one demand exchange. A
+            // transfer that was cancelled off a dead cell and re-issued
+            // reports the delay from its *original* submission.
+            double response = c.response_seconds;
+            if (!reissue_origin_.empty()) {
+              const auto rit = reissue_origin_.find(
+                  TransferKey{cell_id, c.client, c.seq});
+              if (rit != reissue_origin_.end()) {
+                response = c.finish_seconds - rit->second;
+                reissue_origin_.erase(rit);
+              }
+            }
+            state->metrics.total_response_seconds += response;
+            state->metrics.response_histogram.Add(response);
             ++state->metrics.demand_exchanges;
           }
           return;
         }
         for (const net::SharedMediumLink::Completion& c : done) {
-          ClientState* state = by_id.at(c.client);
-          // WFQ serves one head-of-line transfer per client, so a
-          // client's completions arrive in submission order: this one
-          // belongs to its first still-unfinished pending exchange.
+          const TransferKey key{cell_id, c.client, c.seq};
+          if (!waiter_reissues_.empty() && waiter_reissues_.erase(key) > 0) {
+            // A stranded-waiter re-issue: it substitutes for a dead
+            // carrier, so it only needs a finish time — it is nobody's
+            // own transfer.
+            if (!finish_at_.emplace(key, c.finish_seconds).second) {
+              ++chaos_duplicates_;
+            }
+            continue;
+          }
+          ClientState* state = by_id_.at(c.client);
+          // Seqs are unique per (cell, client) and never reused, so the
+          // completion maps to exactly one pending exchange. Matching by
+          // seq — not by FIFO position — matters after a migration: a
+          // re-issued exchange takes a *later* seq on its new cell while
+          // keeping its *earlier* place in the deque, so deque order and
+          // per-cell completion order no longer agree.
+          const int64_t seq = c.seq;
           auto it = std::find_if(
               state->pending.begin(), state->pending.end(),
-              [](const ClientState::PendingExchange& e) {
-                return e.own_finish < 0.0;
+              [cell_id, seq](const ClientState::PendingExchange& e) {
+                return e.cell == cell_id && e.seq == seq &&
+                       e.own_finish < 0.0;
               });
           MARS_CHECK(it != state->pending.end());
-          MARS_CHECK_EQ(it->seq, c.seq);
-          it->own_finish = it->submit_seconds + c.response_seconds;
-          finish_at[{c.client, c.seq}] = it->own_finish;
+          it->own_finish = c.finish_seconds;
+          if (!finish_at_.emplace(key, it->own_finish).second) {
+            ++chaos_duplicates_;
+          }
           // The carried payloads are delivered: retire the transfer's
           // inflight entries so later requesters re-fetch (or hit the
           // hot cache) instead of attaching to a drained carrier.
-          inflight_.OnTransferComplete(c.client, c.seq);
-        }
-        // Resolve in client-id order: an exchange's response time runs
-        // until its own transfer and every attached carrier drained.
-        for (const auto& owned : states_) {
-          ClientState* state = owned.get();
-          while (!state->pending.empty() &&
-                 state->pending.front().own_finish >= 0.0) {
-            ClientState::PendingExchange& ex = state->pending.front();
-            double finish = ex.own_finish;
-            bool ready = true;
-            for (const auto& carrier : ex.carriers) {
-              const auto fit =
-                  finish_at.find({carrier.owner, carrier.transfer_seq});
-              if (fit == finish_at.end()) {
-                ready = false;
-                break;
-              }
-              finish = std::max(finish, fit->second);
-            }
-            if (!ready) break;
-            const double response = finish - ex.submit_seconds;
-            state->metrics.total_response_seconds += response;
-            state->metrics.response_histogram.Add(response);
-            ++state->metrics.demand_exchanges;
-            state->pending.pop_front();
-          }
+          inflight_.OnTransferComplete(c.client, c.seq, cell_id);
         }
       };
+  // Resolve in client-id order: an exchange's response time runs until
+  // its own transfer and every attached carrier drained. Runs once per
+  // tick, after every cell's completions were recorded.
+  const auto resolve_pending = [&] {
+    if (!coalescing) return;
+    for (const auto& owned : states_) {
+      ClientState* state = owned.get();
+      while (!state->pending.empty() &&
+             state->pending.front().own_finish >= 0.0) {
+        ClientState::PendingExchange& ex = state->pending.front();
+        double finish = ex.own_finish;
+        bool ready = true;
+        for (const auto& carrier : ex.carriers) {
+          const auto fit = finish_at_.find(TransferKey{
+              carrier.cell, carrier.owner, carrier.transfer_seq});
+          if (fit == finish_at_.end()) {
+            ready = false;
+            break;
+          }
+          finish = std::max(finish, fit->second);
+        }
+        if (!ready) break;
+        const double response = finish - ex.submit_seconds;
+        state->metrics.total_response_seconds += response;
+        state->metrics.response_histogram.Add(response);
+        ++state->metrics.demand_exchanges;
+        state->pending.pop_front();
+      }
+    }
+  };
 
   while (!scheduler.empty()) {
     const int64_t tick = scheduler.NextMicros();
     const double tick_seconds = net::SimClock::ToSeconds(tick);
-    // Drain the cell up to this instant first: a transfer finishing at
+    // Drain every cell up to this instant first: a transfer finishing at
     // the tick edge completes before the tick's new submissions queue.
-    if (tick_seconds > cell_->now()) {
-      apply_completions(cell_->Advance(tick_seconds - cell_->now()));
+    // The fluid drains are independent per cell, so they run on the pool;
+    // their completions are *booked* serially in cell-id order, keeping
+    // the result worker-count-invariant.
+    if (num_cells == 1) {
+      if (tick_seconds > cells_[0]->now()) {
+        record_completions(0,
+                           cells_[0]->Advance(tick_seconds - cells_[0]->now()));
+        resolve_pending();
+      }
+    } else {
+      std::vector<std::vector<net::SharedMediumLink::Completion>> done(
+          static_cast<size_t>(num_cells));
+      std::vector<std::function<void()>> advance_tasks;
+      for (int32_t k = 0; k < num_cells; ++k) {
+        if (tick_seconds <= cells_[k]->now()) continue;
+        advance_tasks.push_back([this, k, tick_seconds, &done] {
+          done[k] = cells_[k]->Advance(tick_seconds - cells_[k]->now());
+        });
+      }
+      pool.RunBatch(advance_tasks);
+      for (int32_t k = 0; k < num_cells; ++k) {
+        if (!done[k].empty()) record_completions(k, done[k]);
+      }
+      resolve_pending();
+      // Handover pre-phase: reroute clients before any of them steps.
+      RouteClients(tick_seconds);
     }
     scheduler.clock().AdvanceTo(tick_seconds);
 
@@ -556,7 +670,7 @@ FleetResult FleetEngine::Run() {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(due.size());
     for (const int32_t id : due) {
-      tasks.push_back([this, state = by_id.at(id)] { StepClient(state); });
+      tasks.push_back([this, state = by_id_.at(id)] { StepClient(state); });
     }
     pool.RunBatch(tasks);
     if (coalescing && hot_cache_.enabled()) {
@@ -566,7 +680,7 @@ FleetResult FleetEngine::Run() {
       std::unordered_set<index::RecordId> tick_claims;
       std::vector<std::function<void()>> encode_tasks;
       for (const int32_t id : due) {
-        ClientState* state = by_id.at(id);
+        ClientState* state = by_id_.at(id);
         for (const index::RecordId rec : state->encode_candidates) {
           if (tick_claims.insert(rec).second) state->claimed.push_back(rec);
         }
@@ -587,9 +701,10 @@ FleetResult FleetEngine::Run() {
     // returns ids sorted), then reschedule.
     using Decision = server::AdmissionController::Decision;
     for (const int32_t id : due) {
-      ClientState* state = by_id.at(id);
-      if (admission_.enabled()) {
-        admission_.Record(state->adm_request, state->adm_verdict);
+      ClientState* state = by_id_.at(id);
+      server::AdmissionController& admission = *admission_[state->cell];
+      if (admission.enabled()) {
+        admission.Record(state->adm_request, state->adm_verdict);
         if (state->adm_verdict.decision == Decision::kDefer) {
           ++sessions_.GetOrCreate(id)->deferred_requests;
         } else if (state->adm_verdict.decision == Decision::kShed) {
@@ -619,20 +734,51 @@ FleetResult FleetEngine::Run() {
             id);
       }
     }
-    peak_backlog = std::max(peak_backlog, cell_->backlog_bytes());
+    if (num_cells == 1) {
+      peak_backlog = std::max(peak_backlog, cells_[0]->backlog_bytes());
+    } else {
+      for (int32_t k = 0; k < num_cells; ++k) {
+        const int64_t backlog = cells_[k]->backlog_bytes();
+        cell_stats_[k].peak_backlog_bytes =
+            std::max(cell_stats_[k].peak_backlog_bytes, backlog);
+        peak_backlog = std::max(peak_backlog, backlog);
+      }
+    }
   }
-  apply_completions(cell_->DrainAll());
-  if (coalescing) {
-    // Every carrier has drained, so every coalesced exchange resolved.
-    for (const auto& state : states_) MARS_CHECK(state->pending.empty());
-    MARS_CHECK_EQ(inflight_.entries(), 0);
+  // Final drain, cell by cell in id order, then one last resolution pass
+  // (a cross-cell carrier may finish after the waiting exchange's cell).
+  for (int32_t k = 0; k < num_cells; ++k) {
+    record_completions(k, cells_[k]->DrainAll());
   }
+  resolve_pending();
 
   FleetResult result;
+  // Chaos invariants: counted first so a violated invariant is exported
+  // (and FATALs) rather than silently folded into the totals.
+  result.chaos_duplicate_deliveries = chaos_duplicates_;
+  if (coalescing) {
+    // Every carrier has drained, so every coalesced exchange resolved
+    // and every inflight entry was retired (or cancelled + re-issued).
+    for (const auto& state : states_) {
+      result.chaos_unresolved_exchanges +=
+          static_cast<int64_t>(state->pending.size());
+    }
+    result.chaos_stranded_waiters = inflight_.entries();
+  }
+
   result.clients.reserve(states_.size());
   for (const auto& owned : states_) {
     ClientState* state = owned.get();
     FinishClient(state);
+    if (state->spec.kind == ClientKind::kStreaming) {
+      // Session handover safety: the final flush committed the trailing
+      // delivery, so a pending set that survived it is a client/server
+      // desync — records delivered but never acknowledged, or vice versa.
+      const server::ClientSession* session = sessions_.Find(state->spec.id);
+      if (session != nullptr && !session->pending.empty()) {
+        ++result.chaos_session_desyncs;
+      }
+    }
     ClientResult client;
     client.spec = state->spec;
     client.metrics = state->metrics;
@@ -644,6 +790,10 @@ FleetResult FleetEngine::Run() {
     client.coalesce_bytes_saved = state->coalesce_bytes_saved;
     client.encode_calls = state->encode_calls;
     client.cell_bytes = state->cell_bytes;
+    client.home_cell = state->home_cell;
+    client.final_cell = state->cell;
+    client.handovers = state->handovers;
+    client.failovers = state->failovers;
     result.aggregate.Merge(state->metrics);
     ClassStats& cls = result.by_kind[static_cast<size_t>(state->spec.kind)];
     ++cls.clients;
@@ -664,21 +814,216 @@ FleetResult FleetEngine::Run() {
     result.encode_calls += state->encode_calls;
     result.clients.push_back(std::move(client));
   }
-  result.admitted_exchanges = admission_.admitted_requests();
-  result.deferred_exchanges = admission_.deferred_requests();
-  result.shed_exchanges = admission_.shed_requests();
+  for (const auto& admission : admission_) {
+    result.admitted_exchanges += admission->admitted_requests();
+    result.deferred_exchanges += admission->deferred_requests();
+    result.shed_exchanges += admission->shed_requests();
+  }
   result.peak_cell_backlog_bytes = peak_backlog;
-  result.cell_bytes = cell_->total_bytes();
-  result.cell_retries = cell_->total_retries();
-  result.cell_timeouts = cell_->total_timeouts();
-  result.cell_outage_seconds = cell_->total_outage_seconds();
+  if (num_cells == 1) {
+    // The strict single-cell passthrough: straight assignments, no sums.
+    result.cell_bytes = cells_[0]->total_bytes();
+    result.cell_retries = cells_[0]->total_retries();
+    result.cell_timeouts = cells_[0]->total_timeouts();
+    result.cell_outage_seconds = cells_[0]->total_outage_seconds();
+    result.virtual_seconds = cells_[0]->now();
+  } else {
+    result.cell_stats.reserve(static_cast<size_t>(num_cells));
+    for (int32_t k = 0; k < num_cells; ++k) {
+      FleetResult::CellStats stats = cell_stats_[k];
+      stats.bytes = cells_[k]->total_bytes();
+      stats.retries = cells_[k]->total_retries();
+      stats.timeouts = cells_[k]->total_timeouts();
+      stats.outage_seconds = cells_[k]->total_outage_seconds();
+      result.cell_bytes += stats.bytes;
+      result.cell_retries += stats.retries;
+      result.cell_timeouts += stats.timeouts;
+      result.cell_outage_seconds += stats.outage_seconds;
+      result.virtual_seconds =
+          std::max(result.virtual_seconds, cells_[k]->now());
+      result.cell_stats.push_back(stats);
+    }
+  }
   result.hot_cache_entries = hot_cache_.entries();
   result.hot_cache_bytes = hot_cache_.size_bytes();
   result.hot_cache_evictions = hot_cache_.evictions();
   result.hot_shards = hot_cache_.Stats();
   result.coalesce_refused = inflight_.total_refused();
-  result.virtual_seconds = cell_->now();
+  result.handovers = handovers_;
+  result.failovers = failovers_;
+  result.reissued_transfers = reissued_transfers_;
+  result.reissued_bytes = reissued_bytes_;
+  // The chaos invariants hold by construction; a nonzero count here is an
+  // engine bug (session desync, duplicate delivery, stranded waiter or
+  // unresolved exchange), not a simulated fault — fail loudly.
+  MARS_CHECK_EQ(result.chaos_session_desyncs, 0);
+  MARS_CHECK_EQ(result.chaos_duplicate_deliveries, 0);
+  MARS_CHECK_EQ(result.chaos_stranded_waiters, 0);
+  MARS_CHECK_EQ(result.chaos_unresolved_exchanges, 0);
   return result;
+}
+
+void FleetEngine::RouteClients(double tick_seconds) {
+  const auto healthy = [&](int32_t k) {
+    net::FaultSchedule* fault = cell_faults_[k].get();
+    return !(fault->enabled() && fault->InOutage(tick_seconds));
+  };
+  // Pass 1 (client-id order): reassign every touring client to the
+  // healthy cell nearest the cell covering its current position. All
+  // reassignments land before any migration so a forced mover re-issues
+  // onto its *final* cell for this tick.
+  for (const auto& owned : states_) {
+    ClientState* state = owned.get();
+    if (state->tour.empty() || state->spec.frames <= 0) continue;
+    const size_t frame = static_cast<size_t>(
+        std::min<int32_t>(state->next_frame, state->spec.frames - 1));
+    const int32_t home = topology_.CellAt(state->tour[frame].position);
+    const int32_t target = topology_.NearestHealthy(home, healthy);
+    if (target == state->cell) continue;
+    const bool outage_forced = !healthy(state->cell);
+    const int32_t old_cell = state->cell;
+    state->cell = target;
+    ++state->handovers;
+    ++handovers_;
+    ++cell_stats_[target].handovers_in;
+    if (options_.handover_blackout_seconds > 0.0) {
+      // Radio re-association gap: the private bearer blacks out for the
+      // configured window starting now.
+      state->fault->InjectOutage(state->link->now(),
+                                 options_.handover_blackout_seconds);
+    }
+    if (outage_forced) {
+      ++state->failovers;
+      ++failovers_;
+    }
+    // Voluntary crossing: nothing moves — in-flight transfers drain on
+    // the old cell (anchor forwarding) while new frames submit to the
+    // new one.
+  }
+  // Pass 2 (dead cells ascending, then client id ascending): migrate
+  // every transfer stuck on a dead cell whose owner is served elsewhere —
+  // it failed over this tick, or crossed voluntarily earlier and left the
+  // transfer draining behind (anchor forwarding). A client *stuck* on a
+  // dead cell (no healthy neighbour) keeps its queue; the transfers wait
+  // out the blackout.
+  const bool coalescing = inflight_.enabled();
+  for (int32_t dead_cell = 0; dead_cell < options_.cells; ++dead_cell) {
+    if (healthy(dead_cell)) continue;
+    for (const auto& owned : states_) {
+      ClientState* state = owned.get();
+      const int32_t id = state->spec.id;
+      if (state->cell == dead_cell) continue;
+      if (cells_[dead_cell]->client_queue_depth(id) == 0) continue;
+      // Strand first: the entries die with the queued transfers, and
+      // none of the re-submissions below must re-bind to them.
+      const auto stranded = inflight_.CancelClient(id, dead_cell);
+      const auto cancelled = cells_[dead_cell]->CancelClient(id);
+      // (a) Re-submit this client's own queued transfers on its current
+      // cell, preserving submission order. The delivery delay keeps
+      // running from the original submission — migration never resets
+      // the clock.
+      for (const net::SharedMediumLink::Cancelled& t : cancelled) {
+        const int64_t bytes = std::max<int64_t>(
+            1, static_cast<int64_t>(std::ceil(t.remaining_bytes)));
+        const TransferKey old_key{dead_cell, id, t.seq};
+        if (coalescing && waiter_reissues_.erase(old_key) > 0) {
+          // A stranded-waiter substitute caught by a second outage:
+          // carry its role to the new cell and re-point every exchange
+          // that waits on it.
+          const TransferKey new_key = Reissue(state, bytes, t.speed);
+          waiter_reissues_.insert(new_key);
+          const server::InflightTable::Carrier prior{id, t.seq, dead_cell};
+          const server::InflightTable::Carrier repl{id, std::get<2>(new_key),
+                                                    state->cell};
+          for (const auto& other : states_) {
+            for (auto& exchange : other->pending) {
+              for (auto& carrier : exchange.carriers) {
+                if (carrier == prior) carrier = repl;
+              }
+            }
+          }
+          continue;
+        }
+        if (coalescing) {
+          // The transfer is some pending exchange's own leg. Seqs are
+          // unique per (cell, client), so match by seq — after an
+          // earlier migration the deque order no longer follows this
+          // cell's submission order.
+          const int64_t seq = t.seq;
+          auto eit = std::find_if(
+              state->pending.begin(), state->pending.end(),
+              [dead_cell, seq](const ClientState::PendingExchange& e) {
+                return e.cell == dead_cell && e.seq == seq &&
+                       e.own_finish < 0.0;
+              });
+          MARS_CHECK(eit != state->pending.end());
+          const TransferKey new_key = Reissue(state, bytes, t.speed);
+          eit->cell = state->cell;
+          eit->seq = std::get<2>(new_key);
+          continue;
+        }
+        // Non-coalescing: remember the original submission time (carried
+        // across repeated cancellations) for the completion's response.
+        double origin = t.submitted_at;
+        const auto oit = reissue_origin_.find(old_key);
+        if (oit != reissue_origin_.end()) {
+          origin = oit->second;
+          reissue_origin_.erase(oit);
+        }
+        const TransferKey new_key = Reissue(state, bytes, t.speed);
+        reissue_origin_.emplace(new_key, origin);
+      }
+      // (b) Re-issue the payloads of waiters stranded by this client's
+      // dead carriers: each waiter re-fetches the shared copy on its own
+      // current cell. One re-issue per (carrier, waiter) — a waiter that
+      // attached for several records of one carrier gets one substitute
+      // transfer carrying their summed bytes.
+      std::map<std::pair<int64_t, int32_t>, int64_t> grouped;
+      for (const server::InflightTable::Stranded& s : stranded) {
+        grouped[{s.carrier.transfer_seq, s.waiter}] += s.bytes;
+      }
+      for (const auto& [group, bytes] : grouped) {
+        const auto [carrier_seq, waiter] = group;
+        ClientState* waiter_state = by_id_.at(waiter);
+        double speed = 0.0;
+        if (!waiter_state->tour.empty() && waiter_state->spec.frames > 0) {
+          const size_t frame = static_cast<size_t>(std::min<int32_t>(
+              waiter_state->next_frame, waiter_state->spec.frames - 1));
+          speed = waiter_state->tour[frame].speed;
+        }
+        const TransferKey new_key = Reissue(waiter_state, bytes, speed);
+        waiter_reissues_.insert(new_key);
+        const server::InflightTable::Carrier prior{id, carrier_seq,
+                                                   dead_cell};
+        const server::InflightTable::Carrier repl{
+            waiter, std::get<2>(new_key), waiter_state->cell};
+        bool found = false;
+        for (auto& exchange : waiter_state->pending) {
+          for (auto& carrier : exchange.carriers) {
+            if (carrier == prior) {
+              carrier = repl;
+              found = true;
+            }
+          }
+        }
+        // Every stranded waiter has at least one unresolved exchange
+        // holding the dead carrier, or the entry would have been retired.
+        MARS_CHECK(found);
+      }
+    }
+  }
+}
+
+FleetEngine::TransferKey FleetEngine::Reissue(ClientState* state,
+                                              int64_t bytes, double speed) {
+  const int32_t cell_id = state->cell;
+  const int64_t seq = cells_[cell_id]->Submit(state->spec.id, bytes, speed);
+  MARS_CHECK_EQ(seq, state->next_submit_seq[cell_id]);
+  ++state->next_submit_seq[cell_id];
+  state->cell_bytes += bytes;
+  ++reissued_transfers_;
+  reissued_bytes_ += bytes;
+  return TransferKey{cell_id, state->spec.id, seq};
 }
 
 std::vector<ClientSpec> FleetEngine::MakeMixedFleet(int32_t n,

@@ -3,11 +3,16 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "core/metrics.h"
 #include "core/system.h"
+#include "net/cell_topology.h"
 #include "net/fault.h"
 #include "net/link.h"
 #include "net/shared_link.h"
@@ -60,11 +65,33 @@ struct FleetOptions {
   // Per-client fault schedule; seed is offset by the client id. All-zero
   // rates disable it.
   net::FaultSchedule::Options client_fault;
-  // The shared cell every exchange's bytes are carried on (delivery
-  // delay under processor sharing).
+  // Number of radio cells tiling the ground plane (net/cell_topology.h).
+  // 1 (the default) is the classic single shared cell — a strict
+  // bit-identical passthrough. With K > 1 each client is served by the
+  // cell covering its position and handed over when it crosses into
+  // another cell or its cell goes down (failover to the nearest healthy
+  // neighbour).
+  int32_t cells = 1;
+  // Per-cell link options. Cell 0 uses these verbatim; cells k > 0
+  // derive their loss seed from loss_seed and k.
   net::SharedMediumLink::Options cell;
-  // Cell-level fault schedule (outages stall every client at once).
+  // Per-cell fault schedule (outages stall the whole cell at once).
+  // Cell 0 uses the seed verbatim; cells k > 0 derive theirs from it.
   net::FaultSchedule::Options cell_fault;
+  // Seconds of private-bearer blackout injected at the instant of each
+  // handover (the radio re-association gap): the client's own link
+  // fails attempts for this long after it switches cells. 0 disables —
+  // the hook costs nothing when unused.
+  double handover_blackout_seconds = 0.0;
+  // Deterministic forced cell outages, injected into the named cell's
+  // fault schedule at construction — the chaos/bench hook for "cell k
+  // dies at t for d seconds" scenarios.
+  struct CellOutage {
+    int32_t cell = 0;
+    double start = 0.0;
+    double duration = 0.0;
+  };
+  std::vector<CellOutage> cell_outages;
   // Shared hot-encoding cache budget; 0 disables.
   int64_t hot_cache_bytes = 256 * 1024;
   int32_t hot_cache_shards = 8;
@@ -99,6 +126,11 @@ struct ClientResult {
   // Bytes this client actually charged to the shared cell (after
   // coalescing discounts; equals its wire bytes with coalescing off).
   int64_t cell_bytes = 0;
+  // Multi-cell topology (all zero / home at K = 1).
+  int32_t home_cell = 0;   // cell covering the tour's first point
+  int32_t final_cell = 0;  // cell serving the client when the run ended
+  int64_t handovers = 0;   // cell switches over the tour
+  int64_t failovers = 0;   // handovers forced by an outage on the old cell
 };
 
 // Aggregate over all fleet members running one ClientKind — the
@@ -154,6 +186,33 @@ struct FleetResult {
   int64_t encode_calls = 0;
   // Virtual time at which the last exchange drained.
   double virtual_seconds = 0.0;
+
+  // --- Multi-cell topology (empty / zero at K = 1) ---
+  // Per-cell link totals, indexed by cell id.
+  struct CellStats {
+    int64_t bytes = 0;
+    int64_t retries = 0;
+    int64_t timeouts = 0;
+    double outage_seconds = 0.0;
+    int64_t peak_backlog_bytes = 0;
+    int64_t handovers_in = 0;  // clients handed into this cell
+  };
+  std::vector<CellStats> cell_stats;  // size K when K > 1, else empty
+  int64_t handovers = 0;   // total cell switches across the fleet
+  int64_t failovers = 0;   // switches forced by an outage on the old cell
+  // Transfers cancelled on a dead cell and re-submitted elsewhere
+  // (migrated own transfers plus stranded-waiter re-issues).
+  int64_t reissued_transfers = 0;
+  int64_t reissued_bytes = 0;
+  // Chaos invariants, MARS_CHECKed zero before Run() returns and
+  // exported so the chaos harness can assert the checks actually ran:
+  // streaming sessions whose pending set survived the final flush,
+  // transfers that completed twice, inflight entries left after the
+  // drain, and coalesced exchanges that never resolved.
+  int64_t chaos_session_desyncs = 0;
+  int64_t chaos_duplicate_deliveries = 0;
+  int64_t chaos_stranded_waiters = 0;
+  int64_t chaos_unresolved_exchanges = 0;
 };
 
 // Runs N heterogeneous clients concurrently against ONE shared server and
@@ -199,9 +258,31 @@ struct FleetResult {
 //   carrier it attached to have drained; WFQ's deterministic per-client
 //   FIFO completion order makes that resolution worker-count-invariant.
 //
-// Because every cross-client effect happens in phase B in a fixed order,
-// a fleet run is bit-identical at any worker count: same seeds in, same
-// per-client and aggregate metrics out, whether workers=1 or 8.
+// With a multi-cell topology (FleetOptions::cells > 1) each cell is its
+// own SharedMediumLink + fault schedule + admission controller, and a
+// serial *routing pre-phase* runs before phase A each tick, in client-id
+// order: every client is assigned the cell covering its position, or —
+// when that cell is in outage — the nearest healthy neighbour. A client
+// whose cell changed hands over:
+//
+//   * voluntary crossing (old cell healthy): in-flight transfers finish
+//     on the old cell (anchor forwarding) while new frames submit to the
+//     new one — nothing is re-sent;
+//   * outage failover (old cell down): the client's queued transfers are
+//     cancelled and their remaining bytes re-submitted on the new cell,
+//     with the delivery delay still measured from the *original*
+//     submission; carriers it owned strand their waiters (the shared
+//     copy died with the cell), and each stranded waiter deterministically
+//     re-issues the payload on its own current cell.
+//
+// Every cell advance is applied in cell-id order and every handover
+// decision is made serially, so the worker-count invariance holds at any
+// K; the expensive per-cell fluid drains themselves run on the pool in
+// parallel across cells. Because every cross-client effect happens in a
+// serial phase in a fixed order, a fleet run is bit-identical at any
+// worker count: same seeds in, same per-client and aggregate metrics
+// out, whether workers=1 or 8 — and with cells=1 the engine is a strict
+// bit-identical passthrough of the single-cell era.
 class FleetEngine {
  public:
   FleetEngine(const core::System& system, FleetOptions options,
@@ -228,20 +309,53 @@ class FleetEngine {
  private:
   struct ClientState;
 
+  // A transfer's identity across the topology: (cell, client, seq) —
+  // sequence numbers are only unique per (cell, client).
+  using TransferKey = std::tuple<int32_t, int32_t, int64_t>;
+
   std::unique_ptr<ClientState> BuildState(const ClientSpec& spec);
   void StepClient(ClientState* state);    // phase A (any worker thread)
   void CommitClient(ClientState* state);  // phase B (engine thread only)
   void FinishClient(ClientState* state);
+  // Handover pre-phase (serial, engine thread, K > 1 only): reassigns
+  // every client to the healthy cell covering its position and migrates
+  // in-flight state off dead cells.
+  void RouteClients(double tick_seconds);
+  // Re-submits `bytes` for `state` on its current cell and returns the
+  // new transfer's key (handover migration bookkeeping).
+  TransferKey Reissue(ClientState* state, int64_t bytes, double speed);
 
   const core::System& system_;
   FleetOptions options_;
-  server::AdmissionController admission_;
+  net::CellTopology topology_;
   server::SessionTable sessions_;
   server::HotRecordCache hot_cache_;
   server::InflightTable inflight_;
   std::vector<std::unique_ptr<ClientState>> states_;
-  std::unique_ptr<net::FaultSchedule> cell_fault_;
-  std::unique_ptr<net::SharedMediumLink> cell_;
+  // Id -> state lookup (built once in the constructor; states_ owns).
+  std::unordered_map<int32_t, ClientState*> by_id_;
+  // Per-cell serving state, indexed by cell id (size K).
+  std::vector<std::unique_ptr<server::AdmissionController>> admission_;
+  std::vector<std::unique_ptr<net::FaultSchedule>> cell_faults_;
+  std::vector<std::unique_ptr<net::SharedMediumLink>> cells_;
+
+  // --- Run() bookkeeping (engine thread only) ---
+  // Absolute finish times of drained transfers: what a coalesced
+  // exchange waits on for the carriers it attached to.
+  std::map<TransferKey, double> finish_at_;
+  // Original submit time of cancelled-and-re-submitted own transfers
+  // (non-coalescing mode), so the reported delivery delay spans from the
+  // first submission to the final completion.
+  std::map<TransferKey, double> reissue_origin_;
+  // Stranded-waiter re-issue transfers: completions land in finish_at_
+  // instead of resolving a pending exchange's own transfer.
+  std::set<TransferKey> waiter_reissues_;
+  std::vector<FleetResult::CellStats> cell_stats_;
+  int64_t handovers_ = 0;
+  int64_t failovers_ = 0;
+  int64_t reissued_transfers_ = 0;
+  int64_t reissued_bytes_ = 0;
+  int64_t chaos_duplicates_ = 0;
 };
 
 }  // namespace mars::fleet

@@ -1,0 +1,124 @@
+#ifndef MARS_NET_CELL_TOPOLOGY_H_
+#define MARS_NET_CELL_TOPOLOGY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "geometry/box.h"
+#include "geometry/vec.h"
+
+namespace mars::net {
+
+// Ground-plane radio topology: a uniform grid of K cells tiling the data
+// space, each cell one base station (one SharedMediumLink in the fleet
+// engine). Mirrors index::ShardMap's near-square grid (cols =
+// ceil(sqrt(K)); trailing grid slots wrap onto the first cells), so the
+// serving layout and the index's placement layout speak the same
+// coordinates.
+//
+// Beyond position → cell routing, the topology precomputes each cell's
+// *failover order*: the other cells sorted by center distance (ties to
+// the lower id). When a cell is down, its clients are served by the
+// nearest healthy neighbour — the deterministic coverage rule the
+// handover machinery and the chaos harness rely on.
+class CellTopology {
+ public:
+  // Single-cell passthrough: everything maps to cell 0.
+  CellTopology() = default;
+
+  static CellTopology Build(const geometry::Box2& bounds, int32_t cells) {
+    MARS_CHECK_GE(cells, 1);
+    CellTopology topo;
+    topo.cells_ = cells;
+    topo.bounds_ = bounds;
+    topo.cols_ = static_cast<int32_t>(
+        std::ceil(std::sqrt(static_cast<double>(cells))));
+    topo.rows_ = (cells + topo.cols_ - 1) / topo.cols_;
+    topo.failover_.resize(static_cast<size_t>(cells));
+    for (int32_t k = 0; k < cells; ++k) {
+      const geometry::Vec2 center = topo.CenterOf(k);
+      std::vector<int32_t>& order = topo.failover_[static_cast<size_t>(k)];
+      order.reserve(static_cast<size_t>(cells - 1));
+      for (int32_t other = 0; other < cells; ++other) {
+        if (other != k) order.push_back(other);
+      }
+      std::sort(order.begin(), order.end(),
+                [&](int32_t a, int32_t b) {
+                  const double da =
+                      (topo.CenterOf(a) - center).SquaredNorm();
+                  const double db =
+                      (topo.CenterOf(b) - center).SquaredNorm();
+                  if (da != db) return da < db;
+                  return a < b;
+                });
+    }
+    return topo;
+  }
+
+  int32_t cells() const { return cells_; }
+  int32_t rows() const { return rows_; }
+  int32_t cols() const { return cols_; }
+  const geometry::Box2& bounds() const { return bounds_; }
+
+  // Cell covering a ground point (clamped into the grid).
+  int32_t CellAt(const geometry::Vec2& p) const {
+    if (cells_ == 1 || bounds_.IsEmpty()) return 0;
+    const int32_t col = Clamp(
+        static_cast<int32_t>((p.x - bounds_.lo(0)) / CellWidth()), cols_);
+    const int32_t row = Clamp(
+        static_cast<int32_t>((p.y - bounds_.lo(1)) / CellHeight()), rows_);
+    return (row * cols_ + col) % cells_;
+  }
+
+  // Center of cell k's primary grid slot.
+  geometry::Vec2 CenterOf(int32_t cell) const {
+    if (cells_ == 1 || bounds_.IsEmpty()) return {0.0, 0.0};
+    const int32_t row = cell / cols_;
+    const int32_t col = cell % cols_;
+    return {bounds_.lo(0) + (col + 0.5) * CellWidth(),
+            bounds_.lo(1) + (row + 0.5) * CellHeight()};
+  }
+
+  // Cells other than `cell`, nearest center first (ties to lower id).
+  const std::vector<int32_t>& FailoverOrder(int32_t cell) const {
+    return failover_[static_cast<size_t>(cell)];
+  }
+
+  // The cell that serves a client whose home is `home`: home itself when
+  // healthy, else the nearest healthy neighbour, else home (nothing
+  // better — the client rides out the blackout).
+  template <typename HealthyFn>
+  int32_t NearestHealthy(int32_t home, HealthyFn&& healthy) const {
+    if (cells_ == 1 || healthy(home)) return home;
+    for (const int32_t k : FailoverOrder(home)) {
+      if (healthy(k)) return k;
+    }
+    return home;
+  }
+
+ private:
+  static int32_t Clamp(int32_t v, int32_t n) {
+    return std::max<int32_t>(0, std::min<int32_t>(v, n - 1));
+  }
+  double CellWidth() const {
+    const double e = bounds_.Extent(0);
+    return e > 0 ? e / cols_ : 1.0;
+  }
+  double CellHeight() const {
+    const double e = bounds_.Extent(1);
+    return e > 0 ? e / rows_ : 1.0;
+  }
+
+  int32_t cells_ = 1;
+  int32_t rows_ = 1;
+  int32_t cols_ = 1;
+  geometry::Box2 bounds_;
+  std::vector<std::vector<int32_t>> failover_;
+};
+
+}  // namespace mars::net
+
+#endif  // MARS_NET_CELL_TOPOLOGY_H_

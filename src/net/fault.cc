@@ -80,13 +80,47 @@ FaultSchedule::FaultSchedule(Options options)
   MARS_CHECK_LE(options.dip_bandwidth_factor, 1.0);
 }
 
+void FaultSchedule::InjectOutage(double start, double duration) {
+  MARS_CHECK_GE(start, 0.0);
+  MARS_CHECK_GT(duration, 0.0);
+  Window w;
+  w.start = start;
+  w.end = start + duration;
+  // Injections arrive in nondecreasing simulated time in practice; the
+  // insertion sort keeps the vector ordered even if they do not.
+  auto it = std::upper_bound(injected_.begin(), injected_.end(), w,
+                             [](const Window& a, const Window& b) {
+                               return a.start < b.start;
+                             });
+  injected_.insert(it, w);
+}
+
+const FaultSchedule::Window* FaultSchedule::InjectedCovering(
+    double t) const {
+  // Windows may overlap (a handover inside a blackout); report the one
+  // reaching furthest so OutageRemaining covers the union.
+  const Window* best = nullptr;
+  for (const Window& w : injected_) {
+    if (w.start > t) break;
+    if (t < w.end && (best == nullptr || w.end > best->end)) best = &w;
+  }
+  return best;
+}
+
 bool FaultSchedule::InOutage(double t) {
-  return outages_.Covering(t) != nullptr;
+  if (outages_.active() && outages_.Covering(t) != nullptr) return true;
+  return InjectedCovering(t) != nullptr;
 }
 
 double FaultSchedule::OutageRemaining(double t) {
-  const Window* w = outages_.Covering(t);
-  return w == nullptr ? 0.0 : w->end - t;
+  double remaining = 0.0;
+  if (outages_.active()) {
+    const Window* w = outages_.Covering(t);
+    if (w != nullptr) remaining = w->end - t;
+  }
+  const Window* inj = InjectedCovering(t);
+  if (inj != nullptr) remaining = std::max(remaining, inj->end - t);
+  return remaining;
 }
 
 double FaultSchedule::LossFactor(double t) {
@@ -98,9 +132,17 @@ double FaultSchedule::BandwidthFactor(double t) {
 }
 
 double FaultSchedule::NextBoundaryAfter(double t) {
-  return std::min({outages_.NextBoundaryAfter(t),
-                   bursts_.NextBoundaryAfter(t),
-                   dips_.NextBoundaryAfter(t)});
+  double next = std::min({outages_.NextBoundaryAfter(t),
+                          bursts_.NextBoundaryAfter(t),
+                          dips_.NextBoundaryAfter(t)});
+  for (const Window& w : injected_) {
+    if (w.start > t) {
+      next = std::min(next, w.start);
+      break;  // sorted by start; later windows cannot be nearer
+    }
+    if (w.end > t) next = std::min(next, w.end);
+  }
+  return next;
 }
 
 }  // namespace mars::net

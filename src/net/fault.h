@@ -13,18 +13,25 @@ namespace mars::net {
 // Three independent Poisson window processes model the real impairments of
 // such a link:
 //
-//   * outages   — tunnel / cell-handover blackouts during which no attempt
-//                 can be delivered at all,
+//   * outages   — tunnel blackouts and whole-cell failures during which no
+//                 attempt can be delivered at all,
 //   * bursts    — windows of strongly elevated loss (interference, cell
 //                 edges): the link's base loss probability is multiplied,
 //   * dips      — transient bandwidth collapses: the usable bandwidth is
 //                 scaled down.
 //
+// The sampled Poisson outages are *uncorrelated with motion* — they model
+// environmental failures, not handovers. Cell-handover blackouts (the
+// re-association gap a client suffers when it crosses into a new cell)
+// are injected explicitly through InjectOutage() by whoever routes the
+// client across cells (the fleet engine's CellTopology), so blackout
+// timing follows the client's actual trajectory instead of a rate.
+//
 // Windows are sampled lazily from a seeded Rng (exponential inter-arrival
 // and duration), so the schedule is reproducible bit-for-bit, pure with
-// respect to simulated time, and free when every rate is zero. All times
-// are simulated seconds on the consumer's clock (SimulatedLink's
-// cumulative time or SharedMediumLink's now()).
+// respect to simulated time, and free when every rate is zero and no
+// window was injected. All times are simulated seconds on the consumer's
+// clock (SimulatedLink's cumulative time or SharedMediumLink's now()).
 class FaultSchedule {
  public:
   struct Options {
@@ -52,9 +59,22 @@ class FaultSchedule {
   FaultSchedule();  // all-quiet default
   explicit FaultSchedule(Options options);
 
-  // True when any fault process is active; an all-quiet schedule costs
-  // nothing to consult.
-  bool enabled() const { return enabled_; }
+  // True when any fault process is active or a window was injected; an
+  // all-quiet schedule costs nothing to consult.
+  bool enabled() const { return enabled_ || !injected_.empty(); }
+
+  // Injects a deterministic outage window [start, start + duration) — the
+  // handover-blackout hook. Drives the same outage machinery as the
+  // sampled windows (attempts fail, fluid links stall), so a topology can
+  // model the re-association gap of a cell crossing at the exact simulated
+  // time the crossing happened. Enables an all-quiet schedule from the
+  // first injection; a schedule with no injections stays zero-cost.
+  void InjectOutage(double start, double duration);
+
+  // Injected windows so far (observability / tests).
+  int64_t injected_outages() const {
+    return static_cast<int64_t>(injected_.size());
+  }
 
   // True when `t` falls inside an outage window.
   bool InOutage(double t);
@@ -106,11 +126,18 @@ class FaultSchedule {
     double horizon_ = 0.0;
   };
 
+  // The injected window covering `t`, or nullptr.
+  const Window* InjectedCovering(double t) const;
+
   Options options_;
   bool enabled_;
   Track outages_;
   Track bursts_;
   Track dips_;
+  // Explicitly injected outage windows (handover blackouts, forced cell
+  // failures), kept sorted by start. Usually empty and usually tiny —
+  // one entry per handover — so linear scans are fine.
+  std::vector<Window> injected_;
 };
 
 }  // namespace mars::net

@@ -165,10 +165,12 @@ void SharedMediumLink::StepWeightedFair(
     Transfer& head = s.cq->queue.front();
     head.remaining_bytes -= s.rate * step;
     if (head.remaining_bytes <= 1e-6) {
+      const double response =
+          now_ - head.submitted_at + options_.latency_seconds;
       finished.push_back(Finished{
           head.virtual_finish,
-          Completion{s.client, head.seq,
-                     now_ - head.submitted_at + options_.latency_seconds}});
+          Completion{s.client, head.seq, response,
+                     head.submitted_at + response}});
       s.cq->queue.pop_front();
       --in_flight_;
       if (s.cq->queue.empty()) vclock_.Deactivate(s.client);
@@ -233,9 +235,10 @@ void SharedMediumLink::StepEqualShare(double target, double cell,
           std::min(share, bearer * MotionFactor(it->speed)) * scale;
       it->remaining_bytes -= rate * step;
       if (it->remaining_bytes <= 1e-6) {
+        const double response =
+            now_ - it->submitted_at + options_.latency_seconds;
         completions->push_back(Completion{
-            id, it->seq,
-            now_ - it->submitted_at + options_.latency_seconds});
+            id, it->seq, response, it->submitted_at + response});
         it = cq.queue.erase(it);
         --in_flight_;
       } else {
@@ -244,6 +247,27 @@ void SharedMediumLink::StepEqualShare(double target, double cell,
     }
     if (cq.queue.empty()) vclock_.Deactivate(id);
   }
+}
+
+std::vector<SharedMediumLink::Cancelled> SharedMediumLink::CancelClient(
+    int32_t client) {
+  std::vector<Cancelled> cancelled;
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return cancelled;
+  ClientQueue& cq = it->second;
+  cancelled.reserve(cq.queue.size());
+  for (const Transfer& t : cq.queue) {
+    cancelled.push_back(
+        Cancelled{t.seq, t.remaining_bytes, t.submitted_at, t.speed});
+  }
+  if (!cq.queue.empty()) {
+    in_flight_ -= cq.queue.size();
+    cq.queue.clear();
+    vclock_.Deactivate(client);
+  }
+  // The ClientQueue stays (empty) so next_seq keeps counting from where
+  // it was — cancelled seqs are never reused.
+  return cancelled;
 }
 
 std::vector<SharedMediumLink::Completion> SharedMediumLink::DrainAll() {

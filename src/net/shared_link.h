@@ -91,6 +91,22 @@ class SharedMediumLink {
     int32_t client = 0;
     int64_t seq = 0;
     double response_seconds = 0.0;
+    // Absolute cell time at which the last byte (plus latency) landed:
+    // submitted_at + response_seconds, computed with exactly that
+    // expression so callers tracking absolute finish times agree with
+    // callers summing submit + response bit-for-bit. Lets a transfer
+    // that was cancelled and re-issued elsewhere report a delivery delay
+    // spanning the *original* submission.
+    double finish_seconds = 0.0;
+  };
+
+  // A transfer removed by CancelClient: enough state to re-issue the
+  // remaining work on another cell (fault-tolerant handover).
+  struct Cancelled {
+    int64_t seq = 0;
+    double remaining_bytes = 0.0;
+    double submitted_at = 0.0;
+    double speed = 0.0;
   };
 
   SharedMediumLink();  // default options
@@ -123,6 +139,13 @@ class SharedMediumLink {
 
   // Drains everything left; returns the remaining completions.
   std::vector<Completion> DrainAll();
+
+  // Removes every queued transfer of `client` (the client was handed
+  // over to another cell while this one was down), in submission order.
+  // The client's sequence counter is preserved, so later submissions on
+  // this cell never reuse a cancelled transfer's seq. Returns what was
+  // cancelled so the caller can re-issue the remaining bytes elsewhere.
+  std::vector<Cancelled> CancelClient(int32_t client);
 
   double now() const { return now_; }
   size_t in_flight() const { return in_flight_; }

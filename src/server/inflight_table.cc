@@ -29,21 +29,23 @@ int64_t InflightTable::Probe(index::RecordId id) const {
 }
 
 void InflightTable::Register(index::RecordId id, int32_t owner,
-                             int64_t transfer_seq, int64_t bytes) {
+                             int64_t transfer_seq, int64_t bytes,
+                             int32_t cell) {
   if (!enabled()) return;
   MARS_CHECK_GT(bytes, 0);
   Shard& shard = ShardOf(id);
   common::WriterLock lock(&shard.mu);
   // Single-flight invariant: one carrier per record, ever.
   const auto [it, inserted] = shard.map.emplace(
-      id, Entry{Carrier{owner, transfer_seq}, bytes, {}});
+      id, Entry{Carrier{owner, transfer_seq, cell}, bytes, {}});
   MARS_CHECK(inserted);
   (void)it;
   ++shard.registered;
 }
 
 InflightTable::AttachResult InflightTable::Attach(index::RecordId id,
-                                                  int32_t follower) {
+                                                  int32_t follower,
+                                                  int32_t follower_cell) {
   AttachResult result;
   if (!enabled()) return result;
   Shard& shard = ShardOf(id);
@@ -51,6 +53,15 @@ InflightTable::AttachResult InflightTable::Attach(index::RecordId id,
   const auto it = shard.map.find(id);
   if (it == shard.map.end()) return result;  // kNotInflight
   Entry& entry = it->second;
+  if (entry.carrier.cell != follower_cell) {
+    // The payload rides another cell's radio: no shared transfer to join.
+    ++shard.refused;
+    ++shard.cross_cell_refused;
+    result.outcome = AttachOutcome::kRefused;
+    result.carrier = entry.carrier;
+    result.bytes = entry.bytes;
+    return result;
+  }
   if (options_.max_waiters_per_entry > 0 &&
       static_cast<int32_t>(entry.waiters.size()) >=
           options_.max_waiters_per_entry) {
@@ -69,9 +80,10 @@ InflightTable::AttachResult InflightTable::Attach(index::RecordId id,
 }
 
 int64_t InflightTable::OnTransferComplete(int32_t owner,
-                                          int64_t transfer_seq) {
+                                          int64_t transfer_seq,
+                                          int32_t cell) {
   if (!enabled()) return 0;
-  const Carrier carrier{owner, transfer_seq};
+  const Carrier carrier{owner, transfer_seq, cell};
   int64_t removed = 0;
   for (const auto& shard : shards_) {
     common::WriterLock lock(&shard->mu);
@@ -88,15 +100,17 @@ int64_t InflightTable::OnTransferComplete(int32_t owner,
 }
 
 std::vector<InflightTable::Stranded> InflightTable::CancelClient(
-    int32_t client) {
+    int32_t client, int32_t cell) {
   std::vector<Stranded> stranded;
   if (!enabled()) return stranded;
   for (const auto& shard : shards_) {
     common::WriterLock lock(&shard->mu);
     for (auto it = shard->map.begin(); it != shard->map.end();) {
-      if (it->second.carrier.owner == client) {
+      if (it->second.carrier.owner == client &&
+          (cell < 0 || it->second.carrier.cell == cell)) {
         for (const int32_t waiter : it->second.waiters) {
-          stranded.push_back(Stranded{it->first, waiter});
+          stranded.push_back(Stranded{it->first, waiter, it->second.bytes,
+                                      it->second.carrier});
         }
         it = shard->map.erase(it);
         ++shard->cancelled;
@@ -155,6 +169,15 @@ int64_t InflightTable::total_cancelled() const {
   for (const auto& shard : shards_) {
     common::ReaderLock lock(&shard->mu);
     n += shard->cancelled;
+  }
+  return n;
+}
+
+int64_t InflightTable::total_cross_cell_refused() const {
+  int64_t n = 0;
+  for (const auto& shard : shards_) {
+    common::ReaderLock lock(&shard->mu);
+    n += shard->cross_cell_refused;
   }
   return n;
 }

@@ -55,13 +55,18 @@ class InflightTable {
     int32_t shards = 8;
   };
 
-  // The transfer carrying an entry's payload: the owning client and that
-  // client's per-submission sequence number on the cell.
+  // The transfer carrying an entry's payload: the owning client, that
+  // client's per-submission sequence number, and the cell the transfer
+  // rides on. Sequence numbers are per-(cell, client), so the cell is
+  // part of the identity in a multi-cell topology; single-cell callers
+  // leave it 0.
   struct Carrier {
     int32_t owner = 0;
     int64_t transfer_seq = 0;
+    int32_t cell = 0;
     friend bool operator==(const Carrier& a, const Carrier& b) {
-      return a.owner == b.owner && a.transfer_seq == b.transfer_seq;
+      return a.owner == b.owner && a.transfer_seq == b.transfer_seq &&
+             a.cell == b.cell;
     }
   };
 
@@ -89,32 +94,44 @@ class InflightTable {
   // flight. Read-only (see the phase protocol above).
   int64_t Probe(index::RecordId id) const;
 
-  // Registers `id` as carried by (owner, transfer_seq) with `bytes` of
-  // payload. Single-flight: a record may have at most one carrier, so
-  // registering an id that is already in flight is a programming error —
-  // callers must Attach() instead (a kRefused attach pays full freight
-  // but still must not re-register).
+  // Registers `id` as carried by (owner, transfer_seq) on `cell` with
+  // `bytes` of payload. Single-flight: a record may have at most one
+  // carrier, so registering an id that is already in flight is a
+  // programming error — callers must Attach() instead (a kRefused attach
+  // pays full freight but still must not re-register).
   void Register(index::RecordId id, int32_t owner, int64_t transfer_seq,
-                int64_t bytes);
+                int64_t bytes, int32_t cell = 0);
 
-  // Attaches `follower` to `id`'s entry; waiters are recorded in attach
-  // order. See AttachOutcome for the three possible results.
-  AttachResult Attach(index::RecordId id, int32_t follower);
+  // Attaches `follower` (served on `follower_cell`) to `id`'s entry;
+  // waiters are recorded in attach order. A carrier on a *different* cell
+  // refuses the attach: single-copy delivery is a property of sharing one
+  // radio transfer, so a cross-cell requester pays full freight (and must
+  // not re-register — the single-flight invariant spans cells). See
+  // AttachOutcome for the three possible results.
+  AttachResult Attach(index::RecordId id, int32_t follower,
+                      int32_t follower_cell = 0);
 
-  // Removes every entry carried by (owner, transfer_seq) — the payloads
-  // have been delivered to the owner and all attached waiters. Returns
-  // the number of entries removed.
-  int64_t OnTransferComplete(int32_t owner, int64_t transfer_seq);
+  // Removes every entry carried by (owner, transfer_seq) on `cell` — the
+  // payloads have been delivered to the owner and all attached waiters.
+  // Returns the number of entries removed.
+  int64_t OnTransferComplete(int32_t owner, int64_t transfer_seq,
+                             int32_t cell = 0);
 
-  // Cancels every entry owned by `client` (timed out / disconnected
-  // before its transfers drained). Waiters of the cancelled entries are
-  // stranded: their shared copy will never arrive, so the caller must
-  // re-issue their requests. Returned in (record id, attach) order.
+  // Cancels every entry owned by `client` on `cell` (-1 = every cell:
+  // the client timed out / disconnected; a specific cell: the client was
+  // handed over while that cell was down, so only the transfers stranded
+  // *there* die — carriers it still owns elsewhere keep draining).
+  // Waiters of the cancelled entries are stranded: their shared copy
+  // will never arrive, so the caller must re-issue their requests.
+  // Returned in (record id, attach) order, with the payload bytes and
+  // the dead carrier so the caller can re-issue deterministically.
   struct Stranded {
     index::RecordId record = 0;
     int32_t waiter = 0;
+    int64_t bytes = 0;
+    Carrier carrier;
   };
-  std::vector<Stranded> CancelClient(int32_t client);
+  std::vector<Stranded> CancelClient(int32_t client, int32_t cell = -1);
 
   // Observability.
   int64_t entries() const;
@@ -122,6 +139,8 @@ class InflightTable {
   int64_t total_attached() const;
   int64_t total_refused() const;
   int64_t total_cancelled() const;
+  // Attaches refused because the carrier rides another cell.
+  int64_t total_cross_cell_refused() const;
   // Waiters currently attached to `id`, in attach order (tests).
   std::vector<int32_t> WaitersOf(index::RecordId id) const;
 
@@ -139,6 +158,7 @@ class InflightTable {
     int64_t attached MARS_GUARDED_BY(mu) = 0;
     int64_t refused MARS_GUARDED_BY(mu) = 0;
     int64_t cancelled MARS_GUARDED_BY(mu) = 0;
+    int64_t cross_cell_refused MARS_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardOf(index::RecordId id) {

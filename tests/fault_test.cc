@@ -139,6 +139,58 @@ TEST(FaultScheduleTest, BurstAndDipFactorsTakeConfiguredValues) {
   EXPECT_TRUE(saw_quiet_dip);
 }
 
+TEST(FaultScheduleTest, InjectOutageEnablesQuietScheduleAndCoversWindow) {
+  net::FaultSchedule fault;
+  EXPECT_FALSE(fault.enabled());
+  fault.InjectOutage(10.0, 5.0);
+  // The first injection flips a previously all-quiet schedule on.
+  EXPECT_TRUE(fault.enabled());
+  EXPECT_EQ(fault.injected_outages(), 1);
+  EXPECT_FALSE(fault.InOutage(9.9));
+  EXPECT_TRUE(fault.InOutage(10.0));
+  EXPECT_TRUE(fault.InOutage(14.9));
+  EXPECT_FALSE(fault.InOutage(15.0));  // half-open window
+  EXPECT_DOUBLE_EQ(fault.OutageRemaining(12.0), 3.0);
+  EXPECT_DOUBLE_EQ(fault.OutageRemaining(20.0), 0.0);
+}
+
+TEST(FaultScheduleTest, InjectedWindowsFeedNextBoundaryAfter) {
+  net::FaultSchedule fault;
+  fault.InjectOutage(30.0, 10.0);
+  fault.InjectOutage(100.0, 2.0);
+  // Boundaries are the window starts and ends, in order.
+  EXPECT_DOUBLE_EQ(fault.NextBoundaryAfter(0.0), 30.0);
+  EXPECT_DOUBLE_EQ(fault.NextBoundaryAfter(30.0), 40.0);
+  EXPECT_DOUBLE_EQ(fault.NextBoundaryAfter(40.0), 100.0);
+  EXPECT_DOUBLE_EQ(fault.NextBoundaryAfter(100.0), 102.0);
+  EXPECT_TRUE(std::isinf(fault.NextBoundaryAfter(102.0)));
+}
+
+TEST(FaultScheduleTest, InjectedWindowsComposeWithSampledOutages) {
+  net::FaultSchedule::Options options;
+  options.outage_rate_per_hour = 360.0;
+  options.outage_mean_seconds = 2.0;
+  options.seed = 9;
+  net::FaultSchedule sampled(options);
+  net::FaultSchedule both(options);
+  // Find a sampled-quiet instant, then inject a blackout over it: the
+  // sampled process must be unperturbed and the injected window must win.
+  double quiet = -1.0;
+  for (double t = 0.0; t < 600.0; t += 0.5) {
+    if (!sampled.InOutage(t)) {
+      quiet = t;
+      break;
+    }
+  }
+  ASSERT_GE(quiet, 0.0);
+  both.InjectOutage(quiet, 0.25);
+  EXPECT_TRUE(both.InOutage(quiet));
+  for (double t = 0.0; t < 600.0; t += 0.5) {
+    if (t >= quiet && t < quiet + 0.25) continue;
+    EXPECT_EQ(both.InOutage(t), sampled.InOutage(t)) << "t=" << t;
+  }
+}
+
 // --- SimulatedLink under faults -----------------------------------------
 
 // Advances `link` until the schedule reports the wanted state (bounded).

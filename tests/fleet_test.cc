@@ -2,6 +2,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -725,6 +726,215 @@ TEST_F(FleetEngineTest, NaiveOnlyFleetUnaffectedByCoalescing) {
   EXPECT_EQ(on.cell_bytes, off.cell_bytes);
   EXPECT_EQ(on.coalesce_hits, 0);
   EXPECT_EQ(on.coalesce_attaches, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cell topology, handover, and failover
+
+// FleetJson plus the topology / handover / chaos accounting, so any
+// divergence in the fault-tolerance machinery fails the byte-identity
+// checks too.
+std::string TopologyJson(const fleet::FleetResult& result) {
+  std::string out = FleetJson(result);
+  for (const fleet::ClientResult& client : result.clients) {
+    out += "\n" + std::to_string(client.spec.id) + ":cells " +
+           std::to_string(client.home_cell) + "/" +
+           std::to_string(client.final_cell) + "/" +
+           std::to_string(client.handovers) + "/" +
+           std::to_string(client.failovers);
+  }
+  for (const fleet::FleetResult::CellStats& cell : result.cell_stats) {
+    out += "\ncell:" + std::to_string(cell.bytes) + "/" +
+           std::to_string(cell.peak_backlog_bytes) + "/" +
+           std::to_string(cell.handovers_in);
+  }
+  out += "\nhandover:" + std::to_string(result.handovers) + "/" +
+         std::to_string(result.failovers) + "/" +
+         std::to_string(result.reissued_transfers) + "/" +
+         std::to_string(result.reissued_bytes);
+  out += "\nchaos:" + std::to_string(result.chaos_session_desyncs) + "/" +
+         std::to_string(result.chaos_duplicate_deliveries) + "/" +
+         std::to_string(result.chaos_stranded_waiters) + "/" +
+         std::to_string(result.chaos_unresolved_exchanges);
+  return out;
+}
+
+// A fleet that actually roams: fast mixed clients on a scene tiled into
+// four cells, so tours cross cell borders and handovers happen.
+std::vector<fleet::ClientSpec> RoamingFleet(int32_t n, int32_t frames) {
+  auto specs =
+      fleet::FleetEngine::MakeMixedFleet(n, frames, /*speed=*/0.9, /*seed=*/4);
+  for (fleet::ClientSpec& spec : specs) spec.query_fraction = 0.25;
+  return specs;
+}
+
+// cells = 1 must remain a strict bit-identical passthrough: same
+// metrics as a FleetOptions that never mentions cells, and none of the
+// topology machinery engages.
+TEST_F(FleetEngineTest, SingleCellIsStrictPassthrough) {
+  auto run = [&](int32_t cells) {
+    fleet::FleetOptions options;
+    options.workers = 2;
+    options.cells = cells;
+    fleet::FleetEngine engine(*system_, options, RoamingFleet(6, 20));
+    return engine.Run();
+  };
+  const fleet::FleetResult legacy = run(1);
+  EXPECT_TRUE(legacy.cell_stats.empty());
+  EXPECT_EQ(legacy.handovers, 0);
+  EXPECT_EQ(legacy.failovers, 0);
+  EXPECT_EQ(legacy.reissued_transfers, 0);
+  for (const fleet::ClientResult& client : legacy.clients) {
+    EXPECT_EQ(client.home_cell, 0);
+    EXPECT_EQ(client.final_cell, 0);
+    EXPECT_EQ(client.handovers, 0);
+  }
+}
+
+// The tentpole guarantee extended to K > 1: tiling the plane, crossing
+// borders, and failing over must all stay bit-identical at any worker
+// count, with coalescing off and on.
+TEST_F(FleetEngineTest, MultiCellBitIdenticalAcrossWorkers) {
+  for (const bool coalesce : {false, true}) {
+    std::string reference;
+    for (const int workers : {1, 8}) {
+      fleet::FleetOptions options;
+      options.workers = workers;
+      options.cells = 4;
+      options.coalesce.enabled = coalesce;
+      // A forced mid-run outage so failover + re-issue paths execute.
+      options.cell_outages.push_back({0, 5.0, 6.0});
+      options.cell_outages.push_back({2, 12.0, 4.0});
+      fleet::FleetEngine engine(*system_, options, RoamingFleet(8, 25));
+      const fleet::FleetResult result = engine.Run();
+      EXPECT_EQ(result.chaos_session_desyncs, 0);
+      EXPECT_EQ(result.chaos_duplicate_deliveries, 0);
+      EXPECT_EQ(result.chaos_stranded_waiters, 0);
+      EXPECT_EQ(result.chaos_unresolved_exchanges, 0);
+      const std::string json = TopologyJson(result);
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        EXPECT_EQ(json, reference) << "diverged at workers=" << workers
+                                   << " coalesce=" << coalesce;
+      }
+    }
+  }
+}
+
+// Roaming across four cells: clients are actually distributed over the
+// plane, crossings are counted, and per-cell accounting balances with
+// the fleet totals.
+TEST_F(FleetEngineTest, RoamingFleetHandsOverBetweenCells) {
+  fleet::FleetOptions options;
+  options.workers = 4;
+  options.cells = 4;
+  fleet::FleetEngine engine(*system_, options, RoamingFleet(8, 30));
+  const fleet::FleetResult result = engine.Run();
+  ASSERT_EQ(result.cell_stats.size(), 4u);
+  // Fast tours over the whole plane must cross at least one border.
+  EXPECT_GT(result.handovers, 0);
+  EXPECT_EQ(result.failovers, 0);  // no outages: all voluntary
+  int64_t client_handovers = 0;
+  std::set<int32_t> homes;
+  for (const fleet::ClientResult& client : result.clients) {
+    client_handovers += client.handovers;
+    homes.insert(client.home_cell);
+    EXPECT_GE(client.home_cell, 0);
+    EXPECT_LT(client.home_cell, 4);
+    EXPECT_GE(client.final_cell, 0);
+    EXPECT_LT(client.final_cell, 4);
+  }
+  EXPECT_EQ(client_handovers, result.handovers);
+  EXPECT_GT(homes.size(), 1u);  // the fleet does not pile into one cell
+  int64_t handovers_in = 0;
+  int64_t cell_bytes = 0;
+  for (const fleet::FleetResult::CellStats& cell : result.cell_stats) {
+    handovers_in += cell.handovers_in;
+    cell_bytes += cell.bytes;
+  }
+  EXPECT_EQ(handovers_in, result.handovers);
+  EXPECT_EQ(cell_bytes, result.cell_bytes);
+}
+
+// A forced outage mid-transfer: the carrier's cell dies, its clients
+// fail over to a healthy neighbour, and the in-flight work is cancelled
+// and deterministically re-issued there — nothing is lost, nothing is
+// delivered twice, and the metrics replay byte-for-byte serially.
+TEST_F(FleetEngineTest, CellDeathMidTransferReissuesDeterministically) {
+  auto run = [&](int workers) {
+    fleet::FleetOptions options;
+    options.workers = workers;
+    options.cells = 4;
+    // Squeeze the cells so queues persist across ticks — the outage must
+    // catch transfers in flight for the re-issue path to fire.
+    options.cell.cell_bandwidth_kbps = 192.0;
+    options.cell.client_bandwidth_kbps = 96.0;
+    // Kill every cell in turn; whichever is populated strands transfers.
+    options.cell_outages.push_back({0, 4.0, 5.0});
+    options.cell_outages.push_back({1, 10.0, 5.0});
+    options.cell_outages.push_back({2, 16.0, 5.0});
+    options.cell_outages.push_back({3, 22.0, 5.0});
+    fleet::FleetEngine engine(*system_, options, RoamingFleet(8, 30));
+    return engine.Run();
+  };
+  const fleet::FleetResult result = run(8);
+  // Every client finished its tour despite the rolling blackout.
+  for (const fleet::ClientResult& client : result.clients) {
+    EXPECT_EQ(client.metrics.frames, 30);
+  }
+  EXPECT_GT(result.failovers, 0);
+  EXPECT_GT(result.reissued_transfers, 0);
+  EXPECT_GT(result.reissued_bytes, 0);
+  // The chaos invariants the harness sweeps: no desyncs, no duplicate
+  // deliveries, no stranded waiters, no unresolved exchanges.
+  EXPECT_EQ(result.chaos_session_desyncs, 0);
+  EXPECT_EQ(result.chaos_duplicate_deliveries, 0);
+  EXPECT_EQ(result.chaos_stranded_waiters, 0);
+  EXPECT_EQ(result.chaos_unresolved_exchanges, 0);
+  EXPECT_EQ(TopologyJson(run(1)), TopologyJson(result));
+}
+
+// Streaming session isolation must survive migration: identical twins
+// that hand over mid-run still each receive the full record stream, and
+// the server still tracks one session per client.
+TEST_F(FleetEngineTest, SessionsStayIsolatedAcrossHandover) {
+  std::vector<fleet::ClientSpec> specs(2);
+  specs[0].id = 0;
+  specs[1].id = 1;
+  for (fleet::ClientSpec& spec : specs) {
+    spec.kind = fleet::ClientKind::kStreaming;
+    spec.frames = 25;
+    spec.seed = 5;
+    spec.tour_seed = 9;
+    spec.speed = 0.9;  // roam fast enough to cross cells
+    spec.query_fraction = 0.3;
+  }
+  fleet::FleetOptions options;
+  options.workers = 2;
+  options.cells = 4;
+  options.cell_outages.push_back({0, 3.0, 4.0});
+  options.cell_outages.push_back({1, 3.0, 4.0});
+  fleet::FleetEngine engine(*system_, options, std::move(specs));
+  const fleet::FleetResult result = engine.Run();
+  ASSERT_EQ(result.clients.size(), 2u);
+  EXPECT_GT(result.handovers, 0);
+  const core::RunMetrics& first = result.clients[0].metrics;
+  const core::RunMetrics& second = result.clients[1].metrics;
+  EXPECT_GT(first.records_delivered, 0);
+  EXPECT_EQ(first.records_delivered, second.records_delivered);
+  EXPECT_EQ(first.demand_bytes, second.demand_bytes);
+  const server::ClientSession* s0 = engine.sessions().Find(0);
+  const server::ClientSession* s1 = engine.sessions().Find(1);
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(static_cast<int64_t>(s0->delivered.size()),
+            first.records_delivered);
+  EXPECT_EQ(static_cast<int64_t>(s1->delivered.size()),
+            second.records_delivered);
+  EXPECT_EQ(result.chaos_session_desyncs, 0);
+  EXPECT_EQ(result.chaos_duplicate_deliveries, 0);
 }
 
 }  // namespace

@@ -414,5 +414,72 @@ TEST(SharedLinkEqualShareTest, GreedyClientDrownsNeighbour) {
   EXPECT_GT(client1_response, 3.0);
 }
 
+// --- CancelClient / finish_seconds (handover support) -------------------
+
+TEST(SharedLinkCancelTest, FinishSecondsIsSubmittedPlusResponse) {
+  SharedMediumLink cell;
+  cell.Advance(1.0);  // non-zero submission time
+  cell.Submit(0, 32000, 0.0);
+  cell.Advance(0.5);
+  cell.Submit(0, 16000, 0.0);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 2u);
+  // Bitwise, not approximately: callers tracking absolute finish times
+  // must agree with callers summing submit + response.
+  EXPECT_EQ(done[0].finish_seconds, 1.0 + done[0].response_seconds);
+  EXPECT_EQ(done[1].finish_seconds, 1.5 + done[1].response_seconds);
+}
+
+TEST(SharedLinkCancelTest, CancelReturnsQueueInSubmissionOrder) {
+  SharedMediumLink::Options options;
+  options.cell_bandwidth_kbps = 256.0;
+  options.client_bandwidth_kbps = 256.0;
+  options.latency_seconds = 0.0;
+  options.motion_degradation = 0.0;
+  SharedMediumLink cell(options);
+  cell.Submit(0, 32000, 0.0);
+  cell.Submit(1, 32000, 0.0);
+  cell.Advance(0.5);  // partially drain
+  cell.Submit(0, 16000, 0.25);
+
+  const auto cancelled = cell.CancelClient(0);
+  ASSERT_EQ(cancelled.size(), 2u);
+  EXPECT_EQ(cancelled[0].seq, 0);
+  EXPECT_DOUBLE_EQ(cancelled[0].submitted_at, 0.0);
+  // Half a second of a shared 32 KB/s cell: 8000 bytes moved.
+  EXPECT_NEAR(cancelled[0].remaining_bytes, 24000.0, 1.0);
+  EXPECT_EQ(cancelled[1].seq, 1);
+  EXPECT_DOUBLE_EQ(cancelled[1].submitted_at, 0.5);
+  EXPECT_DOUBLE_EQ(cancelled[1].remaining_bytes, 16000.0);
+  EXPECT_DOUBLE_EQ(cancelled[1].speed, 0.25);
+  EXPECT_EQ(cell.client_queue_depth(0), 0);
+  EXPECT_EQ(cell.client_backlog_bytes(0), 0);
+
+  // The survivor drains alone and cancellation is not a completion.
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].client, 1);
+}
+
+TEST(SharedLinkCancelTest, SequenceNumbersSurviveCancellation) {
+  SharedMediumLink cell;
+  EXPECT_EQ(cell.Submit(0, 1000, 0.0), 0);
+  EXPECT_EQ(cell.Submit(0, 1000, 0.0), 1);
+  cell.CancelClient(0);
+  // A later submission must not reuse a cancelled transfer's seq — the
+  // coalescing table keys shared payloads by (client, seq).
+  EXPECT_EQ(cell.Submit(0, 1000, 0.0), 2);
+  const auto done = cell.DrainAll();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].seq, 2);
+}
+
+TEST(SharedLinkCancelTest, CancelUnknownClientIsEmpty) {
+  SharedMediumLink cell;
+  cell.Submit(0, 1000, 0.0);
+  EXPECT_TRUE(cell.CancelClient(99).empty());
+  EXPECT_EQ(cell.in_flight(), 1u);
+}
+
 }  // namespace
 }  // namespace mars::net

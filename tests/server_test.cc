@@ -621,6 +621,71 @@ TEST(InflightTableTest, CancelStrandsWaitersInRecordOrder) {
   EXPECT_EQ(table.WaitersOf(25), (std::vector<int32_t>{7}));
 }
 
+TEST(InflightTableTest, CrossCellAttachRefusedWithoutReregistering) {
+  InflightTable table(EnabledInflight());
+  table.Register(40, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/90,
+                 /*cell=*/2);
+  // Single-copy delivery is a property of sharing one radio transfer: a
+  // requester on another cell pays full freight instead of attaching.
+  const auto refused = table.Attach(40, /*follower=*/5, /*follower_cell=*/3);
+  EXPECT_EQ(refused.outcome, InflightTable::AttachOutcome::kRefused);
+  EXPECT_EQ(refused.carrier.cell, 2);
+  EXPECT_EQ(refused.bytes, 90);
+  EXPECT_EQ(table.total_cross_cell_refused(), 1);
+  EXPECT_TRUE(table.WaitersOf(40).empty());
+  // The single-flight invariant spans cells: the entry is still live and
+  // a same-cell requester still attaches.
+  EXPECT_EQ(table.Attach(40, /*follower=*/6, /*follower_cell=*/2).outcome,
+            InflightTable::AttachOutcome::kAttached);
+  EXPECT_EQ(table.total_cross_cell_refused(), 1);
+}
+
+TEST(InflightTableTest, CarrierIdentityIncludesCell) {
+  InflightTable table(EnabledInflight());
+  // Seqs are per-(cell, client): the same (owner, seq) pair may carry
+  // different records on different cells.
+  table.Register(50, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/10,
+                 /*cell=*/0);
+  table.Register(51, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/20,
+                 /*cell=*/1);
+  EXPECT_EQ(table.OnTransferComplete(1, 0, /*cell=*/1), 1);
+  EXPECT_EQ(table.Probe(50), 10);  // cell 0's carrier still draining
+  EXPECT_EQ(table.Probe(51), -1);
+}
+
+TEST(InflightTableTest, CellScopedCancelStrandsOnlyThatCell) {
+  InflightTable table(EnabledInflight());
+  // Client 1 carries on two cells — it crossed voluntarily and left a
+  // transfer draining on cell 0 (anchor forwarding), then registered a
+  // new carrier on its new cell 1.
+  table.Register(60, /*owner=*/1, /*transfer_seq=*/3, /*bytes=*/100,
+                 /*cell=*/0);
+  table.Register(61, /*owner=*/1, /*transfer_seq=*/0, /*bytes=*/200,
+                 /*cell=*/1);
+  table.Attach(60, /*follower=*/7, /*follower_cell=*/0);
+  table.Attach(61, /*follower=*/8, /*follower_cell=*/1);
+
+  // Cell 0 dies: only the transfers stranded *there* are cancelled.
+  const auto stranded = table.CancelClient(1, /*cell=*/0);
+  ASSERT_EQ(stranded.size(), 1u);
+  EXPECT_EQ(stranded[0].record, 60);
+  EXPECT_EQ(stranded[0].waiter, 7);
+  EXPECT_EQ(stranded[0].bytes, 100);
+  EXPECT_EQ(stranded[0].carrier.owner, 1);
+  EXPECT_EQ(stranded[0].carrier.transfer_seq, 3);
+  EXPECT_EQ(stranded[0].carrier.cell, 0);
+  // The carrier on the healthy cell keeps draining, waiter attached.
+  EXPECT_EQ(table.Probe(61), 200);
+  EXPECT_EQ(table.WaitersOf(61), (std::vector<int32_t>{8}));
+  EXPECT_EQ(table.entries(), 1);
+
+  // Cell-agnostic cancel still sweeps everything the client owns.
+  const auto rest = table.CancelClient(1);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].record, 61);
+  EXPECT_EQ(table.entries(), 0);
+}
+
 TEST(InflightTableTest, DisabledTableIsInert) {
   InflightTable table;  // default options: disabled
   EXPECT_FALSE(table.enabled());

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Deterministic chaos sweep for the multi-cell fleet topology.
+
+Runs mars_sim fleets across a seed x outage-rate x fleet-size grid with
+the ground plane tiled into four cells, killing cells at random (seeded)
+times, and fails loudly if the fault-tolerance machinery violates any
+invariant:
+
+  * chaos counters — session desyncs, duplicate deliveries, stranded
+    waiters, unresolved exchanges — must all be zero (the engine also
+    MARS_CHECKs them, so a violation usually aborts the run first);
+  * the `-- json --` block must be byte-identical between --workers 1
+    and --workers 8: failover, cancellation, and re-issue are part of
+    the deterministic two-phase tick, not a best-effort recovery path;
+  * every run must exit 0 (a MARS_CHECK abort inside the engine is a
+    sweep failure, not a skip).
+
+The sweep is itself deterministic: the grid is fixed and every stochastic
+stream inside the simulator derives from the run's --seed, so a failing
+cell (seed, rate, fleet) reproduces standalone with the printed command.
+
+Usage:
+    tools/chaos_sweep.py                 # full sweep (20 seeds)
+    tools/chaos_sweep.py --quick         # 3-seed CI smoke
+    tools/chaos_sweep.py --seeds 50      # go deeper
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+CHAOS_KEYS = (
+    "session_desyncs",
+    "duplicate_deliveries",
+    "stranded_waiters",
+    "unresolved_exchanges",
+)
+
+
+def run_sim(binary, seed, rate, clients, mb, frames, workers, coalesce):
+    cmd = [
+        binary, "run",
+        "--mb", str(mb),
+        "--clients", str(clients),
+        "--cells", "4",
+        "--cell-outage-rate", str(rate),
+        "--frames", str(frames),
+        "--seed", str(seed),
+        "--workers", str(workers),
+        "--coalesce", "on" if coalesce else "off",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return cmd, proc
+
+
+def json_block(stdout):
+    marker = "-- json --"
+    pos = stdout.find(marker)
+    return stdout[pos:] if pos >= 0 else None
+
+
+def chaos_counters(stdout):
+    for line in stdout.splitlines():
+        if line.startswith('{"chaos":'):
+            return json.loads(line)["chaos"]
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="build/tools/mars_sim",
+                        help="mars_sim binary (default: %(default)s)")
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="seeds per grid cell (default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="3-seed single-cell smoke for CI")
+    args = parser.parse_args()
+
+    # (outage rate / h, clients, scene MB, frames, coalesce)
+    if args.quick:
+        seeds = range(1, 4)
+        grid = [(300.0, 8, 10, 40, False)]
+    else:
+        seeds = range(1, args.seeds + 1)
+        grid = [
+            (150.0, 8, 10, 50, False),
+            (400.0, 8, 10, 50, True),
+            (300.0, 12, 20, 60, False),
+            (300.0, 12, 20, 60, True),
+        ]
+
+    failures = 0
+    runs = 0
+    for rate, clients, mb, frames, coalesce in grid:
+        for seed in seeds:
+            outputs = {}
+            bad = False
+            for workers in (1, 8):
+                cmd, proc = run_sim(args.binary, seed, rate, clients, mb,
+                                    frames, workers, coalesce)
+                runs += 1
+                label = " ".join(cmd)
+                if proc.returncode != 0:
+                    print(f"FATAL: exit {proc.returncode}: {label}")
+                    sys.stderr.write(proc.stderr[-2000:])
+                    failures += 1
+                    bad = True
+                    continue
+                block = json_block(proc.stdout)
+                if block is None:
+                    print(f"FATAL: no json block: {label}")
+                    failures += 1
+                    bad = True
+                    continue
+                outputs[workers] = block
+                chaos = chaos_counters(proc.stdout)
+                if chaos is None:
+                    print(f"FATAL: no chaos counters: {label}")
+                    failures += 1
+                    bad = True
+                    continue
+                for key in CHAOS_KEYS:
+                    if chaos.get(key, -1) != 0:
+                        print(f"FATAL: {key}={chaos.get(key)}: {label}")
+                        failures += 1
+                        bad = True
+            if not bad and outputs.get(1) != outputs.get(8):
+                print(f"FATAL: workers 1 vs 8 diverged: seed={seed} "
+                      f"rate={rate} clients={clients} mb={mb} "
+                      f"coalesce={coalesce}")
+                failures += 1
+
+    if failures:
+        print(f"chaos sweep: {failures} violation(s) across {runs} runs")
+        return 1
+    print(f"chaos sweep: {runs} runs clean "
+          f"(zero chaos counters, workers 1 == 8)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@
 //             [--fanout-workers W]
 //             [--fairness wfq|equal] [--weights S,B,N] [--admission]
 //             [--coalesce on|off]
+//             [--cells K] [--cell-outage-rate R] [--handover-blackout S]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
 //       < 0.5); --outage-rate schedules full-connectivity outages at R
@@ -47,6 +48,18 @@
 //       stats in the JSON block when K > 1. --fanout-workers W > 1
 //       queries the shards in parallel; results are identical to
 //       sequential fan-out.
+//       --cells K tiles the ground plane with K radio cells (fleet mode
+//       only; default 1 = the classic single shared cell, a strict
+//       bit-identical passthrough). Each client is served by the cell
+//       covering its position and handed over as it crosses cells; a
+//       cell outage fails its clients over to the nearest healthy
+//       neighbour, cancelling and re-issuing their in-flight transfers.
+//       --cell-outage-rate R schedules whole-cell outages at R per hour
+//       (per cell, independent seeds; mean duration --outage-secs),
+//       overriding --outage-rate for the cells. --handover-blackout S
+//       blacks out a client's private bearer for S seconds after each
+//       handover (the radio re-association gap). With --cells K > 1 the
+//       JSON block gains per-cell, handover and chaos-invariant lines.
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
@@ -54,6 +67,7 @@
 //   mars_sim run --mb 20 --tour tram --speed 1.0 --client naive
 //   mars_sim run --mb 20 --loss 0.05 --outage-rate 30 --outage-secs 5
 //   mars_sim run --mb 20 --clients 32 --workers 8 --frames 120
+//   mars_sim run --mb 20 --clients 12 --cells 4 --cell-outage-rate 60
 
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +120,9 @@ struct Flags {
   double weight_naive = 1.0;
   bool admission = false;
   std::string coalesce = "off";
+  int cells = 1;
+  double cell_outage_rate = 0.0;
+  double handover_blackout = 0.0;
 };
 
 void Usage() {
@@ -186,6 +203,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->admission = true;
     } else if (arg == "--coalesce") {
       flags->coalesce = next();
+    } else if (arg == "--cells") {
+      flags->cells = std::atoi(next());
+    } else if (arg == "--cell-outage-rate") {
+      flags->cell_outage_rate = std::atof(next());
+    } else if (arg == "--handover-blackout") {
+      flags->handover_blackout = std::atof(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -282,6 +305,13 @@ int RunFleet(const core::System& system, const Flags& flags) {
   options.cell_fault.outage_rate_per_hour = flags.outage_rate;
   options.cell_fault.outage_mean_seconds = flags.outage_secs;
   options.cell_fault.seed = flags.seed + 2;
+  options.cells = flags.cells;
+  options.handover_blackout_seconds = flags.handover_blackout;
+  if (flags.cell_outage_rate > 0.0) {
+    // Whole-cell failure rate for the multi-cell topology; each cell
+    // derives an independent outage stream from the base seed.
+    options.cell_fault.outage_rate_per_hour = flags.cell_outage_rate;
+  }
   std::vector<fleet::ClientSpec> specs = fleet::FleetEngine::MakeMixedFleet(
       flags.clients, flags.frames, flags.speed, flags.seed);
   for (fleet::ClientSpec& spec : specs) {
@@ -303,6 +333,15 @@ int RunFleet(const core::System& system, const Flags& flags) {
 
   std::printf("\n-- fleet (%d clients, %d workers) --\n", flags.clients,
               flags.workers);
+  if (flags.cells > 1) {
+    std::printf("cells                   : %d\n", flags.cells);
+    std::printf("handovers / failovers   : %lld / %lld\n",
+                static_cast<long long>(result.handovers),
+                static_cast<long long>(result.failovers));
+    std::printf("reissued transfers      : %lld (%s)\n",
+                static_cast<long long>(result.reissued_transfers),
+                common::FormatBytes(result.reissued_bytes).c_str());
+  }
   std::printf("virtual seconds         : %.1f\n", result.virtual_seconds);
   std::printf("cell bytes              : %s\n",
               common::FormatBytes(result.cell_bytes).c_str());
@@ -403,6 +442,48 @@ int RunFleet(const core::System& system, const Flags& flags) {
           static_cast<long long>(s.bytes));
     }
   }
+  if (flags.cells > 1) {
+    // Multi-cell telemetry rides extra JSON lines so the single-cell
+    // block above stays byte-identical to the pre-topology era. The
+    // chaos line carries the engine's handover invariants (all zero, or
+    // the run would have FATALed) so the chaos harness can assert the
+    // checks actually ran.
+    for (size_t k = 0; k < result.cell_stats.size(); ++k) {
+      const fleet::FleetResult::CellStats& cs = result.cell_stats[k];
+      std::printf(
+          "{\"cell\": %zu, \"bytes\": %lld, \"retries\": %lld, "
+          "\"timeouts\": %lld, \"outage_seconds\": %.17g, "
+          "\"peak_backlog_bytes\": %lld, \"handovers_in\": %lld}\n",
+          k, static_cast<long long>(cs.bytes),
+          static_cast<long long>(cs.retries),
+          static_cast<long long>(cs.timeouts), cs.outage_seconds,
+          static_cast<long long>(cs.peak_backlog_bytes),
+          static_cast<long long>(cs.handovers_in));
+    }
+    for (const fleet::ClientResult& client : result.clients) {
+      std::printf(
+          "{\"client_cells\": %d, \"home\": %d, \"final\": %d, "
+          "\"handovers\": %lld, \"failovers\": %lld}\n",
+          client.spec.id, client.home_cell, client.final_cell,
+          static_cast<long long>(client.handovers),
+          static_cast<long long>(client.failovers));
+    }
+    std::printf(
+        "{\"handover\": {\"handovers\": %lld, \"failovers\": %lld, "
+        "\"reissued_transfers\": %lld, \"reissued_bytes\": %lld}}\n",
+        static_cast<long long>(result.handovers),
+        static_cast<long long>(result.failovers),
+        static_cast<long long>(result.reissued_transfers),
+        static_cast<long long>(result.reissued_bytes));
+    std::printf(
+        "{\"chaos\": {\"session_desyncs\": %lld, "
+        "\"duplicate_deliveries\": %lld, \"stranded_waiters\": %lld, "
+        "\"unresolved_exchanges\": %lld}}\n",
+        static_cast<long long>(result.chaos_session_desyncs),
+        static_cast<long long>(result.chaos_duplicate_deliveries),
+        static_cast<long long>(result.chaos_stranded_waiters),
+        static_cast<long long>(result.chaos_unresolved_exchanges));
+  }
   return 0;
 }
 
@@ -437,6 +518,19 @@ int Run(const Flags& flags) {
     std::fprintf(stderr,
                  "--coalesce on requires --fairness wfq (shared-delivery "
                  "resolution relies on per-client FIFO completions)\n");
+    return 2;
+  }
+  if (flags.cells < 1) {
+    std::fprintf(stderr, "--cells must be >= 1\n");
+    return 2;
+  }
+  if (flags.cells > 1 && flags.clients <= 1) {
+    std::fprintf(stderr, "--cells K > 1 requires fleet mode (--clients > 1)\n");
+    return 2;
+  }
+  if (flags.cell_outage_rate < 0.0 || flags.handover_blackout < 0.0) {
+    std::fprintf(stderr,
+                 "--cell-outage-rate and --handover-blackout must be >= 0\n");
     return 2;
   }
   config.shards = flags.shards;
