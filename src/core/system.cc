@@ -37,6 +37,7 @@ System::System(const Config& config,
   options.rtree = config.rtree;
   options.shards = config.shards;
   options.fanout_workers = config.fanout_workers;
+  options.storage = config.storage;
   server_ = std::make_unique<server::Server>(db_.get(), options);
 }
 
@@ -49,7 +50,12 @@ RunMetrics System::RunStreaming(
   client::StreamingClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
   int64_t stale_run = 0;
+  const bool motion_pools = server_->motion_interest_enabled();
   for (const workload::TourPoint& point : tour) {
+    if (motion_pools) {
+      server_->ObserveClientMotion(0, point.position);
+      server_->RefreshPoolInterest();
+    }
     const client::StreamingFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.response_bytes;
@@ -87,7 +93,12 @@ RunMetrics System::RunBuffered(
   if (fault.enabled()) link.AttachFaultSchedule(&fault);
   client::BufferedClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
+  const bool motion_pools = server_->motion_interest_enabled();
   for (const workload::TourPoint& point : tour) {
+    if (motion_pools) {
+      server_->ObserveClientMotion(0, point.position);
+      server_->RefreshPoolInterest();
+    }
     const client::BufferedFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.demand_bytes;
@@ -116,7 +127,12 @@ RunMetrics System::RunNaiveObject(
   if (fault.enabled()) link.AttachFaultSchedule(&fault);
   client::NaiveObjectClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
+  const bool motion_pools = server_->motion_interest_enabled();
   for (const workload::TourPoint& point : tour) {
+    if (motion_pools) {
+      server_->ObserveClientMotion(0, point.position);
+      server_->RefreshPoolInterest();
+    }
     const client::NaiveFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.bytes;

@@ -13,6 +13,7 @@
 #include "net/fault.h"
 #include "net/link.h"
 #include "server/server.h"
+#include "storage/storage_manager.h"
 #include "workload/scene.h"
 #include "workload/tour.h"
 
@@ -35,6 +36,10 @@ class System {
     int32_t shards = 1;
     // Worker budget for parallel per-shard query fan-out (1 = sequential).
     int32_t fanout_workers = 1;
+    // Index node storage: memory passthrough (default, bit-identical to
+    // the historical build) or page-based disk storage behind motion- or
+    // LRU-evicting buffer pools.
+    storage::StorageConfig storage;
     net::SimulatedLink::Options link;
     // Deterministic outage/burst/dip schedule. All-zero rates (the
     // default) disable the fault layer entirely; each Run* call then

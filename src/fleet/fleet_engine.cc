@@ -535,6 +535,10 @@ FleetResult FleetEngine::Run() {
   const int32_t num_cells = options_.cells;
   int64_t peak_backlog = 0;
   const bool coalescing = inflight_.enabled();
+  // Disk store with motion eviction: the serial commit phase feeds every
+  // committed frame's position into the server-side predictors, and each
+  // tick installs one refreshed interest field on the shard pools.
+  const bool motion_pools = system_.server().motion_interest_enabled();
   // Book one cell's drained completions, in the cell's deterministic
   // completion order. Cells are always recorded in ascending cell id, so
   // the booking sequence is worker-count-invariant.
@@ -721,6 +725,10 @@ FleetResult FleetEngine::Run() {
         continue;
       }
       CommitClient(state);
+      if (motion_pools) {
+        system_.server().ObserveClientMotion(
+            id, state->tour[static_cast<size_t>(state->next_frame)].position);
+      }
       ++state->next_frame;
       if (state->next_frame < state->spec.frames) {
         // A frame deferred past its successor's slot pushes the
@@ -733,6 +741,9 @@ FleetResult FleetEngine::Run() {
                 tick + 1),
             id);
       }
+    }
+    if (motion_pools && !due.empty()) {
+      system_.server().RefreshPoolInterest();
     }
     if (num_cells == 1) {
       peak_backlog = std::max(peak_backlog, cells_[0]->backlog_bytes());

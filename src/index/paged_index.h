@@ -1,0 +1,147 @@
+#ifndef MARS_INDEX_PAGED_INDEX_H_
+#define MARS_INDEX_PAGED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/box.h"
+#include "index/access.h"
+#include "index/record.h"
+#include "index/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+
+namespace mars::index {
+
+// R*-tree node storage on pages: the tree is STR-bulk-loaded in RAM exactly
+// as the in-memory access methods build it, then flattened and written one
+// node per logical page array (children referenced by page id instead of
+// pointer). Queries traverse by page id through a BufferPool, so the
+// paper's query_node_accesses metric becomes real page fetches with a
+// hit/miss split — while visiting exactly the nodes the pointer-chasing
+// traversal would, keeping node-access counts bit-identical to `--store
+// memory`.
+class PagedTree3 {
+ public:
+  // `pool` must outlive this object.
+  explicit PagedTree3(storage::BufferPool* pool) : pool_(pool) {}
+
+  // Serializes `tree` into pages. `scale` un-normalizes node MBRs back to
+  // world coordinates so each page's ground region can be registered with
+  // the pool for motion-aware eviction.
+  common::Status Write(const RTree3& tree, const GroundScale& scale);
+
+  // Re-attaches to a tree previously written to the same store (restart
+  // path); the caller supplies the directory-recorded metadata.
+  void Attach(storage::PageId root, int32_t height, int64_t size);
+
+  // Appends values of entries intersecting `window`, visiting exactly the
+  // pages the in-memory traversal would visit nodes. Returns this call's
+  // page fetches (== node accesses). Thread-safe on a const tree: the pool
+  // serializes page access and the counter is relaxed.
+  int64_t Query(const geometry::Box3& window, std::vector<int64_t>* out) const;
+
+  // Returns every page of the tree to the store's freelist (epoch retire).
+  common::Status FreePages();
+
+  storage::PageId root() const { return root_; }
+  int32_t height() const { return height_; }
+  int64_t size() const { return size_; }
+  int64_t node_accesses() const { return accesses_; }
+  void ResetStats() { accesses_ = 0; }
+
+ private:
+  common::Status QueryPage(storage::PageId id, const geometry::Box3& window,
+                           std::vector<int64_t>* out,
+                           int64_t* accesses) const;
+
+  storage::BufferPool* pool_;
+  storage::PageId root_ = storage::kInvalidPage;
+  int32_t height_ = 0;
+  int64_t size_ = 0;
+  mutable RelaxedCounter accesses_;
+};
+
+// CoefficientIndex whose nodes live on pages. Adds the persist/restore and
+// page-lifecycle surface the sharded index needs for `--store disk`.
+class PagedCoefficientIndex : public CoefficientIndex {
+ public:
+  struct TreeInfo {
+    storage::PageId root = storage::kInvalidPage;
+    int32_t height = 0;
+    int64_t size = 0;
+  };
+
+  virtual TreeInfo tree_info() const = 0;
+
+  // Attaches to a persisted tree instead of rebuilding: derived state
+  // (normalization, extents) is recomputed deterministically from
+  // `records`, which must be the same table the tree was built from.
+  virtual common::Status Restore(const std::vector<CoeffRecord>& records,
+                                 const TreeInfo& info) = 0;
+
+  // Frees the tree's pages (the destructor intentionally does not: pages
+  // must survive shutdown for restart-from-disk).
+  virtual common::Status FreePages() = 0;
+};
+
+// Paged twin of SupportRegionIndex (paper Sec. VI-B): identical build keys,
+// identical traversal, nodes on pages.
+class PagedSupportRegionIndex : public PagedCoefficientIndex {
+ public:
+  PagedSupportRegionIndex(RTreeOptions options, storage::BufferPool* pool);
+
+  void Build(const std::vector<CoeffRecord>& records) override;
+  int64_t Query(const geometry::Box2& region, double w_min, double w_max,
+                std::vector<RecordId>* out) const override;
+  int64_t node_accesses() const override { return paged_.node_accesses(); }
+  void ResetStats() override { paged_.ResetStats(); }
+  std::string name() const override { return "support-region"; }
+
+  TreeInfo tree_info() const override;
+  common::Status Restore(const std::vector<CoeffRecord>& records,
+                         const TreeInfo& info) override;
+  common::Status FreePages() override { return paged_.FreePages(); }
+
+ private:
+  RTreeOptions options_;
+  PagedTree3 paged_;
+  GroundScale scale_;
+};
+
+// Paged twin of NaivePointIndex: same two-pass query over vertex positions
+// with the extended-region re-execution and support post-filter.
+class PagedNaivePointIndex : public PagedCoefficientIndex {
+ public:
+  PagedNaivePointIndex(RTreeOptions options, storage::BufferPool* pool);
+
+  void Build(const std::vector<CoeffRecord>& records) override;
+  int64_t Query(const geometry::Box2& region, double w_min, double w_max,
+                std::vector<RecordId>* out) const override;
+  int64_t node_accesses() const override { return paged_.node_accesses(); }
+  void ResetStats() override { paged_.ResetStats(); }
+  std::string name() const override { return "naive-point"; }
+
+  TreeInfo tree_info() const override;
+  common::Status Restore(const std::vector<CoeffRecord>& records,
+                         const TreeInfo& info) override;
+  common::Status FreePages() override { return paged_.FreePages(); }
+
+ private:
+  // Normalization and extents derived from the record table; shared by
+  // Build and Restore so both paths agree bit-for-bit.
+  void DeriveFromRecords(const std::vector<CoeffRecord>& records);
+
+  RTreeOptions options_;
+  PagedTree3 paged_;
+  GroundScale scale_;
+  const std::vector<CoeffRecord>* records_ = nullptr;
+  double max_extent_x_ = 0.0;
+  double max_extent_y_ = 0.0;
+};
+
+}  // namespace mars::index
+
+#endif  // MARS_INDEX_PAGED_INDEX_H_

@@ -294,6 +294,24 @@ class RTree {
     return common::OkStatus();
   }
 
+  // Flattened snapshot of the tree for page-based serialization (see
+  // src/index/paged_index.h): nodes in preorder, root at index 0, internal
+  // nodes referencing children by flat index alongside their MBRs. An empty
+  // tree flattens to its single empty root leaf.
+  struct FlatNode {
+    bool is_leaf = true;
+    BoxT mbr;
+    std::vector<Entry> entries;     // leaf payload
+    std::vector<int32_t> children;  // internal: indices into the flat list
+    std::vector<BoxT> child_mbrs;   // parallel to children
+  };
+
+  std::vector<FlatNode> Flatten() const {
+    std::vector<FlatNode> out;
+    FlattenRec(root_.get(), &out);
+    return out;
+  }
+
  private:
   struct Node {
     explicit Node(bool leaf) : is_leaf(leaf) {}
@@ -912,6 +930,30 @@ class RTree {
         QueryEntriesRec(child.get(), window, out, accesses);
       }
     }
+  }
+
+  // Appends `node` (then its subtree, preorder) to *out; returns the flat
+  // index of `node`. Indexes instead of references throughout: the vector
+  // reallocates as it grows.
+  int32_t FlattenRec(const Node* node, std::vector<FlatNode>* out) const {
+    const int32_t index = static_cast<int32_t>(out->size());
+    out->emplace_back();
+    (*out)[index].is_leaf = node->is_leaf;
+    (*out)[index].mbr = node->mbr;
+    (*out)[index].entries = node->entries;
+    if (!node->is_leaf) {
+      std::vector<int32_t> children;
+      std::vector<BoxT> child_mbrs;
+      children.reserve(node->children.size());
+      child_mbrs.reserve(node->children.size());
+      for (const auto& child : node->children) {
+        child_mbrs.push_back(child->mbr);
+        children.push_back(FlattenRec(child.get(), out));
+      }
+      (*out)[index].children = std::move(children);
+      (*out)[index].child_mbrs = std::move(child_mbrs);
+    }
+    return index;
   }
 
   // --- Invariants ------------------------------------------------------

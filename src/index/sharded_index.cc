@@ -1,8 +1,10 @@
 #include "index/sharded_index.h"
 
+#include <cstring>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/serialize.h"
 
 namespace mars::index {
 
@@ -12,6 +14,94 @@ namespace {
 geometry::Box2 GroundSupport(const CoeffRecord& r) {
   return geometry::Box2({r.support_bounds.lo(0), r.support_bounds.lo(1)},
                         {r.support_bounds.hi(0), r.support_bounds.hi(1)});
+}
+
+// Per-shard-file directory blob, stored as the page store's root array so a
+// restart can find the persisted tree and prove it matches the table that
+// would be routed to this shard today.
+constexpr uint64_t kDirMagic = 0x52494452414d3144ull;  // "D1MARDIR" LE
+constexpr uint32_t kDirVersion = 1;
+
+uint64_t HashDouble(double v, uint64_t h) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return storage::Fnv1a64Mix(bits, h);
+}
+
+// Fingerprint of a shard's routed table: record identity, geometry, and
+// global ids, order-sensitive. Any change to the dataset or the routing
+// (shard count, shard map) changes the fingerprint and forces a rebuild.
+uint64_t FingerprintTable(const std::vector<CoeffRecord>& records,
+                          const std::vector<RecordId>& ids) {
+  uint64_t h = storage::kFnvOffset;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const CoeffRecord& r = records[i];
+    h = storage::Fnv1a64Mix(static_cast<uint64_t>(r.object_id), h);
+    h = storage::Fnv1a64Mix(static_cast<uint64_t>(r.coeff_id), h);
+    h = HashDouble(r.w, h);
+    h = HashDouble(r.position.x, h);
+    h = HashDouble(r.position.y, h);
+    h = HashDouble(r.support_bounds.lo(0), h);
+    h = HashDouble(r.support_bounds.lo(1), h);
+    h = HashDouble(r.support_bounds.hi(0), h);
+    h = HashDouble(r.support_bounds.hi(1), h);
+    h = storage::Fnv1a64Mix(static_cast<uint64_t>(ids[i]), h);
+  }
+  return h;
+}
+
+struct Directory {
+  uint8_t kind = 0;
+  int32_t shard = 0;
+  int64_t record_count = 0;
+  uint64_t fingerprint = 0;
+  storage::PageId root = storage::kInvalidPage;
+  int32_t height = 0;
+  int64_t size = 0;
+};
+
+std::vector<uint8_t> EncodeDirectory(const Directory& dir) {
+  common::ByteWriter w;
+  w.WriteU64(kDirMagic);
+  w.WriteU32(kDirVersion);
+  w.WriteU8(dir.kind);
+  w.WriteI32(dir.shard);
+  w.WriteI64(dir.record_count);
+  w.WriteU64(dir.fingerprint);
+  w.WriteI64(dir.root);
+  w.WriteI32(dir.height);
+  w.WriteI64(dir.size);
+  return w.Take();
+}
+
+common::Status DecodeDirectory(const std::vector<uint8_t>& bytes,
+                               Directory* dir) {
+  common::ByteReader r(bytes.data(), bytes.size());
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  MARS_RETURN_IF_ERROR(r.ReadU64(&magic));
+  if (magic != kDirMagic) {
+    return common::InternalError("shard directory: bad magic");
+  }
+  MARS_RETURN_IF_ERROR(r.ReadU32(&version));
+  if (version != kDirVersion) {
+    return common::InternalError("shard directory: unsupported version");
+  }
+  MARS_RETURN_IF_ERROR(r.ReadU8(&dir->kind));
+  MARS_RETURN_IF_ERROR(r.ReadI32(&dir->shard));
+  MARS_RETURN_IF_ERROR(r.ReadI64(&dir->record_count));
+  MARS_RETURN_IF_ERROR(r.ReadU64(&dir->fingerprint));
+  MARS_RETURN_IF_ERROR(r.ReadI64(&dir->root));
+  MARS_RETURN_IF_ERROR(r.ReadI32(&dir->height));
+  MARS_RETURN_IF_ERROR(r.ReadI64(&dir->size));
+  return common::OkStatus();
+}
+
+// Shard k's page file path.
+std::string ShardPath(const storage::StorageConfig& config, int32_t shard,
+                      int32_t shard_count) {
+  if (shard_count == 1) return config.path;
+  return config.path + ".shard" + std::to_string(shard);
 }
 
 std::string KindName(ShardedIndexOptions::Kind kind) {
@@ -33,9 +123,27 @@ ShardedCoefficientIndex::ShardedCoefficientIndex(ShardedIndexOptions options)
   MARS_CHECK_GE(options_.fanout_workers, 1);
 }
 
-ShardedCoefficientIndex::~ShardedCoefficientIndex() = default;
+ShardedCoefficientIndex::~ShardedCoefficientIndex() {
+  // Persist roots and buffered pages so a restart can restore; pages are
+  // deliberately NOT freed — they are the on-disk index.
+  for (const auto& pool : pools_) {
+    if (pool != nullptr) pool->Flush();
+  }
+}
 
-std::unique_ptr<CoefficientIndex> ShardedCoefficientIndex::MakeInner() const {
+std::unique_ptr<CoefficientIndex> ShardedCoefficientIndex::MakeInner(
+    int32_t shard_id) const {
+  if (disk_store()) {
+    storage::BufferPool* pool = pools_[shard_id].get();
+    switch (options_.kind) {
+      case ShardedIndexOptions::Kind::kSupportRegion:
+        return std::make_unique<PagedSupportRegionIndex>(options_.rtree, pool);
+      case ShardedIndexOptions::Kind::kNaivePoint:
+        return std::make_unique<PagedNaivePointIndex>(options_.rtree, pool);
+    }
+    MARS_CHECK(false);
+    return nullptr;
+  }
   switch (options_.kind) {
     case ShardedIndexOptions::Kind::kSupportRegion:
       return std::make_unique<SupportRegionIndex>(options_.rtree);
@@ -58,13 +166,78 @@ ShardedCoefficientIndex::BuildShard(int32_t id,
     shard->coverage.Extend(GroundSupport(r));
   }
   if (!shard->records.empty()) {
-    shard->index = MakeInner();
+    shard->index = MakeInner(id);
     // Built over the shard's own table (the inner access methods keep a
     // pointer to it), so the records copied here must stay put — which
     // they do: a Shard is immutable once installed.
     shard->index->Build(shard->records);
+    if (disk_store()) {
+      shard->paged = static_cast<PagedCoefficientIndex*>(shard->index.get());
+    }
   }
   return shard;
+}
+
+common::StatusOr<std::unique_ptr<ShardedCoefficientIndex::Shard>>
+ShardedCoefficientIndex::RestoreShard(int32_t id,
+                                      std::vector<CoeffRecord> records,
+                                      std::vector<RecordId> ids) const {
+  storage::BufferPool* pool = pools_[id].get();
+  const storage::PageId dir_page = pool->root();
+  if (dir_page == storage::kInvalidPage) {
+    return common::NotFoundError("shard restore: no directory");
+  }
+  std::vector<uint8_t> blob;
+  MARS_RETURN_IF_ERROR(pool->Fetch(dir_page, &blob));
+  Directory dir;
+  MARS_RETURN_IF_ERROR(DecodeDirectory(blob, &dir));
+  if (dir.kind != static_cast<uint8_t>(options_.kind) || dir.shard != id) {
+    return common::FailedPreconditionError("shard restore: directory is for "
+                                           "a different index");
+  }
+  if (dir.record_count != static_cast<int64_t>(records.size()) ||
+      dir.fingerprint != FingerprintTable(records, ids)) {
+    return common::FailedPreconditionError(
+        "shard restore: record table changed since persist");
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->id = id;
+  shard->records = std::move(records);
+  shard->ids = std::move(ids);
+  for (const CoeffRecord& r : shard->records) {
+    shard->coverage.Extend(GroundSupport(r));
+  }
+  if (!shard->records.empty()) {
+    if (dir.root == storage::kInvalidPage) {
+      return common::InternalError("shard restore: directory has no tree");
+    }
+    shard->index = MakeInner(id);
+    shard->paged = static_cast<PagedCoefficientIndex*>(shard->index.get());
+    MARS_RETURN_IF_ERROR(shard->paged->Restore(
+        shard->records, PagedCoefficientIndex::TreeInfo{
+                            dir.root, dir.height, dir.size}));
+  }
+  return shard;
+}
+
+common::Status ShardedCoefficientIndex::WriteDirectory(
+    int32_t id, const Shard& shard) const {
+  Directory dir;
+  dir.kind = static_cast<uint8_t>(options_.kind);
+  dir.shard = id;
+  dir.record_count = static_cast<int64_t>(shard.records.size());
+  dir.fingerprint = FingerprintTable(shard.records, shard.ids);
+  if (shard.paged != nullptr) {
+    const PagedCoefficientIndex::TreeInfo info = shard.paged->tree_info();
+    dir.root = info.root;
+    dir.height = info.height;
+    dir.size = info.size;
+  }
+  storage::BufferPool* pool = pools_[id].get();
+  storage::PageId dir_page = pool->root();
+  MARS_RETURN_IF_ERROR(pool->Store(&dir_page, EncodeDirectory(dir)));
+  MARS_RETURN_IF_ERROR(pool->SetRoot(dir_page));
+  return pool->Flush();
 }
 
 void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
@@ -85,11 +258,64 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
     pool_ = std::make_unique<common::ThreadPool>(options_.fanout_workers);
   }
 
-  // Build every shard — in parallel when a pool is available (shard
-  // builds are independent), sequentially otherwise. Either way the
-  // result is the same set of trees.
   std::vector<std::unique_ptr<Shard>> shards(k);
-  if (pool_ != nullptr && k > 1) {
+  if (disk_store()) {
+    // Disk mode: open (or create) each shard's page file, then restore
+    // the persisted tree when its directory matches the routed table —
+    // partitioning above is deterministic, so an unchanged dataset
+    // restores every shard and a restart skips the whole rebuild. Any
+    // mismatch or corruption falls back to a fresh file and rebuild:
+    // always a clean recovery, never undefined behavior.
+    MARS_CHECK(!options_.storage.path.empty())
+        << "disk store requires a page file path";
+    pools_.clear();
+    managers_.clear();
+    managers_.resize(k);
+    pools_.resize(k);
+    restored_shards_ = 0;
+    const int64_t pool_pages =
+        std::max<int64_t>(1, options_.storage.pool_pages / k);
+    for (int32_t s = 0; s < k; ++s) {
+      const std::string path = ShardPath(options_.storage, s, k);
+      auto opened = storage::DiskStorageManager::Open(
+          path, options_.storage.page_size, /*truncate=*/false);
+      bool fresh_needed = !opened.ok();
+      if (opened.ok()) {
+        managers_[s] = std::move(opened).value();
+        pools_[s] = std::make_unique<storage::BufferPool>(
+            managers_[s].get(), pool_pages, options_.storage.evict);
+        if (managers_[s]->opened_existing()) {
+          auto restored = RestoreShard(s, tables[s], ids[s]);
+          if (restored.ok()) {
+            shards[s] = std::move(restored).value();
+            ++restored_shards_;
+          } else {
+            fresh_needed = true;
+          }
+        }
+      }
+      if (fresh_needed) {
+        // Stale or unreadable page file: recreate it from scratch.
+        pools_[s].reset();
+        managers_[s].reset();
+        auto created = storage::DiskStorageManager::Open(
+            path, options_.storage.page_size, /*truncate=*/true);
+        MARS_CHECK(created.ok())
+            << "cannot create page file: " << created.status().ToString();
+        managers_[s] = std::move(created).value();
+        pools_[s] = std::make_unique<storage::BufferPool>(
+            managers_[s].get(), pool_pages, options_.storage.evict);
+      }
+      if (shards[s] == nullptr) {
+        shards[s] = BuildShard(s, std::move(tables[s]), std::move(ids[s]));
+        const common::Status dir = WriteDirectory(s, *shards[s]);
+        MARS_CHECK(dir.ok())
+            << "cannot persist shard directory: " << dir.ToString();
+      }
+    }
+  } else if (pool_ != nullptr && k > 1) {
+    // Build every shard in parallel (shard builds are independent); the
+    // result is the same set of trees as the sequential path.
     std::vector<std::function<void()>> tasks;
     tasks.reserve(k);
     for (int32_t s = 0; s < k; ++s) {
@@ -273,7 +499,9 @@ int64_t ShardedCoefficientIndex::CommitStaged() {
 
   // Swap. Counters transfer at swap time so queries that ran during the
   // rebuild are not lost: the old tree's accesses retire into the new
-  // shard's carried total.
+  // shard's carried total. In disk mode the replaced epoch's pages go
+  // back to the freelist (the destructor leaves pages alone by design)
+  // and the shard directory is rewritten to point at the new tree.
   common::WriterLock lock(&mu_);
   for (auto& shard : built) {
     std::unique_ptr<Shard>& slot = shards_[shard->id];
@@ -283,7 +511,18 @@ int64_t ShardedCoefficientIndex::CommitStaged() {
     }
     shard->fanout_queries = slot->fanout_queries;
     shard->rebuilds = slot->rebuilds + 1;
+    if (slot->paged != nullptr) {
+      const common::Status freed = slot->paged->FreePages();
+      MARS_CHECK(freed.ok())
+          << "cannot retire epoch pages: " << freed.ToString();
+    }
+    const int32_t id = shard->id;
     slot = std::move(shard);
+    if (disk_store()) {
+      const common::Status dir = WriteDirectory(id, *slot);
+      MARS_CHECK(dir.ok())
+          << "cannot persist shard directory: " << dir.ToString();
+    }
   }
   ++epoch_;
   return folded;
@@ -318,6 +557,27 @@ ShardedCoefficientIndex::Stats() const {
     stats.push_back(s);
   }
   return stats;
+}
+
+std::vector<ShardedCoefficientIndex::ShardPoolStats>
+ShardedCoefficientIndex::PoolStats() const {
+  std::vector<ShardPoolStats> stats;
+  stats.reserve(pools_.size());
+  for (size_t s = 0; s < pools_.size(); ++s) {
+    if (pools_[s] == nullptr) continue;
+    ShardPoolStats entry;
+    entry.shard = static_cast<int32_t>(s);
+    entry.pool = pools_[s]->stats();
+    stats.push_back(entry);
+  }
+  return stats;
+}
+
+void ShardedCoefficientIndex::UpdateInterest(
+    const storage::InterestGrid& interest) const {
+  for (const auto& pool : pools_) {
+    if (pool != nullptr) pool->UpdateInterest(interest);
+  }
 }
 
 }  // namespace mars::index

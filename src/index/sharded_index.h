@@ -8,13 +8,19 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
+#include "common/statusor.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "geometry/box.h"
 #include "index/access.h"
+#include "index/paged_index.h"
 #include "index/record.h"
 #include "index/rtree.h"
 #include "index/shard_map.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_storage.h"
+#include "storage/storage_manager.h"
 
 namespace mars::index {
 
@@ -41,6 +47,14 @@ struct ShardedIndexOptions {
   // returns the exact same records and node accesses — parallelism only
   // changes wall clock, never results.
   int32_t fanout_workers = 1;
+
+  // Where index nodes live. The default (kMemory with no page file) keeps
+  // the in-memory access methods untouched — a bit-identical passthrough.
+  // kDisk pages each shard's tree into `storage.path` (shard k of K > 1
+  // uses `path + ".shard<k>"`) behind a per-shard BufferPool, and Build
+  // restores from an existing page file instead of rebuilding when its
+  // directory matches the routed record table.
+  storage::StorageConfig storage;
 };
 
 // The coefficient access method refactored for scale: a ground-plane
@@ -124,6 +138,24 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   };
   std::vector<ShardStats> Stats() const;
 
+  // Per-shard buffer-pool counters (empty vector in memory mode).
+  struct ShardPoolStats {
+    int32_t shard = 0;
+    storage::PoolStats pool;
+  };
+  std::vector<ShardPoolStats> PoolStats() const;
+
+  // Installs a fresh motion-interest field on every shard's buffer pool
+  // (no-op in memory mode). Const because the serving path only ever sees
+  // a const index; the pools are internally locked.
+  void UpdateInterest(const storage::InterestGrid& interest) const;
+
+  bool disk_store() const {
+    return options_.storage.store == storage::StoreKind::kDisk;
+  }
+  // Shards Build attached from a persisted page file instead of rebuilding.
+  int32_t restored_shards() const { return restored_shards_; }
+
   int32_t shard_count() const { return options_.shards; }
   const ShardMap& shard_map() const { return map_; }
 
@@ -138,6 +170,9 @@ class ShardedCoefficientIndex : public CoefficientIndex {
     std::vector<CoeffRecord> records;
     std::vector<RecordId> ids;
     std::unique_ptr<CoefficientIndex> index;  // null for an empty shard
+    // Aliases `index` in disk mode (persist/restore/page-lifecycle
+    // surface); null in memory mode.
+    PagedCoefficientIndex* paged = nullptr;
     // Union of the ground-plane support MBBs routed here — the exact
     // fan-out filter.
     geometry::Box2 coverage;
@@ -147,11 +182,20 @@ class ShardedCoefficientIndex : public CoefficientIndex {
     mutable RelaxedCounter fanout_queries;
   };
 
-  std::unique_ptr<CoefficientIndex> MakeInner() const;
+  std::unique_ptr<CoefficientIndex> MakeInner(int32_t shard_id) const;
   // Builds a shard over `records`/`ids` (no locks held).
   std::unique_ptr<Shard> BuildShard(int32_t id,
                                     std::vector<CoeffRecord> records,
                                     std::vector<RecordId> ids) const;
+  // Disk mode: attaches shard `id` to the tree persisted in its page file
+  // instead of rebuilding. Fails (caller then rebuilds) when the stored
+  // directory does not match the routed table.
+  common::StatusOr<std::unique_ptr<Shard>> RestoreShard(
+      int32_t id, std::vector<CoeffRecord> records,
+      std::vector<RecordId> ids) const;
+  // Disk mode: persists shard metadata (tree root, record fingerprint) as
+  // the store's root array so a restart can find and validate the tree.
+  common::Status WriteDirectory(int32_t id, const Shard& shard) const;
   // Queries one shard, appending global ids; returns node accesses.
   static int64_t QueryShard(const Shard& shard, const geometry::Box2& region,
                             double w_min, double w_max,
@@ -176,6 +220,14 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   // query at a time; contenders fall back to sequential execution.
   mutable common::Mutex pool_mu_;
   mutable std::unique_ptr<common::ThreadPool> pool_;
+
+  // Disk mode only: per-shard page stores and buffer pools. Created by
+  // Build, shared by every epoch of a shard (CommitStaged writes the new
+  // epoch's pages and frees the old epoch's through the same pool), and
+  // never resized afterwards — queries reach them without taking mu_.
+  std::vector<std::unique_ptr<storage::DiskStorageManager>> managers_;
+  std::vector<std::unique_ptr<storage::BufferPool>> pools_;
+  int32_t restored_shards_ = 0;
 };
 
 }  // namespace mars::index

@@ -1,0 +1,52 @@
+#include "server/motion_interest.h"
+
+#include <utility>
+
+namespace mars::server {
+namespace {
+
+geometry::Box2 NonEmptySpace(const geometry::Box2& space) {
+  if (space.IsEmpty() || space.Extent(0) <= 0.0 || space.Extent(1) <= 0.0) {
+    return geometry::Box2({0.0, 0.0}, {1.0, 1.0});
+  }
+  return space;
+}
+
+}  // namespace
+
+MotionInterestTracker::MotionInterestTracker(const geometry::Box2& space,
+                                             Options options)
+    : options_(options),
+      space_(NonEmptySpace(space)),
+      grid_(space_, options_.grid_nx, options_.grid_ny) {}
+
+void MotionInterestTracker::Observe(int32_t client_id,
+                                    const geometry::Vec2& position) {
+  auto [it, inserted] =
+      predictors_.try_emplace(client_id, motion::MotionPredictor());
+  it->second.Observe(position);
+}
+
+storage::InterestGrid MotionInterestTracker::Snapshot() const {
+  storage::InterestGrid interest;
+  interest.space = space_;
+  interest.nx = options_.grid_nx;
+  interest.ny = options_.grid_ny;
+  interest.score.assign(
+      static_cast<size_t>(options_.grid_nx) * options_.grid_ny, 0.0);
+  for (const auto& [client_id, predictor] : predictors_) {
+    // A fresh per-client sampler keeps the field a pure function of the
+    // observation history — snapshots never drift with call count.
+    common::Rng rng(options_.seed +
+                    0x9e3779b97f4a7c15ull * static_cast<uint64_t>(
+                                                client_id + 1));
+    const motion::BlockProbabilities probs = motion::ComputeBlockProbabilities(
+        predictor, grid_, options_.probability, rng);
+    for (const auto& [block, p] : probs) {
+      interest.score[static_cast<size_t>(block)] += p;
+    }
+  }
+  return interest;
+}
+
+}  // namespace mars::server

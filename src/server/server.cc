@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include "common/logging.h"
+#include "index/shard_map.h"
 
 namespace mars::server {
 
@@ -31,9 +32,16 @@ Server::Server(const ObjectDatabase* db, Options options)
                      : index::ShardedIndexOptions::Kind::kNaivePoint;
   sharded.rtree = options.rtree;
   sharded.fanout_workers = options.fanout_workers;
+  sharded.storage = options.storage;
   coeff_index_ = std::make_unique<index::ShardedCoefficientIndex>(sharded);
   coeff_index_->Build(db->records());
   object_index_.Build(db->object_bounds());
+  if (options.storage.store == storage::StoreKind::kDisk &&
+      options.storage.evict == storage::EvictPolicy::kMotion) {
+    interest_ = std::make_unique<MotionInterestTracker>(
+        index::ShardMap::GroundBounds(db->records()),
+        MotionInterestTracker::Options());
+  }
 }
 
 Server::Server(ObjectDatabase* db, Options options)
@@ -43,7 +51,7 @@ Server::Server(ObjectDatabase* db, Options options)
 
 Server::Server(const ObjectDatabase* db, IndexKind kind,
                index::RTreeOptions options)
-    : Server(db, Options{kind, options, /*shards=*/1, /*fanout_workers=*/1}) {}
+    : Server(db, Options{kind, options}) {}
 
 int32_t Server::AddObject(wavelet::MultiResMesh object) {
   MARS_CHECK(mutable_db_ != nullptr)
@@ -129,6 +137,23 @@ Server::ObjectListing Server::ListObjects(
   ObjectListing listing;
   listing.node_accesses = object_index_.Query(region, &listing.objects);
   return listing;
+}
+
+void Server::ObserveClientMotion(int32_t client_id,
+                                 const geometry::Vec2& position) const {
+  if (interest_ == nullptr) return;
+  common::MutexLock lock(&interest_mu_);
+  interest_->Observe(client_id, position);
+}
+
+void Server::RefreshPoolInterest() const {
+  if (interest_ == nullptr) return;
+  storage::InterestGrid grid;
+  {
+    common::MutexLock lock(&interest_mu_);
+    grid = interest_->Snapshot();
+  }
+  coeff_index_->UpdateInterest(grid);
 }
 
 int64_t Server::node_accesses() const {

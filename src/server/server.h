@@ -6,12 +6,17 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "geometry/box.h"
+#include "geometry/vec.h"
 #include "index/access.h"
 #include "index/record.h"
 #include "index/rtree.h"
 #include "index/sharded_index.h"
+#include "server/motion_interest.h"
 #include "server/object_db.h"
+#include "storage/storage_manager.h"
 #include "wavelet/multires_mesh.h"
 
 namespace mars::server {
@@ -110,6 +115,10 @@ class Server {
     // Worker budget for parallel per-shard query fan-out (1 = sequential;
     // results are identical either way).
     int32_t fanout_workers = 1;
+    // Index node storage (memory passthrough by default, or page-based
+    // disk storage behind per-shard buffer pools; see
+    // index::ShardedIndexOptions::storage).
+    storage::StorageConfig storage = {};
   };
 
   // Read-only server: `db` must be finalized and must outlive the server.
@@ -181,6 +190,29 @@ class Server {
   }
   int32_t shard_count() const { return coeff_index_->shard_count(); }
 
+  // --- Storage layer (disk mode) ------------------------------------------
+
+  bool disk_store() const { return coeff_index_->disk_store(); }
+  // Shards restored from the persisted page file instead of rebuilt.
+  int32_t restored_shards() const { return coeff_index_->restored_shards(); }
+  // Per-shard buffer-pool counters (empty in memory mode).
+  std::vector<index::ShardedCoefficientIndex::ShardPoolStats> PoolStats()
+      const {
+    return coeff_index_->PoolStats();
+  }
+
+  // Motion-aware pool interest: active only with `--store disk --evict
+  // motion`. The serving path holds a const Server, so these are const
+  // with internally-locked mutable state; call them from serial phases
+  // only (the fleet's commit phase or the single-client frame loop).
+  bool motion_interest_enabled() const { return interest_ != nullptr; }
+  // Feeds a client's position into its server-side motion predictor.
+  void ObserveClientMotion(int32_t client_id,
+                           const geometry::Vec2& position) const;
+  // Recomputes the fleet-wide visit-probability field and installs it on
+  // every shard's buffer pool.
+  void RefreshPoolInterest() const;
+
   // Cumulative I/O counters across both indexes.
   int64_t node_accesses() const;
   void ResetStats();
@@ -197,6 +229,12 @@ class Server {
   index::ObjectIndex object_index_;
   // Objects added but not yet committed into the object index.
   std::vector<int32_t> staged_objects_;
+  // Set once in the constructor (disk + motion eviction only), then only
+  // read — motion_interest_enabled() needs no lock. The tracker's state
+  // is mutated through const methods, hence mutable + its own mutex.
+  mutable common::Mutex interest_mu_;
+  mutable std::unique_ptr<MotionInterestTracker> interest_
+      MARS_PT_GUARDED_BY(interest_mu_);
 };
 
 }  // namespace mars::server

@@ -1,0 +1,212 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mars::storage {
+
+double InterestGrid::ScoreRegion(const geometry::Box2& region) const {
+  if (empty() || region.IsEmpty()) {
+    return 0.0;
+  }
+  const double width = space.hi(0) - space.lo(0);
+  const double height = space.hi(1) - space.lo(1);
+  if (width <= 0.0 || height <= 0.0) {
+    return 0.0;
+  }
+  auto block_of = [](double v, double lo, double extent, int32_t n) {
+    const double t = (v - lo) / extent;
+    const int32_t i = static_cast<int32_t>(std::floor(t * n));
+    return std::clamp<int32_t>(i, 0, n - 1);
+  };
+  const int32_t i0 = block_of(region.lo(0), space.lo(0), width, nx);
+  const int32_t i1 = block_of(region.hi(0), space.lo(0), width, nx);
+  const int32_t j0 = block_of(region.lo(1), space.lo(1), height, ny);
+  const int32_t j1 = block_of(region.hi(1), space.lo(1), height, ny);
+  double total = 0.0;
+  int64_t blocks = 0;
+  for (int32_t j = j0; j <= j1; ++j) {
+    for (int32_t i = i0; i <= i1; ++i) {
+      total += score[static_cast<size_t>(j) * nx + i];
+      ++blocks;
+    }
+  }
+  return blocks > 0 ? total / static_cast<double>(blocks) : 0.0;
+}
+
+BufferPool::BufferPool(IStorageManager* manager, int64_t capacity_pages,
+                       EvictPolicy policy)
+    : manager_(manager),
+      capacity_pages_(std::max<int64_t>(capacity_pages, 1)),
+      policy_(policy),
+      // The LruCache is a recency-order structure only: capacity is
+      // enforced by EvictForLocked (which keeps it in lockstep with
+      // resident_), so the cache itself must never self-evict.
+      lru_(std::numeric_limits<int64_t>::max()) {}
+
+int64_t BufferPool::PageCost(size_t bytes) const {
+  const int64_t payload = std::max<int64_t>(manager_->page_size() - 24, 1);
+  return std::max<int64_t>(
+      1, (static_cast<int64_t>(bytes) + payload - 1) / payload);
+}
+
+double BufferPool::ScoreLocked(PageId id) const {
+  if (interest_.empty()) {
+    return 0.0;
+  }
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    return 0.0;
+  }
+  return interest_.ScoreRegion(it->second);
+}
+
+void BufferPool::EvictForLocked(PageId just_inserted) {
+  while (used_pages_ > capacity_pages_ && resident_.size() > 1) {
+    PageId victim = kInvalidPage;
+    if (policy_ == EvictPolicy::kMotion) {
+      // Coldest predicted region first; recency then id break ties so the
+      // choice is deterministic across runs.
+      double best_score = std::numeric_limits<double>::infinity();
+      int64_t best_use = std::numeric_limits<int64_t>::max();
+      for (const auto& [id, entry] : resident_) {
+        if (id == just_inserted) {
+          continue;
+        }
+        if (entry.score < best_score ||
+            (entry.score == best_score && entry.last_use < best_use) ||
+            (entry.score == best_score && entry.last_use == best_use &&
+             (victim == kInvalidPage || id < victim))) {
+          best_score = entry.score;
+          best_use = entry.last_use;
+          victim = id;
+        }
+      }
+    } else {
+      PageId lru_victim = kInvalidPage;
+      if (!lru_.LeastRecent(just_inserted, &lru_victim)) {
+        return;
+      }
+      victim = lru_victim;
+    }
+    if (victim == kInvalidPage) {
+      return;
+    }
+    auto it = resident_.find(victim);
+    if (it == resident_.end()) {
+      return;
+    }
+    used_pages_ -= it->second.cost_pages;
+    resident_.erase(it);
+    lru_.Erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void BufferPool::InsertLocked(PageId id, const std::vector<uint8_t>& bytes) {
+  const int64_t cost = PageCost(bytes.size());
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    used_pages_ -= it->second.cost_pages;
+    resident_.erase(it);
+  }
+  Resident entry;
+  entry.bytes = bytes;
+  entry.cost_pages = cost;
+  entry.last_use = ++clock_;
+  entry.score = ScoreLocked(id);
+  resident_.emplace(id, std::move(entry));
+  used_pages_ += cost;
+  if (!lru_.Contains(id)) {
+    lru_.Put(id, cost);
+  } else {
+    lru_.Touch(id);
+  }
+  EvictForLocked(id);
+}
+
+common::Status BufferPool::Fetch(PageId id, std::vector<uint8_t>* out) {
+  if (out == nullptr) {
+    return common::InvalidArgumentError("buffer pool: null out");
+  }
+  common::MutexLock lock(&mu_);
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    it->second.last_use = ++clock_;
+    lru_.Touch(id);
+    *out = it->second.bytes;
+    return common::OkStatus();
+  }
+  ++stats_.misses;
+  const int64_t reads_before = manager_->stats().reads;
+  MARS_RETURN_IF_ERROR(manager_->Load(id, out));
+  stats_.disk_reads += manager_->stats().reads - reads_before;
+  InsertLocked(id, *out);
+  return common::OkStatus();
+}
+
+common::Status BufferPool::Store(PageId* id,
+                                 const std::vector<uint8_t>& data) {
+  common::MutexLock lock(&mu_);
+  const int64_t writes_before = manager_->stats().writes;
+  MARS_RETURN_IF_ERROR(manager_->Store(id, data));
+  stats_.disk_writes += manager_->stats().writes - writes_before;
+  InsertLocked(*id, data);
+  return common::OkStatus();
+}
+
+common::Status BufferPool::Erase(PageId id) {
+  common::MutexLock lock(&mu_);
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    used_pages_ -= it->second.cost_pages;
+    resident_.erase(it);
+    lru_.Erase(id);
+  }
+  regions_.erase(id);
+  return manager_->Erase(id);
+}
+
+common::Status BufferPool::Flush() {
+  common::MutexLock lock(&mu_);
+  return manager_->Flush();
+}
+
+common::Status BufferPool::SetRoot(PageId id) {
+  common::MutexLock lock(&mu_);
+  return manager_->SetRoot(id);
+}
+
+PageId BufferPool::root() const {
+  common::MutexLock lock(&mu_);
+  return manager_->root();
+}
+
+void BufferPool::SetPageRegion(PageId id, const geometry::Box2& region) {
+  common::MutexLock lock(&mu_);
+  regions_[id] = region;
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    it->second.score = ScoreLocked(id);
+  }
+}
+
+void BufferPool::UpdateInterest(const InterestGrid& interest) {
+  common::MutexLock lock(&mu_);
+  interest_ = interest;
+  for (auto& [id, entry] : resident_) {
+    entry.score = ScoreLocked(id);
+  }
+}
+
+PoolStats BufferPool::stats() const {
+  common::MutexLock lock(&mu_);
+  PoolStats out = stats_;
+  out.resident = static_cast<int64_t>(resident_.size());
+  out.resident_pages = used_pages_;
+  return out;
+}
+
+}  // namespace mars::storage

@@ -1,0 +1,383 @@
+#include "storage/disk_storage.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace mars::storage {
+namespace {
+
+constexpr int64_t kHeaderBytes = 64;
+constexpr int64_t kPageHeaderBytes = 24;
+constexpr uint64_t kMagic = 0x3145474150535244ull;  // "DRSPAGE1" LE
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kUsedFlag = 1u << 0;
+constexpr uint32_t kHeadFlag = 1u << 1;
+constexpr int32_t kMinPageSize = 128;
+
+}  // namespace
+
+common::StatusOr<std::unique_ptr<DiskStorageManager>> DiskStorageManager::Open(
+    const std::string& path, int32_t page_size, bool truncate) {
+  if (path.empty()) {
+    return common::InvalidArgumentError("disk store: empty path");
+  }
+  if (page_size < kMinPageSize) {
+    return common::InvalidArgumentError("disk store: page size too small");
+  }
+  std::unique_ptr<DiskStorageManager> mgr(
+      new DiskStorageManager(path, page_size));
+  bool exists = false;
+  if (!truncate) {
+    if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+      std::fclose(probe);
+      exists = true;
+    }
+  }
+  if (exists) {
+    mgr->file_ = std::fopen(path.c_str(), "rb+");
+    if (mgr->file_ == nullptr) {
+      return common::InternalError("disk store: cannot open " + path);
+    }
+    MARS_RETURN_IF_ERROR(mgr->OpenExisting());
+    mgr->opened_existing_ = true;
+  } else {
+    mgr->file_ = std::fopen(path.c_str(), "wb+");
+    if (mgr->file_ == nullptr) {
+      return common::InternalError("disk store: cannot create " + path);
+    }
+    MARS_RETURN_IF_ERROR(mgr->CreateFresh());
+  }
+  return mgr;
+}
+
+DiskStorageManager::DiskStorageManager(std::string path, int32_t page_size)
+    : path_(std::move(path)), page_size_(page_size) {}
+
+DiskStorageManager::~DiskStorageManager() {
+  if (file_ != nullptr) {
+    WriteHeader();  // best effort: persist root across shutdown
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+int64_t DiskStorageManager::PayloadCapacity() const {
+  return page_size_ - kPageHeaderBytes;
+}
+
+int64_t DiskStorageManager::PageOffset(PageId id) const {
+  return kHeaderBytes + id * static_cast<int64_t>(page_size_);
+}
+
+bool DiskStorageManager::IsUsed(PageId id) const {
+  return id >= 0 && id < page_count_ && freelist_.count(id) == 0;
+}
+
+common::Status DiskStorageManager::WriteHeader() {
+  common::ByteWriter w;
+  w.WriteU64(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU32(static_cast<uint32_t>(page_size_));
+  w.WriteI64(root_);
+  std::vector<uint8_t> buf = std::move(w).Take();
+  buf.resize(kHeaderBytes - 8, 0);
+  const uint64_t checksum = Fnv1a64(buf.data(), buf.size());
+  common::ByteWriter tail;
+  tail.WriteU64(checksum);
+  buf.insert(buf.end(), tail.buffer().begin(), tail.buffer().end());
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return common::InternalError("disk store: header write failed");
+  }
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::CreateFresh() {
+  page_count_ = 0;
+  root_ = kInvalidPage;
+  MARS_RETURN_IF_ERROR(WriteHeader());
+  if (std::fflush(file_) != 0) {
+    return common::InternalError("disk store: flush failed");
+  }
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::OpenExisting() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return common::InternalError("disk store: seek failed");
+  }
+  const int64_t file_size = std::ftell(file_);
+  if (file_size < kHeaderBytes) {
+    return common::InternalError("disk store: truncated header in " + path_);
+  }
+  std::vector<uint8_t> buf(kHeaderBytes);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fread(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return common::InternalError("disk store: header read failed");
+  }
+  common::ByteReader head(buf.data(), kHeaderBytes - 8);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t page_size = 0;
+  int64_t root = kInvalidPage;
+  MARS_RETURN_IF_ERROR(head.ReadU64(&magic));
+  MARS_RETURN_IF_ERROR(head.ReadU32(&version));
+  MARS_RETURN_IF_ERROR(head.ReadU32(&page_size));
+  MARS_RETURN_IF_ERROR(head.ReadI64(&root));
+  if (magic != kMagic) {
+    return common::InternalError("disk store: bad magic in " + path_);
+  }
+  if (version != kVersion) {
+    return common::InternalError("disk store: unsupported version in " +
+                                 path_);
+  }
+  if (page_size < static_cast<uint32_t>(kMinPageSize) ||
+      page_size > (1u << 26)) {
+    return common::InternalError("disk store: bad page size in " + path_);
+  }
+  common::ByteReader tail(buf.data() + (kHeaderBytes - 8), 8);
+  uint64_t stored_checksum = 0;
+  MARS_RETURN_IF_ERROR(tail.ReadU64(&stored_checksum));
+  if (Fnv1a64(buf.data(), kHeaderBytes - 8) != stored_checksum) {
+    return common::InternalError("disk store: header checksum mismatch in " +
+                                 path_);
+  }
+  page_size_ = static_cast<int32_t>(page_size);
+  root_ = root;
+  page_count_ = (file_size - kHeaderBytes) / page_size_;
+  // Rebuild the freelist by scanning the used bit of every page header. A
+  // corrupt flag word can at worst leak a slot or route a Load into a
+  // checksum mismatch; it never reads out of bounds.
+  freelist_.clear();
+  std::vector<uint8_t> page_head(kPageHeaderBytes);
+  for (PageId id = 0; id < page_count_; ++id) {
+    if (std::fseek(file_, static_cast<long>(PageOffset(id)), SEEK_SET) != 0 ||
+        std::fread(page_head.data(), 1, page_head.size(), file_) !=
+            page_head.size()) {
+      return common::InternalError("disk store: truncated page table in " +
+                                   path_);
+    }
+    common::ByteReader r(page_head.data(), page_head.size());
+    uint64_t checksum = 0;
+    uint32_t flags = 0;
+    MARS_RETURN_IF_ERROR(r.ReadU64(&checksum));
+    MARS_RETURN_IF_ERROR(r.ReadU32(&flags));
+    if ((flags & kUsedFlag) == 0) {
+      freelist_.insert(id);
+    }
+  }
+  if (root_ != kInvalidPage && !IsUsed(root_)) {
+    return common::InternalError("disk store: root page not in use in " +
+                                 path_);
+  }
+  return common::OkStatus();
+}
+
+PageId DiskStorageManager::AllocatePage() {
+  ++stats_.pages_allocated;
+  if (!freelist_.empty()) {
+    const PageId id = *freelist_.begin();
+    freelist_.erase(freelist_.begin());
+    return id;
+  }
+  return page_count_++;
+}
+
+common::Status DiskStorageManager::FreePage(PageId id) {
+  // Clear the used bit on disk so a restart's freelist scan sees the slot
+  // as free; the payload itself is left in place.
+  std::vector<uint8_t> head(kPageHeaderBytes, 0);
+  if (std::fseek(file_, static_cast<long>(PageOffset(id)), SEEK_SET) != 0 ||
+      std::fwrite(head.data(), 1, head.size(), file_) != head.size()) {
+    return common::InternalError("disk store: page free failed");
+  }
+  freelist_.insert(id);
+  ++stats_.pages_freed;
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::WritePage(PageId id, uint32_t flags,
+                                             PageId next,
+                                             const uint8_t* payload,
+                                             uint32_t payload_len) {
+  common::ByteWriter w;
+  w.WriteU32(flags);
+  w.WriteU32(payload_len);
+  w.WriteI64(next);
+  std::vector<uint8_t> body = std::move(w).Take();
+  body.insert(body.end(), payload, payload + payload_len);
+  const uint64_t checksum = Fnv1a64(body.data(), body.size());
+  common::ByteWriter page;
+  page.WriteU64(checksum);
+  std::vector<uint8_t> buf = std::move(page).Take();
+  buf.insert(buf.end(), body.begin(), body.end());
+  buf.resize(page_size_, 0);
+  if (std::fseek(file_, static_cast<long>(PageOffset(id)), SEEK_SET) != 0 ||
+      std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return common::InternalError("disk store: page write failed");
+  }
+  ++stats_.writes;
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::ReadPage(PageId id, uint32_t* flags,
+                                            PageId* next,
+                                            std::vector<uint8_t>* payload) {
+  if (id < 0 || id >= page_count_) {
+    return common::OutOfRangeError("disk store: page id out of range");
+  }
+  std::vector<uint8_t> buf(page_size_);
+  if (std::fseek(file_, static_cast<long>(PageOffset(id)), SEEK_SET) != 0 ||
+      std::fread(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    return common::InternalError("disk store: truncated page read in " +
+                                 path_);
+  }
+  common::ByteReader r(buf.data(), buf.size());
+  uint64_t stored_checksum = 0;
+  uint32_t payload_len = 0;
+  MARS_RETURN_IF_ERROR(r.ReadU64(&stored_checksum));
+  MARS_RETURN_IF_ERROR(r.ReadU32(flags));
+  MARS_RETURN_IF_ERROR(r.ReadU32(&payload_len));
+  MARS_RETURN_IF_ERROR(r.ReadI64(next));
+  if (payload_len > static_cast<uint64_t>(PayloadCapacity())) {
+    return common::InternalError("disk store: corrupt payload length");
+  }
+  const uint64_t checksum =
+      Fnv1a64(buf.data() + 8, kPageHeaderBytes - 8 + payload_len);
+  if (checksum != stored_checksum) {
+    return common::InternalError("disk store: page checksum mismatch in " +
+                                 path_);
+  }
+  payload->assign(buf.begin() + kPageHeaderBytes,
+                  buf.begin() + kPageHeaderBytes + payload_len);
+  ++stats_.reads;
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::Store(PageId* id,
+                                         const std::vector<uint8_t>& data) {
+  if (id == nullptr) {
+    return common::InvalidArgumentError("disk store: null id");
+  }
+  const int64_t capacity = PayloadCapacity();
+  const int64_t pages_needed = std::max<int64_t>(
+      1, (static_cast<int64_t>(data.size()) + capacity - 1) / capacity);
+
+  std::vector<PageId> chain;
+  if (*id != kInvalidPage) {
+    // In-place rewrite: walk the old chain so its pages can be reused, the
+    // head id staying stable for callers that recorded it.
+    if (!IsUsed(*id)) {
+      return common::NotFoundError("disk store: rewrite of unknown page");
+    }
+    PageId cur = *id;
+    int64_t steps = 0;
+    while (cur != kInvalidPage) {
+      if (++steps > page_count_) {
+        return common::InternalError("disk store: page chain cycle");
+      }
+      chain.push_back(cur);
+      uint32_t flags = 0;
+      PageId next = kInvalidPage;
+      std::vector<uint8_t> scratch;
+      MARS_RETURN_IF_ERROR(ReadPage(cur, &flags, &next, &scratch));
+      cur = next;
+    }
+    while (static_cast<int64_t>(chain.size()) > pages_needed) {
+      MARS_RETURN_IF_ERROR(FreePage(chain.back()));
+      chain.pop_back();
+    }
+  }
+  while (static_cast<int64_t>(chain.size()) < pages_needed) {
+    chain.push_back(AllocatePage());
+  }
+  for (int64_t i = 0; i < pages_needed; ++i) {
+    const int64_t begin = i * capacity;
+    const int64_t end =
+        std::min<int64_t>(begin + capacity, static_cast<int64_t>(data.size()));
+    const uint32_t flags = kUsedFlag | (i == 0 ? kHeadFlag : 0u);
+    const PageId next = (i + 1 < pages_needed) ? chain[i + 1] : kInvalidPage;
+    MARS_RETURN_IF_ERROR(WritePage(chain[i], flags, next, data.data() + begin,
+                                   static_cast<uint32_t>(end - begin)));
+  }
+  *id = chain[0];
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::Load(PageId id, std::vector<uint8_t>* out) {
+  if (out == nullptr) {
+    return common::InvalidArgumentError("disk store: null out");
+  }
+  if (!IsUsed(id)) {
+    return common::NotFoundError("disk store: load of unknown page");
+  }
+  out->clear();
+  PageId cur = id;
+  bool first = true;
+  int64_t steps = 0;
+  while (cur != kInvalidPage) {
+    if (++steps > page_count_) {
+      return common::InternalError("disk store: page chain cycle");
+    }
+    uint32_t flags = 0;
+    PageId next = kInvalidPage;
+    std::vector<uint8_t> payload;
+    MARS_RETURN_IF_ERROR(ReadPage(cur, &flags, &next, &payload));
+    if ((flags & kUsedFlag) == 0) {
+      return common::InternalError("disk store: chain through free page");
+    }
+    if (first && (flags & kHeadFlag) == 0) {
+      return common::InvalidArgumentError(
+          "disk store: load of non-head page");
+    }
+    out->insert(out->end(), payload.begin(), payload.end());
+    cur = next;
+    first = false;
+  }
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::Erase(PageId id) {
+  if (!IsUsed(id)) {
+    return common::NotFoundError("disk store: erase of unknown page");
+  }
+  // Collect the chain before freeing anything so a mid-chain error leaves a
+  // consistent (if leaky) file.
+  std::vector<PageId> chain;
+  PageId cur = id;
+  int64_t steps = 0;
+  while (cur != kInvalidPage) {
+    if (++steps > page_count_) {
+      return common::InternalError("disk store: page chain cycle");
+    }
+    chain.push_back(cur);
+    uint32_t flags = 0;
+    PageId next = kInvalidPage;
+    std::vector<uint8_t> payload;
+    MARS_RETURN_IF_ERROR(ReadPage(cur, &flags, &next, &payload));
+    cur = next;
+  }
+  for (const PageId page : chain) {
+    MARS_RETURN_IF_ERROR(FreePage(page));
+  }
+  ++stats_.erases;
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::Flush() {
+  MARS_RETURN_IF_ERROR(WriteHeader());
+  if (std::fflush(file_) != 0) {
+    return common::InternalError("disk store: flush failed");
+  }
+  return common::OkStatus();
+}
+
+common::Status DiskStorageManager::SetRoot(PageId id) {
+  root_ = id;
+  return WriteHeader();
+}
+
+}  // namespace mars::storage

@@ -1,0 +1,79 @@
+#include "storage/memory_storage.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mars::storage {
+
+MemoryStorageManager::MemoryStorageManager(int32_t page_size)
+    : page_size_(std::max<int32_t>(page_size, 64)) {}
+
+int64_t MemoryStorageManager::PageCost(size_t bytes) const {
+  // Mirror the disk layout: each page holds page_size - header bytes of
+  // payload. Keep the constant in sync with disk_storage.cc.
+  const int64_t payload = std::max<int64_t>(page_size_ - 24, 1);
+  return std::max<int64_t>(
+      1, (static_cast<int64_t>(bytes) + payload - 1) / payload);
+}
+
+common::Status MemoryStorageManager::Store(PageId* id,
+                                           const std::vector<uint8_t>& data) {
+  if (id == nullptr) {
+    return common::InvalidArgumentError("memory store: null id");
+  }
+  if (*id == kInvalidPage) {
+    if (!freelist_.empty()) {
+      *id = *freelist_.begin();
+      freelist_.erase(freelist_.begin());
+    } else {
+      *id = static_cast<PageId>(arrays_.size());
+      arrays_.emplace_back();
+    }
+    stats_.pages_allocated += PageCost(data.size());
+  } else {
+    if (*id < 0 || *id >= static_cast<PageId>(arrays_.size()) ||
+        !arrays_[*id].has_value()) {
+      return common::NotFoundError("memory store: rewrite of unknown page");
+    }
+    stats_.pages_freed += PageCost(arrays_[*id]->size());
+    stats_.pages_allocated += PageCost(data.size());
+  }
+  arrays_[*id] = data;
+  stats_.writes += PageCost(data.size());
+  return common::OkStatus();
+}
+
+common::Status MemoryStorageManager::Load(PageId id,
+                                          std::vector<uint8_t>* out) {
+  if (out == nullptr) {
+    return common::InvalidArgumentError("memory load: null out");
+  }
+  if (id < 0 || id >= static_cast<PageId>(arrays_.size()) ||
+      !arrays_[id].has_value()) {
+    return common::NotFoundError("memory load: unknown page");
+  }
+  *out = *arrays_[id];
+  stats_.reads += PageCost(out->size());
+  return common::OkStatus();
+}
+
+common::Status MemoryStorageManager::Erase(PageId id) {
+  if (id < 0 || id >= static_cast<PageId>(arrays_.size()) ||
+      !arrays_[id].has_value()) {
+    return common::NotFoundError("memory erase: unknown page");
+  }
+  stats_.pages_freed += PageCost(arrays_[id]->size());
+  ++stats_.erases;
+  arrays_[id].reset();
+  freelist_.insert(id);
+  return common::OkStatus();
+}
+
+common::Status MemoryStorageManager::Flush() { return common::OkStatus(); }
+
+common::Status MemoryStorageManager::SetRoot(PageId id) {
+  root_ = id;
+  return common::OkStatus();
+}
+
+}  // namespace mars::storage

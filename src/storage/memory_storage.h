@@ -1,0 +1,46 @@
+#ifndef MARS_STORAGE_MEMORY_STORAGE_H_
+#define MARS_STORAGE_MEMORY_STORAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace mars::storage {
+
+// RAM-resident IStorageManager: logical arrays live as whole vectors, but
+// page accounting (reads/writes in page units) mirrors what the disk
+// implementation would do at the same page size, so `--store memory` keeps
+// the same stats semantics while staying a zero-I/O passthrough.
+class MemoryStorageManager : public IStorageManager {
+ public:
+  explicit MemoryStorageManager(int32_t page_size);
+
+  common::Status Store(PageId* id, const std::vector<uint8_t>& data) override;
+  common::Status Load(PageId id, std::vector<uint8_t>* out) override;
+  common::Status Erase(PageId id) override;
+  common::Status Flush() override;
+
+  PageId root() const override { return root_; }
+  common::Status SetRoot(PageId id) override;
+
+  const StorageStats& stats() const override { return stats_; }
+  int32_t page_size() const override { return page_size_; }
+  const char* name() const override { return "memory"; }
+
+ private:
+  int64_t PageCost(size_t bytes) const;
+
+  int32_t page_size_;
+  std::vector<std::optional<std::vector<uint8_t>>> arrays_;
+  std::set<PageId> freelist_;  // ordered so reuse picks the lowest id
+  PageId root_ = kInvalidPage;
+  StorageStats stats_;
+};
+
+}  // namespace mars::storage
+
+#endif  // MARS_STORAGE_MEMORY_STORAGE_H_

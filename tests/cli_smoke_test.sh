@@ -19,6 +19,19 @@ trap 'rm -rf "$TMP"' EXIT
 "$BIN_DIR/tools/mars_sim" run --objects 10 --seed 5 --frames 40 \
     --client buffered --loss 0.05 --outage-rate 30 --outage-secs 5 \
     | grep -q "outage frames"
+# Out-of-core store: the first disk run builds the page file, the rerun
+# restores the persisted index from it instead of rebuilding. The page
+# file lives in $TMP so the trap cleans it up with everything else.
+"$BIN_DIR/tools/mars_sim" run --db "$TMP/city.mars" --frames 30 \
+    --client streaming --store disk --pages "$TMP/city.pages" \
+    --evict motion | grep -q "restored shards 0/1"
+test -s "$TMP/city.pages"
+"$BIN_DIR/tools/mars_sim" run --db "$TMP/city.mars" --frames 30 \
+    --client streaming --store disk --pages "$TMP/city.pages" \
+    | grep -q "restored shards 1/1"
+# --store disk without --pages fails loudly.
+if "$BIN_DIR/tools/mars_sim" run --db "$TMP/city.mars" --frames 30 \
+    --store disk 2>/dev/null; then exit 1; fi
 # Unknown flags and missing files fail loudly.
 if "$BIN_DIR/tools/mars_sim" run --loss 0.9 2>/dev/null; then exit 1; fi
 if "$BIN_DIR/tools/mars_sim" run --bogus 2>/dev/null; then exit 1; fi

@@ -8,14 +8,20 @@ quantity — delivery-delay quantiles, virtual time, hit rates — never
 wall clock, so the gate's verdict does not depend on runner speed.
 
 A metric regresses when it moves in its bad direction (each entry
-carries `higher_is_better`) by more than --tolerance (default 15%).
-Improvements and new metrics never fail; a metric present in the
-baseline but missing from the run does, since silently dropping a gated
-metric is how regressions hide.
+carries `higher_is_better`) by more than its tolerance. The tolerance
+resolves most-specific first: a `tolerance` key on the metric's
+baseline entry, else a file-level `tolerance` key at the baseline's top
+level, else the --tolerance flag (default 15%). Improvements and new
+metrics never fail; a metric present in the baseline but missing from
+the run does, since silently dropping a gated metric is how regressions
+hide.
 
 Usage:
     bench_gate.py --baseline bench/baselines/foo.json --current out.json
     bench_gate.py ... --update   # rewrite the baseline from the run
+
+--update preserves the baseline's existing file- and metric-level
+tolerance keys, so tightening a bound survives baseline refreshes.
 """
 
 import argparse
@@ -31,7 +37,16 @@ def load(path):
     return doc
 
 
-def compare(baseline, current, tolerance):
+def resolve_tolerance(base_entry, baseline, cli_tolerance):
+    """Most-specific tolerance wins: metric entry > baseline file > CLI."""
+    if "tolerance" in base_entry:
+        return float(base_entry["tolerance"])
+    if "tolerance" in baseline:
+        return float(baseline["tolerance"])
+    return cli_tolerance
+
+
+def compare(baseline, current, cli_tolerance):
     failures = []
     report = []
     for name, base in sorted(baseline["metrics"].items()):
@@ -42,6 +57,7 @@ def compare(baseline, current, tolerance):
         base_value = float(base["value"])
         cur_value = float(cur["value"])
         higher_is_better = bool(base.get("higher_is_better", False))
+        tolerance = resolve_tolerance(base, baseline, cli_tolerance)
         if base_value == 0.0:
             # Zero baselines (e.g. no sheds expected): any movement in the
             # bad direction is a regression, movement toward zero is fine.
@@ -50,7 +66,7 @@ def compare(baseline, current, tolerance):
         else:
             delta = (cur_value - base_value) / abs(base_value)
             bad = (delta < -tolerance) if higher_is_better else (delta > tolerance)
-            delta_text = f"{delta:+.1%}"
+            delta_text = f"{delta:+.1%} (tol {tolerance:.0%})"
         arrow = "worse" if bad else "ok"
         report.append(
             f"  {name}: baseline={base_value:.6g} current={cur_value:.6g} "
@@ -81,6 +97,19 @@ def main():
 
     current = load(args.current)
     if args.update:
+        # Carry the old baseline's tolerance configuration over to the
+        # refreshed values (file-level key plus per-metric keys).
+        try:
+            old = load(args.baseline)
+        except (OSError, SystemExit, json.JSONDecodeError):
+            old = None
+        if old is not None:
+            if "tolerance" in old:
+                current["tolerance"] = old["tolerance"]
+            for name, entry in current["metrics"].items():
+                old_entry = old["metrics"].get(name)
+                if old_entry is not None and "tolerance" in old_entry:
+                    entry["tolerance"] = old_entry["tolerance"]
         with open(args.baseline, "w", encoding="utf-8") as fh:
             json.dump(current, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -96,7 +125,7 @@ def main():
 
     failures, report = compare(baseline, current, args.tolerance)
     print(f"bench {current.get('bench')} vs {args.baseline} "
-          f"(tolerance {args.tolerance:.0%}):")
+          f"(default tolerance {args.tolerance:.0%}):")
     for line in report:
         print(line)
     if failures:

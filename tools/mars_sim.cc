@@ -16,6 +16,8 @@
 //             [--fairness wfq|equal] [--weights S,B,N] [--admission]
 //             [--coalesce on|off]
 //             [--cells K] [--cell-outage-rate R] [--handover-blackout S]
+//             [--store memory|disk] [--pages FILE] [--page-size N]
+//             [--pool-pages N] [--evict lru|motion]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
 //       < 0.5); --outage-rate schedules full-connectivity outages at R
@@ -60,6 +62,16 @@
 //       blacks out a client's private bearer for S seconds after each
 //       handover (the radio re-association gap). With --cells K > 1 the
 //       JSON block gains per-cell, handover and chaos-invariant lines.
+//       --store disk pages the coefficient index into the --pages file
+//       (shard k of K > 1 appends ".shard<k>") behind per-shard buffer
+//       pools of --pool-pages total pages of --page-size bytes; a rerun
+//       against an existing page file restores the trees instead of
+//       rebuilding ("restored shards" reports how many attached).
+//       --evict picks the pool's eviction policy: lru, or motion — the
+//       paper's client visit-probability logic run server-side over the
+//       fleet's predicted positions. The default --store memory is a
+//       bit-identical passthrough; disk mode adds "-- storage --" lines
+//       and per-shard pool stats to the JSON block.
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
@@ -123,6 +135,11 @@ struct Flags {
   int cells = 1;
   double cell_outage_rate = 0.0;
   double handover_blackout = 0.0;
+  std::string store = "memory";
+  std::string pages_path;
+  int page_size = 4096;
+  int pool_pages = 256;
+  std::string evict = "lru";
 };
 
 void Usage() {
@@ -209,6 +226,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->cell_outage_rate = std::atof(next());
     } else if (arg == "--handover-blackout") {
       flags->handover_blackout = std::atof(next());
+    } else if (arg == "--store") {
+      flags->store = next();
+    } else if (arg == "--pages") {
+      flags->pages_path = next();
+    } else if (arg == "--page-size") {
+      flags->page_size = std::atoi(next());
+    } else if (arg == "--pool-pages") {
+      flags->pool_pages = std::atoi(next());
+    } else if (arg == "--evict") {
+      flags->evict = next();
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -289,6 +316,52 @@ void PrintShardStats(const core::System& system) {
         static_cast<long long>(s.fanout_queries),
         static_cast<long long>(s.rebuilds));
   }
+}
+
+// Per-shard buffer-pool JSON, one line per shard. Disk mode only, so
+// memory-mode output stays byte-identical to the pre-storage era.
+void PrintPoolStats(const core::System& system) {
+  const server::Server& server = system.server();
+  if (!server.disk_store()) return;
+  for (const auto& s : server.PoolStats()) {
+    std::printf(
+        "{\"pool_shard\": %d, \"hits\": %lld, \"misses\": %lld, "
+        "\"evictions\": %lld, \"disk_reads\": %lld, \"disk_writes\": %lld, "
+        "\"resident_pages\": %lld}\n",
+        s.shard, static_cast<long long>(s.pool.hits),
+        static_cast<long long>(s.pool.misses),
+        static_cast<long long>(s.pool.evictions),
+        static_cast<long long>(s.pool.disk_reads),
+        static_cast<long long>(s.pool.disk_writes),
+        static_cast<long long>(s.pool.resident_pages));
+  }
+}
+
+// Human-readable storage summary (disk mode only).
+void PrintStorageSummary(const core::System& system) {
+  const server::Server& server = system.server();
+  if (!server.disk_store()) return;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t reads = 0;
+  int64_t writes = 0;
+  for (const auto& s : server.PoolStats()) {
+    hits += s.pool.hits;
+    misses += s.pool.misses;
+    evictions += s.pool.evictions;
+    reads += s.pool.disk_reads;
+    writes += s.pool.disk_writes;
+  }
+  const double total = static_cast<double>(hits + misses);
+  std::printf("\n-- storage --\n");
+  std::printf("pool hits / misses      : %lld / %lld (%.1f %% hit)\n",
+              static_cast<long long>(hits), static_cast<long long>(misses),
+              total > 0.0 ? 100.0 * static_cast<double>(hits) / total : 0.0);
+  std::printf("pool evictions          : %lld\n",
+              static_cast<long long>(evictions));
+  std::printf("disk reads / writes     : %lld / %lld\n",
+              static_cast<long long>(reads), static_cast<long long>(writes));
 }
 
 // Fleet mode: N concurrent clients against one shared server and cell.
@@ -395,6 +468,8 @@ int RunFleet(const core::System& system, const Flags& flags) {
         cls.metrics.P99ResponseSeconds());
   }
 
+  PrintStorageSummary(system);
+
   // Full-precision JSON lines: one per client plus the aggregate. Diffing
   // this block across --workers values must show zero differences.
   std::printf("\n-- json --\n");
@@ -405,6 +480,7 @@ int RunFleet(const core::System& system, const Flags& flags) {
   std::printf("{\"aggregate\": %s}\n",
               core::RunMetricsJson(result.aggregate).c_str());
   PrintShardStats(system);
+  PrintPoolStats(system);
   if (coalescing) {
     // Coalescing telemetry rides extra JSON lines so the off-mode block
     // above stays byte-identical to the pre-coalescing era.
@@ -533,8 +609,32 @@ int Run(const Flags& flags) {
                  "--cell-outage-rate and --handover-blackout must be >= 0\n");
     return 2;
   }
+  if (flags.store != "memory" && flags.store != "disk") {
+    std::fprintf(stderr, "--store wants memory|disk\n");
+    return 2;
+  }
+  if (flags.evict != "lru" && flags.evict != "motion") {
+    std::fprintf(stderr, "--evict wants lru|motion\n");
+    return 2;
+  }
+  if (flags.store == "disk" && flags.pages_path.empty()) {
+    std::fprintf(stderr, "--store disk requires --pages FILE\n");
+    return 2;
+  }
+  if (flags.page_size < 128 || flags.pool_pages < 1) {
+    std::fprintf(stderr,
+                 "--page-size must be >= 128 and --pool-pages >= 1\n");
+    return 2;
+  }
   config.shards = flags.shards;
   config.fanout_workers = flags.fanout_workers;
+  config.storage.store = flags.store == "disk" ? storage::StoreKind::kDisk
+                                               : storage::StoreKind::kMemory;
+  config.storage.path = flags.pages_path;
+  config.storage.page_size = flags.page_size;
+  config.storage.pool_pages = flags.pool_pages;
+  config.storage.evict = flags.evict == "motion" ? storage::EvictPolicy::kMotion
+                                                 : storage::EvictPolicy::kLru;
   config.link.loss_probability = flags.loss;
   config.fault.outage_rate_per_hour = flags.outage_rate;
   config.fault.outage_mean_seconds = flags.outage_secs;
@@ -560,6 +660,11 @@ int Run(const Flags& flags) {
   std::printf("dataset: %s, %d objects\n",
               common::FormatBytes(system->db().total_bytes()).c_str(),
               system->db().object_count());
+  if (system->server().disk_store()) {
+    std::printf("store: disk (%s), %s eviction, restored shards %d/%d\n",
+                flags.pages_path.c_str(), flags.evict.c_str(),
+                system->server().restored_shards(), flags.shards);
+  }
 
   if (flags.clients > 1) return RunFleet(*system, flags);
 
@@ -631,6 +736,8 @@ int Run(const Flags& flags) {
     std::printf("\n-- shards --\n");
     PrintShardStats(*system);
   }
+  PrintStorageSummary(*system);
+  PrintPoolStats(*system);
   return 0;
 }
 
