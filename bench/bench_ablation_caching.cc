@@ -38,8 +38,9 @@ struct Totals {
   int64_t node_accesses = 0;
 };
 
-Totals RunStreaming(core::System& system,
-                    const std::vector<std::vector<workload::TourPoint>>& tours) {
+Totals RunStreaming(
+    core::System& system,
+    const std::vector<std::vector<workload::TourPoint>>& tours) {
   Totals totals;
   for (const auto& tour : tours) {
     net::SimulatedLink link;

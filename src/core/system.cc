@@ -38,6 +38,7 @@ System::System(const Config& config,
   options.shards = config.shards;
   options.fanout_workers = config.fanout_workers;
   options.storage = config.storage;
+  options.rebalance = config.rebalance;
   server_ = std::make_unique<server::Server>(db_.get(), options);
 }
 
@@ -51,11 +52,13 @@ RunMetrics System::RunStreaming(
   RunMetrics metrics;
   int64_t stale_run = 0;
   const bool motion_pools = server_->motion_interest_enabled();
+  const bool rebalance = server_->rebalance_enabled();
   for (const workload::TourPoint& point : tour) {
     if (motion_pools) {
       server_->ObserveClientMotion(0, point.position);
       server_->RefreshPoolInterest();
     }
+    if (rebalance) server_->TickRebalancer();
     const client::StreamingFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.response_bytes;
@@ -94,11 +97,13 @@ RunMetrics System::RunBuffered(
   client::BufferedClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
   const bool motion_pools = server_->motion_interest_enabled();
+  const bool rebalance = server_->rebalance_enabled();
   for (const workload::TourPoint& point : tour) {
     if (motion_pools) {
       server_->ObserveClientMotion(0, point.position);
       server_->RefreshPoolInterest();
     }
+    if (rebalance) server_->TickRebalancer();
     const client::BufferedFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.demand_bytes;
@@ -128,11 +133,13 @@ RunMetrics System::RunNaiveObject(
   client::NaiveObjectClient cl(options, space(), server_.get(), &link);
   RunMetrics metrics;
   const bool motion_pools = server_->motion_interest_enabled();
+  const bool rebalance = server_->rebalance_enabled();
   for (const workload::TourPoint& point : tour) {
     if (motion_pools) {
       server_->ObserveClientMotion(0, point.position);
       server_->RefreshPoolInterest();
     }
+    if (rebalance) server_->TickRebalancer();
     const client::NaiveFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.bytes;

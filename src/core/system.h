@@ -40,6 +40,10 @@ class System {
     // the historical build) or page-based disk storage behind motion- or
     // LRU-evicting buffer pools.
     storage::StorageConfig storage;
+    // Load-adaptive shard rebalancing. Disabled (the default) is a
+    // strict bit-identical passthrough; enabled, every frame loop ticks
+    // the server's rebalancer in its serial phase.
+    server::RebalanceOptions rebalance;
     net::SimulatedLink::Options link;
     // Deterministic outage/burst/dip schedule. All-zero rates (the
     // default) disable the fault layer entirely; each Run* call then

@@ -539,6 +539,10 @@ FleetResult FleetEngine::Run() {
   // committed frame's position into the server-side predictors, and each
   // tick installs one refreshed interest field on the shard pools.
   const bool motion_pools = system_.server().motion_interest_enabled();
+  // Load-adaptive rebalancing runs in the serial phase, off atomically
+  // summed per-shard counters — worker-count-invariant by construction,
+  // so fleet metrics stay byte-identical at any --workers.
+  const bool rebalance = system_.server().rebalance_enabled();
   // Book one cell's drained completions, in the cell's deterministic
   // completion order. Cells are always recorded in ascending cell id, so
   // the booking sequence is worker-count-invariant.
@@ -744,6 +748,9 @@ FleetResult FleetEngine::Run() {
     }
     if (motion_pools && !due.empty()) {
       system_.server().RefreshPoolInterest();
+    }
+    if (rebalance && !due.empty()) {
+      system_.server().TickRebalancer();
     }
     if (num_cells == 1) {
       peak_backlog = std::max(peak_backlog, cells_[0]->backlog_bytes());

@@ -1,5 +1,7 @@
 #include "index/sharded_index.h"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 #include <utility>
 
@@ -95,13 +97,6 @@ common::Status DecodeDirectory(const std::vector<uint8_t>& bytes,
   MARS_RETURN_IF_ERROR(r.ReadI32(&dir->height));
   MARS_RETURN_IF_ERROR(r.ReadI64(&dir->size));
   return common::OkStatus();
-}
-
-// Shard k's page file path.
-std::string ShardPath(const storage::StorageConfig& config, int32_t shard,
-                      int32_t shard_count) {
-  if (shard_count == 1) return config.path;
-  return config.path + ".shard" + std::to_string(shard);
 }
 
 std::string KindName(ShardedIndexOptions::Kind kind) {
@@ -276,7 +271,7 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
     const int64_t pool_pages =
         std::max<int64_t>(1, options_.storage.pool_pages / k);
     for (int32_t s = 0; s < k; ++s) {
-      const std::string path = ShardPath(options_.storage, s, k);
+      const std::string path = ShardFilePath(s);
       auto opened = storage::DiskStorageManager::Open(
           path, options_.storage.page_size, /*truncate=*/false);
       bool fresh_needed = !opened.ok();
@@ -359,23 +354,42 @@ int64_t ShardedCoefficientIndex::QueryShard(const Shard& shard,
 int64_t ShardedCoefficientIndex::Query(const geometry::Box2& region,
                                        double w_min, double w_max,
                                        std::vector<RecordId>* out) const {
+  return QueryProfiled(region, w_min, w_max, out, nullptr);
+}
+
+int64_t ShardedCoefficientIndex::QueryProfiled(const geometry::Box2& region,
+                                               double w_min, double w_max,
+                                               std::vector<RecordId>* out,
+                                               FanoutProfile* profile) const {
   common::ReaderLock lock(&mu_);
   MARS_CHECK(!shards_.empty());
 
-  // K = 1 is a strict passthrough: one shard, queried unconditionally,
-  // so traversal and node accesses match the unsharded index exactly
-  // (the single tree always pays at least the root visit).
+  // A single slot is a strict passthrough: one shard, queried
+  // unconditionally, so traversal and node accesses match the unsharded
+  // index exactly (the single tree always pays at least the root visit).
   if (shards_.size() == 1) {
-    return QueryShard(*shards_[0], region, w_min, w_max, out);
+    const int64_t accesses =
+        QueryShard(*shards_[0], region, w_min, w_max, out);
+    if (profile != nullptr) {
+      profile->shards_touched = 1;
+      profile->max_shard_accesses = accesses;
+    }
+    return accesses;
   }
 
   // Fan out to the shards whose coverage intersects the window. The
   // coverage boxes are exact (union of the support MBBs routed there),
-  // so a skipped shard provably contributes nothing to the required set.
+  // so a skipped shard provably contributes nothing to the required set
+  // — and a retired shard's coverage is the empty box, which intersects
+  // nothing, so merged-away slots cost no traversal.
   std::vector<const Shard*> hit;
   hit.reserve(shards_.size());
   for (const auto& shard : shards_) {
     if (shard->coverage.Intersects(region)) hit.push_back(shard.get());
+  }
+  if (profile != nullptr) {
+    profile->shards_touched = static_cast<int32_t>(hit.size());
+    profile->max_shard_accesses = 0;
   }
   if (hit.empty()) return 0;
 
@@ -400,6 +414,10 @@ int64_t ShardedCoefficientIndex::Query(const geometry::Box2& region,
     int64_t total = 0;
     for (size_t i = 0; i < hit.size(); ++i) {
       total += accesses[i];
+      if (profile != nullptr) {
+        profile->max_shard_accesses =
+            std::max(profile->max_shard_accesses, accesses[i]);
+      }
       out->insert(out->end(), results[i].begin(), results[i].end());
     }
     return total;
@@ -407,7 +425,12 @@ int64_t ShardedCoefficientIndex::Query(const geometry::Box2& region,
 
   int64_t total = 0;
   for (const Shard* shard : hit) {
-    total += QueryShard(*shard, region, w_min, w_max, out);
+    const int64_t accesses = QueryShard(*shard, region, w_min, w_max, out);
+    total += accesses;
+    if (profile != nullptr) {
+      profile->max_shard_accesses =
+          std::max(profile->max_shard_accesses, accesses);
+    }
   }
   return total;
 }
@@ -497,35 +520,282 @@ int64_t ShardedCoefficientIndex::CommitStaged() {
         BuildShard(rb.shard, std::move(rb.records), std::move(rb.ids)));
   }
 
-  // Swap. Counters transfer at swap time so queries that ran during the
-  // rebuild are not lost: the old tree's accesses retire into the new
-  // shard's carried total. In disk mode the replaced epoch's pages go
-  // back to the freelist (the destructor leaves pages alone by design)
-  // and the shard directory is rewritten to point at the new tree.
+  // Swap (SwapSlot transfers counters, frees the replaced epoch's pages
+  // and rewrites the shard directory).
   common::WriterLock lock(&mu_);
   for (auto& shard : built) {
-    std::unique_ptr<Shard>& slot = shards_[shard->id];
-    shard->retired_accesses = slot->retired_accesses;
-    if (slot->index != nullptr) {
-      shard->retired_accesses += slot->index->node_accesses();
-    }
-    shard->fanout_queries = slot->fanout_queries;
-    shard->rebuilds = slot->rebuilds + 1;
-    if (slot->paged != nullptr) {
-      const common::Status freed = slot->paged->FreePages();
-      MARS_CHECK(freed.ok())
-          << "cannot retire epoch pages: " << freed.ToString();
-    }
-    const int32_t id = shard->id;
-    slot = std::move(shard);
-    if (disk_store()) {
-      const common::Status dir = WriteDirectory(id, *slot);
-      MARS_CHECK(dir.ok())
-          << "cannot persist shard directory: " << dir.ToString();
-    }
+    SwapSlot(std::move(shard));
   }
   ++epoch_;
   return folded;
+}
+
+void ShardedCoefficientIndex::SwapSlot(std::unique_ptr<Shard> next) {
+  std::unique_ptr<Shard>& slot = shards_[next->id];
+  // Counters transfer at swap time so queries that ran during the
+  // off-side build are not lost: the old tree's accesses retire into the
+  // new shard's carried total — on top of anything the caller pre-seeded
+  // (a merge source's history, say). In disk mode the replaced epoch's
+  // pages go back to the freelist (the destructor leaves pages alone by
+  // design) and the shard directory is rewritten to point at the new
+  // tree.
+  next->retired_accesses += slot->retired_accesses;
+  if (slot->index != nullptr) {
+    next->retired_accesses += slot->index->node_accesses();
+  }
+  next->fanout_queries += slot->fanout_queries.load();
+  next->rebuilds += slot->rebuilds + 1;
+  if (slot->paged != nullptr) {
+    const common::Status freed = slot->paged->FreePages();
+    MARS_CHECK(freed.ok())
+        << "cannot retire epoch pages: " << freed.ToString();
+  }
+  const int32_t id = next->id;
+  slot = std::move(next);
+  if (disk_store()) {
+    const common::Status dir = WriteDirectory(id, *slot);
+    MARS_CHECK(dir.ok())
+        << "cannot persist shard directory: " << dir.ToString();
+  }
+}
+
+std::string ShardedCoefficientIndex::ShardFilePath(int32_t shard) const {
+  // Shard 0 of a configured K == 1 keeps the bare path (bit-identical
+  // with the pre-sharding store); every other slot — including the ones
+  // splits allocate past the configured K — gets its own suffix.
+  if (options_.shards == 1 && shard == 0) return options_.storage.path;
+  return options_.storage.path + ".shard" + std::to_string(shard);
+}
+
+void ShardedCoefficientIndex::AddShardStore(int32_t shard) {
+  MARS_CHECK(disk_store());
+  MARS_CHECK_EQ(static_cast<size_t>(shard), managers_.size());
+  auto created = storage::DiskStorageManager::Open(
+      ShardFilePath(shard), options_.storage.page_size, /*truncate=*/true);
+  MARS_CHECK(created.ok())
+      << "cannot create page file: " << created.status().ToString();
+  // Same per-slot budget Build hands the configured K: rebalancing grows
+  // the pool footprint with the slot count instead of shrinking every
+  // other shard's share.
+  const int64_t pool_pages =
+      std::max<int64_t>(1, options_.storage.pool_pages / options_.shards);
+  managers_.push_back(std::move(created).value());
+  pools_.push_back(std::make_unique<storage::BufferPool>(
+      managers_.back().get(), pool_pages, options_.storage.evict));
+}
+
+void ShardedCoefficientIndex::RebucketStaged(int32_t new_shard_count) {
+  std::vector<std::vector<std::pair<RecordId, CoeffRecord>>> old =
+      std::move(staged_);
+  staged_.assign(static_cast<size_t>(new_shard_count), {});
+  for (auto& bucket : old) {
+    for (auto& [id, record] : bucket) {
+      staged_[map_.Route(record)].emplace_back(id, std::move(record));
+    }
+  }
+}
+
+common::StatusOr<int32_t> ShardedCoefficientIndex::SplitShard(int32_t shard) {
+  // Snapshot the shard's table under the reader lock; queries keep
+  // running against the old shards while the halves build off-side.
+  std::vector<CoeffRecord> records;
+  std::vector<RecordId> ids;
+  int32_t new_id = 0;
+  {
+    common::ReaderLock lock(&mu_);
+    if (shard < 0 || shard >= static_cast<int32_t>(shards_.size())) {
+      return common::InvalidArgumentError("split: no such shard");
+    }
+    const Shard& s = *shards_[shard];
+    if (s.retired) {
+      return common::FailedPreconditionError("split: shard is retired");
+    }
+    if (s.records.size() < 2) {
+      return common::FailedPreconditionError("split: fewer than two records");
+    }
+    records = s.records;
+    ids = s.ids;
+    new_id = static_cast<int32_t>(shards_.size());
+  }
+
+  // Median split along the axis with the wider spread of support
+  // centers; fall back to the other axis when duplicate centers collapse
+  // one side of the first.
+  const size_t n = records.size();
+  std::array<std::vector<double>, 2> centers;
+  centers[0].reserve(n);
+  centers[1].reserve(n);
+  for (const CoeffRecord& r : records) {
+    centers[0].push_back(
+        0.5 * (r.support_bounds.lo(0) + r.support_bounds.hi(0)));
+    centers[1].push_back(
+        0.5 * (r.support_bounds.lo(1) + r.support_bounds.hi(1)));
+  }
+  const auto spread = [&centers](int axis) {
+    const auto [lo, hi] =
+        std::minmax_element(centers[axis].begin(), centers[axis].end());
+    return *hi - *lo;
+  };
+  const int first = spread(0) >= spread(1) ? 0 : 1;
+  int axis = -1;
+  double threshold = 0.0;
+  for (const int candidate : {first, 1 - first}) {
+    std::vector<double> sorted = centers[candidate];
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<ptrdiff_t>(n / 2),
+                     sorted.end());
+    const double t = sorted[n / 2];
+    size_t high = 0;
+    for (const double c : centers[candidate]) {
+      if (c >= t) ++high;
+    }
+    if (high > 0 && high < n) {
+      axis = candidate;
+      threshold = t;
+      break;
+    }
+  }
+  if (axis < 0) {
+    return common::FailedPreconditionError(
+        "split: all record centers coincide");
+  }
+
+  // Partition exactly as the refined map will route.
+  std::vector<CoeffRecord> low_records;
+  std::vector<CoeffRecord> high_records;
+  std::vector<RecordId> low_ids;
+  std::vector<RecordId> high_ids;
+  for (size_t i = 0; i < n; ++i) {
+    if (centers[axis][i] >= threshold) {
+      high_records.push_back(records[i]);
+      high_ids.push_back(ids[i]);
+    } else {
+      low_records.push_back(records[i]);
+      low_ids.push_back(ids[i]);
+    }
+  }
+
+  if (disk_store()) {
+    // The new slot needs its page file + buffer pool before its tree can
+    // build (appending races PoolStats/UpdateInterest, hence the lock).
+    common::WriterLock lock(&mu_);
+    AddShardStore(new_id);
+  }
+
+  // Build both halves off to the side, no lock held.
+  std::unique_ptr<Shard> low =
+      BuildShard(shard, std::move(low_records), std::move(low_ids));
+  std::unique_ptr<Shard> high =
+      BuildShard(new_id, std::move(high_records), std::move(high_ids));
+
+  {
+    common::WriterLock lock(&mu_);
+    MARS_CHECK_EQ(new_id, static_cast<int32_t>(shards_.size()));
+    shards_.push_back(std::move(high));
+    if (disk_store()) {
+      const common::Status dir = WriteDirectory(new_id, *shards_.back());
+      MARS_CHECK(dir.ok())
+          << "cannot persist shard directory: " << dir.ToString();
+    }
+    // The surviving low half keeps the split shard's counter history;
+    // the high half starts fresh.
+    SwapSlot(std::move(low));
+    ++rebalances_;
+  }
+
+  // Route future records — and the already-staged ones — under the
+  // refined map.
+  common::MutexLock stage_lock(&stage_mu_);
+  map_.ApplySplit(shard, axis, threshold, new_id);
+  RebucketStaged(new_id + 1);
+  return new_id;
+}
+
+common::Status ShardedCoefficientIndex::MergeShards(int32_t src, int32_t dst) {
+  if (src == dst) {
+    return common::InvalidArgumentError("merge: src == dst");
+  }
+  std::vector<CoeffRecord> records;
+  std::vector<RecordId> ids;
+  {
+    common::ReaderLock lock(&mu_);
+    const int32_t count = static_cast<int32_t>(shards_.size());
+    if (src < 0 || src >= count || dst < 0 || dst >= count) {
+      return common::InvalidArgumentError("merge: no such shard");
+    }
+    if (shards_[src]->retired || shards_[dst]->retired) {
+      return common::FailedPreconditionError("merge: shard is retired");
+    }
+    // dst's table first, then src's — deterministic, and dst's records
+    // keep their local order across the merge.
+    records = shards_[dst]->records;
+    ids = shards_[dst]->ids;
+    records.insert(records.end(), shards_[src]->records.begin(),
+                   shards_[src]->records.end());
+    ids.insert(ids.end(), shards_[src]->ids.begin(), shards_[src]->ids.end());
+  }
+
+  // Build the union shard and src's empty tombstone off to the side.
+  std::unique_ptr<Shard> merged =
+      BuildShard(dst, std::move(records), std::move(ids));
+  std::unique_ptr<Shard> tombstone = BuildShard(src, {}, {});
+  tombstone->retired = true;
+
+  int32_t count = 0;
+  {
+    common::WriterLock lock(&mu_);
+    // src's cumulative counters move into the union before the swap adds
+    // dst's own — the destination inherits the sum of both histories and
+    // the retired slot restarts at zero, permanently.
+    Shard& old_src = *shards_[src];
+    merged->retired_accesses += old_src.retired_accesses;
+    if (old_src.index != nullptr) {
+      merged->retired_accesses += old_src.index->node_accesses();
+    }
+    merged->fanout_queries += old_src.fanout_queries.load();
+    tombstone->rebuilds = old_src.rebuilds + 1;
+    if (old_src.paged != nullptr) {
+      const common::Status freed = old_src.paged->FreePages();
+      MARS_CHECK(freed.ok())
+          << "cannot retire epoch pages: " << freed.ToString();
+    }
+    shards_[src] = std::move(tombstone);
+    if (disk_store()) {
+      const common::Status dir = WriteDirectory(src, *shards_[src]);
+      MARS_CHECK(dir.ok())
+          << "cannot persist shard directory: " << dir.ToString();
+    }
+    SwapSlot(std::move(merged));
+    ++rebalances_;
+    count = static_cast<int32_t>(shards_.size());
+  }
+
+  common::MutexLock stage_lock(&stage_mu_);
+  map_.ApplyMerge(src, dst);
+  RebucketStaged(count);
+  return common::OkStatus();
+}
+
+int64_t ShardedCoefficientIndex::rebalances() const {
+  common::ReaderLock lock(&mu_);
+  return rebalances_;
+}
+
+int32_t ShardedCoefficientIndex::shard_count() const {
+  common::ReaderLock lock(&mu_);
+  // Before Build the answer is the configured K — nothing has split yet.
+  if (shards_.empty()) return options_.shards;
+  return static_cast<int32_t>(shards_.size());
+}
+
+int32_t ShardedCoefficientIndex::live_shard_count() const {
+  common::ReaderLock lock(&mu_);
+  if (shards_.empty()) return options_.shards;
+  int32_t live = 0;
+  for (const auto& shard : shards_) {
+    if (!shard->retired) ++live;
+  }
+  return live;
 }
 
 int64_t ShardedCoefficientIndex::staged_records() const {
@@ -553,6 +823,7 @@ ShardedCoefficientIndex::Stats() const {
     }
     s.fanout_queries = shard->fanout_queries.load();
     s.rebuilds = shard->rebuilds;
+    s.retired = shard->retired;
     s.coverage = shard->coverage;
     stats.push_back(s);
   }
@@ -561,6 +832,8 @@ ShardedCoefficientIndex::Stats() const {
 
 std::vector<ShardedCoefficientIndex::ShardPoolStats>
 ShardedCoefficientIndex::PoolStats() const {
+  // The reader lock orders the vector scan against SplitShard's append.
+  common::ReaderLock lock(&mu_);
   std::vector<ShardPoolStats> stats;
   stats.reserve(pools_.size());
   for (size_t s = 0; s < pools_.size(); ++s) {
@@ -575,6 +848,8 @@ ShardedCoefficientIndex::PoolStats() const {
 
 void ShardedCoefficientIndex::UpdateInterest(
     const storage::InterestGrid& interest) const {
+  // The reader lock orders the vector scan against SplitShard's append.
+  common::ReaderLock lock(&mu_);
   for (const auto& pool : pools_) {
     if (pool != nullptr) pool->UpdateInterest(interest);
   }

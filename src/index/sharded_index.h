@@ -76,10 +76,18 @@ struct ShardedIndexOptions {
 // lock (and the swap waits) or start after the swap (and see the new
 // epoch).
 //
+// The same build-then-swap machinery also powers *load-adaptive
+// rebalancing* (SplitShard/MergeShards): the shard map generalizes to a
+// splittable ground-plane tree (shard_map.h), so a hot shard can be
+// halved at the median of its record centers — the high half moving to a
+// freshly allocated shard id — and a cold shard forwarded into a
+// neighbour, each as one epoch-style swap with counters, page files and
+// buffer-pool state following the records.
+//
 // Thread safety: Query/node_accesses/Stats are safe from many threads
-// concurrently, including against a concurrent Stage. CommitStaged and
-// ResetStats are single-writer operations: at most one at a time, but
-// safe against concurrent queries.
+// concurrently, including against a concurrent Stage. CommitStaged,
+// SplitShard, MergeShards and ResetStats are single-writer operations:
+// at most one at a time, but safe against concurrent queries.
 class ShardedCoefficientIndex : public CoefficientIndex {
  public:
   explicit ShardedCoefficientIndex(ShardedIndexOptions options);
@@ -99,6 +107,20 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   // summed over the shards touched.
   int64_t Query(const geometry::Box2& region, double w_min, double w_max,
                 std::vector<RecordId>* out) const override;
+
+  // Per-query fan-out breakdown. max_shard_accesses is the node-access
+  // count of the most expensive shard the query touched — the critical
+  // path of a parallel fan-out, and the deterministic latency proxy the
+  // rebalancing bench gates (wall clock would flake on runner speed).
+  struct FanoutProfile {
+    int32_t shards_touched = 0;
+    int64_t max_shard_accesses = 0;
+  };
+  // Query with an optional per-call profile (nullptr behaves exactly
+  // like Query); results and node accesses are identical either way.
+  int64_t QueryProfiled(const geometry::Box2& region, double w_min,
+                        double w_max, std::vector<RecordId>* out,
+                        FanoutProfile* profile) const;
 
   int64_t node_accesses() const override;
   void ResetStats() override;
@@ -123,6 +145,33 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   // Epochs committed so far (CommitStaged calls that folded records).
   int64_t epoch() const;
 
+  // --- Load-adaptive rebalancing (single-writer, serial phase only) -------
+
+  // Splits `shard` at the median of its records' support centers along
+  // the axis with the wider center spread: the high half re-routes to a
+  // freshly allocated shard id (returned). Build-then-swap like
+  // CommitStaged — the split shard's traversal counters stay with the
+  // surviving low half, the new shard starts fresh, and in disk mode the
+  // old epoch's pages are freed, the new shard gets its own page file +
+  // buffer pool, and both directories are rewritten. Fails (no state
+  // change) when the shard is retired, holds fewer than two records, or
+  // every center is identical on both axes.
+  common::StatusOr<int32_t> SplitShard(int32_t shard);
+
+  // Forwards everything routed to `src` into `dst` and retires `src`:
+  // dst is rebuilt over both record tables (dst's first), inherits the
+  // sum of both shards' counters, and src becomes a permanently empty
+  // slot (its id is never reused). In disk mode both old trees' pages
+  // are freed and both directories rewritten (src's as empty). Fails
+  // when either shard is retired or src == dst.
+  common::Status MergeShards(int32_t src, int32_t dst);
+
+  // Rebalance ops applied so far (splits + merges).
+  int64_t rebalances() const;
+
+  // Shards that can still receive records (total slots minus retired).
+  int32_t live_shard_count() const;
+
   // --- Observability ------------------------------------------------------
 
   struct ShardStats {
@@ -134,6 +183,8 @@ class ShardedCoefficientIndex : public CoefficientIndex {
     int64_t fanout_queries = 0;
     // Epoch rebuilds this shard absorbed.
     int64_t rebuilds = 0;
+    // Merged away: the id no longer receives records or queries.
+    bool retired = false;
     geometry::Box2 coverage;
   };
   std::vector<ShardStats> Stats() const;
@@ -156,7 +207,9 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   // Shards Build attached from a persisted page file instead of rebuilding.
   int32_t restored_shards() const { return restored_shards_; }
 
-  int32_t shard_count() const { return options_.shards; }
+  // Current slot count: the configured K plus every shard a split has
+  // allocated since (including retired merge sources).
+  int32_t shard_count() const;
   const ShardMap& shard_map() const { return map_; }
 
  private:
@@ -176,6 +229,9 @@ class ShardedCoefficientIndex : public CoefficientIndex {
     // Union of the ground-plane support MBBs routed here — the exact
     // fan-out filter.
     geometry::Box2 coverage;
+    // Merged away: the slot stays (ids are stable) but never receives
+    // records or queries again.
+    bool retired = false;
     // Stats carried over from the epochs this shard replaced.
     int64_t retired_accesses = 0;
     int64_t rebuilds = 0;
@@ -200,15 +256,35 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   static int64_t QueryShard(const Shard& shard, const geometry::Box2& region,
                             double w_min, double w_max,
                             std::vector<RecordId>* out);
+  // Shard k's page file path (keyed to the configured K, so rebalance-
+  // allocated shards always get their own ".shard<k>" suffix).
+  std::string ShardFilePath(int32_t shard) const;
+  // Disk mode: appends a fresh page store + buffer pool for a new slot.
+  // Caller holds mu_ exclusively (PoolStats/UpdateInterest read under
+  // the reader lock).
+  void AddShardStore(int32_t shard);
+  // Re-buckets every staged record under the current map (shard ids
+  // change across a split/merge, and the staging buffers grow with the
+  // slot table).
+  void RebucketStaged(int32_t new_shard_count)
+      MARS_REQUIRES(stage_mu_);
+  // Transfers the retired slot's cumulative counters into `next` and
+  // frees its pages; installs `next` into the slot (mu_ held
+  // exclusively).
+  void SwapSlot(std::unique_ptr<Shard> next)
+      MARS_REQUIRES(mu_);
 
   ShardedIndexOptions options_;
   ShardMap map_;
 
-  // Shard array. The vector itself (size, slot addresses) is fixed by
-  // Build; the pointed-to shards are swapped by CommitStaged.
+  // Shard array. Slots are only appended (by Build and SplitShard) and
+  // the pointed-to shards are swapped whole by CommitStaged and the
+  // rebalance ops — always under the writer lock, so readers iterate a
+  // stable snapshot.
   mutable common::SharedMutex mu_;
   std::vector<std::unique_ptr<Shard>> shards_ MARS_GUARDED_BY(mu_);
   int64_t epoch_ MARS_GUARDED_BY(mu_) = 0;
+  int64_t rebalances_ MARS_GUARDED_BY(mu_) = 0;
 
   // Per-shard staging buffers for online ingest.
   mutable common::Mutex stage_mu_;
@@ -222,9 +298,13 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   mutable std::unique_ptr<common::ThreadPool> pool_;
 
   // Disk mode only: per-shard page stores and buffer pools. Created by
-  // Build, shared by every epoch of a shard (CommitStaged writes the new
-  // epoch's pages and frees the old epoch's through the same pool), and
-  // never resized afterwards — queries reach them without taking mu_.
+  // Build (one per configured slot) and appended by SplitShard for each
+  // slot it allocates; every epoch of a shard shares its pool
+  // (CommitStaged writes the new epoch's pages and frees the old
+  // epoch's through it). Queries reach a pool through the pointer its
+  // tree captured at build time, so only the vectors need mu_: appends
+  // hold it exclusively, PoolStats/UpdateInterest scan under the reader
+  // lock.
   std::vector<std::unique_ptr<storage::DiskStorageManager>> managers_;
   std::vector<std::unique_ptr<storage::BufferPool>> pools_;
   int32_t restored_shards_ = 0;

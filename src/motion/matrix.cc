@@ -32,7 +32,9 @@ Matrix Matrix::operator+(const Matrix& o) const {
   MARS_CHECK_EQ(rows_, o.rows_);
   MARS_CHECK_EQ(cols_, o.cols_);
   Matrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + o.data_[i];
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + o.data_[i];
+  }
   return out;
 }
 
@@ -40,7 +42,9 @@ Matrix Matrix::operator-(const Matrix& o) const {
   MARS_CHECK_EQ(rows_, o.rows_);
   MARS_CHECK_EQ(cols_, o.cols_);
   Matrix out(rows_, cols_);
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - o.data_[i];
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - o.data_[i];
+  }
   return out;
 }
 

@@ -57,7 +57,8 @@ double FaultSchedule::Track::NextBoundaryAfter(double t) {
   auto it = std::upper_bound(
       windows_.begin(), windows_.end(), t,
       [](double value, const Window& w) { return value < w.end; });
-  if (it == windows_.end()) return kInfinity;  // unreachable after EnsureCovered
+  // The end() case is unreachable after EnsureCovered.
+  if (it == windows_.end()) return kInfinity;
   return it->start > t ? it->start : it->end;
 }
 

@@ -1,0 +1,146 @@
+#include "server/rebalancer.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mars::server {
+
+ShardRebalancer::ShardRebalancer(index::ShardedCoefficientIndex* index,
+                                 RebalanceOptions options)
+    : index_(index), options_(options) {
+  MARS_CHECK(index_ != nullptr);
+  MARS_CHECK_GE(options_.interval, 1);
+  MARS_CHECK_GT(options_.split_factor, 1.0);
+  MARS_CHECK_GE(options_.merge_factor, 0.0);
+  MARS_CHECK_LT(options_.merge_factor, 1.0);
+  MARS_CHECK_GE(options_.min_split_records, 2);
+  MARS_CHECK_GE(options_.max_shards, 1);
+}
+
+std::vector<RebalanceEvent> ShardRebalancer::Tick() {
+  ++ticks_;
+  if (ticks_ % options_.interval != 0) return {};
+  return RunRound();
+}
+
+std::vector<RebalanceEvent> ShardRebalancer::RunRound() {
+  ++rounds_;
+  const std::vector<index::ShardedCoefficientIndex::ShardStats> stats =
+      index_->Stats();
+
+  // Windowed access deltas, by shard id. A slot with no baseline (split
+  // off mid-window) contributes nothing and is never an op candidate
+  // this round — it gets a full window of its own first.
+  const size_t known = last_accesses_.size();
+  std::vector<int64_t> delta(stats.size(), 0);
+  int64_t total = 0;
+  int32_t live = 0;
+  for (size_t s = 0; s < stats.size(); ++s) {
+    if (!stats[s].retired) ++live;
+    if (s < known && !stats[s].retired) {
+      delta[s] = stats[s].node_accesses - last_accesses_[s];
+      total += delta[s];
+    }
+  }
+
+  std::vector<RebalanceEvent> applied;
+  if (total > 0 && live > 0) {
+    // Split the hottest known live shard running past split_factor times
+    // its fair share (ties break to the lowest id).
+    int32_t hot = -1;
+    int64_t hot_delta = 0;
+    for (size_t s = 0; s < known && s < stats.size(); ++s) {
+      if (stats[s].retired) continue;
+      if (delta[s] > hot_delta) {
+        hot = static_cast<int32_t>(s);
+        hot_delta = delta[s];
+      }
+    }
+    const double hot_share =
+        hot >= 0 ? static_cast<double>(hot_delta) / static_cast<double>(total)
+                 : 0.0;
+    if (hot >= 0 && hot_share * live > options_.split_factor &&
+        stats[hot].records >= options_.min_split_records &&
+        index_->shard_count() < options_.max_shards) {
+      auto split = index_->SplitShard(hot);
+      if (split.ok()) {
+        RebalanceEvent event;
+        event.kind = RebalanceEvent::Kind::kSplit;
+        event.round = rounds_;
+        event.shard = hot;
+        event.target = split.value();
+        event.share = hot_share;
+        event.records = stats[hot].records;
+        applied.push_back(event);
+      }
+    }
+
+    // Merge the coldest known live shard idling below merge_factor of
+    // its fair share into the live shard whose coverage grows least by
+    // absorbing it — locality-preserving, so the union stays a tight
+    // fan-out filter. Only shards below the split threshold qualify as
+    // sources: merging a large-but-idle shard would bloat the
+    // destination's tree for no access-share gain (its coverage already
+    // keeps it out of unrelated fan-outs) and invites split/merge
+    // ping-pong. Skip the shard we just split (its window is no longer
+    // meaningful) and keep at least two live shards.
+    const int32_t skip = applied.empty() ? -1 : applied.front().shard;
+    int32_t cold = -1;
+    int64_t cold_delta = 0;
+    for (size_t s = 0; s < known && s < stats.size(); ++s) {
+      if (stats[s].retired || static_cast<int32_t>(s) == skip ||
+          stats[s].records >= options_.min_split_records) {
+        continue;
+      }
+      if (cold < 0 || delta[s] < cold_delta) {
+        cold = static_cast<int32_t>(s);
+        cold_delta = delta[s];
+      }
+    }
+    const double cold_share =
+        cold >= 0 ? static_cast<double>(cold_delta) / static_cast<double>(total)
+                  : 1.0;
+    if (cold >= 0 && live > 2 && cold_share * live < options_.merge_factor) {
+      int32_t dst = -1;
+      double best_growth = 0.0;
+      for (size_t s = 0; s < stats.size(); ++s) {
+        if (stats[s].retired || static_cast<int32_t>(s) == cold ||
+            static_cast<int32_t>(s) == skip) {
+          continue;
+        }
+        const double growth =
+            stats[s].coverage.Union(stats[cold].coverage).Volume() -
+            stats[s].coverage.Volume();
+        if (dst < 0 || growth < best_growth) {
+          dst = static_cast<int32_t>(s);
+          best_growth = growth;
+        }
+      }
+      if (dst >= 0 && index_->MergeShards(cold, dst).ok()) {
+        RebalanceEvent event;
+        event.kind = RebalanceEvent::Kind::kMerge;
+        event.round = rounds_;
+        event.shard = cold;
+        event.target = dst;
+        event.share = cold_share;
+        event.records = stats[cold].records;
+        applied.push_back(event);
+      }
+    }
+  }
+
+  // Re-baseline on the post-op shard set so the next window starts
+  // clean for every slot, including ones allocated this round.
+  const std::vector<index::ShardedCoefficientIndex::ShardStats> fresh =
+      index_->Stats();
+  last_accesses_.assign(fresh.size(), 0);
+  for (size_t s = 0; s < fresh.size(); ++s) {
+    last_accesses_[s] = fresh[s].node_accesses;
+  }
+
+  events_.insert(events_.end(), applied.begin(), applied.end());
+  return applied;
+}
+
+}  // namespace mars::server

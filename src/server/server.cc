@@ -42,6 +42,10 @@ Server::Server(const ObjectDatabase* db, Options options)
         index::ShardMap::GroundBounds(db->records()),
         MotionInterestTracker::Options());
   }
+  if (options.rebalance.enabled) {
+    rebalancer_ = std::make_unique<ShardRebalancer>(coeff_index_.get(),
+                                                    options.rebalance);
+  }
 }
 
 Server::Server(ObjectDatabase* db, Options options)
@@ -154,6 +158,16 @@ void Server::RefreshPoolInterest() const {
     grid = interest_->Snapshot();
   }
   coeff_index_->UpdateInterest(grid);
+}
+
+std::vector<RebalanceEvent> Server::TickRebalancer() const {
+  if (rebalancer_ == nullptr) return {};
+  return rebalancer_->Tick();
+}
+
+std::vector<RebalanceEvent> Server::RebalanceEvents() const {
+  if (rebalancer_ == nullptr) return {};
+  return rebalancer_->events();
 }
 
 int64_t Server::node_accesses() const {

@@ -16,6 +16,7 @@
 #include "index/sharded_index.h"
 #include "server/motion_interest.h"
 #include "server/object_db.h"
+#include "server/rebalancer.h"
 #include "storage/storage_manager.h"
 #include "wavelet/multires_mesh.h"
 
@@ -119,6 +120,9 @@ class Server {
     // disk storage behind per-shard buffer pools; see
     // index::ShardedIndexOptions::storage).
     storage::StorageConfig storage = {};
+    // Load-adaptive shard rebalancing (off by default — a strict
+    // passthrough; see server/rebalancer.h for the trigger policy).
+    RebalanceOptions rebalance = {};
   };
 
   // Read-only server: `db` must be finalized and must outlive the server.
@@ -213,6 +217,26 @@ class Server {
   // every shard's buffer pool.
   void RefreshPoolInterest() const;
 
+  // --- Load-adaptive shard rebalancing ------------------------------------
+
+  // Active only with Options::rebalance.enabled. Const like the
+  // motion-interest hooks (the serving path holds a const Server), but
+  // NOT internally locked: the rebalancer drives the index's
+  // single-writer split/merge surface, so TickRebalancer must only run
+  // in serial phases — exactly where CommitIngest may.
+  bool rebalance_enabled() const { return rebalancer_ != nullptr; }
+  // Advances the rebalancer one tick; returns the ops it applied (empty
+  // on non-policy ticks or when disabled).
+  std::vector<RebalanceEvent> TickRebalancer() const;
+  // Every rebalance op applied so far.
+  std::vector<RebalanceEvent> RebalanceEvents() const;
+  // Splits + merges applied to the coefficient index.
+  int64_t rebalance_ops() const { return coeff_index_->rebalances(); }
+  // Shard slots that still receive records (total minus retired).
+  int32_t live_shard_count() const {
+    return coeff_index_->live_shard_count();
+  }
+
   // Cumulative I/O counters across both indexes.
   int64_t node_accesses() const;
   void ResetStats();
@@ -235,6 +259,10 @@ class Server {
   mutable common::Mutex interest_mu_;
   mutable std::unique_ptr<MotionInterestTracker> interest_
       MARS_PT_GUARDED_BY(interest_mu_);
+  // Set once in the constructor (rebalance.enabled only), then driven
+  // through const TickRebalancer in serial phases — no lock by design
+  // (see the method comment).
+  mutable std::unique_ptr<ShardRebalancer> rebalancer_;
 };
 
 }  // namespace mars::server

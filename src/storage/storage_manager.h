@@ -48,8 +48,9 @@ enum class StoreKind : uint8_t {
 
 // Which eviction policy the buffer pool uses once full.
 enum class EvictPolicy : uint8_t {
-  kLru = 0,     // least-recently-used (buffer::LruCache semantics)
-  kMotion = 1,  // motion-aware: keep pages with high predicted visit probability
+  kLru = 0,  // least-recently-used (buffer::LruCache semantics)
+  // Motion-aware: keep pages with high predicted visit probability.
+  kMotion = 1,
 };
 
 // User-facing storage configuration, threaded from mars_sim flags through
@@ -88,7 +89,8 @@ class IStorageManager {
   // allocates a fresh array and returns its head id; otherwise the existing
   // array at *id is rewritten in place (its chain grows or shrinks as
   // needed).
-  virtual common::Status Store(PageId* id, const std::vector<uint8_t>& data) = 0;
+  virtual common::Status Store(PageId* id,
+                               const std::vector<uint8_t>& data) = 0;
 
   // Loads the logical array with head page `id` into *out (replaced).
   virtual common::Status Load(PageId id, std::vector<uint8_t>* out) = 0;

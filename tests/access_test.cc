@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "index/access.h"
 #include "index/record.h"
 #include "index/sharded_index.h"
+#include "index/shard_map.h"
 #include "storage/storage_manager.h"
 #include "workload/scene.h"
 
@@ -700,6 +702,293 @@ TEST(DiskShardedIndexTest, OnlineIngestWorksOnDisk) {
   std::sort(after.begin(), after.end());
   EXPECT_EQ(after, got);
   RemovePageFiles(path, shards);
+}
+
+// --- Load-adaptive rebalancing (--rebalance on) ----------------------------
+
+// A record whose ground-plane support center is exactly (x, y).
+CoeffRecord RecordAt(double x, double y) {
+  CoeffRecord r;
+  r.w = 0.5;
+  r.position = {x, y, 0};
+  r.support_bounds = geometry::MakeBox3(x - 1, y - 1, 0, x + 1, y + 1, 1);
+  return r;
+}
+
+TEST(ShardMapTest, RefinementRoutingFoldsInOrder) {
+  ShardMap map = ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 1);
+  EXPECT_EQ(map.Route(RecordAt(25, 25)), 0);
+  EXPECT_EQ(map.total_shards(), 1);
+
+  // Split 0 at x = 50: the high half re-routes to the new id 1.
+  map.ApplySplit(0, /*axis=*/0, /*threshold=*/50.0, /*new_shard=*/1);
+  EXPECT_EQ(map.total_shards(), 2);
+  EXPECT_EQ(map.Route(RecordAt(25, 25)), 0);
+  EXPECT_EQ(map.Route(RecordAt(75, 25)), 1);
+  EXPECT_EQ(map.Route(RecordAt(50, 25)), 1);  // threshold is high-inclusive
+
+  // Split the split: 1 at y = 50 -> 2. Only shard 1's region re-routes.
+  map.ApplySplit(1, /*axis=*/1, /*threshold=*/50.0, /*new_shard=*/2);
+  EXPECT_EQ(map.Route(RecordAt(75, 25)), 1);
+  EXPECT_EQ(map.Route(RecordAt(75, 75)), 2);
+  EXPECT_EQ(map.Route(RecordAt(25, 75)), 0);
+
+  // Merge 0 into 2: the retired id forwards, and a later split of the
+  // destination still applies to the forwarded region (ordered fold).
+  map.ApplyMerge(0, 2);
+  EXPECT_EQ(map.Route(RecordAt(25, 25)), 2);
+  map.ApplySplit(2, /*axis=*/0, /*threshold=*/30.0, /*new_shard=*/3);
+  EXPECT_EQ(map.Route(RecordAt(25, 25)), 2);
+  EXPECT_EQ(map.Route(RecordAt(75, 75)), 3);
+  EXPECT_EQ(map.total_shards(), 4);
+
+  // Points outside the bounds clamp to the nearest cell, never crash.
+  EXPECT_EQ(map.Route(RecordAt(-500, 2000)), 2);
+}
+
+TEST(ShardedIndexTest, QueryProfiledMatchesQuery) {
+  const auto records = MakeRecords(40, 50, 3);
+  for (const int32_t shards : {1, 4}) {
+    ShardedCoefficientIndex index(
+        ShardedOptions(shards, ShardedIndexOptions::Kind::kSupportRegion));
+    index.Build(records);
+    common::Rng rng(17);
+    for (int q = 0; q < 20; ++q) {
+      const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+      const geometry::Box2 region =
+          geometry::MakeBox2(x, y, x + 100, y + 100);
+      std::vector<RecordId> plain, profiled;
+      const int64_t io_plain = index.Query(region, 0.3, 1.0, &plain);
+      ShardedCoefficientIndex::FanoutProfile profile;
+      const int64_t io_prof =
+          index.QueryProfiled(region, 0.3, 1.0, &profiled, &profile);
+      EXPECT_EQ(profiled, plain);
+      EXPECT_EQ(io_prof, io_plain);
+      EXPECT_LE(profile.max_shard_accesses, io_prof);
+      if (io_prof > 0) {
+        EXPECT_GT(profile.shards_touched, 0);
+        EXPECT_GT(profile.max_shard_accesses, 0);
+      }
+      if (shards == 1) {
+        EXPECT_EQ(profile.max_shard_accesses, io_prof);
+      }
+    }
+  }
+}
+
+// The acceptance oracle for every rebalance op: the fan-out is correct
+// for ANY routing (coverage boxes are exact), so after each forced
+// split/merge the index must still return exactly the required set.
+void ExpectMatchesOracle(const ShardedCoefficientIndex& index,
+                         const std::vector<CoeffRecord>& records) {
+  common::Rng rng(17);
+  for (int q = 0; q < 20; ++q) {
+    const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+    const geometry::Box2 region = geometry::MakeBox2(x, y, x + 120, y + 120);
+    std::vector<RecordId> got;
+    index.Query(region, 0.3, 1.0, &got);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, Oracle(records, region, 0.3, 1.0));
+  }
+}
+
+TEST(RebalanceTest, ForcedSplitsKeepOracleEquivalence) {
+  const auto records = MakeRecords(40, 50, 3);
+  ShardedCoefficientIndex index(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+  ExpectMatchesOracle(index, records);
+  const int64_t accesses_before = index.node_accesses();
+
+  // Split every original shard once; each op allocates the next id.
+  for (int32_t s = 0; s < 4; ++s) {
+    auto split = index.SplitShard(s);
+    ASSERT_TRUE(split.ok()) << split.status().message();
+    EXPECT_EQ(split.value(), 4 + s);
+    ExpectMatchesOracle(index, records);
+  }
+  EXPECT_EQ(index.shard_count(), 8);
+  EXPECT_EQ(index.live_shard_count(), 8);
+  EXPECT_EQ(index.rebalances(), 4);
+  // Counters retire into the surviving halves: totals stay monotonic.
+  EXPECT_GE(index.node_accesses(), accesses_before);
+
+  // A second-generation split (of a split product) works the same way.
+  auto again = index.SplitShard(4);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 8);
+  ExpectMatchesOracle(index, records);
+}
+
+TEST(RebalanceTest, MergeRetiresSourceAndTransfersCounters) {
+  const auto records = MakeRecords(40, 50, 3);
+  ShardedCoefficientIndex index(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+  ExpectMatchesOracle(index, records);
+
+  const auto before = index.Stats();
+  const int64_t src_accesses = before[1].node_accesses;
+  const int64_t dst_accesses = before[2].node_accesses;
+  const int64_t moved = before[1].records;
+  ASSERT_GT(moved, 0);
+
+  ASSERT_TRUE(index.MergeShards(1, 2).ok());
+  EXPECT_EQ(index.rebalances(), 1);
+  EXPECT_EQ(index.live_shard_count(), 3);
+  EXPECT_EQ(index.shard_count(), 4);  // the retired slot is kept
+
+  const auto after = index.Stats();
+  EXPECT_TRUE(after[1].retired);
+  EXPECT_EQ(after[1].records, 0);
+  EXPECT_FALSE(after[2].retired);
+  EXPECT_EQ(after[2].records, before[2].records + moved);
+  // The destination inherits both shards' cumulative traversal counters.
+  EXPECT_GE(after[2].node_accesses, src_accesses + dst_accesses);
+  ExpectMatchesOracle(index, records);
+
+  // The retired slot's empty coverage keeps it out of every fan-out.
+  const geometry::Box2 everything = geometry::MakeBox2(-100, -100, 1100, 1100);
+  std::vector<RecordId> out;
+  index.Query(everything, 0.0, 1.0, &out);
+  EXPECT_EQ(index.Stats()[1].node_accesses, after[1].node_accesses);
+}
+
+TEST(RebalanceTest, InvalidOpsAreRejectedWithoutStateChange) {
+  const auto records = MakeRecords(20, 30, 11);
+  ShardedCoefficientIndex index(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+
+  EXPECT_FALSE(index.SplitShard(-1).ok());
+  EXPECT_FALSE(index.SplitShard(4).ok());
+  EXPECT_FALSE(index.MergeShards(2, 2).ok());
+  EXPECT_FALSE(index.MergeShards(-1, 0).ok());
+  EXPECT_FALSE(index.MergeShards(0, 7).ok());
+  EXPECT_EQ(index.rebalances(), 0);
+  EXPECT_EQ(index.live_shard_count(), 4);
+
+  // Retired shards take part in no further op, either side.
+  ASSERT_TRUE(index.MergeShards(1, 2).ok());
+  EXPECT_FALSE(index.SplitShard(1).ok());
+  EXPECT_FALSE(index.MergeShards(1, 0).ok());
+  EXPECT_FALSE(index.MergeShards(0, 1).ok());
+  EXPECT_EQ(index.rebalances(), 1);
+
+  // A shard whose record centers all coincide has no usable median.
+  std::vector<CoeffRecord> stacked;
+  for (int i = 0; i < 8; ++i) stacked.push_back(RecordAt(500, 500));
+  ShardedCoefficientIndex point_index(
+      ShardedOptions(1, ShardedIndexOptions::Kind::kSupportRegion));
+  point_index.Build(stacked);
+  EXPECT_FALSE(point_index.SplitShard(0).ok());
+}
+
+TEST(RebalanceTest, StagedRecordsSurviveSplitAndMerge) {
+  // Records staged before an op must land in the post-op shards when
+  // committed (the staging buffers are re-bucketed under the new map).
+  const auto records = MakeRecords(30, 40, 23);
+  ShardedCoefficientIndex index(
+      ShardedOptions(2, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+
+  const auto extra = MakeRecords(6, 40, 71);
+  index.Stage(extra.data(), extra.size(),
+              static_cast<RecordId>(records.size()));
+  ASSERT_TRUE(index.SplitShard(0).ok());
+  ASSERT_TRUE(index.MergeShards(1, 2).ok());
+  EXPECT_EQ(index.staged_records(), static_cast<int64_t>(extra.size()));
+  EXPECT_EQ(index.CommitStaged(), static_cast<int64_t>(extra.size()));
+
+  std::vector<CoeffRecord> all = records;
+  all.insert(all.end(), extra.begin(), extra.end());
+  const geometry::Box2 everything = geometry::MakeBox2(-100, -100, 1100, 1100);
+  std::vector<RecordId> got;
+  index.Query(everything, 0.0, 1.0, &got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, Oracle(all, everything, 0.0, 1.0));
+}
+
+TEST(RebalanceTest, DiskSplitMergeMatchesMemoryAndSurvivesRestart) {
+  const auto records = MakeRecords(40, 50, 3);
+  const std::string path =
+      ::testing::TempDir() + "/mars_access_rebalance.pages";
+  const int32_t shards = 4;
+  // Clean slate, including ids the splits below will allocate.
+  RemovePageFiles(path, shards + 4);
+
+  ShardedCoefficientIndex memory_index(
+      ShardedOptions(shards, ShardedIndexOptions::Kind::kSupportRegion));
+  ShardedCoefficientIndex disk_index(DiskOptions(
+      shards, path, ShardedIndexOptions::Kind::kSupportRegion));
+  memory_index.Build(records);
+  disk_index.Build(records);
+
+  // Identical op sequence on both; disk must replicate memory bit for
+  // bit (page fetches mirror the pointer traversal).
+  for (auto* index : {&memory_index, &disk_index}) {
+    ASSERT_TRUE(index->SplitShard(0).ok());
+    ASSERT_TRUE(index->SplitShard(4).ok());
+    ASSERT_TRUE(index->MergeShards(2, 3).ok());
+  }
+  EXPECT_EQ(disk_index.live_shard_count(), 5);
+
+  common::Rng rng(17);
+  for (int q = 0; q < 20; ++q) {
+    const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+    const geometry::Box2 region = geometry::MakeBox2(x, y, x + 120, y + 120);
+    std::vector<RecordId> got_mem, got_disk;
+    const int64_t io_mem = memory_index.Query(region, 0.3, 1.0, &got_mem);
+    const int64_t io_disk = disk_index.Query(region, 0.3, 1.0, &got_disk);
+    EXPECT_EQ(got_disk, got_mem);
+    EXPECT_EQ(io_disk, io_mem);
+  }
+  ExpectMatchesOracle(disk_index, records);
+
+  // A restart builds from the *configured* static map, so rebalanced
+  // shard files fail their fingerprint checks and rebuild cleanly — the
+  // stale .shardN files of split-allocated ids are simply ignored.
+  {
+    ShardedCoefficientIndex revived(DiskOptions(
+        shards, path, ShardedIndexOptions::Kind::kSupportRegion));
+    revived.Build(records);
+    EXPECT_LE(revived.restored_shards(), shards);
+    ExpectMatchesOracle(revived, records);
+  }
+  RemovePageFiles(path, shards + 4);
+}
+
+TEST(RebalanceTest, ConcurrentQueriesDuringRebalanceStaySound) {
+  // The TSan acceptance path: readers fan out while the single writer
+  // splits and merges. Every query must observe a complete epoch —
+  // exactly the required set, never a torn shard array.
+  const auto records = MakeRecords(30, 40, 41);
+  ShardedCoefficientIndex index(
+      ShardedOptions(4, ShardedIndexOptions::Kind::kSupportRegion,
+                     /*fanout_workers=*/2));
+  index.Build(records);
+
+  const geometry::Box2 region = geometry::MakeBox2(200, 200, 700, 700);
+  const auto expected = Oracle(records, region, 0.0, 1.0);
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&index, &region, &expected] {
+      for (int q = 0; q < 50; ++q) {
+        std::vector<RecordId> got;
+        index.Query(region, 0.0, 1.0, &got);
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, expected);
+      }
+    });
+  }
+  for (int32_t s = 0; s < 4; ++s) {
+    auto split = index.SplitShard(s);
+    ASSERT_TRUE(split.ok());
+  }
+  ASSERT_TRUE(index.MergeShards(4, 5).ok());
+  for (std::thread& t : readers) t.join();
+  ExpectMatchesOracle(index, records);
 }
 
 TEST(ShardedIndexTest, Name) {

@@ -202,7 +202,7 @@ TEST(ResidenceSimTest, Eq2AllocationBeatsUniformOnSkewedMotion) {
   EXPECT_GT(t_shaped, t_uniform);
 }
 
-// --- Cost model (Eq. 1) --------------------------------------------------------
+// --- Cost model (Eq. 1) -----------------------------------------------------
 
 TEST(CostModelTest, MatchesClosedForm) {
   TransferCostParams params;
@@ -226,7 +226,7 @@ TEST(CostModelTest, FewerMissesCheaperForSameBlocks) {
             TotalTransferCost(params, {1, 1, 1, 1, 1, 1}));
 }
 
-// --- LruCache -------------------------------------------------------------------
+// --- LruCache ---------------------------------------------------------------
 
 TEST(LruCacheTest, BasicHitMiss) {
   LruCache<int> cache(100);
@@ -283,7 +283,7 @@ TEST(LruCacheTest, Erase) {
   EXPECT_EQ(cache.used_bytes(), 0);
 }
 
-// --- BlockBuffer -----------------------------------------------------------------
+// --- BlockBuffer ------------------------------------------------------------
 
 TEST(BlockBufferTest, MissThenHitAfterDemandFill) {
   BlockBuffer buffer(10000);
@@ -505,7 +505,7 @@ TEST_P(BlockBufferFuzzTest, AgreesWithReferenceModel) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockBufferFuzzTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
-// --- Prefetchers -----------------------------------------------------------------
+// --- Prefetchers ------------------------------------------------------------
 
 TEST(PrefetcherTest, NaiveFillsRingsAroundClient) {
   const geometry::GridPartition grid(geometry::MakeBox2(0, 0, 1000, 1000),

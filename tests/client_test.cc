@@ -50,7 +50,7 @@ TEST(SpeedMapTest, FloorCapsFinestResolution) {
   EXPECT_DOUBLE_EQ(map.MapSpeedToResolution(1.0), 1.0);
 }
 
-// --- Viewport -----------------------------------------------------------------
+// --- Viewport ---------------------------------------------------------------
 
 TEST(ViewportTest, WindowSizedAsFraction) {
   const Viewport vp(MakeBox2(0, 0, 1000, 2000), 0.1, 0.1);
@@ -60,7 +60,7 @@ TEST(ViewportTest, WindowSizedAsFraction) {
   EXPECT_EQ(w, MakeBox2(450, 400, 550, 600));
 }
 
-// --- PlanContinuousRetrieval (Algorithm 1) --------------------------------------
+// --- PlanContinuousRetrieval (Algorithm 1) ----------------------------------
 
 TEST(ContinuousTest, FirstFrameFetchesWholeWindow) {
   const Box2 q = MakeBox2(0, 0, 10, 10);
@@ -201,7 +201,7 @@ TEST(SpeedMapTest, MonotoneInSpeed) {
   }
 }
 
-// --- Clients over a real scene ----------------------------------------------------
+// --- Clients over a real scene ----------------------------------------------
 
 class ClientFixture : public ::testing::Test {
  protected:

@@ -327,6 +327,57 @@ TEST_F(FleetEngineTest, ShardedServerBitIdenticalAcrossWorkersAndFanOut) {
   }
 }
 
+// Load-adaptive rebalancing must not break the determinism guarantee:
+// the rebalancer only ever ticks in the serial Phase B, its decisions
+// read order-independent atomic counter sums, so a Zipf-skewed fleet
+// with --rebalance on stays byte-identical at any worker count — same
+// metrics AND the same op sequence.
+TEST_F(FleetEngineTest, RebalancingFleetBitIdenticalAcrossWorkers) {
+  std::string reference;
+  for (const int workers : {1, 8}) {
+    core::System::Config config = SmallConfig();
+    config.scene.placement = workload::Placement::kZipf;
+    config.shards = 4;
+    config.rebalance.enabled = true;
+    config.rebalance.interval = 4;
+    config.rebalance.min_split_records = 16;
+    config.rebalance.split_factor = 1.5;
+    // A fresh system per worker count: rebalancing mutates the server.
+    auto system = core::System::Create(config);
+    ASSERT_TRUE(system.ok());
+
+    fleet::FleetOptions options;
+    options.workers = workers;
+    fleet::FleetEngine engine(
+        **system, options,
+        fleet::FleetEngine::MakeMixedFleet(9, /*frames=*/25, /*speed=*/0.5,
+                                           /*seed=*/0));
+    const fleet::FleetResult result = engine.Run();
+
+    // The skewed scene must actually trip the policy, or this test
+    // would vacuously compare two static runs.
+    EXPECT_GE((*system)->server().rebalance_ops(), 1);
+
+    std::string json = FleetJson(result);
+    json += "\nops:";
+    for (const server::RebalanceEvent& event :
+         (*system)->server().RebalanceEvents()) {
+      json += (event.kind == server::RebalanceEvent::Kind::kSplit ? " s" :
+                                                                    " m") +
+              std::to_string(event.shard) + ">" +
+              std::to_string(event.target) + "@" +
+              std::to_string(event.round);
+    }
+    json += " live:" + std::to_string((*system)->server().live_shard_count());
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference)
+          << "rebalancing fleet diverged at workers=" << workers;
+    }
+  }
+}
+
 // Session isolation: two streaming clients with identical tours and seeds
 // must EACH receive the full record stream. If sessions leaked between
 // clients, the second client's deliveries would be filtered as duplicates

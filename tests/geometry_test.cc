@@ -131,7 +131,7 @@ TEST(BoxTest, FromPoint) {
   EXPECT_DOUBLE_EQ(p.Volume(), 0.0);
 }
 
-// --- Rectangle difference ------------------------------------------------------
+// --- Rectangle difference ---------------------------------------------------
 
 TEST(RectDiffTest, DisjointReturnsOriginal) {
   const Box2 a = MakeBox2(0, 0, 1, 1);
@@ -267,7 +267,7 @@ TEST_P(BoxAlgebraTest, LawsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BoxAlgebraTest, ::testing::Values(1, 2, 3));
 
-// --- Grid -----------------------------------------------------------------------
+// --- Grid -------------------------------------------------------------------
 
 TEST(GridTest, BlockIdRoundTrip) {
   const GridPartition grid(MakeBox2(0, 0, 100, 100), 10, 8);

@@ -152,7 +152,7 @@ TEST(EdgeMapTest, IndicesDenseAndSymmetric) {
   EXPECT_EQ(edges.IndexOf(0, 1), -1);  // antipodal: no edge
 }
 
-// --- Subdivision ---------------------------------------------------------------
+// --- Subdivision ------------------------------------------------------------
 
 // For a closed triangle mesh, one 1:4 subdivision gives V' = V + E,
 // E' = 2E + 3F, F' = 4F.

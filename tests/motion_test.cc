@@ -148,7 +148,7 @@ TEST(RlsTest, IdentityBeforeAnyUpdate) {
   EXPECT_LT((rls.transition() - Matrix::Identity(4)).Norm(), 1e-12);
 }
 
-// --- MotionPredictor -----------------------------------------------------------
+// --- MotionPredictor --------------------------------------------------------
 
 TEST(PredictorTest, LinearMotionPredictedExactly) {
   MotionPredictor predictor;
@@ -237,7 +237,7 @@ TEST(PredictorTest, TramLikePathMorePredictableThanWalk) {
   EXPECT_LT(mean_error(0.02, 1), mean_error(0.5, 1));
 }
 
-// --- Grid probabilities ---------------------------------------------------------
+// --- Grid probabilities -----------------------------------------------------
 
 TEST(GridProbabilityTest, SumsToOne) {
   MotionPredictor predictor;
@@ -342,7 +342,7 @@ TEST(GridProbabilityTest, OutOfSpaceMassDropped) {
   }
 }
 
-// --- Sectors ---------------------------------------------------------------------
+// --- Sectors ----------------------------------------------------------------
 
 TEST(SectorTest, PointSectorsForFourDirections) {
   SectorPartition partition({0, 0}, 4);

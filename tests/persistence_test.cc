@@ -86,7 +86,7 @@ TEST(SerializeTest, TruncatedStringFails) {
   EXPECT_FALSE(r.ReadString(&s).ok());
 }
 
-// --- Database persistence -------------------------------------------------------
+// --- Database persistence ---------------------------------------------------
 
 workload::SceneOptions TinyScene() {
   workload::SceneOptions options;

@@ -5,6 +5,7 @@
 
 #include "geometry/box.h"
 #include "index/record.h"
+#include "index/sharded_index.h"
 #include "server/admission.h"
 #include "server/hot_cache.h"
 #include "server/inflight_table.h"
@@ -717,6 +718,191 @@ TEST(HotRecordCacheTest, PerShardStatsCountHitsAndMisses) {
   EXPECT_EQ(hits, 2);
   EXPECT_EQ(misses, 1);
   EXPECT_EQ(entries, 1);
+}
+
+// --- Load-adaptive shard rebalancer (--rebalance on) -----------------------
+
+// A per_side × per_side grid of point-supported records over [0, 1000]²,
+// so a K = 4 base grid gets an equal record count in every cell.
+std::vector<index::CoeffRecord> GridRecords(int per_side) {
+  std::vector<index::CoeffRecord> records;
+  for (int i = 0; i < per_side; ++i) {
+    for (int j = 0; j < per_side; ++j) {
+      index::CoeffRecord r;
+      r.w = 0.5;
+      const double x = 1000.0 * (i + 0.5) / per_side;
+      const double y = 1000.0 * (j + 0.5) / per_side;
+      r.position = {x, y, 0};
+      r.support_bounds = geometry::MakeBox3(x - 2, y - 2, 0, x + 2, y + 2, 5);
+      records.push_back(r);
+    }
+  }
+  return records;
+}
+
+void QueryRegion(const index::ShardedCoefficientIndex& index,
+                 const geometry::Box2& region, int times) {
+  std::vector<index::RecordId> out;
+  for (int q = 0; q < times; ++q) {
+    out.clear();
+    index.Query(region, 0.0, 1.0, &out);
+  }
+}
+
+TEST(RebalancerTest, IntervalGatesRounds) {
+  index::ShardedIndexOptions options;
+  options.shards = 4;
+  index::ShardedCoefficientIndex index(options);
+  index.Build(GridRecords(32));
+
+  RebalanceOptions policy;
+  policy.interval = 4;
+  ShardRebalancer rebalancer(&index, policy);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_TRUE(rebalancer.Tick().empty());
+    EXPECT_EQ(rebalancer.rounds(), 0);
+  }
+  rebalancer.Tick();
+  EXPECT_EQ(rebalancer.rounds(), 1);
+}
+
+TEST(RebalancerTest, SplitsTheHotShard) {
+  index::ShardedIndexOptions options;
+  options.shards = 4;
+  index::ShardedCoefficientIndex index(options);
+  index.Build(GridRecords(32));  // 256 records per shard
+
+  RebalanceOptions policy;
+  policy.interval = 1;
+  policy.split_factor = 2.0;
+  policy.merge_factor = 0.0;  // merges off: shares never drop below zero
+  policy.min_split_records = 64;
+  ShardRebalancer rebalancer(&index, policy);
+
+  // Round 1 only installs the baseline — no shard has a window yet.
+  EXPECT_TRUE(rebalancer.Tick().empty());
+
+  // All load on the low-left cell: its share is ~1.0 of 4 live shards.
+  QueryRegion(index, geometry::MakeBox2(100, 100, 400, 400), 50);
+  const auto events = rebalancer.Tick();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, RebalanceEvent::Kind::kSplit);
+  EXPECT_EQ(events[0].shard, 0);
+  EXPECT_EQ(events[0].target, 4);
+  EXPECT_GT(events[0].share, 0.9);
+  EXPECT_EQ(index.live_shard_count(), 5);
+  EXPECT_EQ(rebalancer.events().size(), 1u);
+}
+
+TEST(RebalancerTest, MergesTheColdSmallShard) {
+  index::ShardedIndexOptions options;
+  options.shards = 4;
+  index::ShardedCoefficientIndex index(options);
+  index.Build(GridRecords(8));  // 16 records per shard: all mergeable
+
+  RebalanceOptions policy;
+  policy.interval = 1;
+  policy.split_factor = 100.0;  // splits off
+  policy.merge_factor = 0.5;
+  policy.min_split_records = 64;
+  ShardRebalancer rebalancer(&index, policy);
+  EXPECT_TRUE(rebalancer.Tick().empty());  // baseline round
+
+  // Load on three cells; the upper-right shard stays stone cold.
+  QueryRegion(index, geometry::MakeBox2(100, 100, 400, 400), 20);
+  QueryRegion(index, geometry::MakeBox2(600, 100, 900, 400), 20);
+  QueryRegion(index, geometry::MakeBox2(100, 600, 400, 900), 20);
+  const auto events = rebalancer.Tick();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, RebalanceEvent::Kind::kMerge);
+  EXPECT_EQ(events[0].shard, 3);
+  EXPECT_EQ(events[0].share, 0.0);
+  EXPECT_EQ(index.live_shard_count(), 3);
+  EXPECT_TRUE(index.Stats()[3].retired);
+}
+
+TEST(RebalancerTest, LargeColdShardIsNotAMergeSource) {
+  index::ShardedIndexOptions options;
+  options.shards = 4;
+  index::ShardedCoefficientIndex index(options);
+  index.Build(GridRecords(32));  // 256 records per shard: none mergeable
+
+  RebalanceOptions policy;
+  policy.interval = 1;
+  policy.split_factor = 100.0;
+  policy.merge_factor = 0.5;
+  policy.min_split_records = 64;
+  ShardRebalancer rebalancer(&index, policy);
+  EXPECT_TRUE(rebalancer.Tick().empty());
+
+  QueryRegion(index, geometry::MakeBox2(100, 100, 400, 400), 20);
+  // The idle shards hold 256 ≥ min_split_records records each: merging
+  // them would bloat the destination for no access-share gain.
+  EXPECT_TRUE(rebalancer.Tick().empty());
+  EXPECT_EQ(index.live_shard_count(), 4);
+}
+
+TEST(RebalancerTest, MaxShardsCapsGrowth) {
+  index::ShardedIndexOptions options;
+  options.shards = 4;
+  index::ShardedCoefficientIndex index(options);
+  index.Build(GridRecords(32));
+
+  RebalanceOptions policy;
+  policy.interval = 1;
+  policy.split_factor = 1.5;
+  policy.merge_factor = 0.0;
+  policy.min_split_records = 2;
+  policy.max_shards = 6;
+  ShardRebalancer rebalancer(&index, policy);
+
+  for (int round = 0; round < 12; ++round) {
+    QueryRegion(index, geometry::MakeBox2(100, 100, 400, 400), 20);
+    rebalancer.Tick();
+  }
+  // The total-slot governor: growth stops at max_shards even though the
+  // hot cell keeps qualifying.
+  EXPECT_LE(index.shard_count(), 6);
+  EXPECT_EQ(index.shard_count(), 6);
+  EXPECT_GE(rebalancer.events().size(), 2u);
+}
+
+TEST(ServerRebalanceTest, DisabledByDefaultAndInertWhenOff) {
+  auto db = workload::GenerateScene(SmallScene(17));
+  ASSERT_TRUE(db.ok());
+  ObjectDatabase database = std::move(*db);
+  Server::Options options;
+  options.shards = 4;
+  Server server(&database, options);
+  EXPECT_FALSE(server.rebalance_enabled());
+  EXPECT_TRUE(server.TickRebalancer().empty());  // null rebalancer: no-op
+  EXPECT_TRUE(server.RebalanceEvents().empty());
+  EXPECT_EQ(server.rebalance_ops(), 0);
+  EXPECT_EQ(server.live_shard_count(), 4);
+}
+
+TEST(ServerRebalanceTest, EnabledServerRunsThePolicy) {
+  auto db = workload::GenerateScene(SmallScene(17));
+  ASSERT_TRUE(db.ok());
+  ObjectDatabase database = std::move(*db);
+  Server::Options options;
+  options.shards = 4;
+  options.rebalance.enabled = true;
+  options.rebalance.interval = 1;
+  options.rebalance.min_split_records = 2;
+  Server server(&database, options);
+  ASSERT_TRUE(server.rebalance_enabled());
+
+  server.TickRebalancer();  // baseline round
+  ClientSession session;
+  const geometry::Box2 window = geometry::MakeBox2(0, 0, 500, 500);
+  for (int q = 0; q < 30; ++q) {
+    server.Execute({SubQuery{window, 0.0, 1.0}}, &session);
+  }
+  for (int t = 0; t < 4; ++t) server.TickRebalancer();
+  EXPECT_GE(server.rebalance_ops(), 1);
+  EXPECT_EQ(static_cast<int64_t>(server.RebalanceEvents().size()),
+            server.rebalance_ops());
 }
 
 }  // namespace

@@ -28,7 +28,8 @@ mesh::Mesh DisplacedFine(const mesh::Mesh& base, int levels,
       geometry::Vec3 dir{rng.Normal(), rng.Normal(), rng.Normal()};
       const double n = dir.Norm();
       if (n > 1e-12) dir = dir / n;
-      sub.mesh.mutable_vertex(odd.vertex) += dir * (amp * rng.Uniform(0.2, 1.0));
+      sub.mesh.mutable_vertex(odd.vertex) +=
+          dir * (amp * rng.Uniform(0.2, 1.0));
     }
     current = std::move(sub.mesh);
     amp *= decay;

@@ -165,7 +165,7 @@ TEST(SceneTest, SingleZipfClusterStillWorks) {
   EXPECT_EQ(db->object_count(), 10);
 }
 
-// --- Tours --------------------------------------------------------------------
+// --- Tours ------------------------------------------------------------------
 
 TEST(TourTest, FrameCountRespected) {
   TourOptions options;

@@ -18,6 +18,8 @@
 //             [--cells K] [--cell-outage-rate R] [--handover-blackout S]
 //             [--store memory|disk] [--pages FILE] [--page-size N]
 //             [--pool-pages N] [--evict lru|motion]
+//             [--rebalance on|off] [--rebalance-interval N]
+//             [--split-factor F] [--merge-factor F] [--max-shards K]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
 //       < 0.5); --outage-rate schedules full-connectivity outages at R
@@ -72,6 +74,18 @@
 //       fleet's predicted positions. The default --store memory is a
 //       bit-identical passthrough; disk mode adds "-- storage --" lines
 //       and per-shard pool stats to the JSON block.
+//       --rebalance on makes the shard set load-adaptive: every
+//       --rebalance-interval frames (default 16) the server splits a
+//       shard running hotter than --split-factor (default 2.0) times its
+//       fair share of that window's index accesses and merges one idling
+//       below --merge-factor (default 0.1) of it, up to --max-shards
+//       total slots — online split/merge via the same build-then-swap
+//       epochs as ingest, so queries never block. Works from any
+//       --shards (even 1) and in both single-client and fleet mode;
+//       fleet metrics stay byte-identical at any --workers. Off (the
+//       default) is a strict bit-identical passthrough. When on, the
+//       output gains a "-- rebalance --" summary and one JSON line per
+//       applied op.
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
@@ -140,6 +154,11 @@ struct Flags {
   int page_size = 4096;
   int pool_pages = 256;
   std::string evict = "lru";
+  std::string rebalance = "off";
+  int rebalance_interval = 16;
+  double split_factor = 2.0;
+  double merge_factor = 0.1;
+  int max_shards = 64;
 };
 
 void Usage() {
@@ -236,6 +255,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->pool_pages = std::atoi(next());
     } else if (arg == "--evict") {
       flags->evict = next();
+    } else if (arg == "--rebalance") {
+      flags->rebalance = next();
+    } else if (arg == "--rebalance-interval") {
+      flags->rebalance_interval = std::atoi(next());
+    } else if (arg == "--split-factor") {
+      flags->split_factor = std::atof(next());
+    } else if (arg == "--merge-factor") {
+      flags->merge_factor = std::atof(next());
+    } else if (arg == "--max-shards") {
+      flags->max_shards = std::atoi(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -334,6 +363,40 @@ void PrintPoolStats(const core::System& system) {
         static_cast<long long>(s.pool.disk_reads),
         static_cast<long long>(s.pool.disk_writes),
         static_cast<long long>(s.pool.resident_pages));
+  }
+}
+
+// Rebalance telemetry: only emitted with --rebalance on, so off-mode
+// output stays byte-identical to the static-shard era.
+void PrintRebalanceSummary(const core::System& system) {
+  const server::Server& server = system.server();
+  if (!server.rebalance_enabled()) return;
+  const std::vector<server::RebalanceEvent> events = server.RebalanceEvents();
+  int64_t splits = 0;
+  for (const server::RebalanceEvent& e : events) {
+    if (e.kind == server::RebalanceEvent::Kind::kSplit) ++splits;
+  }
+  std::printf("\n-- rebalance --\n");
+  std::printf("ops applied             : %lld (%lld splits, %lld merges)\n",
+              static_cast<long long>(events.size()),
+              static_cast<long long>(splits),
+              static_cast<long long>(static_cast<int64_t>(events.size()) -
+                                     splits));
+  std::printf("shards live / total     : %d / %d\n",
+              server.live_shard_count(), server.shard_count());
+}
+
+// One JSON line per applied rebalance op (--rebalance on only).
+void PrintRebalanceJson(const core::System& system) {
+  const server::Server& server = system.server();
+  if (!server.rebalance_enabled()) return;
+  for (const server::RebalanceEvent& e : server.RebalanceEvents()) {
+    std::printf(
+        "{\"rebalance\": {\"op\": \"%s\", \"round\": %lld, \"shard\": %d, "
+        "\"target\": %d, \"share\": %.17g, \"records\": %lld}}\n",
+        e.kind == server::RebalanceEvent::Kind::kSplit ? "split" : "merge",
+        static_cast<long long>(e.round), e.shard, e.target, e.share,
+        static_cast<long long>(e.records));
   }
 }
 
@@ -469,6 +532,7 @@ int RunFleet(const core::System& system, const Flags& flags) {
   }
 
   PrintStorageSummary(system);
+  PrintRebalanceSummary(system);
 
   // Full-precision JSON lines: one per client plus the aggregate. Diffing
   // this block across --workers values must show zero differences.
@@ -481,6 +545,7 @@ int RunFleet(const core::System& system, const Flags& flags) {
               core::RunMetricsJson(result.aggregate).c_str());
   PrintShardStats(system);
   PrintPoolStats(system);
+  PrintRebalanceJson(system);
   if (coalescing) {
     // Coalescing telemetry rides extra JSON lines so the off-mode block
     // above stays byte-identical to the pre-coalescing era.
@@ -626,6 +691,21 @@ int Run(const Flags& flags) {
                  "--page-size must be >= 128 and --pool-pages >= 1\n");
     return 2;
   }
+  if (flags.rebalance != "on" && flags.rebalance != "off") {
+    std::fprintf(stderr, "--rebalance wants on|off\n");
+    return 2;
+  }
+  if (flags.rebalance_interval < 1 || flags.max_shards < 1) {
+    std::fprintf(stderr,
+                 "--rebalance-interval and --max-shards must be >= 1\n");
+    return 2;
+  }
+  if (flags.split_factor <= 1.0 || flags.merge_factor < 0.0 ||
+      flags.merge_factor >= 1.0) {
+    std::fprintf(stderr,
+                 "--split-factor must be > 1 and --merge-factor in [0, 1)\n");
+    return 2;
+  }
   config.shards = flags.shards;
   config.fanout_workers = flags.fanout_workers;
   config.storage.store = flags.store == "disk" ? storage::StoreKind::kDisk
@@ -635,6 +715,11 @@ int Run(const Flags& flags) {
   config.storage.pool_pages = flags.pool_pages;
   config.storage.evict = flags.evict == "motion" ? storage::EvictPolicy::kMotion
                                                  : storage::EvictPolicy::kLru;
+  config.rebalance.enabled = flags.rebalance == "on";
+  config.rebalance.interval = flags.rebalance_interval;
+  config.rebalance.split_factor = flags.split_factor;
+  config.rebalance.merge_factor = flags.merge_factor;
+  config.rebalance.max_shards = flags.max_shards;
   config.link.loss_probability = flags.loss;
   config.fault.outage_rate_per_hour = flags.outage_rate;
   config.fault.outage_mean_seconds = flags.outage_secs;
@@ -738,6 +823,8 @@ int Run(const Flags& flags) {
   }
   PrintStorageSummary(*system);
   PrintPoolStats(*system);
+  PrintRebalanceSummary(*system);
+  PrintRebalanceJson(*system);
   return 0;
 }
 

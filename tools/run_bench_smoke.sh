@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every baseline-gated bench in smoke mode and gates it against its
+# checked-in baseline. The baseline set under bench/baselines/ is the
+# single source of truth: adding a baseline picks the bench up with no
+# workflow edit, and dropping one drops the gate.
+#
+# Usage: tools/run_bench_smoke.sh [build_dir] [out_dir]
+set -euo pipefail
+
+build_dir=${1:-build}
+out_dir=${2:-bench-out}
+mkdir -p "$out_dir"
+
+status=0
+for baseline in bench/baselines/*.json; do
+  name=$(basename "$baseline" .json)
+  binary="$build_dir/bench/bench_$name"
+  if [[ ! -x "$binary" ]]; then
+    echo "::error::$binary not built but $baseline gates it" >&2
+    status=1
+    continue
+  fi
+  echo "== bench_$name (smoke) =="
+  if ! MARS_BENCH_SMOKE=1 MARS_BENCH_JSON="$out_dir/$name.json" "$binary"; then
+    echo "::error::bench_$name failed" >&2
+    status=1
+    continue
+  fi
+  if ! python3 tools/bench_gate.py --baseline "$baseline" \
+      --current "$out_dir/$name.json"; then
+    status=1
+  fi
+done
+exit $status
