@@ -1,0 +1,263 @@
+// Extension experiment: the per-client adaptive resolution ladder (ABR
+// for wavelets) closing the loop under overload.
+//
+// A fleet of motion-aware clients shares one cell provisioned at ~1/3
+// of the fleet's full-detail demand. With WFQ + admission alone clients
+// keep requesting the static speed-mapped band, the cell queues minutes
+// deep, and exchanges land long after the tour has moved on. With the
+// adaptive ladder on (qos/adaptive_ladder.h) each client climbs to a
+// coarser band when backpressured and probes back down when the cell
+// clears — trading resolution it cannot download anyway for exchanges
+// that actually arrive in time.
+//
+// The bench scores both legs with an aggregate utility
+//
+//   utility = mean over clients of (requested band width x coverage)
+//
+// where band width = 1 - mean requested w_min (the fraction of the
+// coefficient spectrum asked for; tracked by the policy for the ABR leg,
+// computed from the static mapping over the tour for the baseline leg)
+// and coverage discounts frames rendered stale and exchanges that spend
+// their deadline window waiting (see Coverage below). A frame delivered
+// seconds late is as useless to a moving client as one never delivered,
+// so lateness counts against coverage. It fails loudly if:
+//
+//   * ABR does not improve aggregate utility by at least 1.3x over
+//     admission-only (the point of closing the loop), or
+//   * the motion-aware p99 delivery delay regresses under ABR, or
+//   * ABR-leg aggregate metrics differ between workers=1 and workers=8
+//     (ladder decisions must stay deterministically ordered).
+//
+// CI runs this with MARS_BENCH_SMOKE=1 / MARS_BENCH_JSON=<path>; the
+// emitted metrics are deterministic simulated quantities, gated against
+// bench/baselines/abr.json by tools/bench_gate.py.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "fleet/fleet_engine.h"
+#include "workload/tour.h"
+
+namespace {
+
+using namespace mars;  // NOLINT
+
+struct Shape {
+  int32_t clients;  // alternating streaming / buffered
+  int32_t frames;
+};
+
+// All motion-aware (the ladder has no axis on naive whole-object
+// clients): alternating streaming and buffered members, querying on 40%
+// of frames so demand is sustained, not bursty.
+std::vector<fleet::ClientSpec> MakeOverloadedFleet(const Shape& shape) {
+  std::vector<fleet::ClientSpec> specs;
+  specs.reserve(static_cast<size_t>(shape.clients));
+  for (int32_t id = 0; id < shape.clients; ++id) {
+    fleet::ClientSpec spec;
+    spec.id = id;
+    spec.kind = (id % 2 == 0) ? fleet::ClientKind::kStreaming
+                              : fleet::ClientKind::kBuffered;
+    spec.tour_kind = (id % 2 == 0) ? workload::TourKind::kTram
+                                   : workload::TourKind::kPedestrian;
+    spec.frames = shape.frames;
+    spec.seed = 100 + static_cast<uint64_t>(id);
+    spec.tour_seed = 900 + static_cast<uint64_t>(id);
+    spec.query_fraction = 0.4;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+fleet::FleetOptions MakeOptions(bool abr, int workers) {
+  fleet::FleetOptions options;
+  options.workers = workers;
+  // ~3x overload: the fleet's full-detail demand is about three times
+  // what this cell drains over a tour, so the baseline leg queues
+  // minutes deep while a one-rung-coarser fleet fits.
+  options.cell.cell_bandwidth_kbps = 2048.0;
+  options.cell.client_bandwidth_kbps = 1024.0;
+  options.cell.discipline = net::SharedMediumLink::Discipline::kWeightedFair;
+  options.admission.enabled = true;
+  // Loose per-client quotas: the contended resource is the cell itself,
+  // and backpressure should reflect real congestion (deep queues on a
+  // saturated link), not a tight static allowance.
+  options.admission.max_client_backlog_bytes = 512 * 1024;
+  options.admission.max_client_queue_depth = 16;
+  options.abr.enabled = abr;
+  options.abr.ladder.ladder_steps = 3;
+  options.abr.ladder.target_goodput_bps = 16384.0;
+  return options;
+}
+
+// Mean static-mapped w_min over a client's tour — the baseline leg's
+// requested resolution (no policy object exists to track it when ABR is
+// off; the static mapping is a pure function of the tour, so replaying
+// the tour reproduces it exactly, modulo shed frames that never request).
+double StaticMeanW(const core::System& system,
+                   const fleet::ClientSpec& spec) {
+  workload::TourOptions tour;
+  tour.kind = spec.tour_kind;
+  tour.space = system.space();
+  tour.target_speed = spec.speed;
+  tour.frames = spec.frames;
+  tour.seed = spec.tour_seed;
+  const std::vector<workload::TourPoint> points = workload::GenerateTour(tour);
+  if (points.empty()) return 0.0;
+  const qos::SpeedResolutionMap map;
+  double sum = 0.0;
+  for (const workload::TourPoint& p : points) {
+    sum += map.MapSpeedToResolution(p.speed);
+  }
+  return sum / static_cast<double>(points.size());
+}
+
+// The delivery deadline: one query-frame interval. An exchange that
+// lands later than the next frame was wasted motion.
+constexpr double kDeadlineSeconds = 1.0;
+
+// Coverage: fresh-frame fraction times a smooth lateness discount
+// deadline / (deadline + mean wait per exchange). The discount is the
+// fraction of each deadline window actually spent rendering current
+// data rather than waiting; a leg whose exchanges land in ~0 wait keeps
+// ~1.0, one that waits minutes per exchange keeps almost nothing. The
+// smooth form (rather than a hard timely-or-not cut) rewards the ladder
+// for shortening the tail even when an exchange still misses the
+// deadline.
+double Coverage(const core::RunMetrics& m) {
+  if (m.frames == 0) return 0.0;
+  const double fresh = 1.0 - static_cast<double>(m.stale_frames) /
+                                 static_cast<double>(m.frames);
+  return fresh * kDeadlineSeconds /
+         (kDeadlineSeconds + m.MeanResponsePerExchange());
+}
+
+// Hard-deadline timeliness, reported alongside the utility: fraction of
+// exchanges delivered within one frame interval.
+double TimelyFraction(const core::RunMetrics& m) {
+  return m.response_histogram.FractionAtMost(kDeadlineSeconds);
+}
+
+// Aggregate utility of one leg: mean over clients of
+// (delivered band width) x coverage.
+double AggregateUtility(const core::System& system,
+                        const fleet::FleetResult& result, bool abr) {
+  double sum = 0.0;
+  int32_t counted = 0;
+  for (const fleet::ClientResult& client : result.clients) {
+    const core::RunMetrics& m = client.metrics;
+    if (m.frames == 0) continue;
+    const double mean_w =
+        abr && client.abr.map_calls > 0
+            ? client.abr.resolution_sum /
+                  static_cast<double>(client.abr.map_calls)
+            : StaticMeanW(system, client.spec);
+    sum += (1.0 - mean_w) * Coverage(m);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace
+
+int main() {
+  auto system_or = core::System::Create(bench::DefaultConfig());
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "%s\n", system_or.status().ToString().c_str());
+    return 1;
+  }
+  core::System& system = **system_or;
+
+  const bool smoke = bench::SmokeMode();
+  const Shape shape = smoke ? Shape{8, 60} : Shape{12, 120};
+
+  struct Leg {
+    const char* label;
+    bool abr;
+    fleet::FleetResult result;
+  };
+  Leg legs[] = {{"wfq+admission", false, {}}, {"+abr", true, {}}};
+
+  for (Leg& leg : legs) {
+    fleet::FleetEngine engine(system, MakeOptions(leg.abr, 8),
+                              MakeOverloadedFleet(shape));
+    leg.result = engine.Run();
+
+    // Determinism check: the serial replay must match bit for bit.
+    fleet::FleetEngine replay(system, MakeOptions(leg.abr, 1),
+                              MakeOverloadedFleet(shape));
+    const fleet::FleetResult serial = replay.Run();
+    if (core::RunMetricsJson(serial.aggregate) !=
+        core::RunMetricsJson(leg.result.aggregate)) {
+      std::fprintf(stderr,
+                   "FATAL: %s metrics diverged between workers=8 and "
+                   "workers=1\n",
+                   leg.label);
+      return 1;
+    }
+  }
+
+  const fleet::FleetResult& base = legs[0].result;
+  const fleet::FleetResult& abr = legs[1].result;
+  const double utility_base = AggregateUtility(system, base, false);
+  const double utility_abr = AggregateUtility(system, abr, true);
+  const double gain = utility_base > 0.0 ? utility_abr / utility_base : 0.0;
+  const double p99_base = base.aggregate.P99ResponseSeconds();
+  const double p99_abr = abr.aggregate.P99ResponseSeconds();
+
+  core::PrintTableTitle(
+      "Adaptive resolution ladder - utility under a 3x-overloaded cell");
+  core::PrintTableHeader({"leg", "utility", "coverage", "timely", "p99 s",
+                          "deferred", "step-ups", "top-ups"});
+  for (const Leg& leg : legs) {
+    const fleet::FleetResult& r = leg.result;
+    core::PrintTableRow(
+        {leg.label,
+         core::Fmt(AggregateUtility(system, r, leg.abr), 4),
+         core::Fmt(Coverage(r.aggregate), 3),
+         core::Fmt(TimelyFraction(r.aggregate), 3),
+         core::Fmt(r.aggregate.P99ResponseSeconds(), 3),
+         std::to_string(r.deferred_exchanges),
+         std::to_string(r.abr_step_ups), std::to_string(r.abr_top_ups)});
+  }
+  std::printf(
+      "aggregate utility: admission %.4f vs +abr %.4f -> %.2fx better\n",
+      utility_base, utility_abr, gain);
+  std::printf("p99 delivery: admission %.3fs vs +abr %.3fs\n", p99_base,
+              p99_abr);
+  std::printf("aggregate metrics identical at workers 1 and 8\n");
+
+  if (!bench::WriteBenchJson(
+          "abr",
+          {{"utility_admission", utility_base, true},
+           {"utility_abr", utility_abr, true},
+           {"utility_gain", gain, true},
+           {"coverage_admission", Coverage(base.aggregate), true},
+           {"coverage_abr", Coverage(abr.aggregate), true},
+           {"timely_admission", TimelyFraction(base.aggregate), true},
+           {"timely_abr", TimelyFraction(abr.aggregate), true},
+           {"p99_admission_seconds", p99_base, false},
+           {"p99_abr_seconds", p99_abr, false},
+           {"abr_step_ups", static_cast<double>(abr.abr_step_ups), false},
+           {"abr_top_ups", static_cast<double>(abr.abr_top_ups), false}})) {
+    return 1;
+  }
+
+  if (gain < 1.3) {
+    std::fprintf(stderr,
+                 "FATAL: ABR improved aggregate utility only %.2fx over "
+                 "admission-only (need >= 1.3x)\n",
+                 gain);
+    return 1;
+  }
+  if (p99_abr > p99_base) {
+    std::fprintf(stderr,
+                 "FATAL: ABR regressed motion-aware p99 (%.3fs > %.3fs)\n",
+                 p99_abr, p99_base);
+    return 1;
+  }
+  return 0;
+}

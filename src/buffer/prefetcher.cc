@@ -75,7 +75,7 @@ MotionAwarePrefetcher::MotionAwarePrefetcher(Options options)
 
 PrefetchPlan MotionAwarePrefetcher::Plan(
     const motion::PositionPredictor& predictor, const GridPartition& grid,
-    const geometry::Vec2& position, double speed, int32_t budget_blocks,
+    const geometry::Vec2& position, double w_min, int32_t budget_blocks,
     common::Rng& rng) const {
   PrefetchPlan plan;
   if (budget_blocks <= 0) return plan;
@@ -163,7 +163,7 @@ PrefetchPlan MotionAwarePrefetcher::Plan(
           list[i].block,
           // Nearer rings break probability ties in eviction decisions.
           list[i].probability + 1e-6 / (1.0 + list[i].ring),
-          std::clamp(speed, 0.0, 1.0)});
+          std::clamp(w_min, 0.0, 1.0)});
     }
   }
   std::sort(plan.items.begin(), plan.items.end(),
@@ -180,7 +180,7 @@ PrefetchPlan MotionAwarePrefetcher::Plan(
 
 PrefetchPlan NaivePrefetcher::Plan(const GridPartition& grid,
                                    const geometry::Vec2& position,
-                                   double speed,
+                                   double w_min,
                                    int32_t budget_blocks) const {
   PrefetchPlan plan;
   if (budget_blocks <= 0) return plan;
@@ -197,7 +197,7 @@ PrefetchPlan NaivePrefetcher::Plan(const GridPartition& grid,
       // Equal probabilities: every surrounding block gets the same
       // priority; only the ring order decides what fits in the budget.
       plan.items.push_back(PrefetchPlan::Item{
-          block, 0.5, std::clamp(speed, 0.0, 1.0)});
+          block, 0.5, std::clamp(w_min, 0.0, 1.0)});
     });
   }
   // Disjoint rings cannot duplicate a block; a no-op that keeps the

@@ -62,11 +62,12 @@ class MotionAwarePrefetcher {
   MotionAwarePrefetcher();  // default options
   explicit MotionAwarePrefetcher(Options options);
 
-  // Plans up to `budget_blocks` blocks around `position`; `speed` (in
-  // [0, 1]) sets the prefetch resolution.
+  // Plans up to `budget_blocks` blocks around `position`; `w_min` (in
+  // [0, 1]) is the prefetch resolution the caller's QoS policy mapped
+  // from the current speed (qos::ResolutionPolicy).
   PrefetchPlan Plan(const motion::PositionPredictor& predictor,
                     const geometry::GridPartition& grid,
-                    const geometry::Vec2& position, double speed,
+                    const geometry::Vec2& position, double w_min,
                     int32_t budget_blocks, common::Rng& rng) const;
 
   const Options& options() const { return options_; }
@@ -81,7 +82,7 @@ class MotionAwarePrefetcher {
 class NaivePrefetcher {
  public:
   PrefetchPlan Plan(const geometry::GridPartition& grid,
-                    const geometry::Vec2& position, double speed,
+                    const geometry::Vec2& position, double w_min,
                     int32_t budget_blocks) const;
 };
 

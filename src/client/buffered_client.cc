@@ -18,6 +18,8 @@ BufferedClient::BufferedClient(const Options& options,
                                const server::Server* server,
                                net::SimulatedLink* link)
     : options_(options),
+      owned_policy_(options.speed_map),
+      policy_(options.policy != nullptr ? options.policy : &owned_policy_),
       viewport_(space, options.query_fraction, options.query_fraction),
       grid_(space, options.grid_nx, options.grid_ny),
       server_(server),
@@ -111,7 +113,7 @@ BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
                                          double speed) {
   BufferedFrameReport report;
   predictor_->Observe(position);
-  const double w_t = options_.speed_map.MapSpeedToResolution(speed);
+  const double w_t = policy_->MapSpeedToResolution(speed);
   const geometry::Box2 window = viewport_.WindowAt(position);
 
   // Serve the view from the buffer; collect the missing blocks. Hit/miss
@@ -203,9 +205,9 @@ BufferedFrameReport BufferedClient::Step(const geometry::Vec2& position,
         1, 512);
     const buffer::PrefetchPlan plan =
         options_.motion_aware
-            ? motion_prefetcher_.Plan(*predictor_, grid_, position, speed,
+            ? motion_prefetcher_.Plan(*predictor_, grid_, position, w_t,
                                       budget_blocks, rng_)
-            : naive_prefetcher_.Plan(grid_, position, speed, budget_blocks);
+            : naive_prefetcher_.Plan(grid_, position, w_t, budget_blocks);
 
     std::vector<int64_t> fetch_blocks;
     std::vector<double> fetch_w, fetch_priority;

@@ -65,6 +65,10 @@ class BufferedClient {
   struct Options {
     double query_fraction = 0.1;
     SpeedResolutionMap speed_map;
+    // External QoS policy owning the speed → w_min decision (not owned;
+    // must outlive the client). Null — the default — wraps `speed_map` in
+    // a static policy, which is bit-identical to the pre-policy pipeline.
+    const qos::ResolutionPolicy* policy = nullptr;
     int64_t buffer_bytes = 64 * 1024;
     // Grid granularity: with the default 10 km space this gives 250 m
     // blocks, so a 10% query frame covers a handful of blocks — the
@@ -169,6 +173,8 @@ class BufferedClient {
                              double speed, bool is_prefetch);
 
   Options options_;
+  qos::StaticResolutionPolicy owned_policy_;
+  const qos::ResolutionPolicy* policy_;  // options_.policy or &owned_policy_
   Viewport viewport_;
   geometry::GridPartition grid_;
   const server::Server* server_;

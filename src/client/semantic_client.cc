@@ -9,6 +9,8 @@ SemanticClient::SemanticClient(const Options& options,
                                const server::Server* server,
                                net::SimulatedLink* link)
     : options_(options),
+      owned_policy_(options.speed_map),
+      policy_(options.policy != nullptr ? options.policy : &owned_policy_),
       viewport_(space, options.query_fraction, options.query_fraction),
       server_(server),
       link_(link),
@@ -21,7 +23,7 @@ SemanticFrameReport SemanticClient::Step(const geometry::Vec2& position,
                                          double speed) {
   SemanticFrameReport report;
   const geometry::Box2 window = viewport_.WindowAt(position);
-  const double w_min = options_.speed_map.MapSpeedToResolution(speed);
+  const double w_min = policy_->MapSpeedToResolution(speed);
 
   const std::vector<server::SubQuery> plan =
       cache_.PlanAndInsert(window, w_min);

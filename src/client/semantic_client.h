@@ -33,6 +33,10 @@ class SemanticClient {
   struct Options {
     double query_fraction = 0.1;
     SpeedResolutionMap speed_map;
+    // External QoS policy owning the speed → w_min decision (not owned;
+    // must outlive the client). Null — the default — wraps `speed_map` in
+    // a static policy, which is bit-identical to the pre-policy pipeline.
+    const qos::ResolutionPolicy* policy = nullptr;
     SemanticCache::Options cache;
   };
 
@@ -47,6 +51,8 @@ class SemanticClient {
 
  private:
   Options options_;
+  qos::StaticResolutionPolicy owned_policy_;
+  const qos::ResolutionPolicy* policy_;  // options_.policy or &owned_policy_
   Viewport viewport_;
   const server::Server* server_;
   net::SimulatedLink* link_;

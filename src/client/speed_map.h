@@ -1,43 +1,15 @@
 #ifndef MARS_CLIENT_SPEED_MAP_H_
 #define MARS_CLIENT_SPEED_MAP_H_
 
-#include <algorithm>
-#include <cmath>
+// The speed → w_min mapping moved into the QoS policy layer
+// (qos/resolution_policy.h) when the resolution pipeline grew adaptive
+// policies; this forwarding alias keeps the historical client-side name
+// working for existing call sites and tests.
+#include "qos/resolution_policy.h"
 
 namespace mars::client {
 
-// MapSpeedToResolution (paper Sec. IV / Algorithm 1, line 1.3): converts
-// the client's normalized speed into the band of coefficient values to
-// retrieve. The default is the paper's experimental convention
-// (Sec. VII-A): speed is "inversely proportional to the value of the
-// wavelet coefficients retrieved", i.e. w_min = speed — a client at speed
-// 0.5 retrieves coefficients with w ∈ [0.5, 1.0]; at speed ≈ 0 it
-// retrieves everything.
-//
-// The function is "application dependent and ... should be adjusted by the
-// vendor"; `exponent` and `floor` are the QoS tuning knobs (exponent < 1
-// keeps more detail at moderate speeds; floor > 0 caps the finest
-// resolution ever requested, e.g. for small displays).
-class SpeedResolutionMap {
- public:
-  SpeedResolutionMap() = default;
-  SpeedResolutionMap(double exponent, double floor)
-      : exponent_(exponent), floor_(floor) {}
-
-  // Returns w_min for a normalized speed in [0, 1].
-  double MapSpeedToResolution(double speed) const {
-    const double s = std::clamp(speed, 0.0, 1.0);
-    return std::clamp(floor_ + (1.0 - floor_) * std::pow(s, exponent_),
-                      0.0, 1.0);
-  }
-
-  double exponent() const { return exponent_; }
-  double floor() const { return floor_; }
-
- private:
-  double exponent_ = 1.0;
-  double floor_ = 0.0;
-};
+using SpeedResolutionMap = qos::SpeedResolutionMap;
 
 }  // namespace mars::client
 

@@ -11,6 +11,8 @@ StreamingClient::StreamingClient(const Options& options,
                                  net::SimulatedLink* link,
                                  server::ClientSession* session)
     : options_(options),
+      owned_policy_(options.speed_map),
+      policy_(options.policy != nullptr ? options.policy : &owned_policy_),
       viewport_(space, options.query_fraction, options.query_fraction),
       server_(server),
       link_(link),
@@ -36,7 +38,7 @@ StreamingFrameReport StreamingClient::Step(const geometry::Vec2& position,
                                            double speed) {
   StreamingFrameReport report;
   const geometry::Box2 window = viewport_.WindowAt(position);
-  const double w_min = options_.speed_map.MapSpeedToResolution(speed);
+  const double w_min = policy_->MapSpeedToResolution(speed);
 
   // This request carries the ack for the previous frame's delivery.
   FlushAck();

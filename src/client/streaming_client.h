@@ -55,6 +55,10 @@ class StreamingClient {
   struct Options {
     double query_fraction = 0.1;  // window side as a fraction of the space
     SpeedResolutionMap speed_map;
+    // External QoS policy owning the speed → w_min decision (not owned;
+    // must outlive the client). Null — the default — wraps `speed_map` in
+    // a static policy, which is bit-identical to the pre-policy pipeline.
+    const qos::ResolutionPolicy* policy = nullptr;
     // Transport retry policy (pay-for-what-you-use on a clean link).
     net::ReliableChannel::Options channel;
   };
@@ -111,6 +115,8 @@ class StreamingClient {
 
  private:
   Options options_;
+  qos::StaticResolutionPolicy owned_policy_;
+  const qos::ResolutionPolicy* policy_;  // options_.policy or &owned_policy_
   Viewport viewport_;
   const server::Server* server_;
   net::SimulatedLink* link_;

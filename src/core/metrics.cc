@@ -67,6 +67,18 @@ double LatencyHistogram::Quantile(double q) const {
   return edge;  // unreachable: seen == total >= rank by the loop end
 }
 
+double LatencyHistogram::FractionAtMost(double seconds) const {
+  if (total == 0) return 1.0;
+  int64_t covered = 0;
+  double edge = kMinSeconds;  // upper edge of bucket 0
+  for (int i = 0; i < kBuckets; ++i) {
+    if (edge > seconds) break;
+    covered += counts[i];
+    edge *= kGrowth;
+  }
+  return static_cast<double>(covered) / static_cast<double>(total);
+}
+
 std::string RunMetricsJson(const RunMetrics& m) {
   std::string out = "{";
   bool first = true;

@@ -26,6 +26,11 @@ struct LatencyHistogram {
   // Upper edge of the bucket holding the q-quantile sample (0 when
   // empty). Quantization error is bounded by one bucket (< 19%).
   double Quantile(double q) const;
+  // Fraction of samples in buckets that lie entirely at or below
+  // `seconds` (1.0 when empty). Bucketized like Quantile, so the answer
+  // is bit-stable across platforms and worker counts; quantization can
+  // only under-count, never over-count, the timely fraction.
+  double FractionAtMost(double seconds) const;
 };
 
 // Aggregate outcome of running one client over one tour — the quantities

@@ -29,6 +29,11 @@ struct FleetEngine::ClientState {
   std::unique_ptr<client::StreamingClient> streaming;
   std::unique_ptr<client::BufferedClient> buffered;
   std::unique_ptr<client::NaiveObjectClient> naive;
+  // Adaptive resolution ladder (null with ABR off, and for naive clients
+  // — whole-object retrieval has no resolution axis). The client reads it
+  // through the const ResolutionPolicy interface during phase A; the
+  // engine's serial phases feed it backpressure and delivery samples.
+  std::unique_ptr<qos::AdaptiveLadderPolicy> abr;
 
   int32_t next_frame = 0;
   core::RunMetrics metrics;
@@ -52,6 +57,9 @@ struct FleetEngine::ClientState {
   int32_t home_cell = 0;  // cell covering the tour's first point
   int64_t handovers = 0;
   int64_t failovers = 0;
+  // Consecutive routing rounds the covering cell has differed from the
+  // serving cell (the ping-pong hysteresis dwell counter).
+  int32_t away_rounds = 0;
 
   // A submitted-but-unresolved coalesced exchange: completes when its own
   // transfer and every attached carrier have drained.
@@ -168,7 +176,19 @@ std::unique_ptr<FleetEngine::ClientState> FleetEngine::BuildState(
   tour.frames = spec.frames;
   tour.frame_interval = options_.frame_interval_seconds;
   tour.seed = spec.tour_seed;
-  state->tour = workload::GenerateTour(tour);
+  if (spec.group_member >= 0) {
+    // Co-moving group: a jittered copy of the shared base trajectory.
+    // Member m's tour depends only on (tour options, m), so the group
+    // generator can be rebuilt per client without breaking isolation.
+    workload::GroupTourGenerator::Options group;
+    group.base = tour;
+    group.members = spec.group_member + 1;
+    group.position_jitter_m = spec.group_position_jitter_m;
+    group.speed_jitter = spec.group_speed_jitter;
+    state->tour = workload::GroupTourGenerator(group).Tour(spec.group_member);
+  } else {
+    state->tour = workload::GenerateTour(tour);
+  }
   state->spec.frames = std::min<int32_t>(
       spec.frames, static_cast<int32_t>(state->tour.size()));
 
@@ -188,10 +208,19 @@ std::unique_ptr<FleetEngine::ClientState> FleetEngine::BuildState(
     state->link->AttachFaultSchedule(state->fault.get());
   }
 
+  // ABR: the motion-aware clients read their w_min through a per-client
+  // adaptive ladder instead of the static map. Naive clients retrieve
+  // whole objects — there is no resolution to adapt.
+  if (options_.abr.enabled && spec.kind != ClientKind::kNaive) {
+    state->abr = std::make_unique<qos::AdaptiveLadderPolicy>(
+        options_.abr.ladder);
+  }
+
   switch (spec.kind) {
     case ClientKind::kStreaming: {
       client::StreamingClient::Options opts;
       opts.query_fraction = spec.query_fraction;
+      opts.policy = state->abr.get();
       opts.channel.seed = spec.seed * 31 + 7;
       // Streaming sessions are long-lived server-side state: they carry
       // the duplicate filter across the whole tour, so they live in the
@@ -204,6 +233,7 @@ std::unique_ptr<FleetEngine::ClientState> FleetEngine::BuildState(
     case ClientKind::kBuffered: {
       client::BufferedClient::Options opts;
       opts.query_fraction = spec.query_fraction;
+      opts.policy = state->abr.get();
       opts.buffer_bytes = spec.buffer_bytes;
       opts.seed = spec.seed;
       opts.channel.seed = spec.seed * 31 + 7;
@@ -418,6 +448,10 @@ void FleetEngine::CommitClient(ClientState* state) {
     MARS_CHECK_EQ(seq, state->next_submit_seq[cell_id]);
     ++state->next_submit_seq[cell_id];
     state->cell_bytes += state->wire_bytes;
+    if (state->abr != nullptr) {
+      submitted_bytes_.emplace(TransferKey{cell_id, state->spec.id, seq},
+                               state->wire_bytes);
+    }
     return;
   }
 
@@ -466,6 +500,12 @@ void FleetEngine::CommitClient(ClientState* state) {
   MARS_CHECK_EQ(seq, state->next_submit_seq[cell_id]);
   ++state->next_submit_seq[cell_id];
   state->cell_bytes += charged;
+  if (state->abr != nullptr) {
+    // The ladder's goodput tracks what actually rides the cell: the
+    // coalescing discount is bandwidth genuinely delivered elsewhere.
+    submitted_bytes_.emplace(TransferKey{cell_id, state->spec.id, seq},
+                             charged);
+  }
   for (const auto& [rec, bytes] : owned) {
     inflight_.Register(rec, state->spec.id, seq, bytes, cell_id);
   }
@@ -549,8 +589,27 @@ FleetResult FleetEngine::Run() {
   const auto record_completions =
       [&](int32_t cell_id,
           const std::vector<net::SharedMediumLink::Completion>& done) {
+        // ABR goodput samples: booked per completion in the same serial,
+        // cell-id-then-completion order as everything else, with the
+        // finish time quantized to integer microseconds — deterministic
+        // at any worker count. submitted_bytes_ is only populated while
+        // ABR is on, so this is free otherwise.
+        const auto feed_abr = [&](const net::SharedMediumLink::Completion&
+                                      c) {
+          if (submitted_bytes_.empty()) return;
+          const auto bit = submitted_bytes_.find(
+              TransferKey{cell_id, c.client, c.seq});
+          if (bit == submitted_bytes_.end()) return;
+          ClientState* state = by_id_.at(c.client);
+          if (state->abr != nullptr) {
+            state->abr->OnDelivered(bit->second,
+                                    net::SimClock::ToMicros(c.finish_seconds));
+          }
+          submitted_bytes_.erase(bit);
+        };
         if (!coalescing) {
           for (const net::SharedMediumLink::Completion& c : done) {
+            feed_abr(c);
             ClientState* state = by_id_.at(c.client);
             // Delivery delay on the shared cell is the fleet's response
             // time; each drained submission is one demand exchange. A
@@ -572,6 +631,7 @@ FleetResult FleetEngine::Run() {
           return;
         }
         for (const net::SharedMediumLink::Completion& c : done) {
+          feed_abr(c);
           const TransferKey key{cell_id, c.client, c.seq};
           if (!waiter_reissues_.empty() && waiter_reissues_.erase(key) > 0) {
             // A stranded-waiter re-issue: it substitutes for a dead
@@ -718,6 +778,16 @@ FleetResult FleetEngine::Run() {
         } else if (state->adm_verdict.decision == Decision::kShed) {
           ++sessions_.GetOrCreate(id)->shed_requests;
         }
+        // Close the QoS loop: backpressure verdicts climb the client's
+        // resolution ladder (serial phase, integer-microsecond input).
+        if (state->abr != nullptr &&
+            state->adm_verdict.decision != Decision::kAdmit) {
+          state->abr->OnBackpressure(
+              state->adm_verdict.decision == Decision::kShed
+                  ? qos::BackpressureKind::kShed
+                  : qos::BackpressureKind::kDefer,
+              tick);
+        }
       }
       if (state->adm_verdict.decision == Decision::kDefer) {
         // The frame did not run; retry it after the backoff hint.
@@ -812,6 +882,13 @@ FleetResult FleetEngine::Run() {
     client.final_cell = state->cell;
     client.handovers = state->handovers;
     client.failovers = state->failovers;
+    if (state->abr != nullptr) {
+      client.abr = state->abr->snapshot();
+      result.abr_step_ups += client.abr.step_ups;
+      result.abr_top_ups += client.abr.top_ups;
+      result.abr_max_ladder_step =
+          std::max(result.abr_max_ladder_step, client.abr.ladder_step);
+    }
     result.aggregate.Merge(state->metrics);
     ClassStats& cls = result.by_kind[static_cast<size_t>(state->spec.kind)];
     ++cls.clients;
@@ -897,9 +974,20 @@ void FleetEngine::RouteClients(double tick_seconds) {
         std::min<int32_t>(state->next_frame, state->spec.frames - 1));
     const int32_t home = topology_.CellAt(state->tour[frame].position);
     const int32_t target = topology_.NearestHealthy(home, healthy);
-    if (target == state->cell) continue;
+    if (target == state->cell) {
+      state->away_rounds = 0;
+      continue;
+    }
     const bool outage_forced = !healthy(state->cell);
-    const int32_t old_cell = state->cell;
+    if (!outage_forced) {
+      // Ping-pong hysteresis: a client grazing a cell edge flips its
+      // covering cell every few frames; make a voluntary move only after
+      // the pull has persisted for the dwell window. A failover never
+      // waits — the serving cell is dead.
+      ++state->away_rounds;
+      if (state->away_rounds < options_.handover_dwell_rounds) continue;
+    }
+    state->away_rounds = 0;
     state->cell = target;
     ++state->handovers;
     ++handovers_;
@@ -944,6 +1032,9 @@ void FleetEngine::RouteClients(double tick_seconds) {
         const int64_t bytes = std::max<int64_t>(
             1, static_cast<int64_t>(std::ceil(t.remaining_bytes)));
         const TransferKey old_key{dead_cell, id, t.seq};
+        // The cancelled transfer never completes; drop its ABR byte entry
+        // (the re-issue below registers its own).
+        if (!submitted_bytes_.empty()) submitted_bytes_.erase(old_key);
         if (coalescing && waiter_reissues_.erase(old_key) > 0) {
           // A stranded-waiter substitute caught by a second outage:
           // carry its role to the new cell and re-point every exchange
@@ -1041,6 +1132,10 @@ FleetEngine::TransferKey FleetEngine::Reissue(ClientState* state,
   state->cell_bytes += bytes;
   ++reissued_transfers_;
   reissued_bytes_ += bytes;
+  if (state->abr != nullptr) {
+    submitted_bytes_.emplace(TransferKey{cell_id, state->spec.id, seq},
+                             bytes);
+  }
   return TransferKey{cell_id, state->spec.id, seq};
 }
 

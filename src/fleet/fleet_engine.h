@@ -13,6 +13,7 @@
 #include "core/metrics.h"
 #include "core/system.h"
 #include "net/cell_topology.h"
+#include "qos/adaptive_ladder.h"
 #include "net/fault.h"
 #include "net/link.h"
 #include "net/shared_link.h"
@@ -52,6 +53,15 @@ struct ClientSpec {
   // (net/shared_link.h). Relative: a weight-2 client gets twice the
   // bandwidth of a weight-1 client while both are backlogged.
   double weight = 1.0;
+  // Co-moving group membership (workload::GroupTourGenerator). -1 (the
+  // default) keeps the historical independent tour — a strict
+  // passthrough. >= 0 makes this client member `group_member` of the
+  // group whose shared base trajectory is seeded by tour_seed: the tour
+  // becomes a per-member jittered copy of that base, still a function of
+  // (tour_seed, group_member) only.
+  int32_t group_member = -1;
+  double group_position_jitter_m = 25.0;
+  double group_speed_jitter = 0.05;
 };
 
 struct FleetOptions {
@@ -106,6 +116,23 @@ struct FleetOptions {
   // discipline: coalesced delivery resolution relies on WFQ's per-client
   // FIFO completion order.
   server::InflightTable::Options coalesce;
+  // Cell-edge ping-pong hysteresis: a *voluntary* handover fires only
+  // after the cell covering the client's position has differed from its
+  // serving cell for this many consecutive routing rounds. 1 (the
+  // default) fires immediately — the historical behavior and a strict
+  // passthrough. Outage failovers always fire immediately.
+  int32_t handover_dwell_rounds = 1;
+  // Per-client adaptive resolution ladder (qos/adaptive_ladder.h): the
+  // motion-aware clients close the loop from delivered goodput and
+  // admission backpressure to their requested w_min. Disabled by default
+  // — a strict bit-identical passthrough. Ladder state only mutates in
+  // the serial phases from integer-microsecond virtual-clock input, so
+  // fleet output stays byte-identical at any worker count.
+  struct AbrConfig {
+    bool enabled = false;
+    qos::AdaptiveLadderPolicy::Options ladder;
+  };
+  AbrConfig abr;
 };
 
 // Per-client outcome.
@@ -131,6 +158,9 @@ struct ClientResult {
   int32_t final_cell = 0;  // cell serving the client when the run ended
   int64_t handovers = 0;   // cell switches over the tour
   int64_t failovers = 0;   // handovers forced by an outage on the old cell
+  // Adaptive-resolution state at the end of the run (all zero with ABR
+  // off, and for naive clients, which have no resolution axis).
+  qos::PolicySnapshot abr;
 };
 
 // Aggregate over all fleet members running one ClientKind — the
@@ -213,6 +243,10 @@ struct FleetResult {
   int64_t chaos_duplicate_deliveries = 0;
   int64_t chaos_stranded_waiters = 0;
   int64_t chaos_unresolved_exchanges = 0;
+  // Adaptive-resolution totals (all zero with ABR off).
+  int64_t abr_step_ups = 0;       // ladder climbs (w_min raised)
+  int64_t abr_top_ups = 0;        // descents (detail topped back up)
+  int32_t abr_max_ladder_step = 0;  // worst rung any client ended on
 };
 
 // Runs N heterogeneous clients concurrently against ONE shared server and
@@ -350,6 +384,10 @@ class FleetEngine {
   // Stranded-waiter re-issue transfers: completions land in finish_at_
   // instead of resolving a pending exchange's own transfer.
   std::set<TransferKey> waiter_reissues_;
+  // Bytes submitted per in-flight transfer, kept only while ABR is on:
+  // SharedMediumLink completions carry no byte count, and the ladder's
+  // goodput EWMA needs one (erased as each completion is booked).
+  std::map<TransferKey, int64_t> submitted_bytes_;
   std::vector<FleetResult::CellStats> cell_stats_;
   int64_t handovers_ = 0;
   int64_t failovers_ = 0;

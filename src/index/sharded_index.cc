@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -96,6 +97,124 @@ common::Status DecodeDirectory(const std::vector<uint8_t>& bytes,
   MARS_RETURN_IF_ERROR(r.ReadI64(&dir->root));
   MARS_RETURN_IF_ERROR(r.ReadI32(&dir->height));
   MARS_RETURN_IF_ERROR(r.ReadI64(&dir->size));
+  return common::OkStatus();
+}
+
+// Shard-map sidecar blob: base grid geometry plus the refinement list,
+// persisted next to the page files so a restart re-applies the
+// rebalancer's splits/merges before partitioning (and therefore restores
+// the split-allocated shards' trees instead of rebuilding everything).
+constexpr uint64_t kMapMagic = 0x50414d53524d3144ull;  // "D1MRSMAP" LE
+constexpr uint32_t kMapVersion = 1;
+
+std::vector<uint8_t> EncodeShardMap(const ShardMap& map, int32_t base_shards) {
+  common::ByteWriter w;
+  w.WriteU64(kMapMagic);
+  w.WriteU32(kMapVersion);
+  w.WriteI32(base_shards);
+  const geometry::Box2& bounds = map.bounds();
+  w.WriteU8(bounds.IsEmpty() ? 1 : 0);
+  if (!bounds.IsEmpty()) {
+    w.WriteDouble(bounds.lo(0));
+    w.WriteDouble(bounds.lo(1));
+    w.WriteDouble(bounds.hi(0));
+    w.WriteDouble(bounds.hi(1));
+  }
+  const auto& ops = map.refinements();
+  w.WriteI64(static_cast<int64_t>(ops.size()));
+  for (const ShardMap::Refinement& op : ops) {
+    w.WriteU8(static_cast<uint8_t>(op.kind));
+    w.WriteI32(op.shard);
+    w.WriteI32(op.target);
+    w.WriteI32(op.axis);
+    w.WriteDouble(op.threshold);
+  }
+  return w.Take();
+}
+
+// Decodes the sidecar and replays its refinements onto `map` (which must
+// already hold the base grid). Fails without touching `map` when the blob
+// is malformed or was written for a different base grid.
+common::Status DecodeShardMapInto(const std::vector<uint8_t>& bytes,
+                                  int32_t base_shards, ShardMap* map) {
+  common::ByteReader r(bytes.data(), bytes.size());
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  MARS_RETURN_IF_ERROR(r.ReadU64(&magic));
+  if (magic != kMapMagic) {
+    return common::InternalError("shard map sidecar: bad magic");
+  }
+  MARS_RETURN_IF_ERROR(r.ReadU32(&version));
+  if (version != kMapVersion) {
+    return common::InternalError("shard map sidecar: unsupported version");
+  }
+  int32_t stored_shards = 0;
+  MARS_RETURN_IF_ERROR(r.ReadI32(&stored_shards));
+  if (stored_shards != base_shards) {
+    return common::FailedPreconditionError(
+        "shard map sidecar: base shard count changed");
+  }
+  uint8_t empty = 0;
+  MARS_RETURN_IF_ERROR(r.ReadU8(&empty));
+  std::array<double, 4> stored_bounds = {0, 0, 0, 0};
+  if (empty == 0) {
+    for (double& v : stored_bounds) {
+      MARS_RETURN_IF_ERROR(r.ReadDouble(&v));
+    }
+  }
+  const geometry::Box2& bounds = map->bounds();
+  const bool bounds_match =
+      empty != 0
+          ? bounds.IsEmpty()
+          : !bounds.IsEmpty() && bounds.lo(0) == stored_bounds[0] &&
+                bounds.lo(1) == stored_bounds[1] &&
+                bounds.hi(0) == stored_bounds[2] &&
+                bounds.hi(1) == stored_bounds[3];
+  if (!bounds_match) {
+    return common::FailedPreconditionError(
+        "shard map sidecar: base grid bounds changed");
+  }
+  int64_t count = 0;
+  MARS_RETURN_IF_ERROR(r.ReadI64(&count));
+  if (count < 0 || count > 1'000'000) {
+    return common::InternalError("shard map sidecar: bad refinement count");
+  }
+  std::vector<ShardMap::Refinement> ops;
+  ops.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    uint8_t kind = 0;
+    ShardMap::Refinement op;
+    MARS_RETURN_IF_ERROR(r.ReadU8(&kind));
+    if (kind > static_cast<uint8_t>(ShardMap::Refinement::Kind::kMerge)) {
+      return common::InternalError("shard map sidecar: bad refinement kind");
+    }
+    op.kind = static_cast<ShardMap::Refinement::Kind>(kind);
+    MARS_RETURN_IF_ERROR(r.ReadI32(&op.shard));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&op.target));
+    MARS_RETURN_IF_ERROR(r.ReadI32(&op.axis));
+    MARS_RETURN_IF_ERROR(r.ReadDouble(&op.threshold));
+    if (op.shard < 0 || op.target < 0 || (op.axis != 0 && op.axis != 1)) {
+      return common::InternalError("shard map sidecar: bad refinement");
+    }
+    ops.push_back(op);
+  }
+  // Replay in list order — ApplySplit's next-unallocated-id check holds
+  // by construction, and re-checks here against a hand-edited file.
+  for (const ShardMap::Refinement& op : ops) {
+    if (op.kind == ShardMap::Refinement::Kind::kSplit) {
+      if (op.target != map->total_shards()) {
+        return common::InternalError(
+            "shard map sidecar: split target out of order");
+      }
+      map->ApplySplit(op.shard, op.axis, op.threshold, op.target);
+    } else {
+      if (op.shard >= map->total_shards() ||
+          op.target >= map->total_shards() || op.shard == op.target) {
+        return common::InternalError("shard map sidecar: bad merge");
+      }
+      map->ApplyMerge(op.shard, op.target);
+    }
+  }
   return common::OkStatus();
 }
 
@@ -239,10 +358,19 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
   const int32_t k = options_.shards;
   map_ = k == 1 ? ShardMap()
                 : ShardMap::Build(ShardMap::GroundBounds(records), k);
+  if (disk_store()) {
+    // Replay a persisted refinement list (if any) BEFORE partitioning, so
+    // the routed per-slot tables match the directories the rebalanced run
+    // wrote and every slot — including the ones splits allocated past the
+    // configured K — re-attaches its page file instead of rebuilding.
+    LoadShardMap(&map_);
+  }
+  const int32_t total = map_.total_shards();
 
-  // Partition the table.
-  std::vector<std::vector<CoeffRecord>> tables(k);
-  std::vector<std::vector<RecordId>> ids(k);
+  // Partition the table over every slot the map has ever allocated
+  // (total == k unless a restored refinement list grew it).
+  std::vector<std::vector<CoeffRecord>> tables(total);
+  std::vector<std::vector<RecordId>> ids(total);
   for (size_t i = 0; i < records.size(); ++i) {
     const int32_t s = map_.Route(records[i]);
     tables[s].push_back(records[i]);
@@ -253,7 +381,7 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
     pool_ = std::make_unique<common::ThreadPool>(options_.fanout_workers);
   }
 
-  std::vector<std::unique_ptr<Shard>> shards(k);
+  std::vector<std::unique_ptr<Shard>> shards(total);
   if (disk_store()) {
     // Disk mode: open (or create) each shard's page file, then restore
     // the persisted tree when its directory matches the routed table —
@@ -265,12 +393,14 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
         << "disk store requires a page file path";
     pools_.clear();
     managers_.clear();
-    managers_.resize(k);
-    pools_.resize(k);
+    managers_.resize(total);
+    pools_.resize(total);
     restored_shards_ = 0;
+    // Per-slot budget keyed to the configured K (AddShardStore semantics):
+    // restored split slots grow the pool footprint, not shrink the rest.
     const int64_t pool_pages =
         std::max<int64_t>(1, options_.storage.pool_pages / k);
-    for (int32_t s = 0; s < k; ++s) {
+    for (int32_t s = 0; s < total; ++s) {
       const std::string path = ShardFilePath(s);
       auto opened = storage::DiskStorageManager::Open(
           path, options_.storage.page_size, /*truncate=*/false);
@@ -308,12 +438,20 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
             << "cannot persist shard directory: " << dir.ToString();
       }
     }
+    // Re-mark merged-away slots: ids are append-only and never reused, so
+    // the retired set is exactly the merge ops' source ids.
+    for (const ShardMap::Refinement& op : map_.refinements()) {
+      if (op.kind == ShardMap::Refinement::Kind::kMerge) {
+        shards[op.shard]->retired = true;
+      }
+    }
+    PersistShardMap();
   } else if (pool_ != nullptr && k > 1) {
     // Build every shard in parallel (shard builds are independent); the
     // result is the same set of trees as the sequential path.
     std::vector<std::function<void()>> tasks;
-    tasks.reserve(k);
-    for (int32_t s = 0; s < k; ++s) {
+    tasks.reserve(total);
+    for (int32_t s = 0; s < total; ++s) {
       tasks.push_back([this, s, &shards, &tables, &ids] {
         shards[s] = BuildShard(s, std::move(tables[s]), std::move(ids[s]));
       });
@@ -321,7 +459,7 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
     common::MutexLock pool_lock(&pool_mu_);
     pool_->RunBatch(tasks);
   } else {
-    for (int32_t s = 0; s < k; ++s) {
+    for (int32_t s = 0; s < total; ++s) {
       shards[s] = BuildShard(s, std::move(tables[s]), std::move(ids[s]));
     }
   }
@@ -332,7 +470,7 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
     epoch_ = 0;
   }
   common::MutexLock stage_lock(&stage_mu_);
-  staged_.assign(k, {});
+  staged_.assign(total, {});
   staged_count_ = 0;
 }
 
@@ -567,6 +705,38 @@ std::string ShardedCoefficientIndex::ShardFilePath(int32_t shard) const {
   return options_.storage.path + ".shard" + std::to_string(shard);
 }
 
+std::string ShardedCoefficientIndex::ShardMapPath() const {
+  return options_.storage.path + ".shardmap";
+}
+
+void ShardedCoefficientIndex::PersistShardMap() const {
+  MARS_CHECK(disk_store());
+  const std::vector<uint8_t> blob = EncodeShardMap(map_, options_.shards);
+  std::ofstream out(ShardMapPath(), std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  MARS_CHECK(out.good()) << "cannot persist shard map: " << ShardMapPath();
+}
+
+bool ShardedCoefficientIndex::LoadShardMap(ShardMap* map) const {
+  std::ifstream in(ShardMapPath(), std::ios::binary | std::ios::ate);
+  if (!in.good()) return false;  // no sidecar: nothing was rebalanced
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> blob(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(blob.data()), size);
+  if (!in.good()) return false;
+  // Replay onto a scratch copy so a stale or corrupt sidecar leaves the
+  // freshly built base map untouched (the build then proceeds as if the
+  // rebalancer had never run — a clean recovery).
+  ShardMap candidate = *map;
+  const common::Status replayed =
+      DecodeShardMapInto(blob, options_.shards, &candidate);
+  if (!replayed.ok()) return false;
+  *map = candidate;
+  return !map->refinements().empty();
+}
+
 void ShardedCoefficientIndex::AddShardStore(int32_t shard) {
   MARS_CHECK(disk_store());
   MARS_CHECK_EQ(static_cast<size_t>(shard), managers_.size());
@@ -707,6 +877,7 @@ common::StatusOr<int32_t> ShardedCoefficientIndex::SplitShard(int32_t shard) {
   // refined map.
   common::MutexLock stage_lock(&stage_mu_);
   map_.ApplySplit(shard, axis, threshold, new_id);
+  if (disk_store()) PersistShardMap();
   RebucketStaged(new_id + 1);
   return new_id;
 }
@@ -726,13 +897,31 @@ common::Status ShardedCoefficientIndex::MergeShards(int32_t src, int32_t dst) {
     if (shards_[src]->retired || shards_[dst]->retired) {
       return common::FailedPreconditionError("merge: shard is retired");
     }
-    // dst's table first, then src's — deterministic, and dst's records
-    // keep their local order across the merge.
     records = shards_[dst]->records;
     ids = shards_[dst]->ids;
     records.insert(records.end(), shards_[src]->records.begin(),
                    shards_[src]->records.end());
     ids.insert(ids.end(), shards_[src]->ids.begin(), shards_[src]->ids.end());
+  }
+  // Union in ascending global id — exactly the order a fresh Build
+  // partition produces when it routes the table under the merged map, so
+  // the rebuilt shard fingerprints identically and a restart re-attaches
+  // its page file instead of rebuilding.
+  {
+    std::vector<size_t> order(ids.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&ids](size_t a, size_t b) { return ids[a] < ids[b]; });
+    std::vector<CoeffRecord> sorted_records;
+    std::vector<RecordId> sorted_ids;
+    sorted_records.reserve(records.size());
+    sorted_ids.reserve(ids.size());
+    for (const size_t i : order) {
+      sorted_records.push_back(std::move(records[i]));
+      sorted_ids.push_back(ids[i]);
+    }
+    records = std::move(sorted_records);
+    ids = std::move(sorted_ids);
   }
 
   // Build the union shard and src's empty tombstone off to the side.
@@ -772,6 +961,7 @@ common::Status ShardedCoefficientIndex::MergeShards(int32_t src, int32_t dst) {
 
   common::MutexLock stage_lock(&stage_mu_);
   map_.ApplyMerge(src, dst);
+  if (disk_store()) PersistShardMap();
   RebucketStaged(count);
   return common::OkStatus();
 }
@@ -841,6 +1031,9 @@ ShardedCoefficientIndex::PoolStats() const {
     ShardPoolStats entry;
     entry.shard = static_cast<int32_t>(s);
     entry.pool = pools_[s]->stats();
+    entry.file_pages = managers_[s]->page_count();
+    entry.free_pages = managers_[s]->free_pages();
+    entry.fragmented_pages = managers_[s]->fragmented_pages();
     stats.push_back(entry);
   }
   return stats;

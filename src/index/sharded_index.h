@@ -193,6 +193,13 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   struct ShardPoolStats {
     int32_t shard = 0;
     storage::PoolStats pool;
+    // Page-file occupancy of the shard's store: total page slots in the
+    // file, slots on the freelist, and the free slots stranded mid-file
+    // (disk_storage.h fragmented_pages — the fragmentation measure
+    // rebalance/epoch churn leaves behind).
+    int64_t file_pages = 0;
+    int64_t free_pages = 0;
+    int64_t fragmented_pages = 0;
   };
   std::vector<ShardPoolStats> PoolStats() const;
 
@@ -259,6 +266,17 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   // Shard k's page file path (keyed to the configured K, so rebalance-
   // allocated shards always get their own ".shard<k>" suffix).
   std::string ShardFilePath(int32_t shard) const;
+  // Disk mode: the shard map's sidecar file (base path + ".shardmap").
+  std::string ShardMapPath() const;
+  // Disk mode: persists the shard map — base K, grid bounds and the
+  // refinement list — so a restart routes records exactly as the
+  // rebalanced map did and re-attaches every split-allocated shard's
+  // page file instead of rebuilding.
+  void PersistShardMap() const;
+  // Disk mode: loads the sidecar and replays its refinements onto `map`
+  // when it matches the configured K and `map`'s freshly computed base
+  // grid (same bounds bit-for-bit). Returns true when `map` was refined.
+  bool LoadShardMap(ShardMap* map) const;
   // Disk mode: appends a fresh page store + buffer pool for a new slot.
   // Caller holds mu_ exclusively (PoolStats/UpdateInterest read under
   // the reader lock).

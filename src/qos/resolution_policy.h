@@ -1,0 +1,117 @@
+#ifndef MARS_QOS_RESOLUTION_POLICY_H_
+#define MARS_QOS_RESOLUTION_POLICY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace mars::qos {
+
+// MapSpeedToResolution (paper Sec. IV / Algorithm 1, line 1.3): converts
+// the client's normalized speed into the band of coefficient values to
+// retrieve. The default is the paper's experimental convention
+// (Sec. VII-A): speed is "inversely proportional to the value of the
+// wavelet coefficients retrieved", i.e. w_min = speed — a client at speed
+// 0.5 retrieves coefficients with w ∈ [0.5, 1.0]; at speed ≈ 0 it
+// retrieves everything.
+//
+// The function is "application dependent and ... should be adjusted by the
+// vendor"; `exponent` and `floor` are the QoS tuning knobs (exponent < 1
+// keeps more detail at moderate speeds; floor > 0 caps the finest
+// resolution ever requested, e.g. for small displays).
+class SpeedResolutionMap {
+ public:
+  SpeedResolutionMap() = default;
+  SpeedResolutionMap(double exponent, double floor)
+      : exponent_(exponent), floor_(floor) {}
+
+  // Returns w_min for a normalized speed in [0, 1].
+  double MapSpeedToResolution(double speed) const {
+    const double s = std::clamp(speed, 0.0, 1.0);
+    return std::clamp(floor_ + (1.0 - floor_) * std::pow(s, exponent_),
+                      0.0, 1.0);
+  }
+
+  double exponent() const { return exponent_; }
+  double floor() const { return floor_; }
+
+ private:
+  double exponent_ = 1.0;
+  double floor_ = 0.0;
+};
+
+// The two backpressure verdicts the admission controller can hand a
+// client's request (server/admission.h): deferred (retry later) or shed.
+enum class BackpressureKind : uint8_t {
+  kDefer = 0,
+  kShed = 1,
+};
+
+// Observable adaptation state, exported per client in the fleet JSON.
+// All-zero for policies that never adapt.
+struct PolicySnapshot {
+  int32_t ladder_step = 0;       // 0 = full detail, N = coarsest
+  double goodput_ewma_bps = 0.0; // measured delivery rate, bytes/second
+  int64_t step_ups = 0;          // degradations (w_min raised)
+  int64_t top_ups = 0;           // recoveries (w_min lowered again)
+  // Request trace: how many speed → w_min mappings the client asked for
+  // and the sum of the returned w_min values. resolution_sum / map_calls
+  // is the mean requested w_min — 1 minus the mean band width actually
+  // retrieved, the "delivered resolution" term of the ABR utility gate.
+  int64_t map_calls = 0;
+  double resolution_sum = 0.0;
+};
+
+// The QoS seam of the resolution pipeline. A policy owns the
+// speed → w_min decision (Algorithm 1 line 1.3) for one client, plus the
+// feedback hooks that let an adaptive implementation close the loop on
+// congestion.
+//
+// Threading contract (mirrors the fleet tick): MapSpeedToResolution is
+// const and is called from the parallel client-step phase; OnDelivered /
+// OnBackpressure mutate and are called only from the serial commit phase,
+// in deterministic (client-id / completion) order with integer-microsecond
+// virtual timestamps. The phases are separated by the tick barrier, so no
+// synchronization is needed inside a policy.
+class ResolutionPolicy {
+ public:
+  virtual ~ResolutionPolicy() = default;
+
+  // Returns w_min in [0, 1] for a normalized speed in [0, 1].
+  virtual double MapSpeedToResolution(double speed) const = 0;
+
+  // The cell delivered `bytes` of this client's traffic, completing at
+  // virtual time `vtime_micros`. Default: ignore.
+  virtual void OnDelivered(int64_t /*bytes*/, int64_t /*vtime_micros*/) {}
+
+  // The admission controller deferred or shed this client's request at
+  // virtual time `vtime_micros`. Default: ignore.
+  virtual void OnBackpressure(BackpressureKind /*kind*/,
+                              int64_t /*vtime_micros*/) {}
+
+  virtual PolicySnapshot snapshot() const { return {}; }
+};
+
+// The paper's fixed mapping wrapped as a policy: stateless, ignores all
+// feedback. This is the default everywhere (`--abr off`) and is a strict
+// passthrough — it calls the exact SpeedResolutionMap arithmetic, so
+// output is bit-identical to the pre-policy pipeline.
+class StaticResolutionPolicy final : public ResolutionPolicy {
+ public:
+  StaticResolutionPolicy() = default;
+  explicit StaticResolutionPolicy(const SpeedResolutionMap& map)
+      : map_(map) {}
+
+  double MapSpeedToResolution(double speed) const override {
+    return map_.MapSpeedToResolution(speed);
+  }
+
+  const SpeedResolutionMap& map() const { return map_; }
+
+ private:
+  SpeedResolutionMap map_;
+};
+
+}  // namespace mars::qos
+
+#endif  // MARS_QOS_RESOLUTION_POLICY_H_

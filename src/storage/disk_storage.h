@@ -60,6 +60,25 @@ class DiskStorageManager : public IStorageManager {
   int64_t page_count() const { return page_count_; }
   const std::string& path() const { return path_; }
 
+  // Pages currently on the freelist: slots the file has allocated but no
+  // chain occupies (epoch retirements return pages here for reuse).
+  int64_t free_pages() const {
+    return static_cast<int64_t>(freelist_.size());
+  }
+  // Free pages that are NOT part of the file's trailing free run — holes
+  // punched mid-file, the store's fragmentation measure. Store() refills
+  // them lowest-id first, so a fragmented file heals as epochs rewrite.
+  int64_t fragmented_pages() const {
+    int64_t trailing = 0;
+    PageId expected = page_count_ - 1;
+    for (auto it = freelist_.rbegin(); it != freelist_.rend();
+         ++it, --expected) {
+      if (*it != expected) break;
+      ++trailing;
+    }
+    return static_cast<int64_t>(freelist_.size()) - trailing;
+  }
+
  private:
   DiskStorageManager(std::string path, int32_t page_size);
 

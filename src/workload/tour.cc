@@ -112,6 +112,46 @@ std::vector<TourPoint> GenerateTour(const TourOptions& options) {
   return tour;
 }
 
+GroupTourGenerator::GroupTourGenerator(const Options& options)
+    : options_(options), base_(GenerateTour(options.base)) {
+  MARS_CHECK_GE(options.members, 1);
+  MARS_CHECK_GE(options.position_jitter_m, 0.0);
+  MARS_CHECK_GE(options.speed_jitter, 0.0);
+}
+
+std::vector<TourPoint> GroupTourGenerator::Tour(int32_t member) const {
+  MARS_CHECK_GE(member, 0);
+  MARS_CHECK_LT(member, options_.members);
+  // Seed the member stream from (base seed, member) only, so a member's
+  // tour is stable regardless of how many others share the group.
+  common::Rng rng(options_.base.seed * 1'000'003ULL + 0x9e3779b9ULL +
+                  static_cast<uint64_t>(member));
+
+  std::vector<TourPoint> tour = base_;
+  // Bounded random-walk offset: each frame the member drifts by a small
+  // step and the offset is pulled back inside the jitter envelope, so the
+  // group stays tight around the shared trajectory for the whole run.
+  const double radius = options_.position_jitter_m;
+  const double step_sigma = radius * 0.2;
+  Vec2 offset{rng.Uniform(-radius, radius) * 0.5,
+              rng.Uniform(-radius, radius) * 0.5};
+  for (TourPoint& point : tour) {
+    offset += Vec2{rng.Normal(0.0, step_sigma), rng.Normal(0.0, step_sigma)};
+    const double norm = offset.Norm();
+    if (norm > radius && norm > 0.0) offset = offset * (radius / norm);
+    point.position += offset;
+    point.position.x = std::clamp(point.position.x,
+                                  options_.base.space.lo(0),
+                                  options_.base.space.hi(0));
+    point.position.y = std::clamp(point.position.y,
+                                  options_.base.space.lo(1),
+                                  options_.base.space.hi(1));
+    point.speed *= 1.0 + rng.Normal(0.0, options_.speed_jitter);
+    point.speed = std::clamp(point.speed, 0.001, 1.0);
+  }
+  return tour;
+}
+
 double TourDistance(const std::vector<TourPoint>& tour) {
   double distance = 0.0;
   for (size_t i = 1; i < tour.size(); ++i) {

@@ -64,6 +64,44 @@ struct TourOptions {
 // the boundary).
 std::vector<TourPoint> GenerateTour(const TourOptions& options);
 
+// Co-moving group (tour buses): N clients share ONE base trajectory —
+// generated from `base` exactly as GenerateTour would — and each member
+// rides a seeded per-member jittered copy of it: a bounded random-walk
+// position offset (seat positions drifting within the vehicle's envelope)
+// plus relative speed noise. Member tours therefore stay within
+// ~position_jitter_m of each other for the whole run — the co-moving,
+// overlapping-window workload that exercises cross-client coalescing
+// beyond co-located spawns.
+//
+// Determinism: member m's tour depends only on (base options, m) — never
+// on `members` or on which other members are generated.
+class GroupTourGenerator {
+ public:
+  struct Options {
+    TourOptions base;
+    int32_t members = 1;
+    // Maximum distance (meters) a member strays from the base trajectory;
+    // the per-frame drift step is a fraction of it.
+    double position_jitter_m = 25.0;
+    // Relative per-frame speed noise around the base point's speed.
+    double speed_jitter = 0.05;
+  };
+
+  explicit GroupTourGenerator(const Options& options);
+
+  // Member m's jittered copy of the shared trajectory (m in
+  // [0, members)). Member jitter streams are seeded from
+  // (base.seed, m) only.
+  std::vector<TourPoint> Tour(int32_t member) const;
+
+  const std::vector<TourPoint>& base() const { return base_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::vector<TourPoint> base_;
+};
+
 // Total world distance covered by a tour.
 double TourDistance(const std::vector<TourPoint>& tour);
 

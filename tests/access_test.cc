@@ -570,6 +570,7 @@ ShardedIndexOptions DiskOptions(int32_t shards, const std::string& path,
 
 void RemovePageFiles(const std::string& path, int32_t shards) {
   std::remove(path.c_str());
+  std::remove((path + ".shardmap").c_str());
   for (int32_t s = 0; s < shards; ++s) {
     std::remove((path + ".shard" + std::to_string(s)).c_str());
   }
@@ -945,17 +946,64 @@ TEST(RebalanceTest, DiskSplitMergeMatchesMemoryAndSurvivesRestart) {
   }
   ExpectMatchesOracle(disk_index, records);
 
-  // A restart builds from the *configured* static map, so rebalanced
-  // shard files fail their fingerprint checks and rebuild cleanly — the
-  // stale .shardN files of split-allocated ids are simply ignored.
+  // Kill and restart: the persisted shard-map sidecar replays the
+  // refinement list before partitioning, so the revived index routes
+  // exactly as the rebalanced map did and re-attaches EVERY slot's page
+  // file — the two split-allocated shards and the merge tombstone
+  // included — instead of rebuilding from the configured static grid.
   {
     ShardedCoefficientIndex revived(DiskOptions(
         shards, path, ShardedIndexOptions::Kind::kSupportRegion));
     revived.Build(records);
-    EXPECT_LE(revived.restored_shards(), shards);
+    EXPECT_EQ(revived.restored_shards(), shards + 2);  // 4 base + 2 splits
+    EXPECT_EQ(revived.shard_count(), shards + 2);
+    EXPECT_EQ(revived.live_shard_count(), 5);  // shard 2 stays retired
+    ExpectMatchesOracle(revived, records);
+
+    // The revived routing really is the refined one: disk and memory
+    // answers still match bit for bit after the restart.
+    common::Rng revived_rng(17);
+    for (int q = 0; q < 20; ++q) {
+      const double x = revived_rng.Uniform(0, 900);
+      const double y = revived_rng.Uniform(0, 900);
+      const geometry::Box2 region =
+          geometry::MakeBox2(x, y, x + 120, y + 120);
+      std::vector<RecordId> got_mem, got_disk;
+      memory_index.Query(region, 0.3, 1.0, &got_mem);
+      revived.Query(region, 0.3, 1.0, &got_disk);
+      EXPECT_EQ(got_disk, got_mem);
+    }
+
+    // And the restored map still accepts further rebalancing.
+    ASSERT_TRUE(revived.SplitShard(3).ok());
     ExpectMatchesOracle(revived, records);
   }
   RemovePageFiles(path, shards + 4);
+}
+
+TEST(RebalanceTest, StaleShardMapSidecarRecoversCleanly) {
+  // A sidecar persisted for a different base grid (other K, other record
+  // bounds) must be ignored — the build falls back to the fresh static
+  // map and rebuilds, never routes under a mismatched refinement list.
+  const std::string path =
+      ::testing::TempDir() + "/mars_access_stale_map.pages";
+  const int32_t shards = 4;
+  RemovePageFiles(path, shards + 2);
+  {
+    ShardedCoefficientIndex index(DiskOptions(
+        shards, path, ShardedIndexOptions::Kind::kSupportRegion));
+    index.Build(MakeRecords(40, 50, 3));
+    ASSERT_TRUE(index.SplitShard(0).ok());
+  }
+  // Same path, different dataset: bounds differ, sidecar must not apply.
+  const auto records = MakeRecords(30, 70, 9);
+  ShardedCoefficientIndex index(DiskOptions(
+      shards, path, ShardedIndexOptions::Kind::kSupportRegion));
+  index.Build(records);
+  EXPECT_EQ(index.shard_count(), shards);
+  EXPECT_EQ(index.restored_shards(), 0);
+  ExpectMatchesOracle(index, records);
+  RemovePageFiles(path, shards + 2);
 }
 
 TEST(RebalanceTest, ConcurrentQueriesDuringRebalanceStaySound) {

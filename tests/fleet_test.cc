@@ -988,5 +988,197 @@ TEST_F(FleetEngineTest, SessionsStayIsolatedAcrossHandover) {
   EXPECT_EQ(result.chaos_duplicate_deliveries, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Handover hysteresis
+
+// Cell-edge ping-pong: with the dwell at 1 (the historical immediate
+// handover) a client hugging a border flips serving cells on every
+// routing wobble; requiring the pull to persist for a few rounds
+// suppresses the flip-flops without losing the real crossings.
+TEST_F(FleetEngineTest, HandoverDwellSuppressesPingPong) {
+  // A fast co-moving group with large seat jitter: whenever the shared
+  // base trajectory runs near a cell border, the members' per-frame
+  // drift flutters them back and forth across it — the canonical
+  // ping-pong workload.
+  auto wobblers = [](int32_t members, int32_t frames) {
+    std::vector<fleet::ClientSpec> specs;
+    for (int32_t i = 0; i < members; ++i) {
+      fleet::ClientSpec spec;
+      spec.id = i;
+      spec.kind = fleet::ClientKind::kStreaming;
+      spec.tour_kind = workload::TourKind::kPedestrian;
+      spec.speed = 0.9;
+      spec.frames = frames;
+      spec.seed = 60 + static_cast<uint64_t>(i);
+      // A base trajectory that hugs a cell border for the whole
+      // walk (found by scanning seeds), so seat drift keeps
+      // crossing it.
+      spec.tour_seed = 35;
+      spec.group_member = i;
+      spec.group_position_jitter_m = 400.0;
+      spec.query_fraction = 0.25;
+      specs.push_back(spec);
+    }
+    return specs;
+  };
+  auto run = [&](int32_t dwell) {
+    fleet::FleetOptions options;
+    options.workers = 4;
+    options.cells = 4;
+    options.handover_dwell_rounds = dwell;
+    fleet::FleetEngine engine(*system_, options, wobblers(12, 60));
+    return engine.Run();
+  };
+  const fleet::FleetResult immediate = run(1);
+  const fleet::FleetResult dwelled = run(3);
+  // Same tours, same delivered frames — hysteresis only re-times the
+  // switches.
+  EXPECT_EQ(dwelled.aggregate.frames, immediate.aggregate.frames);
+  EXPECT_GT(immediate.handovers, 0);
+  // Genuine crossings still hand over, oscillations do not.
+  EXPECT_GT(dwelled.handovers, 0);
+  EXPECT_LT(dwelled.handovers, immediate.handovers);
+  // Hysteresis must stay deterministic across worker counts too.
+  fleet::FleetOptions serial;
+  serial.workers = 1;
+  serial.cells = 4;
+  serial.handover_dwell_rounds = 3;
+  fleet::FleetEngine replay(*system_, serial, wobblers(12, 60));
+  EXPECT_EQ(TopologyJson(replay.Run()), TopologyJson(dwelled));
+}
+
+// ---------------------------------------------------------------------------
+// Co-moving groups
+
+// Four streaming clients riding one group trajectory (seat-jittered
+// copies of a shared base): their windows overlap for the whole tour,
+// so cross-client coalescing keeps firing even though no two tours are
+// byte-identical.
+std::vector<fleet::ClientSpec> GroupFleet(int32_t members, int32_t frames) {
+  std::vector<fleet::ClientSpec> specs;
+  for (int32_t i = 0; i < members; ++i) {
+    fleet::ClientSpec spec;
+    spec.id = i;
+    spec.kind = fleet::ClientKind::kStreaming;
+    spec.frames = frames;
+    spec.seed = 40 + static_cast<uint64_t>(i);
+    spec.tour_seed = 77;  // shared base trajectory
+    spec.group_member = i;
+    spec.query_fraction = 0.3;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+TEST_F(FleetEngineTest, GroupTourMembersCoalesceDespiteJitter) {
+  fleet::FleetOptions options;
+  options.workers = 4;
+  options.coalesce.enabled = true;
+  fleet::FleetEngine engine(*system_, options, GroupFleet(4, 25));
+  const fleet::FleetResult result = engine.Run();
+  // The group's overlapping windows share carriers.
+  EXPECT_GT(result.coalesce_hits, 0);
+  EXPECT_GT(result.coalesce_bytes_saved, 0);
+  // The members are genuinely distinct clients, not clones: seat jitter
+  // gives each a different trajectory and different traffic.
+  ASSERT_EQ(result.clients.size(), 4u);
+  EXPECT_NE(core::RunMetricsJson(result.clients[0].metrics),
+            core::RunMetricsJson(result.clients[1].metrics));
+}
+
+// group_member = -1 (the default) must stay a strict passthrough to the
+// historical independent tour.
+TEST_F(FleetEngineTest, UngroupedSpecIsStrictPassthrough) {
+  auto run = [&](bool touch_defaults) {
+    std::vector<fleet::ClientSpec> specs = GroupFleet(3, 15);
+    for (fleet::ClientSpec& spec : specs) {
+      spec.group_member = -1;
+      if (touch_defaults) {
+        // Group knobs are inert while group_member is -1.
+        spec.group_position_jitter_m = 500.0;
+        spec.group_speed_jitter = 0.5;
+      }
+    }
+    fleet::FleetOptions options;
+    options.workers = 2;
+    fleet::FleetEngine engine(*system_, options, std::move(specs));
+    return FleetJson(engine.Run());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive resolution ladder (fleet integration)
+
+std::string AbrJson(const fleet::FleetResult& result) {
+  std::string out = FleetJson(result);
+  for (const fleet::ClientResult& client : result.clients) {
+    out += "\n" + std::to_string(client.spec.id) + ":abr " +
+           std::to_string(client.abr.ladder_step) + "/" +
+           std::to_string(client.abr.step_ups) + "/" +
+           std::to_string(client.abr.top_ups) + "/" +
+           std::to_string(client.abr.map_calls) + "/" +
+           std::to_string(client.abr.goodput_ewma_bps) + "/" +
+           std::to_string(client.abr.resolution_sum);
+  }
+  out += "\nabr:" + std::to_string(result.abr_step_ups) + "/" +
+         std::to_string(result.abr_top_ups) + "/" +
+         std::to_string(result.abr_max_ladder_step);
+  return out;
+}
+
+// ABR off (the default) leaves no trace anywhere: every snapshot and
+// every aggregate counter stays zero.
+TEST_F(FleetEngineTest, AbrOffLeavesNoTrace) {
+  fleet::FleetOptions options;
+  options.workers = 2;
+  fleet::FleetEngine engine(
+      *system_, options,
+      fleet::FleetEngine::MakeMixedFleet(6, /*frames=*/15, /*speed=*/0.5,
+                                         /*seed=*/3));
+  const fleet::FleetResult result = engine.Run();
+  EXPECT_EQ(result.abr_step_ups, 0);
+  EXPECT_EQ(result.abr_top_ups, 0);
+  EXPECT_EQ(result.abr_max_ladder_step, 0);
+  for (const fleet::ClientResult& client : result.clients) {
+    EXPECT_EQ(client.abr.ladder_step, 0);
+    EXPECT_EQ(client.abr.step_ups, 0);
+    EXPECT_EQ(client.abr.top_ups, 0);
+    EXPECT_EQ(client.abr.map_calls, 0);
+    EXPECT_DOUBLE_EQ(client.abr.resolution_sum, 0.0);
+  }
+}
+
+// A squeezed cell with admission on: the ladder must actually engage
+// (climbs happen) and the whole adaptive trajectory — per-client rungs,
+// EWMAs, request traces — must replay byte-identically at any worker
+// count, since every ladder decision runs in the serial phases.
+TEST_F(FleetEngineTest, AbrLadderEngagesAndStaysBitIdenticalAcrossWorkers) {
+  std::string reference;
+  for (const int workers : {1, 8}) {
+    fleet::FleetOptions options;
+    options.workers = workers;
+    options.cell.cell_bandwidth_kbps = 96.0;
+    options.cell.client_bandwidth_kbps = 64.0;
+    options.admission.enabled = true;
+    options.abr.enabled = true;
+    options.abr.ladder.ladder_steps = 3;
+    auto specs = fleet::FleetEngine::MakeMixedFleet(6, /*frames=*/20,
+                                                    /*speed=*/0.5,
+                                                    /*seed=*/8);
+    for (fleet::ClientSpec& spec : specs) spec.query_fraction = 0.3;
+    fleet::FleetEngine engine(*system_, options, std::move(specs));
+    const fleet::FleetResult result = engine.Run();
+    EXPECT_GT(result.abr_step_ups, 0);
+    EXPECT_GT(result.abr_max_ladder_step, 0);
+    const std::string json = AbrJson(result);
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference) << "diverged at workers=" << workers;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mars

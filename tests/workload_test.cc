@@ -289,5 +289,85 @@ TEST(TourTest, TramStopsDwell) {
   EXPECT_GT(stopped, 0);  // scheduled stops exist
 }
 
+// ---------------------------------------------------------------------------
+// GroupTourGenerator
+
+TEST(GroupTourTest, MemberTourIndependentOfGroupSize) {
+  // The determinism contract: member m's tour is a function of
+  // (base options, m) only — generating a bigger group must not perturb
+  // an existing member's trajectory.
+  GroupTourGenerator::Options options;
+  options.base.frames = 120;
+  options.base.seed = 21;
+  options.members = 2;
+  const GroupTourGenerator small(options);
+  options.members = 6;
+  const GroupTourGenerator large(options);
+  const auto a = small.Tour(1);
+  const auto b = large.Tour(1);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position, b[i].position);
+    EXPECT_DOUBLE_EQ(a[i].speed, b[i].speed);
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+  }
+}
+
+TEST(GroupTourTest, MembersJitterAroundSharedBase) {
+  GroupTourGenerator::Options options;
+  options.base.kind = TourKind::kTram;
+  options.base.frames = 200;
+  options.base.seed = 9;
+  options.members = 4;
+  options.position_jitter_m = 25.0;
+  const GroupTourGenerator group(options);
+  const auto& base = group.base();
+  ASSERT_EQ(base.size(), 200u);
+  for (int32_t m = 0; m < options.members; ++m) {
+    const auto tour = group.Tour(m);
+    ASSERT_EQ(tour.size(), base.size());
+    for (size_t i = 0; i < tour.size(); ++i) {
+      // Bounded drift: never further from the shared trajectory than the
+      // jitter radius (boundary clamping only pulls positions inward).
+      const double dx = tour[i].position.x - base[i].position.x;
+      const double dy = tour[i].position.y - base[i].position.y;
+      EXPECT_LE(std::hypot(dx, dy), options.position_jitter_m + 1e-9);
+      // Still a valid tour: inside the space, speeds in range, shared
+      // frame clock.
+      EXPECT_GE(tour[i].position.x, options.base.space.lo(0));
+      EXPECT_LE(tour[i].position.x, options.base.space.hi(0));
+      EXPECT_GE(tour[i].position.y, options.base.space.lo(1));
+      EXPECT_LE(tour[i].position.y, options.base.space.hi(1));
+      EXPECT_GE(tour[i].speed, 0.001);
+      EXPECT_LE(tour[i].speed, 1.0);
+      EXPECT_DOUBLE_EQ(tour[i].time, base[i].time);
+    }
+  }
+  // Distinct members ride distinct seats: their offsets differ.
+  const auto first = group.Tour(0);
+  const auto second = group.Tour(1);
+  bool differs = false;
+  for (size_t i = 0; i < first.size() && !differs; ++i) {
+    differs = !(first[i].position == second[i].position);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GroupTourTest, ZeroJitterRidesTheBaseExactly) {
+  GroupTourGenerator::Options options;
+  options.base.frames = 80;
+  options.position_jitter_m = 0.0;
+  options.speed_jitter = 0.0;
+  options.members = 2;
+  const GroupTourGenerator group(options);
+  const auto tour = group.Tour(1);
+  const auto& base = group.base();
+  ASSERT_EQ(tour.size(), base.size());
+  for (size_t i = 0; i < tour.size(); ++i) {
+    EXPECT_EQ(tour[i].position, base[i].position);
+    EXPECT_DOUBLE_EQ(tour[i].speed, base[i].speed);
+  }
+}
+
 }  // namespace
 }  // namespace mars::workload

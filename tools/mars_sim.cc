@@ -20,6 +20,8 @@
 //             [--pool-pages N] [--evict lru|motion]
 //             [--rebalance on|off] [--rebalance-interval N]
 //             [--split-factor F] [--merge-factor F] [--max-shards K]
+//             [--abr on|off] [--ladder-steps N] [--abr-target BPS]
+//             [--handover-dwell N]
 //       Run one client over one tour and print the metrics.
 //       --loss injects i.i.d. packet loss (probability per exchange,
 //       < 0.5); --outage-rate schedules full-connectivity outages at R
@@ -86,6 +88,25 @@
 //       default) is a strict bit-identical passthrough. When on, the
 //       output gains a "-- rebalance --" summary and one JSON line per
 //       applied op.
+//       --abr on gives every motion-aware fleet client an adaptive
+//       resolution ladder (fleet mode only): under admission
+//       backpressure or collapsing goodput the client coarsens its
+//       requested w_min one rung at a time (fetch coarse now), and when
+//       the cell clears it steps back down, topping detail up through
+//       Algorithm 1's resolution-increment path. --ladder-steps N sets
+//       the rung count above the static mapping (default 4);
+//       --abr-target BPS the per-client goodput (bytes/second,
+//       default 16384) considered healthy. Ladder decisions are made in
+//       the fleet's serial commit phase from integer-microsecond
+//       virtual-clock state, so the fleet JSON stays byte-identical at
+//       any --workers. Off (the default) is a strict bit-identical
+//       passthrough; on adds per-client "abr_client" lines and an "abr"
+//       totals line to the JSON block.
+//       --handover-dwell N delays a voluntary cell handover until the
+//       covering cell has differed from the serving cell for N
+//       consecutive routing rounds (cell-edge ping-pong hysteresis;
+//       default 1 = immediate, the historical behavior). Outage
+//       failovers always fire immediately.
 //
 // Examples:
 //   mars_sim generate --mb 60 --out city.mars
@@ -159,6 +180,10 @@ struct Flags {
   double split_factor = 2.0;
   double merge_factor = 0.1;
   int max_shards = 64;
+  std::string abr = "off";
+  int ladder_steps = 4;
+  double abr_target = 16384.0;  // bytes/second
+  int handover_dwell = 1;
 };
 
 void Usage() {
@@ -265,6 +290,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->merge_factor = std::atof(next());
     } else if (arg == "--max-shards") {
       flags->max_shards = std::atoi(next());
+    } else if (arg == "--abr") {
+      flags->abr = next();
+    } else if (arg == "--ladder-steps") {
+      flags->ladder_steps = std::atoi(next());
+    } else if (arg == "--abr-target") {
+      flags->abr_target = std::atof(next());
+    } else if (arg == "--handover-dwell") {
+      flags->handover_dwell = std::atoi(next());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -356,13 +389,17 @@ void PrintPoolStats(const core::System& system) {
     std::printf(
         "{\"pool_shard\": %d, \"hits\": %lld, \"misses\": %lld, "
         "\"evictions\": %lld, \"disk_reads\": %lld, \"disk_writes\": %lld, "
-        "\"resident_pages\": %lld}\n",
+        "\"resident_pages\": %lld, \"file_pages\": %lld, "
+        "\"free_pages\": %lld, \"fragmented_pages\": %lld}\n",
         s.shard, static_cast<long long>(s.pool.hits),
         static_cast<long long>(s.pool.misses),
         static_cast<long long>(s.pool.evictions),
         static_cast<long long>(s.pool.disk_reads),
         static_cast<long long>(s.pool.disk_writes),
-        static_cast<long long>(s.pool.resident_pages));
+        static_cast<long long>(s.pool.resident_pages),
+        static_cast<long long>(s.file_pages),
+        static_cast<long long>(s.free_pages),
+        static_cast<long long>(s.fragmented_pages));
   }
 }
 
@@ -443,6 +480,10 @@ int RunFleet(const core::System& system, const Flags& flags) {
   options.cell_fault.seed = flags.seed + 2;
   options.cells = flags.cells;
   options.handover_blackout_seconds = flags.handover_blackout;
+  options.handover_dwell_rounds = flags.handover_dwell;
+  options.abr.enabled = flags.abr == "on";
+  options.abr.ladder.ladder_steps = flags.ladder_steps;
+  options.abr.ladder.target_goodput_bps = flags.abr_target;
   if (flags.cell_outage_rate > 0.0) {
     // Whole-cell failure rate for the multi-cell topology; each cell
     // derives an independent outage stream from the base seed.
@@ -506,6 +547,12 @@ int RunFleet(const core::System& system, const Flags& flags) {
                 static_cast<long long>(result.coalesce_refused));
     std::printf("encode calls            : %lld\n",
                 static_cast<long long>(result.encode_calls));
+  }
+  if (flags.abr == "on") {
+    std::printf("abr step-ups / top-ups  : %lld / %lld (worst rung %d/%d)\n",
+                static_cast<long long>(result.abr_step_ups),
+                static_cast<long long>(result.abr_top_ups),
+                result.abr_max_ladder_step, flags.ladder_steps);
   }
   if (flags.admission) {
     std::printf("admitted/deferred/shed  : %lld / %lld / %lld\n",
@@ -582,6 +629,28 @@ int RunFleet(const core::System& system, const Flags& flags) {
           static_cast<long long>(s.entries),
           static_cast<long long>(s.bytes));
     }
+  }
+  if (flags.abr == "on") {
+    // ABR telemetry rides extra JSON lines so the off-mode block above
+    // stays byte-identical to the pre-ladder era. Per-client ladder state
+    // first (the nightly chaos sweep watches degradation trends), then
+    // the fleet totals.
+    for (const fleet::ClientResult& client : result.clients) {
+      std::printf(
+          "{\"abr_client\": %d, \"ladder_step\": %d, "
+          "\"goodput_ewma_bps\": %.17g, \"step_ups\": %lld, "
+          "\"top_ups\": %lld}\n",
+          client.spec.id, client.abr.ladder_step,
+          client.abr.goodput_ewma_bps,
+          static_cast<long long>(client.abr.step_ups),
+          static_cast<long long>(client.abr.top_ups));
+    }
+    std::printf(
+        "{\"abr\": {\"step_ups\": %lld, \"top_ups\": %lld, "
+        "\"max_ladder_step\": %d, \"ladder_steps\": %d}}\n",
+        static_cast<long long>(result.abr_step_ups),
+        static_cast<long long>(result.abr_top_ups),
+        result.abr_max_ladder_step, flags.ladder_steps);
   }
   if (flags.cells > 1) {
     // Multi-cell telemetry rides extra JSON lines so the single-cell
@@ -704,6 +773,23 @@ int Run(const Flags& flags) {
       flags.merge_factor >= 1.0) {
     std::fprintf(stderr,
                  "--split-factor must be > 1 and --merge-factor in [0, 1)\n");
+    return 2;
+  }
+  if (flags.abr != "on" && flags.abr != "off") {
+    std::fprintf(stderr, "--abr wants on|off\n");
+    return 2;
+  }
+  if (flags.abr == "on" && flags.clients <= 1) {
+    std::fprintf(stderr, "--abr on requires fleet mode (--clients > 1)\n");
+    return 2;
+  }
+  if (flags.ladder_steps < 1 || flags.abr_target <= 0.0) {
+    std::fprintf(stderr,
+                 "--ladder-steps must be >= 1 and --abr-target > 0\n");
+    return 2;
+  }
+  if (flags.handover_dwell < 1) {
+    std::fprintf(stderr, "--handover-dwell must be >= 1\n");
     return 2;
   }
   config.shards = flags.shards;
