@@ -53,12 +53,19 @@ RunMetrics System::RunStreaming(
   int64_t stale_run = 0;
   const bool motion_pools = server_->motion_interest_enabled();
   const bool rebalance = server_->rebalance_enabled();
+  const bool warming = server_->pool_warming_enabled();
   for (const workload::TourPoint& point : tour) {
+    // Warm join first: the previous frame's speculative reads install
+    // before anything else touches the raw page stores this frame.
+    if (warming) server_->WarmPoolsJoin();
     if (motion_pools) {
       server_->ObserveClientMotion(0, point.position);
       server_->RefreshPoolInterest();
     }
     if (rebalance) server_->TickRebalancer();
+    // Dispatch last, against the refreshed interest field: the reads run
+    // while the frame's queries execute below.
+    if (warming) server_->WarmPoolsDispatch();
     const client::StreamingFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.response_bytes;
@@ -84,6 +91,9 @@ RunMetrics System::RunStreaming(
   // Quiesce: commit the trailing pending delivery so the server's
   // committed state matches the client's store at run end.
   cl.FlushAck();
+  // Settle the trailing speculative batch so post-run pool stats are
+  // stable (and deterministic) whenever the caller prints them.
+  if (warming) server_->WarmPoolsJoin();
   metrics.tour_distance = workload::TourDistance(tour);
   return metrics;
 }
@@ -98,12 +108,15 @@ RunMetrics System::RunBuffered(
   RunMetrics metrics;
   const bool motion_pools = server_->motion_interest_enabled();
   const bool rebalance = server_->rebalance_enabled();
+  const bool warming = server_->pool_warming_enabled();
   for (const workload::TourPoint& point : tour) {
+    if (warming) server_->WarmPoolsJoin();
     if (motion_pools) {
       server_->ObserveClientMotion(0, point.position);
       server_->RefreshPoolInterest();
     }
     if (rebalance) server_->TickRebalancer();
+    if (warming) server_->WarmPoolsDispatch();
     const client::BufferedFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.demand_bytes;
@@ -115,6 +128,7 @@ RunMetrics System::RunBuffered(
     metrics.timeouts += report.timeouts;
     ++metrics.frames;
   }
+  if (warming) server_->WarmPoolsJoin();
   metrics.cache_hit_rate = cl.buffer_stats().HitRate();
   metrics.data_utilization = cl.buffer_stats().Utilization();
   metrics.outage_frames = cl.outage_frames();
@@ -134,12 +148,15 @@ RunMetrics System::RunNaiveObject(
   RunMetrics metrics;
   const bool motion_pools = server_->motion_interest_enabled();
   const bool rebalance = server_->rebalance_enabled();
+  const bool warming = server_->pool_warming_enabled();
   for (const workload::TourPoint& point : tour) {
+    if (warming) server_->WarmPoolsJoin();
     if (motion_pools) {
       server_->ObserveClientMotion(0, point.position);
       server_->RefreshPoolInterest();
     }
     if (rebalance) server_->TickRebalancer();
+    if (warming) server_->WarmPoolsDispatch();
     const client::NaiveFrameReport report =
         cl.Step(point.position, point.speed);
     metrics.demand_bytes += report.bytes;
@@ -148,6 +165,7 @@ RunMetrics System::RunNaiveObject(
     if (report.response_seconds > 0.0) ++metrics.demand_exchanges;
     ++metrics.frames;
   }
+  if (warming) server_->WarmPoolsJoin();
   metrics.cache_hit_rate = cl.CacheHitRate();
   metrics.tour_distance = workload::TourDistance(tour);
   return metrics;

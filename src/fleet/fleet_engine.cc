@@ -583,6 +583,10 @@ FleetResult FleetEngine::Run() {
   // summed per-shard counters — worker-count-invariant by construction,
   // so fleet metrics stay byte-identical at any --workers.
   const bool rebalance = system_.server().rebalance_enabled();
+  // Background pool warming: join/dispatch bracket the serial phase so
+  // speculative reads overlap only the parallel client steps, never the
+  // serial window's raw page-store work (see server.h).
+  const bool warming = system_.server().pool_warming_enabled();
   // Book one cell's drained completions, in the cell's deterministic
   // completion order. Cells are always recorded in ascending cell id, so
   // the booking sequence is worker-count-invariant.
@@ -816,11 +820,22 @@ FleetResult FleetEngine::Run() {
             id);
       }
     }
+    // Warm join first: the previous tick's speculative reads install
+    // before the interest refresh or the rebalancer touch the raw page
+    // stores.
+    if (warming && !due.empty()) {
+      system_.server().WarmPoolsJoin();
+    }
     if (motion_pools && !due.empty()) {
       system_.server().RefreshPoolInterest();
     }
     if (rebalance && !due.empty()) {
       system_.server().TickRebalancer();
+    }
+    // Dispatch last: rank against the refreshed interest field and the
+    // settled shard layout; the reads overlap the next parallel phase.
+    if (warming && !due.empty()) {
+      system_.server().WarmPoolsDispatch();
     }
     if (num_cells == 1) {
       peak_backlog = std::max(peak_backlog, cells_[0]->backlog_bytes());
@@ -832,6 +847,11 @@ FleetResult FleetEngine::Run() {
         peak_backlog = std::max(peak_backlog, backlog);
       }
     }
+  }
+  // Settle the trailing speculative batch so the pool counters the run
+  // reports are stable and deterministic.
+  if (warming) {
+    system_.server().WarmPoolsJoin();
   }
   // Final drain, cell by cell in id order, then one last resolution pass
   // (a cross-cell carrier may finish after the waiting exchange's cell).

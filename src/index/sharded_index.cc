@@ -105,13 +105,20 @@ common::Status DecodeDirectory(const std::vector<uint8_t>& bytes,
 // rebalancer's splits/merges before partitioning (and therefore restores
 // the split-allocated shards' trees instead of rebuilding everything).
 constexpr uint64_t kMapMagic = 0x50414d53524d3144ull;  // "D1MRSMAP" LE
-constexpr uint32_t kMapVersion = 1;
+// Version 1 stored the raw refinement list and replayed it through
+// ApplySplit/ApplyMerge, whose next-unallocated-id check requires split
+// targets in allocation order. Version 2 additionally stores the
+// allocation high-water mark (total_shards), because a compacted list
+// (ShardMap::Compact) may drop or re-target the very splits that
+// allocated ids later ops still reference. Both versions decode.
+constexpr uint32_t kMapVersion = 2;
 
 std::vector<uint8_t> EncodeShardMap(const ShardMap& map, int32_t base_shards) {
   common::ByteWriter w;
   w.WriteU64(kMapMagic);
   w.WriteU32(kMapVersion);
   w.WriteI32(base_shards);
+  w.WriteI32(map.total_shards());
   const geometry::Box2& bounds = map.bounds();
   w.WriteU8(bounds.IsEmpty() ? 1 : 0);
   if (!bounds.IsEmpty()) {
@@ -145,7 +152,7 @@ common::Status DecodeShardMapInto(const std::vector<uint8_t>& bytes,
     return common::InternalError("shard map sidecar: bad magic");
   }
   MARS_RETURN_IF_ERROR(r.ReadU32(&version));
-  if (version != kMapVersion) {
+  if (version != 1 && version != kMapVersion) {
     return common::InternalError("shard map sidecar: unsupported version");
   }
   int32_t stored_shards = 0;
@@ -153,6 +160,13 @@ common::Status DecodeShardMapInto(const std::vector<uint8_t>& bytes,
   if (stored_shards != base_shards) {
     return common::FailedPreconditionError(
         "shard map sidecar: base shard count changed");
+  }
+  int32_t total_shards = base_shards;
+  if (version >= 2) {
+    MARS_RETURN_IF_ERROR(r.ReadI32(&total_shards));
+    if (total_shards < base_shards || total_shards > 1'000'000) {
+      return common::InternalError("shard map sidecar: bad total shards");
+    }
   }
   uint8_t empty = 0;
   MARS_RETURN_IF_ERROR(r.ReadU8(&empty));
@@ -198,23 +212,40 @@ common::Status DecodeShardMapInto(const std::vector<uint8_t>& bytes,
     }
     ops.push_back(op);
   }
-  // Replay in list order — ApplySplit's next-unallocated-id check holds
-  // by construction, and re-checks here against a hand-edited file.
+  if (version == 1) {
+    // Replay in list order — ApplySplit's next-unallocated-id check holds
+    // by construction, and re-checks here against a hand-edited file.
+    for (const ShardMap::Refinement& op : ops) {
+      if (op.kind == ShardMap::Refinement::Kind::kSplit) {
+        if (op.target != map->total_shards()) {
+          return common::InternalError(
+              "shard map sidecar: split target out of order");
+        }
+        map->ApplySplit(op.shard, op.axis, op.threshold, op.target);
+      } else {
+        if (op.shard >= map->total_shards() ||
+            op.target >= map->total_shards() || op.shard == op.target) {
+          return common::InternalError("shard map sidecar: bad merge");
+        }
+        map->ApplyMerge(op.shard, op.target);
+      }
+    }
+    return common::OkStatus();
+  }
+  // Version 2: a compacted list does not replay through the append-only
+  // surface (its split targets may be out of allocation order, or point
+  // at existing ids after a forward collapse). Bounds-check every op
+  // against the stored high-water mark and install the list verbatim —
+  // any in-bounds list routes safely, because Route only ever follows op
+  // targets and every target is below total_shards.
   for (const ShardMap::Refinement& op : ops) {
-    if (op.kind == ShardMap::Refinement::Kind::kSplit) {
-      if (op.target != map->total_shards()) {
-        return common::InternalError(
-            "shard map sidecar: split target out of order");
-      }
-      map->ApplySplit(op.shard, op.axis, op.threshold, op.target);
-    } else {
-      if (op.shard >= map->total_shards() ||
-          op.target >= map->total_shards() || op.shard == op.target) {
-        return common::InternalError("shard map sidecar: bad merge");
-      }
-      map->ApplyMerge(op.shard, op.target);
+    if (op.shard >= total_shards || op.target >= total_shards ||
+        op.shard == op.target) {
+      return common::InternalError("shard map sidecar: refinement out of "
+                                   "bounds");
     }
   }
+  map->RestoreRefinements(total_shards, std::move(ops));
   return common::OkStatus();
 }
 
@@ -391,6 +422,9 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
     // always a clean recovery, never undefined behavior.
     MARS_CHECK(!options_.storage.path.empty())
         << "disk store requires a page file path";
+    // A rebuild invalidates every pool pointer the warmer holds: stop it
+    // (joining any in-flight reads) before the pools go away.
+    warmer_.reset();
     pools_.clear();
     managers_.clear();
     managers_.resize(total);
@@ -439,13 +473,25 @@ void ShardedCoefficientIndex::Build(const std::vector<CoeffRecord>& records) {
       }
     }
     // Re-mark merged-away slots: ids are append-only and never reused, so
-    // the retired set is exactly the merge ops' source ids.
+    // the retired set is exactly the merge ops' source ids. (A compacted
+    // sidecar may have dropped a merge whose slot cancelled out entirely;
+    // that slot comes back as an empty live one — routing-identical, it
+    // just counts as live again.)
     for (const ShardMap::Refinement& op : map_.refinements()) {
       if (op.kind == ShardMap::Refinement::Kind::kMerge) {
         shards[op.shard]->retired = true;
       }
     }
     PersistShardMap();
+    if (options_.storage.warm) {
+      storage::PoolWarmer::Options warm;
+      warm.budget = options_.storage.warm_budget;
+      warm.workers = options_.storage.warm_workers;
+      warmer_ = std::make_unique<storage::PoolWarmer>(warm);
+      for (const auto& pool : pools_) {
+        warmer_->AddPool(pool.get());
+      }
+    }
   } else if (pool_ != nullptr && k > 1) {
     // Build every shard in parallel (shard builds are independent); the
     // result is the same set of trees as the sequential path.
@@ -752,6 +798,12 @@ void ShardedCoefficientIndex::AddShardStore(int32_t shard) {
   managers_.push_back(std::move(created).value());
   pools_.push_back(std::make_unique<storage::BufferPool>(
       managers_.back().get(), pool_pages, options_.storage.evict));
+  // SplitShard runs in the serial window between WarmJoin and
+  // WarmDispatch, so registering with the warmer here cannot race a
+  // candidate scan or an install.
+  if (warmer_ != nullptr) {
+    warmer_->AddPool(pools_.back().get());
+  }
 }
 
 void ShardedCoefficientIndex::RebucketStaged(int32_t new_shard_count) {
@@ -961,6 +1013,11 @@ common::Status ShardedCoefficientIndex::MergeShards(int32_t src, int32_t dst) {
 
   common::MutexLock stage_lock(&stage_mu_);
   map_.ApplyMerge(src, dst);
+  // Merges are what create compactable patterns (cancelled or forwarded
+  // splits, unreachable sources), so this is the one place the list can
+  // grow dead weight: compact it before it persists. Routing is
+  // preserved exactly, so the already-swapped shard slots stay valid.
+  map_.Compact();
   if (disk_store()) PersistShardMap();
   RebucketStaged(count);
   return common::OkStatus();
@@ -1046,6 +1103,14 @@ void ShardedCoefficientIndex::UpdateInterest(
   for (const auto& pool : pools_) {
     if (pool != nullptr) pool->UpdateInterest(interest);
   }
+}
+
+void ShardedCoefficientIndex::WarmJoin() const {
+  if (warmer_ != nullptr) warmer_->Join();
+}
+
+void ShardedCoefficientIndex::WarmDispatch() const {
+  if (warmer_ != nullptr) warmer_->Dispatch();
 }
 
 }  // namespace mars::index

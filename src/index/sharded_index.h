@@ -20,6 +20,7 @@
 #include "index/shard_map.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_storage.h"
+#include "storage/pool_warmer.h"
 #include "storage/storage_manager.h"
 
 namespace mars::index {
@@ -208,6 +209,21 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   // a const index; the pools are internally locked.
   void UpdateInterest(const storage::InterestGrid& interest) const;
 
+  // --- Background pool warming (storage::PoolWarmer) ----------------------
+  //
+  // Active only when the storage config asks for it (disk store + warm).
+  // Both calls are serial-phase only and come as a pair per tick: WarmJoin
+  // installs the previous tick's speculative reads (call it FIRST, before
+  // any serial-phase work that touches the raw storage managers — interest
+  // refresh, rebalancing, ingest — so in-flight reads never overlap page
+  // frees or directory writes), and WarmDispatch issues the next batch
+  // (call it LAST, after the tick's interest refresh and rebalance, so the
+  // ranking sees the fresh grid and the settled shard layout). Const like
+  // UpdateInterest: the serving path holds a const index.
+  bool warming_enabled() const { return warmer_ != nullptr; }
+  void WarmJoin() const;
+  void WarmDispatch() const;
+
   bool disk_store() const {
     return options_.storage.store == storage::StoreKind::kDisk;
   }
@@ -326,6 +342,13 @@ class ShardedCoefficientIndex : public CoefficientIndex {
   std::vector<std::unique_ptr<storage::DiskStorageManager>> managers_;
   std::vector<std::unique_ptr<storage::BufferPool>> pools_;
   int32_t restored_shards_ = 0;
+
+  // Background pool warming (storage.warm). Declared after the pools so
+  // it is destroyed first — the destructor joins any in-flight reads
+  // while the pools are still alive. Mutable for the same reason the
+  // rebalancer is: the serving path holds a const index, and the warm
+  // hooks run in serial phases only.
+  mutable std::unique_ptr<storage::PoolWarmer> warmer_;
 };
 
 }  // namespace mars::index

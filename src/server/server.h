@@ -217,6 +217,18 @@ class Server {
   // every shard's buffer pool.
   void RefreshPoolInterest() const;
 
+  // Background pool warming (`--store disk --evict motion --warm on`):
+  // speculative page reads ahead of the fleet's predicted motion. Serial
+  // phases only, as a pair per tick — WarmPoolsJoin FIRST (installs the
+  // previous tick's reads before anything touches the raw page stores),
+  // WarmPoolsDispatch LAST (ranks against the just-refreshed interest
+  // field and the settled shard layout). See storage/pool_warmer.h.
+  bool pool_warming_enabled() const {
+    return coeff_index_->warming_enabled();
+  }
+  void WarmPoolsJoin() const { coeff_index_->WarmJoin(); }
+  void WarmPoolsDispatch() const { coeff_index_->WarmDispatch(); }
+
   // --- Load-adaptive shard rebalancing ------------------------------------
 
   // Active only with Options::rebalance.enabled. Const like the

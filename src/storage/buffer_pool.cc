@@ -62,6 +62,20 @@ double BufferPool::ScoreLocked(PageId id) const {
   return interest_.ScoreRegion(it->second);
 }
 
+void BufferPool::RemoveResidentLocked(PageId victim) {
+  auto it = resident_.find(victim);
+  if (it == resident_.end()) {
+    return;
+  }
+  if (it->second.speculative) {
+    ++stats_.prefetch_wasted;
+  }
+  used_pages_ -= it->second.cost_pages;
+  resident_.erase(it);
+  lru_.Erase(victim);
+  ++stats_.evictions;
+}
+
 void BufferPool::EvictForLocked(PageId just_inserted) {
   while (used_pages_ > capacity_pages_ && resident_.size() > 1) {
     PageId victim = kInvalidPage;
@@ -90,18 +104,32 @@ void BufferPool::EvictForLocked(PageId just_inserted) {
       }
       victim = lru_victim;
     }
-    if (victim == kInvalidPage) {
+    if (victim == kInvalidPage || !resident_.contains(victim)) {
       return;
     }
-    auto it = resident_.find(victim);
-    if (it == resident_.end()) {
-      return;
-    }
-    used_pages_ -= it->second.cost_pages;
-    resident_.erase(it);
-    lru_.Erase(victim);
-    ++stats_.evictions;
+    RemoveResidentLocked(victim);
   }
+}
+
+bool BufferPool::EvictColderLocked(double score) {
+  PageId victim = kInvalidPage;
+  double best_score = std::numeric_limits<double>::infinity();
+  int64_t best_use = std::numeric_limits<int64_t>::max();
+  for (const auto& [id, entry] : resident_) {
+    if (entry.score < best_score ||
+        (entry.score == best_score && entry.last_use < best_use) ||
+        (entry.score == best_score && entry.last_use == best_use &&
+         (victim == kInvalidPage || id < victim))) {
+      best_score = entry.score;
+      best_use = entry.last_use;
+      victim = id;
+    }
+  }
+  if (victim == kInvalidPage || best_score >= score) {
+    return false;
+  }
+  RemoveResidentLocked(victim);
+  return true;
 }
 
 void BufferPool::InsertLocked(PageId id, const std::vector<uint8_t>& bytes) {
@@ -134,6 +162,11 @@ common::Status BufferPool::Fetch(PageId id, std::vector<uint8_t>* out) {
   auto it = resident_.find(id);
   if (it != resident_.end()) {
     ++stats_.hits;
+    if (it->second.speculative) {
+      // First query touch of a warmed entry: the prefetch paid off.
+      it->second.speculative = false;
+      ++stats_.prefetch_hits;
+    }
     it->second.last_use = ++clock_;
     lru_.Touch(id);
     *out = it->second.bytes;
@@ -198,6 +231,96 @@ void BufferPool::UpdateInterest(const InterestGrid& interest) {
   interest_ = interest;
   for (auto& [id, entry] : resident_) {
     entry.score = ScoreLocked(id);
+  }
+}
+
+std::vector<BufferPool::PrefetchCandidate> BufferPool::PrefetchCandidates()
+    const {
+  common::MutexLock lock(&mu_);
+  std::vector<PrefetchCandidate> out;
+  if (interest_.empty()) {
+    return out;
+  }
+  for (const auto& [id, region] : regions_) {
+    if (resident_.contains(id)) {
+      continue;
+    }
+    const double score = interest_.ScoreRegion(region);
+    if (score > 0.0) {
+      out.push_back({id, score});
+    }
+  }
+  // regions_ iterates in hash order; ascending id makes the candidate
+  // list — and therefore the warmer's tie-breaks — deterministic.
+  std::sort(out.begin(), out.end(),
+            [](const PrefetchCandidate& a, const PrefetchCandidate& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+common::Status BufferPool::ReadForPrefetch(PageId id,
+                                           std::vector<uint8_t>* out) {
+  if (out == nullptr) {
+    return common::InvalidArgumentError("buffer pool: null out");
+  }
+  // The pool mutex serialises the manager against concurrent Fetch
+  // misses (managers are not thread-safe, and Fetch's disk_reads delta
+  // must not absorb speculative reads).
+  common::MutexLock lock(&mu_);
+  return manager_->Load(id, out);
+}
+
+void BufferPool::NotePrefetchIssued(int64_t count) {
+  common::MutexLock lock(&mu_);
+  stats_.prefetch_issued += count;
+}
+
+void BufferPool::NotePrefetchFailed() {
+  common::MutexLock lock(&mu_);
+  ++stats_.prefetch_dropped;
+}
+
+void BufferPool::InstallPrefetched(PageId id,
+                                   const std::vector<uint8_t>& bytes) {
+  common::MutexLock lock(&mu_);
+  if (resident_.contains(id)) {
+    // A query fetched the array between dispatch and install; the cached
+    // copy is authoritative (same on-disk bytes, fresher recency).
+    ++stats_.prefetch_dropped;
+    return;
+  }
+  if (!regions_.contains(id)) {
+    // Unregistered since dispatch (epoch swap erased the array).
+    ++stats_.prefetch_dropped;
+    return;
+  }
+  const double score = ScoreLocked(id);
+  const int64_t cost = PageCost(bytes.size());
+  if (cost > capacity_pages_) {
+    ++stats_.prefetch_dropped;
+    return;
+  }
+  // Never evict a protected / hotter page for a speculative one: make
+  // room only off strictly colder residents, or refuse the install.
+  while (used_pages_ + cost > capacity_pages_ && !resident_.empty()) {
+    if (!EvictColderLocked(score)) {
+      ++stats_.prefetch_dropped;
+      return;
+    }
+  }
+  Resident entry;
+  entry.bytes = bytes;
+  entry.cost_pages = cost;
+  entry.last_use = ++clock_;
+  entry.score = score;
+  entry.speculative = true;
+  resident_.emplace(id, std::move(entry));
+  used_pages_ += cost;
+  if (!lru_.Contains(id)) {
+    lru_.Put(id, cost);
+  } else {
+    lru_.Touch(id);
   }
 }
 

@@ -40,6 +40,11 @@ struct PoolStats {
   int64_t disk_writes = 0;  // pages written through to the backing store
   int64_t resident = 0;     // logical arrays currently cached
   int64_t resident_pages = 0;
+  // Pool-warming counters (units are logical arrays, like hits/misses).
+  int64_t prefetch_issued = 0;   // speculative reads dispatched
+  int64_t prefetch_hits = 0;     // speculative entries a query later hit
+  int64_t prefetch_wasted = 0;   // speculative entries evicted unused
+  int64_t prefetch_dropped = 0;  // installs refused (resident / too cold)
 };
 
 // Thread-safe cache of logical node arrays in front of an IStorageManager.
@@ -78,6 +83,41 @@ class BufferPool {
   // Installs a fresh interest field and rescores every resident array.
   void UpdateInterest(const InterestGrid& interest);
 
+  // --- Pool-warming surface (storage::PoolWarmer) -------------------------
+  //
+  // The warmer speculatively reads not-resident arrays off-thread and
+  // installs them at the next serial commit point. Reads coexist with
+  // concurrent Fetch calls (everything serialises on the pool mutex);
+  // installs and candidate scans run in serial phases only.
+
+  // One not-resident array and its interest score under the current grid.
+  struct PrefetchCandidate {
+    PageId id = kInvalidPage;
+    double score = 0.0;
+  };
+  // Every registered array that is not resident and scores above zero
+  // under the current interest field, in ascending id order (the warmer
+  // re-sorts globally by score, so the order here only fixes ties).
+  std::vector<PrefetchCandidate> PrefetchCandidates() const;
+
+  // Loads the array's bytes from the backing store without touching the
+  // hit/miss counters or the resident set — the speculative read half of
+  // a prefetch. Safe against concurrent Fetch calls.
+  common::Status ReadForPrefetch(PageId id, std::vector<uint8_t>* out);
+
+  // Counts `count` dispatched speculative reads (prefetch_issued).
+  void NotePrefetchIssued(int64_t count);
+
+  // Installs a speculatively read array under the never-evict-hotter
+  // rule: the entry is admitted only if any eviction it forces hits
+  // strictly colder residents; otherwise — or when the array is already
+  // resident (a query beat the prefetch) or no longer registered — the
+  // install is refused and counted as prefetch_dropped.
+  void InstallPrefetched(PageId id, const std::vector<uint8_t>& bytes);
+
+  // Counts a speculative read that failed before install (dropped).
+  void NotePrefetchFailed();
+
   PoolStats stats() const;
   EvictPolicy policy() const { return policy_; }
   int64_t capacity_pages() const { return capacity_pages_; }
@@ -92,6 +132,10 @@ class BufferPool {
     int64_t cost_pages = 1;
     double score = 0.0;     // motion policy: predicted visit probability
     int64_t last_use = 0;   // pool-local logical clock
+    // Installed by the warmer and not yet touched by a query: the first
+    // Fetch hit clears it (prefetch_hits); eviction before that counts
+    // prefetch_wasted.
+    bool speculative = false;
   };
 
   int64_t PageCost(size_t bytes) const;
@@ -99,6 +143,13 @@ class BufferPool {
       MARS_REQUIRES(mu_);
   void EvictForLocked(PageId just_inserted) MARS_REQUIRES(mu_);
   double ScoreLocked(PageId id) const MARS_REQUIRES(mu_);
+  // Removes `victim` from the resident set (never-touched speculative
+  // victims count prefetch_wasted on top of the eviction).
+  void RemoveResidentLocked(PageId victim) MARS_REQUIRES(mu_);
+  // Evicts the coldest resident strictly colder than `score` (same
+  // motion-policy tie-breaks as EvictForLocked). Returns false — no
+  // state change — when every resident is at least as hot.
+  bool EvictColderLocked(double score) MARS_REQUIRES(mu_);
 
   IStorageManager* const manager_;
   const int64_t capacity_pages_;

@@ -63,6 +63,12 @@ struct StorageConfig {
   int32_t page_size = 4096;   // bytes per on-disk page
   int64_t pool_pages = 256;   // buffer-pool capacity, split across shards
   EvictPolicy evict = EvictPolicy::kLru;
+  // Background pool warming (storage::PoolWarmer): speculative reads of
+  // the pages the fleet's interest field predicts it is about to
+  // traverse. Requires kDisk + kMotion; off is a strict passthrough.
+  bool warm = false;
+  int64_t warm_budget = 32;   // arrays admitted into flight per tick
+  int32_t warm_workers = 2;   // dedicated I/O pool width
 };
 
 // Cumulative counters kept by a storage manager. Units are pages, not

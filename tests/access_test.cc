@@ -747,6 +747,89 @@ TEST(ShardMapTest, RefinementRoutingFoldsInOrder) {
   EXPECT_EQ(map.Route(RecordAt(-500, 2000)), 2);
 }
 
+// Route() over a dense probe grid — the compaction oracle: a rewrite is
+// routing-preserving iff this vector is unchanged.
+std::vector<int32_t> RouteProbe(const ShardMap& map) {
+  std::vector<int32_t> out;
+  for (int x = 1; x < 100; x += 3) {
+    for (int y = 1; y < 100; y += 3) {
+      out.push_back(map.Route(RecordAt(x, y)));
+    }
+  }
+  return out;
+}
+
+TEST(ShardMapTest, CompactAnnihilatesAPureDetour) {
+  // Split 0 -> 1, then merge 1 straight back: the detour cancels and
+  // both ops disappear, but the id high-water mark stays.
+  ShardMap map = ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 1);
+  map.ApplySplit(0, /*axis=*/0, /*threshold=*/50.0, /*new_shard=*/1);
+  map.ApplyMerge(1, 0);
+  const std::vector<int32_t> before = RouteProbe(map);
+  EXPECT_EQ(map.Compact(), 2);
+  EXPECT_TRUE(map.refinements().empty());
+  EXPECT_EQ(map.total_shards(), 2);
+  EXPECT_EQ(RouteProbe(map), before);
+}
+
+TEST(ShardMapTest, CompactCollapsesAForwardedSplit) {
+  // Split 0 -> 2 merged onward into 1: the split re-targets 1 directly —
+  // a target no ApplySplit replay could produce — and the merge goes.
+  ShardMap map = ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 2);
+  map.ApplySplit(0, /*axis=*/1, /*threshold=*/50.0, /*new_shard=*/2);
+  map.ApplyMerge(2, 1);
+  const std::vector<int32_t> before = RouteProbe(map);
+  EXPECT_EQ(map.Compact(), 1);
+  ASSERT_EQ(map.refinements().size(), 1u);
+  EXPECT_EQ(map.refinements()[0].kind, ShardMap::Refinement::Kind::kSplit);
+  EXPECT_EQ(map.refinements()[0].shard, 0);
+  EXPECT_EQ(map.refinements()[0].target, 1);
+  EXPECT_EQ(RouteProbe(map), before);
+}
+
+TEST(ShardMapTest, CompactDropsOpsWithUnreachableSources) {
+  // Merge 0 -> 1 retires id 0; a later split of 0 can never fire.
+  ShardMap map = ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 2);
+  map.ApplyMerge(0, 1);
+  map.ApplySplit(0, /*axis=*/0, /*threshold=*/50.0, /*new_shard=*/2);
+  const std::vector<int32_t> before = RouteProbe(map);
+  EXPECT_EQ(map.Compact(), 1);
+  ASSERT_EQ(map.refinements().size(), 1u);
+  EXPECT_EQ(map.refinements()[0].kind, ShardMap::Refinement::Kind::kMerge);
+  EXPECT_EQ(RouteProbe(map), before);
+}
+
+TEST(ShardMapTest, CompactKeepsOpsWhoseWindowIsDirty) {
+  // Split 0 -> 2 with a split of 2 in between before the merge back:
+  // the window references the detour target, so nothing may cancel.
+  ShardMap map = ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 2);
+  map.ApplySplit(0, /*axis=*/0, /*threshold=*/50.0, /*new_shard=*/2);
+  map.ApplySplit(2, /*axis=*/1, /*threshold=*/50.0, /*new_shard=*/3);
+  map.ApplyMerge(2, 0);
+  const std::vector<int32_t> before = RouteProbe(map);
+  EXPECT_EQ(map.Compact(), 0);
+  EXPECT_EQ(map.refinements().size(), 3u);
+  EXPECT_EQ(RouteProbe(map), before);
+}
+
+TEST(ShardMapTest, CompactedListRestoresThroughRestoreRefinements) {
+  // The persistence contract: a compacted list plus the high-water mark
+  // round-trips into a freshly built base map with identical routing.
+  ShardMap map = ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 2);
+  map.ApplySplit(1, /*axis=*/0, /*threshold=*/75.0, /*new_shard=*/2);
+  map.ApplySplit(0, /*axis=*/1, /*threshold=*/50.0, /*new_shard=*/3);
+  map.ApplyMerge(3, 2);
+  map.ApplyMerge(1, 0);
+  map.Compact();
+  const std::vector<int32_t> before = RouteProbe(map);
+
+  ShardMap restored = ShardMap::Build(geometry::MakeBox2(0, 0, 100, 100), 2);
+  std::vector<ShardMap::Refinement> ops = map.refinements();
+  restored.RestoreRefinements(map.total_shards(), std::move(ops));
+  EXPECT_EQ(restored.total_shards(), map.total_shards());
+  EXPECT_EQ(RouteProbe(restored), before);
+}
+
 TEST(ShardedIndexTest, QueryProfiledMatchesQuery) {
   const auto records = MakeRecords(40, 50, 3);
   for (const int32_t shards : {1, 4}) {
@@ -979,6 +1062,78 @@ TEST(RebalanceTest, DiskSplitMergeMatchesMemoryAndSurvivesRestart) {
     ExpectMatchesOracle(revived, records);
   }
   RemovePageFiles(path, shards + 4);
+}
+
+TEST(RebalanceTest, MergeCompactionPreservesRoutingAndRestart) {
+  // MergeShards compacts the refinement list in place. Here the merge
+  // forwards a freshly split shard onward, so compaction collapses the
+  // pair to one split targeting base id 2 — a list that can only be
+  // persisted through the v2 sidecar (no ApplySplit replay produces
+  // it). Queries, the memory twin, and a kill-and-restart must all be
+  // oblivious.
+  const auto records = MakeRecords(40, 50, 3);
+  const std::string path = ::testing::TempDir() + "/mars_access_compact.pages";
+  const int32_t shards = 4;
+  RemovePageFiles(path, shards + 2);
+
+  ShardedCoefficientIndex memory_index(
+      ShardedOptions(shards, ShardedIndexOptions::Kind::kSupportRegion));
+  ShardedCoefficientIndex disk_index(DiskOptions(
+      shards, path, ShardedIndexOptions::Kind::kSupportRegion));
+  memory_index.Build(records);
+  disk_index.Build(records);
+
+  for (auto* index : {&memory_index, &disk_index}) {
+    ASSERT_TRUE(index->SplitShard(0).ok());
+    ASSERT_TRUE(index->MergeShards(4, 2).ok());
+    ASSERT_EQ(index->shard_map().refinements().size(), 1u);
+    EXPECT_EQ(index->shard_map().refinements()[0].target, 2);
+    EXPECT_EQ(index->shard_map().total_shards(), 5);
+  }
+
+  common::Rng rng(17);
+  for (int q = 0; q < 20; ++q) {
+    const double x = rng.Uniform(0, 900), y = rng.Uniform(0, 900);
+    const geometry::Box2 region = geometry::MakeBox2(x, y, x + 120, y + 120);
+    std::vector<RecordId> got_mem, got_disk;
+    const int64_t io_mem = memory_index.Query(region, 0.3, 1.0, &got_mem);
+    const int64_t io_disk = disk_index.Query(region, 0.3, 1.0, &got_disk);
+    EXPECT_EQ(got_disk, got_mem);
+    EXPECT_EQ(io_disk, io_mem);
+  }
+  ExpectMatchesOracle(disk_index, records);
+
+  // Kill and restart. The compacted sidecar restores the retargeted
+  // split; the merge itself is gone, so the annihilated slot 4 revives
+  // as an empty *live* slot (nothing routes there — its coverage is
+  // empty) instead of a tombstone. Routing and results are unaffected.
+  {
+    ShardedCoefficientIndex revived(DiskOptions(
+        shards, path, ShardedIndexOptions::Kind::kSupportRegion));
+    revived.Build(records);
+    EXPECT_EQ(revived.restored_shards(), shards + 1);
+    EXPECT_EQ(revived.shard_count(), shards + 1);
+    ASSERT_EQ(revived.shard_map().refinements().size(), 1u);
+    EXPECT_EQ(revived.shard_map().refinements()[0].target, 2);
+    ExpectMatchesOracle(revived, records);
+
+    common::Rng revived_rng(17);
+    for (int q = 0; q < 20; ++q) {
+      const double x = revived_rng.Uniform(0, 900);
+      const double y = revived_rng.Uniform(0, 900);
+      const geometry::Box2 region =
+          geometry::MakeBox2(x, y, x + 120, y + 120);
+      std::vector<RecordId> got_mem, got_disk;
+      memory_index.Query(region, 0.3, 1.0, &got_mem);
+      revived.Query(region, 0.3, 1.0, &got_disk);
+      EXPECT_EQ(got_disk, got_mem);
+    }
+
+    // The restored map still accepts further rebalancing.
+    ASSERT_TRUE(revived.SplitShard(2).ok());
+    ExpectMatchesOracle(revived, records);
+  }
+  RemovePageFiles(path, shards + 2);
 }
 
 TEST(RebalanceTest, StaleShardMapSidecarRecoversCleanly) {

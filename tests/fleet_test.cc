@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <set>
 #include <string>
@@ -1176,6 +1177,70 @@ TEST_F(FleetEngineTest, AbrLadderEngagesAndStaysBitIdenticalAcrossWorkers) {
       reference = json;
     } else {
       EXPECT_EQ(json, reference) << "diverged at workers=" << workers;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool warming
+
+// Background pool warming must be invisible to everything a client
+// observes: on a disk-backed sharded fleet under real eviction
+// pressure, all four of {workers 1, 8} x {warm off, on} produce
+// byte-identical per-client and aggregate metrics (one shared
+// reference), because speculative reads only ever change which pages
+// are resident — never results, node accesses, or timing. The warm
+// runs also vary the I/O pool width, which must be equally invisible.
+TEST(FleetWarmingTest, DiskFleetBitIdenticalAcrossWorkersAndWarming) {
+  std::string reference;
+  for (const bool warm : {false, true}) {
+    for (const int workers : {1, 8}) {
+      const std::string path = ::testing::TempDir() + "/fleet_warm_" +
+                               (warm ? "on" : "off") + "_" +
+                               std::to_string(workers) + ".pages";
+      core::System::Config config = SmallConfig();
+      config.shards = 4;
+      config.storage.store = storage::StoreKind::kDisk;
+      config.storage.path = path;
+      config.storage.evict = storage::EvictPolicy::kMotion;
+      config.storage.pool_pages = 64;  // small: keeps eviction live
+      config.storage.warm = warm;
+      config.storage.warm_budget = 8;
+      config.storage.warm_workers = workers == 8 ? 4 : 1;
+      std::remove(path.c_str());
+      std::remove((path + ".shardmap").c_str());
+      for (int s = 0; s < 4; ++s) {
+        std::remove((path + ".shard" + std::to_string(s)).c_str());
+      }
+      auto system = core::System::Create(config);
+      ASSERT_TRUE(system.ok());
+      ASSERT_EQ((*system)->server().pool_warming_enabled(), warm);
+
+      fleet::FleetOptions options;
+      options.workers = workers;
+      fleet::FleetEngine engine(
+          **system, options,
+          fleet::FleetEngine::MakeMixedFleet(9, /*frames=*/25, /*speed=*/0.5,
+                                             /*seed=*/0));
+      const std::string json = FleetJson(engine.Run());
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        EXPECT_EQ(json, reference)
+            << "diverged at workers=" << workers << " warm=" << warm;
+      }
+
+      // The warm runs must actually warm — otherwise the comparison
+      // above vacuously checks two cold configurations.
+      int64_t issued = 0;
+      for (const auto& s : (*system)->server().PoolStats()) {
+        issued += s.pool.prefetch_issued;
+      }
+      if (warm) {
+        EXPECT_GT(issued, 0);
+      } else {
+        EXPECT_EQ(issued, 0);
+      }
     }
   }
 }

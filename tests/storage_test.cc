@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,6 +23,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_storage.h"
 #include "storage/memory_storage.h"
+#include "storage/pool_warmer.h"
 #include "storage/storage_manager.h"
 
 namespace mars::storage {
@@ -394,6 +396,247 @@ TEST(InterestGridTest, ScoreRegionAveragesOverlappedBlocks) {
   // Degenerate cases score zero.
   EXPECT_DOUBLE_EQ(InterestGrid().ScoreRegion(geometry::MakeBox2(0, 0, 1, 1)),
                    0.0);
+}
+
+// --- Pool warming (storage::PoolWarmer) ---------------------------------
+
+// Stores `n` one-page arrays behind the pool's back (cold) and registers
+// each with a region in column i of the grid's bottom row, so page i
+// scores `GradedGrid`'s column-i value. Returns the ids.
+std::vector<PageId> ColdGradedPages(MemoryStorageManager* mgr,
+                                    BufferPool* pool, int n) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < n; ++i) {
+    PageId id = kInvalidPage;
+    EXPECT_TRUE(mgr->Store(&id, Bytes(64, static_cast<uint8_t>(i))).ok());
+    pool->SetPageRegion(
+        id, geometry::MakeBox2(10.0 * i + 1, 1, 10.0 * i + 9, 9));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+// Bottom-row scores decline left to right: column i scores 1 - i/10.
+InterestGrid GradedGrid() {
+  InterestGrid grid;
+  grid.space = geometry::MakeBox2(0, 0, 100, 100);
+  grid.nx = 10;
+  grid.ny = 10;
+  grid.score.assign(100, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    grid.score[static_cast<size_t>(i)] = 1.0 - 0.1 * i;
+  }
+  return grid;
+}
+
+TEST(PoolWarmerTest, WarmsHottestPagesUpToBudget) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/8, EvictPolicy::kMotion);
+  const std::vector<PageId> ids = ColdGradedPages(&mgr, &pool, 5);
+  pool.UpdateInterest(GradedGrid());
+
+  PoolWarmer::Options opts;
+  opts.budget = 2;
+  PoolWarmer warmer(opts);
+  warmer.AddPool(&pool);
+  warmer.Dispatch();
+  warmer.Join();
+
+  // Exactly the budget was issued, and it went to the two hottest pages.
+  EXPECT_EQ(pool.stats().prefetch_issued, 2);
+  EXPECT_EQ(pool.stats().resident, 2);
+  EXPECT_EQ(warmer.active_ticks(), 1);
+  std::vector<uint8_t> out;
+  const int64_t misses = pool.stats().misses;
+  ASSERT_TRUE(pool.Fetch(ids[0], &out).ok());
+  EXPECT_EQ(out, Bytes(64, 0));
+  ASSERT_TRUE(pool.Fetch(ids[1], &out).ok());
+  EXPECT_EQ(pool.stats().misses, misses) << "a warmed page missed";
+  EXPECT_EQ(pool.stats().prefetch_hits, 2);
+  // A second fetch of a warmed page is an ordinary hit, not a second
+  // prefetch hit.
+  ASSERT_TRUE(pool.Fetch(ids[0], &out).ok());
+  EXPECT_EQ(pool.stats().prefetch_hits, 2);
+  // The third-hottest page was not admitted this tick.
+  ASSERT_TRUE(pool.Fetch(ids[2], &out).ok());
+  EXPECT_EQ(pool.stats().misses, misses + 1);
+}
+
+TEST(PoolWarmerTest, InFlightBoundCapsAnOversizedBudget) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/8, EvictPolicy::kMotion);
+  ColdGradedPages(&mgr, &pool, 6);
+  pool.UpdateInterest(GradedGrid());
+
+  PoolWarmer::Options opts;
+  opts.budget = 100;
+  opts.max_in_flight = 3;
+  PoolWarmer warmer(opts);
+  warmer.AddPool(&pool);
+  warmer.Dispatch();
+  warmer.Join();
+  EXPECT_EQ(pool.stats().prefetch_issued, 3);
+}
+
+TEST(PoolWarmerTest, InertWithoutAnInterestField) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/8, EvictPolicy::kMotion);
+  ColdGradedPages(&mgr, &pool, 4);
+  // No UpdateInterest: every candidate scores zero, nothing dispatches.
+  PoolWarmer warmer(PoolWarmer::Options{});
+  warmer.AddPool(&pool);
+  warmer.Dispatch();
+  warmer.Join();
+  EXPECT_EQ(pool.stats().prefetch_issued, 0);
+  EXPECT_EQ(pool.stats().resident, 0);
+  EXPECT_EQ(warmer.active_ticks(), 0);
+}
+
+TEST(PoolWarmerTest, NeverEvictsAHotterResidentForASpeculativePage) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/1, EvictPolicy::kMotion);
+  // The resident page sits in the hottest column; the cold candidate
+  // (score 0.4 > 0, so it is dispatched) must be refused at install.
+  PageId hot = kInvalidPage;
+  ASSERT_TRUE(pool.Store(&hot, Bytes(64, 9)).ok());
+  pool.SetPageRegion(hot, geometry::MakeBox2(1, 1, 9, 9));
+  PageId cold = kInvalidPage;
+  ASSERT_TRUE(mgr.Store(&cold, Bytes(64, 8)).ok());
+  pool.SetPageRegion(cold, geometry::MakeBox2(61, 1, 69, 9));
+  pool.UpdateInterest(GradedGrid());
+
+  PoolWarmer warmer(PoolWarmer::Options{});
+  warmer.AddPool(&pool);
+  warmer.Dispatch();
+  warmer.Join();
+  EXPECT_EQ(pool.stats().prefetch_issued, 1);
+  EXPECT_EQ(pool.stats().prefetch_dropped, 1);
+  EXPECT_EQ(pool.stats().evictions, 0);
+  const int64_t misses = pool.stats().misses;
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pool.Fetch(hot, &out).ok());
+  EXPECT_EQ(pool.stats().misses, misses) << "hot resident was evicted";
+}
+
+TEST(PoolWarmerTest, EvictsAColderResidentForAHotterSpeculativePage) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/1, EvictPolicy::kMotion);
+  // Reverse of the test above: cold resident, hot candidate.
+  PageId cold = kInvalidPage;
+  ASSERT_TRUE(pool.Store(&cold, Bytes(64, 8)).ok());
+  pool.SetPageRegion(cold, geometry::MakeBox2(61, 1, 69, 9));
+  PageId hot = kInvalidPage;
+  ASSERT_TRUE(mgr.Store(&hot, Bytes(64, 9)).ok());
+  pool.SetPageRegion(hot, geometry::MakeBox2(1, 1, 9, 9));
+  pool.UpdateInterest(GradedGrid());
+
+  PoolWarmer warmer(PoolWarmer::Options{});
+  warmer.AddPool(&pool);
+  warmer.Dispatch();
+  warmer.Join();
+  EXPECT_EQ(pool.stats().prefetch_issued, 1);
+  EXPECT_EQ(pool.stats().prefetch_dropped, 0);
+  EXPECT_EQ(pool.stats().evictions, 1);
+  const int64_t misses = pool.stats().misses;
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pool.Fetch(hot, &out).ok());
+  EXPECT_EQ(out, Bytes(64, 9));
+  EXPECT_EQ(pool.stats().misses, misses) << "warmed page not resident";
+}
+
+TEST(PoolWarmerTest, QueryBeatingThePrefetchDropsTheInstall) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/8, EvictPolicy::kMotion);
+  const std::vector<PageId> ids = ColdGradedPages(&mgr, &pool, 1);
+  pool.UpdateInterest(GradedGrid());
+
+  PoolWarmer::Options opts;
+  opts.budget = 1;
+  PoolWarmer warmer(opts);
+  warmer.AddPool(&pool);
+  warmer.Dispatch();
+  // A query fetches the page while its speculative read is in flight:
+  // whatever the I/O timing, the install at Join finds it resident and
+  // must refuse without touching the bytes or double-counting.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pool.Fetch(ids[0], &out).ok());
+  warmer.Join();
+  EXPECT_EQ(pool.stats().prefetch_issued, 1);
+  EXPECT_EQ(pool.stats().prefetch_dropped, 1);
+  EXPECT_EQ(pool.stats().prefetch_hits, 0);
+  ASSERT_TRUE(pool.Fetch(ids[0], &out).ok());
+  EXPECT_EQ(out, Bytes(64, 0));
+}
+
+TEST(PoolWarmerTest, SpeculativePageEvictedUnusedCountsAsWasted) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/2, EvictPolicy::kMotion);
+  // Warm the mildly-hot page 6 (score 0.4), then fault in the two
+  // hottest pages: the never-used speculative entry is the coldest
+  // resident both times, so it is evicted before any query hits it.
+  const std::vector<PageId> ids = ColdGradedPages(&mgr, &pool, 7);
+  InterestGrid grid = GradedGrid();
+  for (int i = 0; i < 6; ++i) grid.score[static_cast<size_t>(i)] = 0.0;
+  pool.UpdateInterest(grid);
+
+  PoolWarmer::Options opts;
+  opts.budget = 1;
+  PoolWarmer warmer(opts);
+  warmer.AddPool(&pool);
+  warmer.Dispatch();
+  warmer.Join();
+  EXPECT_EQ(pool.stats().prefetch_issued, 1);
+  EXPECT_EQ(pool.stats().resident, 1);
+
+  pool.UpdateInterest(GradedGrid());  // page 6 is now the coldest
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(pool.Fetch(ids[0], &out).ok());
+  ASSERT_TRUE(pool.Fetch(ids[1], &out).ok());
+  EXPECT_EQ(pool.stats().prefetch_wasted, 1);
+  EXPECT_EQ(pool.stats().prefetch_hits, 0);
+}
+
+TEST(PoolWarmerTest, ConcurrentQueriesDuringSpeculativeReads) {
+  MemoryStorageManager mgr(256);
+  BufferPool pool(&mgr, /*capacity_pages=*/4, EvictPolicy::kMotion);
+  const std::vector<PageId> ids = ColdGradedPages(&mgr, &pool, 10);
+  pool.UpdateInterest(GradedGrid());
+
+  PoolWarmer::Options opts;
+  opts.budget = 4;
+  opts.workers = 2;
+  PoolWarmer warmer(opts);
+  warmer.AddPool(&pool);
+
+  // Production shape: queries only ever overlap the speculative reads
+  // (between Dispatch and Join), never the serial install window. TSan
+  // runs this file, so any pool/manager race here is caught.
+  for (int tick = 0; tick < 8; ++tick) {
+    warmer.Join();
+    warmer.Dispatch();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&pool, &ids, t] {
+        std::vector<uint8_t> out;
+        for (int k = 0; k < 8; ++k) {
+          const size_t i = static_cast<size_t>(t * 5 + k * 3) % ids.size();
+          const common::Status s = pool.Fetch(ids[i], &out);
+          EXPECT_TRUE(s.ok());
+          EXPECT_EQ(out, Bytes(64, static_cast<uint8_t>(i)));
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  warmer.Join();
+
+  // Whatever the interleaving, every array still reads back intact.
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(pool.Fetch(ids[i], &out).ok());
+    EXPECT_EQ(out, Bytes(64, static_cast<uint8_t>(i)));
+  }
+  EXPECT_GT(pool.stats().prefetch_issued, 0);
 }
 
 // --- Paged index vs in-memory twin --------------------------------------

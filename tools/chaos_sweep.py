@@ -26,9 +26,12 @@ Usage:
 """
 
 import argparse
+import glob
 import json
+import os
 import subprocess
 import sys
+import tempfile
 
 CHAOS_KEYS = (
     "session_desyncs",
@@ -38,7 +41,8 @@ CHAOS_KEYS = (
 )
 
 
-def run_sim(binary, seed, rate, clients, mb, frames, workers, coalesce):
+def run_sim(binary, seed, rate, clients, mb, frames, workers, coalesce,
+            warm):
     cmd = [
         binary, "run",
         "--mb", str(mb),
@@ -50,8 +54,26 @@ def run_sim(binary, seed, rate, clients, mb, frames, workers, coalesce):
         "--workers", str(workers),
         "--coalesce", "on" if coalesce else "off",
     ]
+    pages = None
+    if warm:
+        # Speculative I/O in flight while cells die: the out-of-core
+        # store with background warming must not perturb the fleet's
+        # deterministic JSON either. Each run builds its page file from
+        # scratch so workers 1 and 8 start from identical disk state.
+        pages = os.path.join(tempfile.gettempdir(),
+                             f"chaos_warm_{seed}_{workers}.pages")
+        remove_page_files(pages)
+        cmd += ["--store", "disk", "--pages", pages,
+                "--evict", "motion", "--warm", "on"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
+    if pages is not None:
+        remove_page_files(pages)
     return cmd, proc
+
+
+def remove_page_files(pages):
+    for path in glob.glob(pages + "*"):
+        os.remove(path)
 
 
 def json_block(stdout):
@@ -77,28 +99,33 @@ def main():
                         help="3-seed single-cell smoke for CI")
     args = parser.parse_args()
 
-    # (outage rate / h, clients, scene MB, frames, coalesce)
+    # (outage rate / h, clients, scene MB, frames, coalesce, warm)
     if args.quick:
         seeds = range(1, 4)
-        grid = [(300.0, 8, 10, 40, False)]
+        grid = [
+            (300.0, 8, 10, 40, False, False),
+            (300.0, 8, 10, 40, False, True),
+        ]
     else:
         seeds = range(1, args.seeds + 1)
         grid = [
-            (150.0, 8, 10, 50, False),
-            (400.0, 8, 10, 50, True),
-            (300.0, 12, 20, 60, False),
-            (300.0, 12, 20, 60, True),
+            (150.0, 8, 10, 50, False, False),
+            (400.0, 8, 10, 50, True, False),
+            (300.0, 12, 20, 60, False, False),
+            (300.0, 12, 20, 60, True, False),
+            (300.0, 8, 10, 50, False, True),
+            (400.0, 12, 20, 60, True, True),
         ]
 
     failures = 0
     runs = 0
-    for rate, clients, mb, frames, coalesce in grid:
+    for rate, clients, mb, frames, coalesce, warm in grid:
         for seed in seeds:
             outputs = {}
             bad = False
             for workers in (1, 8):
                 cmd, proc = run_sim(args.binary, seed, rate, clients, mb,
-                                    frames, workers, coalesce)
+                                    frames, workers, coalesce, warm)
                 runs += 1
                 label = " ".join(cmd)
                 if proc.returncode != 0:
@@ -128,7 +155,7 @@ def main():
             if not bad and outputs.get(1) != outputs.get(8):
                 print(f"FATAL: workers 1 vs 8 diverged: seed={seed} "
                       f"rate={rate} clients={clients} mb={mb} "
-                      f"coalesce={coalesce}")
+                      f"coalesce={coalesce} warm={warm}")
                 failures += 1
 
     if failures:

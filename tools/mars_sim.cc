@@ -76,6 +76,17 @@
 //       fleet's predicted positions. The default --store memory is a
 //       bit-identical passthrough; disk mode adds "-- storage --" lines
 //       and per-shard pool stats to the JSON block.
+//       --warm on starts the background pool warmer (requires --store
+//       disk --evict motion): a dedicated I/O pool speculatively reads
+//       the pages the fleet's interest field predicts it is about to
+//       traverse, installing them at the next serial commit point under
+//       a never-evict-hotter rule. --warm-budget N caps the arrays
+//       admitted into flight per tick (default 32); --warm-workers W
+//       sizes the I/O pool (default 2). Query results and node-access
+//       counts are bit-identical to --warm off at any --workers or
+//       --warm-workers; only pool hit rates and wall-clock change. Off
+//       (the default) is a strict bit-identical passthrough; on extends
+//       the pool_shard JSON lines with prefetch counters.
 //       --rebalance on makes the shard set load-adaptive: every
 //       --rebalance-interval frames (default 16) the server splits a
 //       shard running hotter than --split-factor (default 2.0) times its
@@ -175,6 +186,9 @@ struct Flags {
   int page_size = 4096;
   int pool_pages = 256;
   std::string evict = "lru";
+  std::string warm = "off";
+  int warm_budget = 32;
+  int warm_workers = 2;
   std::string rebalance = "off";
   int rebalance_interval = 16;
   double split_factor = 2.0;
@@ -280,6 +294,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->pool_pages = std::atoi(next());
     } else if (arg == "--evict") {
       flags->evict = next();
+    } else if (arg == "--warm") {
+      flags->warm = next();
+    } else if (arg == "--warm-budget") {
+      flags->warm_budget = std::atoi(next());
+    } else if (arg == "--warm-workers") {
+      flags->warm_workers = std::atoi(next());
     } else if (arg == "--rebalance") {
       flags->rebalance = next();
     } else if (arg == "--rebalance-interval") {
@@ -385,12 +405,15 @@ void PrintShardStats(const core::System& system) {
 void PrintPoolStats(const core::System& system) {
   const server::Server& server = system.server();
   if (!server.disk_store()) return;
+  // The prefetch counters ride only the warm-on lines, so --warm off
+  // output stays byte-identical to the pre-warming era.
+  const bool warming = server.pool_warming_enabled();
   for (const auto& s : server.PoolStats()) {
     std::printf(
         "{\"pool_shard\": %d, \"hits\": %lld, \"misses\": %lld, "
         "\"evictions\": %lld, \"disk_reads\": %lld, \"disk_writes\": %lld, "
         "\"resident_pages\": %lld, \"file_pages\": %lld, "
-        "\"free_pages\": %lld, \"fragmented_pages\": %lld}\n",
+        "\"free_pages\": %lld, \"fragmented_pages\": %lld",
         s.shard, static_cast<long long>(s.pool.hits),
         static_cast<long long>(s.pool.misses),
         static_cast<long long>(s.pool.evictions),
@@ -400,6 +423,16 @@ void PrintPoolStats(const core::System& system) {
         static_cast<long long>(s.file_pages),
         static_cast<long long>(s.free_pages),
         static_cast<long long>(s.fragmented_pages));
+    if (warming) {
+      std::printf(
+          ", \"prefetch_issued\": %lld, \"prefetch_hits\": %lld, "
+          "\"prefetch_wasted\": %lld, \"prefetch_dropped\": %lld",
+          static_cast<long long>(s.pool.prefetch_issued),
+          static_cast<long long>(s.pool.prefetch_hits),
+          static_cast<long long>(s.pool.prefetch_wasted),
+          static_cast<long long>(s.pool.prefetch_dropped));
+    }
+    std::printf("}\n");
   }
 }
 
@@ -446,12 +479,20 @@ void PrintStorageSummary(const core::System& system) {
   int64_t evictions = 0;
   int64_t reads = 0;
   int64_t writes = 0;
+  int64_t prefetch_issued = 0;
+  int64_t prefetch_hits = 0;
+  int64_t prefetch_wasted = 0;
+  int64_t prefetch_dropped = 0;
   for (const auto& s : server.PoolStats()) {
     hits += s.pool.hits;
     misses += s.pool.misses;
     evictions += s.pool.evictions;
     reads += s.pool.disk_reads;
     writes += s.pool.disk_writes;
+    prefetch_issued += s.pool.prefetch_issued;
+    prefetch_hits += s.pool.prefetch_hits;
+    prefetch_wasted += s.pool.prefetch_wasted;
+    prefetch_dropped += s.pool.prefetch_dropped;
   }
   const double total = static_cast<double>(hits + misses);
   std::printf("\n-- storage --\n");
@@ -462,6 +503,15 @@ void PrintStorageSummary(const core::System& system) {
               static_cast<long long>(evictions));
   std::printf("disk reads / writes     : %lld / %lld\n",
               static_cast<long long>(reads), static_cast<long long>(writes));
+  if (server.pool_warming_enabled()) {
+    // Warm-on only, so --warm off output stays byte-identical.
+    std::printf("prefetch issued / hits  : %lld / %lld\n",
+                static_cast<long long>(prefetch_issued),
+                static_cast<long long>(prefetch_hits));
+    std::printf("prefetch wasted/dropped : %lld / %lld\n",
+                static_cast<long long>(prefetch_wasted),
+                static_cast<long long>(prefetch_dropped));
+  }
 }
 
 // Fleet mode: N concurrent clients against one shared server and cell.
@@ -760,6 +810,20 @@ int Run(const Flags& flags) {
                  "--page-size must be >= 128 and --pool-pages >= 1\n");
     return 2;
   }
+  if (flags.warm != "on" && flags.warm != "off") {
+    std::fprintf(stderr, "--warm wants on|off\n");
+    return 2;
+  }
+  if (flags.warm == "on" &&
+      (flags.store != "disk" || flags.evict != "motion")) {
+    std::fprintf(stderr, "--warm on requires --store disk --evict motion\n");
+    return 2;
+  }
+  if (flags.warm_budget < 1 || flags.warm_workers < 1) {
+    std::fprintf(stderr,
+                 "--warm-budget and --warm-workers must be >= 1\n");
+    return 2;
+  }
   if (flags.rebalance != "on" && flags.rebalance != "off") {
     std::fprintf(stderr, "--rebalance wants on|off\n");
     return 2;
@@ -801,6 +865,9 @@ int Run(const Flags& flags) {
   config.storage.pool_pages = flags.pool_pages;
   config.storage.evict = flags.evict == "motion" ? storage::EvictPolicy::kMotion
                                                  : storage::EvictPolicy::kLru;
+  config.storage.warm = flags.warm == "on";
+  config.storage.warm_budget = flags.warm_budget;
+  config.storage.warm_workers = flags.warm_workers;
   config.rebalance.enabled = flags.rebalance == "on";
   config.rebalance.interval = flags.rebalance_interval;
   config.rebalance.split_factor = flags.split_factor;
@@ -835,6 +902,10 @@ int Run(const Flags& flags) {
     std::printf("store: disk (%s), %s eviction, restored shards %d/%d\n",
                 flags.pages_path.c_str(), flags.evict.c_str(),
                 system->server().restored_shards(), flags.shards);
+  }
+  if (system->server().pool_warming_enabled()) {
+    std::printf("warm: on (budget %d, workers %d)\n", flags.warm_budget,
+                flags.warm_workers);
   }
 
   if (flags.clients > 1) return RunFleet(*system, flags);
